@@ -1,0 +1,80 @@
+// Paper Sec 4.2 (parenthetical claim): "switching between applications
+// already installed on the network processor can be done quickly to
+// accommodate dynamic changes in workload by keeping multiple binaries
+// and graphs in memory." This bench quantifies the gap between a full
+// secure install (~25 s at paper scale) and an in-memory switch (ms).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "net/apps.hpp"
+#include "net/packet.hpp"
+#include "sdmmon/entities.hpp"
+#include "sdmmon/timed_install.hpp"
+
+int main() {
+  using namespace sdmmon;
+  using namespace sdmmon::protocol;
+
+  bench::heading("Dynamic workload switching: secure install vs. in-memory"
+                 " switch");
+
+  constexpr std::size_t kKeyBits = 2048;
+  constexpr std::uint64_t kNow = 1'700'000'000;
+
+  Manufacturer manufacturer("m", kKeyBits, crypto::Drbg("sw-man"));
+  NetworkOperator op("o", kKeyBits, crypto::Drbg("sw-op"));
+  op.accept_certificate(manufacturer.certify_operator(
+      op.name(), op.public_key(), kNow - 10, kNow + 1'000'000));
+  auto device = manufacturer.provision_device("router", 2);
+
+  NiosTimingModel model;
+
+  struct AppEntry {
+    const char* name;
+    isa::Program program;
+  };
+  AppEntry apps[] = {
+      {"ipv4-forward", net::build_ipv4_forward()},
+      {"ipv4-cm", net::build_ipv4_cm()},
+      {"udp-echo", net::build_udp_echo()},
+      {"firewall", net::build_firewall({53, 80, 443})},
+  };
+
+  std::printf("%-16s %16s %16s %12s\n", "app", "secure install",
+              "memory switch", "speedup");
+  bench::rule(66);
+  for (auto& app : apps) {
+    WirePackage wire = op.program_device(app.program, device->public_key());
+    TimedInstallResult timed =
+        timed_install(wire, device->private_key_for_instrumentation(),
+                      manufacturer.public_key(), kNow);
+    if (!timed.ok || device->install(wire, kNow) != InstallStatus::Ok) {
+      std::printf("install of %s failed\n", app.name);
+      return 1;
+    }
+    const double install_s = timed.timing(model).total();
+    const std::size_t app_bytes =
+        app.program.text_bytes() + app.program.data.size();
+    const double switch_s = model.switch_seconds(app_bytes);
+    std::printf("%-16s %15.2fs %14.2fms %11.0fx\n", app.name, install_s,
+                switch_s * 1e3, install_s / switch_s);
+  }
+  bench::rule(66);
+  std::printf("apps now resident on the device:");
+  for (const auto& name : device->stored_apps()) std::printf(" %s", name.c_str());
+  std::printf("\nstore footprint: %zu bytes\n", device->store_bytes());
+
+  // Functional proof: switching is instant and the switched app works.
+  device->switch_to("udp-echo");
+  util::Bytes pkt = net::make_udp_packet(net::ip(1, 2, 3, 4),
+                                         net::ip(5, 6, 7, 8), 10, 20,
+                                         util::bytes_of("x"));
+  auto r = device->process_packet(pkt);
+  std::printf("after switch_to(udp-echo): packet %s\n",
+              np::packet_outcome_name(r.outcome));
+  bench::note("Conclusion: reprogramming latency (~25 s) applies only to");
+  bench::note("NEW applications; workload-driven switches among resident");
+  bench::note("apps cost milliseconds, supporting the paper's dynamics");
+  bench::note("argument.");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Shared table-printing helpers for the reproduction benches. Each bench
+// binary regenerates one table or figure from the paper and prints the
+// paper's published values next to the reproduction's numbers.
+#ifndef SDMMON_BENCH_BENCH_UTIL_HPP
+#define SDMMON_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <string>
+
+namespace sdmmon::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+inline void rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace sdmmon::bench
+
+#endif  // SDMMON_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,125 @@
+// Reproduces Figure 6: "Distribution of hash values using our Merkle-tree-
+// based hashing" -- for each input-pair Hamming distance d in 1..32,
+// generate 10,000 random 32-bit pairs at exactly that distance, hash both
+// with the paper's 4-bit Merkle hash, and report the distribution of the
+// 4-bit output Hamming distance (0..4).
+//
+// Paper's observation to reproduce: the output Hamming distance follows
+// the same near-binomial ("Gaussian") distribution regardless of the input
+// distance -- i.e., indistinguishable from random changes -- except for a
+// slight deviation at input distance 1.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "monitor/hash.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace sdmmon;
+  using namespace sdmmon::monitor;
+
+  bench::heading(
+      "Figure 6: output Hamming distance distribution of the Merkle hash");
+  bench::note("10,000 random 32-bit pairs per input Hamming distance;");
+  bench::note("4-bit hash; paper-prototype arithmetic-sum compression.");
+
+  constexpr int kPairsPerDistance = 10'000;
+  util::Rng rng(0xF16);
+  MerkleTreeHash hash(0xD1CEB00C, 4, Compression::ArithmeticSum);
+
+  // Reference: output HD of two independent random 4-bit values follows
+  // Binomial(4, 1/2) over differing bits -- compute it empirically too.
+  double reference[5] = {};
+  for (int i = 0; i < 100'000; ++i) {
+    auto a = static_cast<std::uint8_t>(rng.below(16));
+    auto b = static_cast<std::uint8_t>(rng.below(16));
+    ++reference[std::popcount(static_cast<unsigned>(a ^ b))];
+  }
+  for (double& v : reference) v /= 100'000;
+
+  std::printf("\n%-9s %8s %8s %8s %8s %8s %8s\n", "input HD", "out=0",
+              "out=1", "out=2", "out=3", "out=4", "mean");
+  bench::rule(66);
+  std::printf("%-9s %8.3f %8.3f %8.3f %8.3f %8.3f %8s\n", "random",
+              reference[0], reference[1], reference[2], reference[3],
+              reference[4], "2.000");
+
+  double worst_l1 = 0.0;
+  int worst_d = 0;
+  for (int d = 1; d <= 32; ++d) {
+    int counts[5] = {};
+    for (int pair = 0; pair < kPairsPerDistance; ++pair) {
+      std::uint32_t a = rng.next_u32();
+      // Flip exactly d random distinct bits.
+      std::uint32_t b = a;
+      int flipped = 0;
+      while (flipped < d) {
+        int bit = static_cast<int>(rng.below(32));
+        if (((a ^ b) >> bit) & 1) continue;  // already flipped
+        b ^= 1u << bit;
+        ++flipped;
+      }
+      int out_hd = std::popcount(
+          static_cast<unsigned>(hash.hash(a) ^ hash.hash(b)));
+      ++counts[out_hd];
+    }
+    double mean = 0;
+    double frac[5];
+    for (int i = 0; i <= 4; ++i) {
+      frac[i] = static_cast<double>(counts[i]) / kPairsPerDistance;
+      mean += i * frac[i];
+    }
+    std::printf("%-9d %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n", d, frac[0],
+                frac[1], frac[2], frac[3], frac[4], mean);
+    double l1 = 0;
+    for (int i = 0; i <= 4; ++i) l1 += std::fabs(frac[i] - reference[i]);
+    if (l1 > worst_l1) {
+      worst_l1 = l1;
+      worst_d = d;
+    }
+  }
+  bench::rule(66);
+  std::printf(
+      "\nLargest L1 deviation from the random-pair reference: %.3f at input"
+      " HD %d\n",
+      worst_l1, worst_d);
+  bench::note("Paper's shape: near-binomial at every input distance, with the");
+  bench::note("largest (still small) deviation at input Hamming distance 1.");
+
+  // Extension: the S-box compression (the SR2 fix, see EXPERIMENTS.md)
+  // must preserve the distribution quality, including at input HD 1.
+  bench::heading("Extension: S-box compression at the worst input distances");
+  MerkleTreeHash sbox_hash(0xD1CEB00C, 4, Compression::SboxSum);
+  std::printf("%-9s %8s %8s %8s %8s %8s %8s\n", "input HD", "out=0", "out=1",
+              "out=2", "out=3", "out=4", "mean");
+  bench::rule(66);
+  for (int d : {1, 2, 4, 16, 32}) {
+    int counts[5] = {};
+    for (int pair = 0; pair < kPairsPerDistance; ++pair) {
+      std::uint32_t a = rng.next_u32();
+      std::uint32_t b = a;
+      int flipped = 0;
+      while (flipped < d) {
+        int bit = static_cast<int>(rng.below(32));
+        if (((a ^ b) >> bit) & 1) continue;
+        b ^= 1u << bit;
+        ++flipped;
+      }
+      ++counts[std::popcount(
+          static_cast<unsigned>(sbox_hash.hash(a) ^ sbox_hash.hash(b)))];
+    }
+    double mean = 0;
+    double frac[5];
+    for (int i = 0; i <= 4; ++i) {
+      frac[i] = static_cast<double>(counts[i]) / kPairsPerDistance;
+      mean += i * frac[i];
+    }
+    std::printf("%-9d %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n", d, frac[0],
+                frac[1], frac[2], frac[3], frac[4], mean);
+  }
+  bench::note("The fix keeps the avalanche quality while making collisions");
+  bench::note("parameter-dependent (see bench/fleet_diversity).");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Ablation: monitoring granularity -- per-instruction (Mao & Wolf, what
+// SDMMon deploys) vs. basic-block (Arora et al. / IMPRES, the related-work
+// baseline). Three axes on the real ipv4-cm binary:
+//   * graph storage (bits)
+//   * detection probability of an injected sequence
+//   * detection latency (instructions retired after the deviation until
+//     the monitor flags)
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "isa/assembler.hpp"
+#include "monitor/analysis.hpp"
+#include "monitor/block_monitor.hpp"
+#include "monitor/monitor.hpp"
+#include "net/apps.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sdmmon;
+using namespace sdmmon::monitor;
+
+struct LatencyStats {
+  double detect_rate = 0;
+  double mean_lag = 0;  // instructions from deviation to flag (detected runs)
+};
+
+// Drive `monitor` with valid prefix then foreign words; measure lag.
+template <typename Monitor>
+LatencyStats measure(const isa::Program& program, Monitor& monitor,
+                     util::Rng& rng, int trials) {
+  int detected = 0;
+  double lag_sum = 0;
+  const int kInjected = 24;  // foreign instructions available to observe
+  for (int t = 0; t < trials; ++t) {
+    monitor.reset();
+    // Valid straight-line prefix: the first two instructions of main.
+    monitor.on_instruction(program.text[0]);
+    monitor.on_instruction(program.text[1]);
+    bool flagged = false;
+    for (int i = 0; i < kInjected; ++i) {
+      std::uint32_t foreign = rng.next_u32();
+      if (monitor.on_instruction(foreign) == Verdict::Mismatch) {
+        ++detected;
+        lag_sum += i;  // 0 = flagged on the first foreign instruction
+        flagged = true;
+        break;
+      }
+    }
+    (void)flagged;
+  }
+  LatencyStats s;
+  s.detect_rate = static_cast<double>(detected) / trials;
+  if (detected > 0) s.mean_lag = lag_sum / detected;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Monitoring granularity: per-instruction vs. basic-block");
+
+  isa::Program app = net::build_ipv4_cm();
+  util::Rng rng(0x6AB1A);
+  const int kTrials = 20'000;
+
+  MerkleTreeHash hash(0x5EEDF00D);
+  MonitoringGraph instr_graph = extract_graph(app, hash);
+  BlockGraph block_graph = extract_block_graph(app, hash);
+
+  HardwareMonitor instr_monitor(instr_graph,
+                                std::make_unique<MerkleTreeHash>(hash));
+  BlockMonitor block_monitor(block_graph,
+                             std::make_unique<MerkleTreeHash>(hash));
+
+  LatencyStats instr_stats = measure(app, instr_monitor, rng, kTrials);
+  LatencyStats block_stats = measure(app, block_monitor, rng, kTrials);
+
+  std::printf("%-24s %16s %16s\n", "", "per-instruction", "basic-block");
+  bench::rule(60);
+  std::printf("%-24s %16zu %16zu\n", "graph bits", instr_graph.size_bits(),
+              block_graph.size_bits());
+  std::printf("%-24s %16zu %16zu\n", "graph nodes", instr_graph.size(),
+              block_graph.size());
+  std::printf("%-24s %15.1f%% %15.1f%%\n", "detection rate",
+              100.0 * instr_stats.detect_rate,
+              100.0 * block_stats.detect_rate);
+  std::printf("%-24s %16.2f %16.2f\n", "mean lag (instrs)",
+              instr_stats.mean_lag, block_stats.mean_lag);
+  bench::rule(60);
+  bench::note("24 random injected instructions per trial, 20k trials.");
+  bench::note("Per-instruction monitoring flags on (nearly) the first");
+  bench::note("foreign word; the block baseline must wait for a block");
+  bench::note("boundary and misses commutative-fold rewrites entirely --");
+  bench::note("why the paper builds on instruction-grain monitors.");
+
+  // The structural escape the block fold cannot see: reordering.
+  bench::heading("Reordered-instruction attack (same multiset of words)");
+  isa::Program straight = isa::assemble(
+      "main:\n"
+      "  addiu $t0, $t0, 1\n"
+      "  addiu $t1, $t1, 2\n"
+      "  addiu $t2, $t2, 3\n"
+      "  jr $ra\n");
+  MerkleTreeHash h2(0xABCD);
+  HardwareMonitor im(extract_graph(straight, h2),
+                     std::make_unique<MerkleTreeHash>(h2));
+  BlockMonitor bm(extract_block_graph(straight, h2),
+                  std::make_unique<MerkleTreeHash>(h2));
+  // Execute instructions 2,1,0 (reordered) then the jr.
+  const std::uint32_t seq[] = {straight.text[2], straight.text[1],
+                               straight.text[0], straight.text[3]};
+  bool instr_caught = false, block_caught = false;
+  for (std::uint32_t w : seq) {
+    if (im.on_instruction(w) == Verdict::Mismatch) instr_caught = true;
+    if (bm.on_instruction(w) == Verdict::Mismatch) block_caught = true;
+  }
+  std::printf("  per-instruction monitor: %s\n",
+              instr_caught ? "DETECTED" : "missed");
+  std::printf("  basic-block monitor:     %s (commutative sum fold)\n",
+              block_caught ? "DETECTED" : "missed");
+  return 0;
+}

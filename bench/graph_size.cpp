@@ -1,0 +1,63 @@
+// Section 2.1 claim: "the use of a hashed version of the binary
+// instruction ... is necessary to reduce the size of the monitoring graph
+// to a fraction of the processing binary." Quantified for every shipped
+// application, at instruction and basic-block granularity, against the
+// naive (full-word) alternative.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "monitor/analysis.hpp"
+#include "monitor/block_monitor.hpp"
+#include "net/apps.hpp"
+#include "net/packet.hpp"
+#include "net/routing.hpp"
+
+int main() {
+  using namespace sdmmon;
+  using namespace sdmmon::monitor;
+
+  bench::heading("Monitoring graph compactness across applications");
+
+  net::RoutingTable table;
+  table.add_route(net::ip(10, 0, 0, 0), 8, 1);
+  table.add_route(net::ip(192, 168, 0, 0), 16, 2);
+  table.add_route(0, 0, 0);
+
+  struct Entry {
+    const char* name;
+    isa::Program program;
+  };
+  Entry apps[] = {
+      {"ipv4-forward", net::build_ipv4_forward()},
+      {"ipv4-cm", net::build_ipv4_cm()},
+      {"udp-echo", net::build_udp_echo()},
+      {"firewall(2)", net::build_firewall({53, 80})},
+      {"flow-stats", net::build_flow_stats()},
+      {"ipv4-router(3)", net::build_ipv4_router(table)},
+      {"ipip-encap", net::build_ipip_encap(0x0A000001, 0x0A0000FE)},
+      {"ipip-decap", net::build_ipip_decap()},
+  };
+
+  MerkleTreeHash hash(0x6D4A5);
+
+  std::printf("%-16s %8s %12s %12s %12s %10s\n", "app", "instrs",
+              "binary bits", "graph bits", "block bits", "graph/bin");
+  bench::rule(76);
+  for (auto& app : apps) {
+    MonitoringGraph graph = extract_graph(app.program, hash);
+    BlockGraph blocks = extract_block_graph(app.program, hash);
+    const std::size_t binary_bits = app.program.text.size() * 32;
+    std::printf("%-16s %8zu %12zu %12zu %12zu %9.1f%%\n", app.name,
+                app.program.text.size(), binary_bits, graph.size_bits(),
+                blocks.size_bits(),
+                100.0 * static_cast<double>(graph.size_bits()) /
+                    static_cast<double>(binary_bits));
+  }
+  bench::rule(76);
+  bench::note("graph bits = exact compact-codec length (w=4 hash, implicit");
+  bench::note("sequential edges). A naive graph storing full 32-bit words");
+  bench::note("would match the binary 1:1; the 4-bit hash + shape tags keep");
+  bench::note("it at ~20-25% -- the fraction the paper's monitor memory");
+  bench::note("budget (Table 1) is sized around.");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation X2: hash width trade-off. Wider hashes detect single foreign
+// instructions with higher probability (1 - 2^-w) and shrink the viable
+// brute-force attack space, but grow the monitoring graph and the hash
+// unit. The paper fixes w=4; this sweep shows why that is a sweet spot.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "monitor/analysis.hpp"
+#include "monitor/monitor.hpp"
+#include "monitor/resource_model.hpp"
+#include "net/apps.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace sdmmon;
+  using namespace sdmmon::monitor;
+
+  bench::heading("X2: hash width ablation (monitoring ipv4-cm)");
+
+  isa::Program app = net::build_ipv4_cm();
+  util::Rng rng(0xAB1A7E);
+
+  std::printf("%-7s %12s %14s %12s %10s %10s\n", "width", "graph bits",
+              "graph/binary", "p(detect 1)", "hash LUTs", "hash mem");
+  bench::rule(72);
+
+  for (int w : {1, 2, 4, 8}) {
+    MerkleTreeHash hash(0xC0FFEE11, w);
+    MonitoringGraph graph = extract_graph(app, hash);
+
+    // Empirical single-instruction detection probability.
+    int detected = 0;
+    const int trials = 20'000;
+    for (int t = 0; t < trials; ++t) {
+      MerkleTreeHash h(rng.next_u32(), w);
+      HardwareMonitor monitor(extract_graph(app, h),
+                              std::make_unique<MerkleTreeHash>(h));
+      monitor.on_instruction(app.text[0]);
+      monitor.on_instruction(app.text[1]);
+      std::uint32_t foreign = rng.next_u32();
+      if (foreign == app.text[2]) foreign ^= 1;
+      if (monitor.on_instruction(foreign) == Verdict::Mismatch) ++detected;
+    }
+
+    auto cost = merkle_hash_cost(w);
+    const double binary_bits = static_cast<double>(app.text.size()) * 32.0;
+    std::printf("%-7d %12zu %13.1f%% %11.4f %10llu %10llu\n", w,
+                graph.size_bits(),
+                100.0 * static_cast<double>(graph.size_bits()) / binary_bits,
+                static_cast<double>(detected) / trials,
+                (unsigned long long)cost.luts,
+                (unsigned long long)cost.mem_bits);
+  }
+  bench::rule(72);
+  bench::note("p(detect 1) ~ 1 - 2^-w; graph size grows ~linearly in w.");
+  bench::note("w=4 keeps the graph a small fraction of the binary while");
+  bench::note("catching 15/16 of foreign instructions immediately --");
+  bench::note("the paper's operating point.");
+  return 0;
+}

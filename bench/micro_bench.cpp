@@ -1,0 +1,163 @@
+// Google-benchmark microbenchmarks for the primitives: hash functions,
+// SHA-256, AES, RSA ops, monitor stepping, and core simulation rate.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/bignum.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+#include "monitor/analysis.hpp"
+#include "monitor/block_monitor.hpp"
+#include "monitor/graph_codec.hpp"
+#include "monitor/monitor.hpp"
+#include "net/apps.hpp"
+#include "net/traffic.hpp"
+#include "np/monitored_core.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sdmmon;
+
+void BM_MerkleHash(benchmark::State& state) {
+  monitor::MerkleTreeHash hash(0x12345678,
+                               static_cast<int>(state.range(0)));
+  std::uint32_t word = 0xDEADBEEF;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash.hash(word));
+    ++word;
+  }
+}
+BENCHMARK(BM_MerkleHash)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BitcountHash(benchmark::State& state) {
+  monitor::BitcountHash hash;
+  std::uint32_t word = 0xDEADBEEF;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash.hash(word));
+    ++word;
+  }
+}
+BENCHMARK(BM_BitcountHash);
+
+void BM_Sha256(benchmark::State& state) {
+  util::Bytes data(static_cast<std::size_t>(state.range(0)), 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_AesCbcEncrypt(benchmark::State& state) {
+  util::Bytes key = util::from_hex("000102030405060708090a0b0c0d0e0f");
+  crypto::AesBlock iv{};
+  util::Bytes data(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::aes_cbc_encrypt(key, iv, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AesCbcEncrypt)->Arg(4096)->Arg(65536);
+
+void BM_RsaSignVerify(benchmark::State& state) {
+  static const crypto::RsaKeyPair kp = [] {
+    crypto::Drbg drbg("micro-rsa");
+    return crypto::rsa_generate(static_cast<std::size_t>(2048), drbg);
+  }();
+  util::Bytes msg = util::bytes_of("benchmark message");
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(crypto::rsa_sign(kp.priv, msg));
+    }
+  } else {
+    util::Bytes sig = crypto::rsa_sign(kp.priv, msg);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(crypto::rsa_verify(kp.pub, msg, sig));
+    }
+  }
+}
+BENCHMARK(BM_RsaSignVerify)->Arg(0)->Arg(1);
+
+void BM_BigUintMul(benchmark::State& state) {
+  crypto::Drbg d("micro-mul");
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  crypto::BigUint a = crypto::BigUint::from_bytes_be(d.bytes(bytes));
+  crypto::BigUint b = crypto::BigUint::from_bytes_be(d.bytes(bytes));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+// 128 B = schoolbook; 256/512 B cross the Karatsuba threshold (24 limbs).
+BENCHMARK(BM_BigUintMul)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Modexp2048(benchmark::State& state) {
+  crypto::Drbg d("micro-modexp");
+  crypto::BigUint m = crypto::BigUint::from_bytes_be(d.bytes(256));
+  if (!m.is_odd()) m += crypto::BigUint(1);
+  crypto::BigUint base = crypto::BigUint::from_bytes_be(d.bytes(256));
+  crypto::BigUint exp = crypto::BigUint::from_bytes_be(d.bytes(256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::BigUint::modexp(base, exp, m));
+  }
+}
+BENCHMARK(BM_Modexp2048);
+
+void BM_GraphCodecEncode(benchmark::State& state) {
+  isa::Program app = net::build_ipv4_cm();
+  monitor::MerkleTreeHash hash(0xC0DEC);
+  monitor::MonitoringGraph graph = monitor::extract_graph(app, hash);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor::encode_graph(graph));
+  }
+}
+BENCHMARK(BM_GraphCodecEncode);
+
+void BM_BlockMonitorStep(benchmark::State& state) {
+  isa::Program app = net::build_ipv4_forward();
+  monitor::MerkleTreeHash hash(0xB10C);
+  monitor::BlockMonitor monitor(
+      monitor::extract_block_graph(app, hash),
+      std::make_unique<monitor::MerkleTreeHash>(hash));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.on_instruction(app.text[i % 2]));
+    if (++i % 64 == 0) monitor.reset();
+  }
+}
+BENCHMARK(BM_BlockMonitorStep);
+
+void BM_MonitorStep(benchmark::State& state) {
+  isa::Program app = net::build_ipv4_forward();
+  monitor::MerkleTreeHash hash(0xFEEDF00D);
+  monitor::HardwareMonitor monitor(
+      monitor::extract_graph(app, hash),
+      std::make_unique<monitor::MerkleTreeHash>(hash));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.on_instruction(app.text[i % 2]));
+    if (++i % 64 == 0) monitor.reset();
+  }
+}
+BENCHMARK(BM_MonitorStep);
+
+void BM_ProcessPacket(benchmark::State& state) {
+  isa::Program app = net::build_ipv4_forward();
+  monitor::MerkleTreeHash hash(0x600D);
+  np::MonitoredCore core;
+  core.install(app, monitor::extract_graph(app, hash),
+               std::make_unique<monitor::MerkleTreeHash>(hash));
+  net::TrafficGenerator gen;
+  auto pkt = gen.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core.process_packet(pkt.packet));
+  }
+}
+BENCHMARK(BM_ProcessPacket);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Reproduces Table 1: "Resource use on DE4 FPGA" -- the security control
+// processor vs. one NP core with hardware monitor, via the structural
+// resource model (see DESIGN.md section 5 for the substitution rationale).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "monitor/analysis.hpp"
+#include "monitor/resource_model.hpp"
+#include "net/apps.hpp"
+
+int main() {
+  using namespace sdmmon;
+  using namespace sdmmon::monitor;
+
+  bench::heading("Table 1: Resource use on DE4 FPGA (paper vs. model)");
+
+  const auto ctrl = control_processor_inventory();
+  // Size the monitor's graph memory from the real IPv4+CM monitoring graph.
+  MerkleTreeHash hash(0x1234ABCD);
+  auto graph = extract_graph(net::build_ipv4_cm(), hash);
+  const auto np_core = np_core_with_monitor_inventory();
+
+  auto ctrl_total = total(ctrl);
+  auto np_total = total(np_core);
+
+  std::printf("%-28s %12s %12s %14s\n", "", "LUTs", "FFs", "Memory bits");
+  bench::rule();
+  std::printf("%-28s %12llu %12llu %14llu\n", "Available on FPGA",
+              (unsigned long long)kStratixIvCapacity.luts,
+              (unsigned long long)kStratixIvCapacity.ffs,
+              (unsigned long long)kStratixIvCapacity.mem_bits);
+  std::printf("%-28s %12llu %12llu %14llu\n", "Nios II contr. proc (paper)",
+              (unsigned long long)kPaperControlProcessor.luts,
+              (unsigned long long)kPaperControlProcessor.ffs,
+              (unsigned long long)kPaperControlProcessor.mem_bits);
+  std::printf("%-28s %12llu %12llu %14llu\n", "Nios II contr. proc (model)",
+              (unsigned long long)ctrl_total.luts,
+              (unsigned long long)ctrl_total.ffs,
+              (unsigned long long)ctrl_total.mem_bits);
+  std::printf("%-28s %12llu %12llu %14llu\n", "NP core w/ monitor (paper)",
+              (unsigned long long)kPaperNpCoreWithMonitor.luts,
+              (unsigned long long)kPaperNpCoreWithMonitor.ffs,
+              (unsigned long long)kPaperNpCoreWithMonitor.mem_bits);
+  std::printf("%-28s %12llu %12llu %14llu\n", "NP core w/ monitor (model)",
+              (unsigned long long)np_total.luts,
+              (unsigned long long)np_total.ffs,
+              (unsigned long long)np_total.mem_bits);
+  bench::rule();
+
+  std::printf("\nControl-processor inventory (model decomposition):\n");
+  for (const auto& c : ctrl) {
+    std::printf("  %-38s %8llu LUT %8llu FF %10llu mem\n", c.name.c_str(),
+                (unsigned long long)c.cost.luts, (unsigned long long)c.cost.ffs,
+                (unsigned long long)c.cost.mem_bits);
+  }
+  std::printf("\nNP-core-with-monitor inventory (model decomposition):\n");
+  for (const auto& c : np_core) {
+    std::printf("  %-38s %8llu LUT %8llu FF %10llu mem\n", c.name.c_str(),
+                (unsigned long long)c.cost.luts, (unsigned long long)c.cost.ffs,
+                (unsigned long long)c.cost.mem_bits);
+  }
+
+  const double ratio =
+      static_cast<double>(ctrl_total.luts) / static_cast<double>(np_total.luts);
+  std::printf("\nKey claim (Sec 4.1): control processor is ~1/3 of a monitored"
+              " NP core.\n  LUT ratio: %.2f  (paper: %.2f)\n",
+              ratio,
+              static_cast<double>(kPaperControlProcessor.luts) /
+                  static_cast<double>(kPaperNpCoreWithMonitor.luts));
+  std::printf("  IPv4+CM monitoring graph actually needs %zu bits"
+              " (provisioned store: 2,000,000 bits)\n",
+              graph.size_bits());
+  std::printf("  Control processor uses %.1f%% of device LUTs; NP core w/"
+              " monitor %.1f%%.\n",
+              100.0 * static_cast<double>(ctrl_total.luts) /
+                  static_cast<double>(kStratixIvCapacity.luts),
+              100.0 * static_cast<double>(np_total.luts) /
+                  static_cast<double>(kStratixIvCapacity.luts));
+
+  // Extension: multicore capacity planning -- how many monitored NP cores
+  // (plus one shared control processor) fit on the prototype's device?
+  int max_cores = 0;
+  for (int cores = 1;; ++cores) {
+    ResourceCost need = ctrl_total;
+    for (int c = 0; c < cores; ++c) need += np_total;
+    if (need.luts > kStratixIvCapacity.luts ||
+        need.ffs > kStratixIvCapacity.ffs ||
+        need.mem_bits > kStratixIvCapacity.mem_bits) {
+      break;
+    }
+    max_cores = cores;
+  }
+  std::printf("\nExtension: one control processor + %d monitored NP cores fit"
+              " on the EP4SGX230\n"
+              "(limited by %s).\n",
+              max_cores,
+              (ctrl_total.mem_bits +
+               static_cast<std::uint64_t>(max_cores + 1) * np_total.mem_bits >
+               kStratixIvCapacity.mem_bits)
+                  ? "block-RAM bits (monitor graph stores)"
+                  : "logic (LUTs)");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces Table 2: "Processing of security functions on Nios II" --
+// the five steps of the secure install pipeline, executed for real with
+// RSA-2048 + AES-128 (the prototype's configuration) and converted to
+// modeled Nios II seconds through the calibrated embedded-core cost model.
+// Host wall-clock per step is printed alongside for transparency.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "net/apps.hpp"
+#include "sdmmon/entities.hpp"
+#include "sdmmon/timed_install.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* step;
+  double seconds;
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {"Download data from FTP server", 1.90},
+    {"Check manufacturer certificate of operator key", 3.33},
+    {"Decrypt AES key K_sym using router private key", 8.74},
+    {"Decrypt package with AES key K_sym", 7.73},
+    {"Verify package signature with operator key", 3.92},
+};
+constexpr double kPaperTotal = 25.62;
+constexpr double kPaperTotalNoNetCert = 20.39;
+
+}  // namespace
+
+int main() {
+  using namespace sdmmon;
+  using namespace sdmmon::protocol;
+
+  bench::heading("Table 2: Processing of security functions on Nios II");
+  bench::note("Running the real protocol with RSA-2048 / AES-128 and the");
+  bench::note("calibrated 100 MHz Nios II cost model (see DESIGN.md sec. 5).");
+
+  constexpr std::size_t kKeyBits = 2048;
+  constexpr std::uint64_t kNow = 1'700'000'000;
+
+  std::printf("\n  generating RSA-2048 keys for all three entities...\n");
+  Manufacturer manufacturer("manufacturer", kKeyBits,
+                            crypto::Drbg("t2-manufacturer"));
+  NetworkOperator op("operator", kKeyBits, crypto::Drbg("t2-operator"));
+  op.accept_certificate(manufacturer.certify_operator(
+      op.name(), op.public_key(), kNow - 1000, kNow + 1'000'000));
+  crypto::Drbg device_drbg("t2-device");
+  crypto::RsaKeyPair device_keys = crypto::rsa_generate(kKeyBits, device_drbg);
+
+  // The paper's IPv4+CM production package is far larger than our compact
+  // simulator binary; pad the payload to ~1 MiB so the AES/SHA-bound rows
+  // land at paper scale. An unpadded run is reported afterwards.
+  constexpr std::uint32_t kPaperScalePad = 1'048'576;
+  NiosTimingModel model;
+
+  for (std::uint32_t pad : {kPaperScalePad, std::uint32_t{0}}) {
+    WirePackage wire =
+        op.program_device(net::build_ipv4_cm(), device_keys.pub, pad);
+    TimedInstallResult r =
+        timed_install(wire, device_keys.priv, manufacturer.public_key(), kNow);
+    if (!r.ok) {
+      std::printf("install failed: %s\n", open_status_name(r.open_status));
+      return 1;
+    }
+    InstallTiming t = r.timing(model);
+
+    std::printf("\n%s package (wire size %.1f KiB):\n",
+                pad ? "Paper-scale (padded)" : "Unpadded simulator",
+                static_cast<double>(r.wire_bytes) / 1024.0);
+    std::printf("  %-48s %8s %8s %10s\n", "Step", "paper", "model",
+                "host(raw)");
+    bench::rule();
+    const double rows_model[] = {
+        t.download_s, t.cert_check_s, t.rsa_unwrap_s, t.aes_decrypt_s,
+        t.verify_sig_s};
+    const double rows_host[] = {0.0, r.host_cert_s, r.host_unwrap_s,
+                                r.host_aes_s, r.host_verify_s};
+    for (int i = 0; i < 5; ++i) {
+      std::printf("  %-48s %7.2fs %7.2fs %9.4fs\n", kPaperRows[i].step,
+                  pad ? kPaperRows[i].seconds : -1.0, rows_model[i],
+                  rows_host[i]);
+    }
+    bench::rule();
+    std::printf("  %-48s %7.2fs %7.2fs\n", "Total",
+                pad ? kPaperTotal : -1.0, t.total());
+    std::printf("  %-48s %7.2fs %7.2fs\n",
+                "Total (no networking or certificate check)",
+                pad ? kPaperTotalNoNetCert : -1.0,
+                t.total_no_network_no_cert() );
+    if (!pad) {
+      bench::note("(paper column shown as -1: the paper only reports the");
+      bench::note(" production-scale package)");
+    }
+  }
+
+  std::printf("\nShape checks:\n");
+  std::printf("  * RSA private-key unwrap is the most expensive step.\n");
+  std::printf("  * Certificate check ~ signature verify (public-key ops\n");
+  std::printf("    dominated by fixed invocation overhead).\n");
+  std::printf("  * AES decrypt scales with package size; download is the\n");
+  std::printf("    cheapest step at paper scale.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: the smallest end-to-end use of the library.
+//  1. Write a packet-processing program in assembly.
+//  2. Extract its monitoring graph with a parameterized hash.
+//  3. Run it on a monitored NP core.
+//  4. Show that a deviation (injected code) is detected.
+#include <cstdio>
+
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+#include "monitor/analysis.hpp"
+#include "np/monitored_core.hpp"
+
+int main() {
+  using namespace sdmmon;
+
+  // 1. A tiny application: forward every packet unchanged.
+  const char* source = R"(
+# copy rx -> tx, commit the same length
+main:
+    li $t0, 0xFFFF0000     # PKT_IN_LEN register
+    lw $s2, 0($t0)
+    beqz $s2, drop
+    li $s0, 0x30000        # rx buffer
+    li $s1, 0x40000        # tx buffer
+    move $t1, $zero
+loop:
+    addu $t2, $s0, $t1
+    lbu $t3, 0($t2)
+    addu $t2, $s1, $t1
+    sb $t3, 0($t2)
+    addiu $t1, $t1, 1
+    bne $t1, $s2, loop
+    li $t0, 0xFFFF0004     # PKT_OUT_COMMIT
+    sw $s2, 0($t0)
+drop:
+    jr $ra
+)";
+  isa::Program program = isa::assemble(source);
+  std::printf("Assembled %zu instructions:\n%s\n", program.text.size(),
+              isa::disassemble_program(program).c_str());
+
+  // 2. Offline analysis: monitoring graph under a secret 32-bit parameter.
+  monitor::MerkleTreeHash hash(/*parameter=*/0xC0DE5EED);
+  monitor::MonitoringGraph graph = monitor::extract_graph(program, hash);
+  std::printf("Monitoring graph: %zu nodes, %zu bits (binary is %zu bits)\n\n",
+              graph.size(), graph.size_bits(), program.text.size() * 32);
+
+  // 3. Install on a monitored core and process a packet.
+  np::MonitoredCore core;
+  core.install(program, graph,
+               std::make_unique<monitor::MerkleTreeHash>(hash));
+  util::Bytes packet = util::bytes_of("hello, network processor!");
+  np::PacketResult ok = core.process_packet(packet);
+  std::printf("valid packet: %s (%llu instructions, %zu bytes out)\n",
+              np::packet_outcome_name(ok.outcome),
+              static_cast<unsigned long long>(ok.instructions),
+              ok.output.size());
+
+  // 4. Simulate a hijack: overwrite part of the program text in memory the
+  // way an attack would redirect execution, then watch the monitor object.
+  // (The full packet-borne attack lives in examples/attack_demo.cpp.)
+  monitor::HardwareMonitor probe(graph,
+                                 std::make_unique<monitor::MerkleTreeHash>(hash));
+  probe.on_instruction(program.text[0]);  // valid
+  probe.on_instruction(program.text[1]);  // valid
+  monitor::Verdict v = probe.on_instruction(0x00FF00FF);  // foreign word
+  std::printf("foreign instruction verdict: %s\n",
+              v == monitor::Verdict::Mismatch ? "ATTACK DETECTED" : "missed");
+  std::printf("(a 4-bit hash misses a single foreign instruction with"
+              " probability 1/16)\n");
+  return 0;
+}

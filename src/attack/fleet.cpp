@@ -1,0 +1,61 @@
+#include "attack/fleet.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "attack/probe.hpp"
+#include "net/apps.hpp"
+#include "util/rng.hpp"
+
+namespace sdmmon::attack {
+
+FleetResult simulate_fleet(const FleetConfig& config) {
+  util::Rng rng(config.seed);
+
+  // The attack overwrites control flow at a point where the monitor then
+  // expects the original straight-line instructions; the injected code
+  // must reproduce their hashes. Use a straight-line window of the real
+  // forwarding binary as that target.
+  isa::Program binary = net::build_ipv4_forward();
+  const std::size_t offset = 2;  // inside the prologue, all ALU ops
+  std::vector<std::uint32_t> originals;
+  for (int i = 0; i < config.attack_len; ++i) {
+    originals.push_back(binary.text[offset + static_cast<std::size_t>(i)]);
+  }
+
+  // Router parameters: distinct when diversified, shared otherwise.
+  std::vector<std::unique_ptr<monitor::MerkleTreeHash>> routers;
+  routers.reserve(config.num_routers);
+  const std::uint32_t shared_param = rng.next_u32();
+  for (std::size_t r = 0; r < config.num_routers; ++r) {
+    const std::uint32_t param =
+        config.diversified ? rng.next_u32() : shared_param;
+    routers.push_back(std::make_unique<monitor::MerkleTreeHash>(
+        param, config.hash_width, config.compression));
+  }
+
+  // Victim = router 0. Its expected graph hashes for the window:
+  const monitor::MerkleTreeHash& victim = *routers[0];
+  std::vector<std::uint8_t> expected;
+  for (std::uint32_t word : originals) expected.push_back(victim.hash(word));
+
+  FleetResult result;
+  CraftResult craft =
+      brute_force_matching_words(victim, expected, originals, rng,
+                                 config.craft_budget, config.oracle);
+  result.probes_on_victim = craft.probes;
+  result.craft_succeeded = craft.success;
+  if (!craft.success) return result;
+
+  for (const auto& router : routers) {
+    if (attack_transfers(*router, craft.words, originals)) {
+      ++result.compromised;
+    }
+  }
+  result.compromised_fraction =
+      static_cast<double>(result.compromised) /
+      static_cast<double>(config.num_routers);
+  return result;
+}
+
+}  // namespace sdmmon::attack

@@ -1,0 +1,45 @@
+// Fleet homogeneity experiment (security requirement SR2): a population
+// of routers running the same binary, attacked by a brute-force adversary
+// who crafts a hash-matching injected code sequence against ONE router and
+// replays it fleet-wide. Compares:
+//   * a homogeneous fleet (identical hash parameter everywhere),
+//   * a diversified fleet with the prototype's arithmetic-sum compression
+//     (whose parameter-additivity makes collisions transfer -- a weakness
+//     this reproduction surfaces), and
+//   * a diversified fleet with the S-box compression (diversity works).
+#ifndef SDMMON_ATTACK_FLEET_HPP
+#define SDMMON_ATTACK_FLEET_HPP
+
+#include <cstdint>
+
+#include "attack/probe.hpp"
+#include "monitor/hash.hpp"
+
+namespace sdmmon::attack {
+
+struct FleetConfig {
+  std::size_t num_routers = 1000;
+  bool diversified = true;  // distinct per-router parameters (SR2) or not
+  monitor::Compression compression = monitor::Compression::SboxSum;
+  int hash_width = 4;
+  int attack_len = 4;        // injected instructions the attack must land
+  std::uint64_t seed = 2014;
+  std::uint64_t craft_budget = 10'000'000;  // probe limit on the victim
+  /// Attacker feedback model; see attack/probe.hpp.
+  Oracle oracle = Oracle::PerInstruction;
+};
+
+struct FleetResult {
+  bool craft_succeeded = false;
+  std::uint64_t probes_on_victim = 0;
+  std::size_t compromised = 0;     // routers (incl. victim) the attack passes
+  double compromised_fraction = 0.0;
+};
+
+/// Run the Monte-Carlo fleet experiment. The target hash sequence is taken
+/// from a straight-line region of the real ipv4-forward binary.
+FleetResult simulate_fleet(const FleetConfig& config);
+
+}  // namespace sdmmon::attack
+
+#endif  // SDMMON_ATTACK_FLEET_HPP

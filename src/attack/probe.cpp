@@ -1,0 +1,81 @@
+#include "attack/probe.hpp"
+
+namespace sdmmon::attack {
+
+namespace {
+
+CraftResult craft_per_instruction(const monitor::InstructionHash& victim_hash,
+                                  const std::vector<std::uint8_t>& expected,
+                                  const std::vector<std::uint32_t>& forbidden,
+                                  util::Rng& rng, std::uint64_t max_probes) {
+  CraftResult result;
+  result.words.reserve(expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    bool found = false;
+    while (result.probes < max_probes) {
+      std::uint32_t candidate = rng.next_u32();
+      ++result.probes;
+      if (i < forbidden.size() && candidate == forbidden[i]) continue;
+      if (victim_hash.hash(candidate) == expected[i]) {
+        result.words.push_back(candidate);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return result;  // budget exhausted
+  }
+  result.success = true;
+  return result;
+}
+
+CraftResult craft_whole_sequence(const monitor::InstructionHash& victim_hash,
+                                 const std::vector<std::uint8_t>& expected,
+                                 const std::vector<std::uint32_t>& forbidden,
+                                 util::Rng& rng, std::uint64_t max_probes) {
+  CraftResult result;
+  std::vector<std::uint32_t> candidate(expected.size());
+  while (result.probes < max_probes) {
+    ++result.probes;  // one probe = one attack packet carrying the sequence
+    bool passes = true;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      std::uint32_t word = rng.next_u32();
+      if (i < forbidden.size() && word == forbidden[i]) word ^= 1;
+      candidate[i] = word;
+      // The device drops the packet on the first mismatch; the attacker
+      // only sees the binary outcome, so nothing is learned per position.
+      if (victim_hash.hash(word) != expected[i]) passes = false;
+    }
+    if (passes) {
+      result.words = candidate;
+      result.success = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+CraftResult brute_force_matching_words(
+    const monitor::InstructionHash& victim_hash,
+    const std::vector<std::uint8_t>& expected,
+    const std::vector<std::uint32_t>& forbidden, util::Rng& rng,
+    std::uint64_t max_probes, Oracle oracle) {
+  return oracle == Oracle::PerInstruction
+             ? craft_per_instruction(victim_hash, expected, forbidden, rng,
+                                     max_probes)
+             : craft_whole_sequence(victim_hash, expected, forbidden, rng,
+                                    max_probes);
+}
+
+bool attack_transfers(const monitor::InstructionHash& hash,
+                      const std::vector<std::uint32_t>& words,
+                      const std::vector<std::uint32_t>& originals) {
+  if (words.size() > originals.size()) return false;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (hash.hash(words[i]) != hash.hash(originals[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace sdmmon::attack

@@ -1,0 +1,57 @@
+// Brute-force attacker model for the hash-matching experiments (paper
+// Section 3.2): without knowledge of the hash parameter, the only way to
+// make injected instructions pass the monitor is to enumerate candidate
+// words and probe the device (each probe = one attack packet; a mismatch
+// resets the core, success lets the next instruction run).
+#ifndef SDMMON_ATTACK_PROBE_HPP
+#define SDMMON_ATTACK_PROBE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "monitor/hash.hpp"
+#include "util/rng.hpp"
+
+namespace sdmmon::attack {
+
+struct CraftResult {
+  std::vector<std::uint32_t> words;  // one per target position
+  std::uint64_t probes = 0;          // oracle queries spent
+  bool success = false;
+};
+
+/// How much feedback each probe gives the attacker.
+enum class Oracle : std::uint8_t {
+  /// Strong attacker: learns how far execution got before detection, so
+  /// positions are cracked independently (~2^w probes per instruction,
+  /// linear in L). Models an attacker with a timing/behavior side channel.
+  PerInstruction,
+  /// Realistic data-plane attacker: a probe is one attack packet and the
+  /// only signal is whether the whole attack ran (binary outcome). Cost is
+  /// ~2^(wL) probes -- the paper's "brute force enumeration of different
+  /// hash sequences".
+  WholeSequence,
+};
+
+/// Craft a word sequence that matches the victim's expected hash sequence
+/// by brute force. `victim_hash` is the router's (secret) hash unit, used
+/// only as a black-box accept/reject oracle. `expected` holds the graph
+/// hashes the injected code must reproduce, and `forbidden` the original
+/// instruction words (the attack must differ from the real code).
+CraftResult brute_force_matching_words(
+    const monitor::InstructionHash& victim_hash,
+    const std::vector<std::uint8_t>& expected,
+    const std::vector<std::uint32_t>& forbidden, util::Rng& rng,
+    std::uint64_t max_probes = 1'000'000,
+    Oracle oracle = Oracle::PerInstruction);
+
+/// Probability that `words` passes a monitor keyed with `hash` along a
+/// straight-line path whose original instructions are `originals`
+/// (i.e. all hashes collide).
+bool attack_transfers(const monitor::InstructionHash& hash,
+                      const std::vector<std::uint32_t>& words,
+                      const std::vector<std::uint32_t>& originals);
+
+}  // namespace sdmmon::attack
+
+#endif  // SDMMON_ATTACK_PROBE_HPP

@@ -1,0 +1,45 @@
+#include "attack/reuse.hpp"
+
+#include <memory>
+
+#include "attack/attack.hpp"
+#include "monitor/analysis.hpp"
+#include "net/apps.hpp"
+#include "np/monitored_core.hpp"
+
+namespace sdmmon::attack {
+
+ReuseScan scan_cm_reuse_targets(std::uint32_t hash_param) {
+  isa::Program app = net::build_ipv4_cm();
+  monitor::MerkleTreeHash hash(hash_param);
+  monitor::MonitoringGraph graph = monitor::extract_graph(app, hash);
+
+  np::MonitoredCore core;
+  core.install(app, graph,
+               std::make_unique<monitor::MerkleTreeHash>(hash));
+
+  ReuseScan scan;
+  for (std::uint32_t index = 0;
+       index < static_cast<std::uint32_t>(app.text.size()); ++index) {
+    const std::uint32_t target = app.text_base + index * 4;
+    CmAttackPacket attack = craft_cm_redirect(target);
+    np::PacketResult r = core.process_packet(attack.packet);
+    ++scan.targets;
+    switch (r.outcome) {
+      case np::PacketOutcome::AttackDetected:
+        ++scan.detected;
+        break;
+      case np::PacketOutcome::Trapped:
+        ++scan.trapped;
+        break;
+      case np::PacketOutcome::Forwarded:
+      case np::PacketOutcome::Dropped:
+        ++scan.silent;
+        scan.silent_targets.push_back(index);
+        break;
+    }
+  }
+  return scan;
+}
+
+}  // namespace sdmmon::attack

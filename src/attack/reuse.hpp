@@ -1,0 +1,49 @@
+// Code-reuse attack analysis: instead of injecting instructions (whose
+// hashes are random w.r.t. the graph), the attacker redirects the smashed
+// return address into EXISTING application code. Every executed word then
+// carries a hash that appears somewhere in the monitoring graph -- the
+// monitor only catches the diversion because the hash *sequence* fails to
+// follow the graph from the tracked position, and the analyzer's
+// over-approximation of indirect-jump successors (all return sites + all
+// call targets) deliberately whitelists some diversions.
+//
+// This module sweeps every word-aligned text address as a redirect target
+// and classifies the outcome, quantifying the NFA monitor's blind spot --
+// an honest limitation analysis the paper does not include.
+#ifndef SDMMON_ATTACK_REUSE_HPP
+#define SDMMON_ATTACK_REUSE_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace sdmmon::attack {
+
+enum class ReuseOutcome : std::uint8_t {
+  Detected,       // monitor flagged the diversion
+  Trapped,        // core trapped (fault/watchdog) before/without detection
+  SilentComplete, // packet finished with no flag -- monitor blind spot
+};
+
+struct ReuseScan {
+  std::size_t targets = 0;
+  std::size_t detected = 0;
+  std::size_t trapped = 0;
+  std::size_t silent = 0;
+  /// Targets that completed silently (instruction indices into text).
+  std::vector<std::uint32_t> silent_targets;
+
+  double silent_fraction() const {
+    return targets == 0 ? 0.0
+                        : static_cast<double>(silent) /
+                              static_cast<double>(targets);
+  }
+};
+
+/// Redirect the ipv4-cm overflow to every word-aligned address of the
+/// application text and classify each outcome under a monitor keyed with
+/// `hash_param`.
+ReuseScan scan_cm_reuse_targets(std::uint32_t hash_param);
+
+}  // namespace sdmmon::attack
+
+#endif  // SDMMON_ATTACK_REUSE_HPP

@@ -1,0 +1,263 @@
+#include "crypto/aes.hpp"
+
+#include <cstring>
+
+#include "crypto/opcount.hpp"
+
+namespace sdmmon::crypto {
+
+namespace {
+
+// S-box and inverse computed at static-init time from the AES definition
+// (multiplicative inverse in GF(2^8) followed by the affine transform), so
+// no 256-entry magic tables are pasted in.
+struct SboxTables {
+  std::array<std::uint8_t, 256> sbox{};
+  std::array<std::uint8_t, 256> inv_sbox{};
+
+  SboxTables() {
+    // Build log/antilog tables over GF(2^8) with generator 3.
+    std::array<std::uint8_t, 256> pow{}, log{};
+    std::uint8_t p = 1;
+    for (int i = 0; i < 255; ++i) {
+      pow[i] = p;
+      log[p] = static_cast<std::uint8_t>(i);
+      // p *= 3 in GF(2^8): p = p ^ xtime(p).
+      std::uint8_t x = static_cast<std::uint8_t>(p << 1);
+      if (p & 0x80) x ^= 0x1B;
+      p ^= x;
+    }
+    for (int i = 0; i < 256; ++i) {
+      std::uint8_t inv =
+          (i == 0) ? 0 : pow[(255 - log[static_cast<std::uint8_t>(i)]) % 255];
+      // Affine transform: b ^ rot(b,1) ^ rot(b,2) ^ rot(b,3) ^ rot(b,4) ^ 0x63.
+      std::uint8_t b = inv, s = 0x63;
+      for (int r = 0; r < 5; ++r) {
+        s ^= b;
+        b = static_cast<std::uint8_t>((b << 1) | (b >> 7));
+      }
+      sbox[i] = s;
+      inv_sbox[s] = static_cast<std::uint8_t>(i);
+    }
+  }
+};
+
+const SboxTables kTables;
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t r = 0;
+  while (b) {
+    if (b & 1) r ^= a;
+    std::uint8_t hi = a & 0x80;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1B;
+    b >>= 1;
+  }
+  return r;
+}
+
+std::uint32_t sub_word(std::uint32_t w) {
+  return static_cast<std::uint32_t>(kTables.sbox[w >> 24]) << 24 |
+         static_cast<std::uint32_t>(kTables.sbox[(w >> 16) & 0xFF]) << 16 |
+         static_cast<std::uint32_t>(kTables.sbox[(w >> 8) & 0xFF]) << 8 |
+         static_cast<std::uint32_t>(kTables.sbox[w & 0xFF]);
+}
+
+std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
+
+void add_round_key(std::uint8_t state[16], const std::uint32_t* rk) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint32_t w = rk[c];
+    state[4 * c + 0] ^= static_cast<std::uint8_t>(w >> 24);
+    state[4 * c + 1] ^= static_cast<std::uint8_t>(w >> 16);
+    state[4 * c + 2] ^= static_cast<std::uint8_t>(w >> 8);
+    state[4 * c + 3] ^= static_cast<std::uint8_t>(w);
+  }
+}
+
+void shift_rows(std::uint8_t s[16]) {
+  // State is column-major: s[4*col + row].
+  std::uint8_t t;
+  // Row 1: shift left by 1.
+  t = s[1]; s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
+  // Row 2: shift left by 2.
+  std::swap(s[2], s[10]);
+  std::swap(s[6], s[14]);
+  // Row 3: shift left by 3 (= right by 1).
+  t = s[15]; s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
+}
+
+void inv_shift_rows(std::uint8_t s[16]) {
+  std::uint8_t t;
+  t = s[13]; s[13] = s[9]; s[9] = s[5]; s[5] = s[1]; s[1] = t;
+  std::swap(s[2], s[10]);
+  std::swap(s[6], s[14]);
+  t = s[3]; s[3] = s[7]; s[7] = s[11]; s[11] = s[15]; s[15] = t;
+}
+
+void mix_columns(std::uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3;
+    col[1] = a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3;
+    col[2] = a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3);
+    col[3] = gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2);
+  }
+}
+
+void inv_mix_columns(std::uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = gf_mul(a0, 14) ^ gf_mul(a1, 11) ^ gf_mul(a2, 13) ^ gf_mul(a3, 9);
+    col[1] = gf_mul(a0, 9) ^ gf_mul(a1, 14) ^ gf_mul(a2, 11) ^ gf_mul(a3, 13);
+    col[2] = gf_mul(a0, 13) ^ gf_mul(a1, 9) ^ gf_mul(a2, 14) ^ gf_mul(a3, 11);
+    col[3] = gf_mul(a0, 11) ^ gf_mul(a1, 13) ^ gf_mul(a2, 9) ^ gf_mul(a3, 14);
+  }
+}
+
+}  // namespace
+
+Aes::Aes(std::span<const std::uint8_t> key) {
+  switch (key.size()) {
+    case 16: rounds_ = 10; break;
+    case 24: rounds_ = 12; break;
+    case 32: rounds_ = 14; break;
+    default: throw AesError("AES key must be 16, 24, or 32 bytes");
+  }
+  expand_key(key);
+}
+
+void Aes::expand_key(std::span<const std::uint8_t> key) {
+  const int nk = static_cast<int>(key.size() / 4);
+  const int total_words = 4 * (rounds_ + 1);
+
+  for (int i = 0; i < nk; ++i) {
+    round_keys_[static_cast<std::size_t>(i)] = util::load_be32(key.data() + 4 * i);
+  }
+  std::uint8_t rcon = 1;
+  for (int i = nk; i < total_words; ++i) {
+    std::uint32_t temp = round_keys_[static_cast<std::size_t>(i - 1)];
+    if (i % nk == 0) {
+      temp = sub_word(rot_word(temp)) ^ (static_cast<std::uint32_t>(rcon) << 24);
+      rcon = gf_mul(rcon, 2);
+    } else if (nk > 6 && i % nk == 4) {
+      temp = sub_word(temp);
+    }
+    round_keys_[static_cast<std::size_t>(i)] =
+        round_keys_[static_cast<std::size_t>(i - nk)] ^ temp;
+  }
+}
+
+void Aes::encrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
+  ++op_counters().aes_blocks;
+
+  std::uint8_t state[16];
+  std::memcpy(state, in, 16);
+
+  add_round_key(state, round_keys_.data());
+  for (int round = 1; round < rounds_; ++round) {
+    for (auto& b : state) b = kTables.sbox[b];
+    shift_rows(state);
+    mix_columns(state);
+    add_round_key(state, round_keys_.data() + 4 * round);
+  }
+  for (auto& b : state) b = kTables.sbox[b];
+  shift_rows(state);
+  add_round_key(state, round_keys_.data() + 4 * rounds_);
+
+  std::memcpy(out, state, 16);
+}
+
+void Aes::decrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
+  ++op_counters().aes_blocks;
+
+  std::uint8_t state[16];
+  std::memcpy(state, in, 16);
+
+  add_round_key(state, round_keys_.data() + 4 * rounds_);
+  for (int round = rounds_ - 1; round >= 1; --round) {
+    inv_shift_rows(state);
+    for (auto& b : state) b = kTables.inv_sbox[b];
+    add_round_key(state, round_keys_.data() + 4 * round);
+    inv_mix_columns(state);
+  }
+  inv_shift_rows(state);
+  for (auto& b : state) b = kTables.inv_sbox[b];
+  add_round_key(state, round_keys_.data());
+
+  std::memcpy(out, state, 16);
+}
+
+util::Bytes aes_cbc_encrypt(std::span<const std::uint8_t> key,
+                            const AesBlock& iv,
+                            std::span<const std::uint8_t> plaintext) {
+  Aes cipher(key);
+  const std::size_t pad =
+      kAesBlockSize - plaintext.size() % kAesBlockSize;  // 1..16
+  util::Bytes padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+
+  util::Bytes out(padded.size());
+  AesBlock chain = iv;
+  for (std::size_t off = 0; off < padded.size(); off += kAesBlockSize) {
+    AesBlock block;
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) {
+      block[i] = padded[off + i] ^ chain[i];
+    }
+    cipher.encrypt_block(block.data(), out.data() + off);
+    std::memcpy(chain.data(), out.data() + off, kAesBlockSize);
+  }
+  return out;
+}
+
+util::Bytes aes_cbc_decrypt(std::span<const std::uint8_t> key,
+                            const AesBlock& iv,
+                            std::span<const std::uint8_t> ciphertext) {
+  if (ciphertext.empty() || ciphertext.size() % kAesBlockSize != 0) {
+    throw AesError("CBC ciphertext length not a multiple of block size");
+  }
+  Aes cipher(key);
+  util::Bytes out(ciphertext.size());
+  AesBlock chain = iv;
+  for (std::size_t off = 0; off < ciphertext.size(); off += kAesBlockSize) {
+    AesBlock plain;
+    cipher.decrypt_block(ciphertext.data() + off, plain.data());
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) {
+      out[off + i] = plain[i] ^ chain[i];
+    }
+    std::memcpy(chain.data(), ciphertext.data() + off, kAesBlockSize);
+  }
+
+  std::uint8_t pad = out.back();
+  if (pad == 0 || pad > kAesBlockSize || pad > out.size()) {
+    throw AesError("bad PKCS#7 padding");
+  }
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) throw AesError("bad PKCS#7 padding");
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+util::Bytes aes_ctr_crypt(std::span<const std::uint8_t> key,
+                          const AesBlock& nonce,
+                          std::span<const std::uint8_t> data) {
+  Aes cipher(key);
+  util::Bytes out(data.size());
+  AesBlock counter = nonce;
+  AesBlock keystream;
+  for (std::size_t off = 0; off < data.size(); off += kAesBlockSize) {
+    cipher.encrypt_block(counter.data(), keystream.data());
+    const std::size_t n = std::min(kAesBlockSize, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) out[off + i] = data[off + i] ^ keystream[i];
+    // Increment the big-endian counter in the last 8 bytes.
+    for (int i = 15; i >= 8; --i) {
+      if (++counter[static_cast<std::size_t>(i)] != 0) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sdmmon::crypto

@@ -1,0 +1,59 @@
+// AES-128/192/256 block cipher (FIPS 197) with CBC (PKCS#7 padding) and CTR
+// modes, implemented from scratch. Used to encrypt the SDMMon install
+// package with the session key K_sym.
+#ifndef SDMMON_CRYPTO_AES_HPP
+#define SDMMON_CRYPTO_AES_HPP
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace sdmmon::crypto {
+
+constexpr std::size_t kAesBlockSize = 16;
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+
+/// Thrown when ciphertext is malformed (bad length or PKCS#7 padding).
+class AesError : public std::runtime_error {
+ public:
+  explicit AesError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raw AES block cipher. Key length selects AES-128/192/256.
+class Aes {
+ public:
+  explicit Aes(std::span<const std::uint8_t> key);
+
+  void encrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+  void decrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  void expand_key(std::span<const std::uint8_t> key);
+
+  int rounds_ = 0;
+  // Round keys as 4-byte words, enough for AES-256 (60 words).
+  std::array<std::uint32_t, 60> round_keys_{};
+};
+
+/// CBC mode with PKCS#7 padding; output is always a whole number of blocks.
+util::Bytes aes_cbc_encrypt(std::span<const std::uint8_t> key,
+                            const AesBlock& iv,
+                            std::span<const std::uint8_t> plaintext);
+
+/// Throws AesError on bad length or padding.
+util::Bytes aes_cbc_decrypt(std::span<const std::uint8_t> key,
+                            const AesBlock& iv,
+                            std::span<const std::uint8_t> ciphertext);
+
+/// CTR mode keystream XOR (encrypt == decrypt); no padding.
+util::Bytes aes_ctr_crypt(std::span<const std::uint8_t> key,
+                          const AesBlock& nonce,
+                          std::span<const std::uint8_t> data);
+
+}  // namespace sdmmon::crypto
+
+#endif  // SDMMON_CRYPTO_AES_HPP

@@ -1,0 +1,124 @@
+#include "crypto/drbg.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+#include "util/bitops.hpp"
+
+namespace sdmmon::crypto {
+
+namespace {
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = util::rotl32(d, 16);
+  c += d; b ^= c; b = util::rotl32(b, 12);
+  a += b; d ^= a; d = util::rotl32(d, 8);
+  c += d; b ^= c; b = util::rotl32(b, 7);
+}
+
+std::uint32_t load_le32_arr(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(
+    const std::array<std::uint8_t, 32>& key,
+    const std::array<std::uint8_t, 12>& nonce, std::uint32_t counter) {
+  std::uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_le32_arr(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32_arr(nonce.data() + 4 * i);
+
+  std::uint32_t w[16];
+  std::memcpy(w, state, sizeof(w));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t v = w[i] + state[i];
+    out[4 * i + 0] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+Drbg::Drbg(std::string_view seed) {
+  key_ = Sha256::hash(seed);
+}
+
+Drbg::Drbg(std::span<const std::uint8_t> seed) {
+  key_ = Sha256::hash(seed);
+}
+
+void Drbg::refill() {
+  block_ = chacha20_block(key_, nonce_, counter_++);
+  used_ = 0;
+}
+
+void Drbg::fill(std::span<std::uint8_t> out) {
+  std::size_t off = 0;
+  while (off < out.size()) {
+    if (used_ == block_.size()) refill();
+    const std::size_t n = std::min(out.size() - off, block_.size() - used_);
+    std::memcpy(out.data() + off, block_.data() + used_, n);
+    used_ += n;
+    off += n;
+  }
+}
+
+util::Bytes Drbg::bytes(std::size_t n) {
+  util::Bytes out(n);
+  fill(out);
+  return out;
+}
+
+std::uint32_t Drbg::next_u32() {
+  std::uint8_t tmp[4];
+  fill(tmp);
+  return util::load_be32(tmp);
+}
+
+std::uint64_t Drbg::next_u64() {
+  std::uint8_t tmp[8];
+  fill(tmp);
+  return util::load_be64(tmp);
+}
+
+std::uint64_t Drbg::below(std::uint64_t bound) {
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+Drbg Drbg::fork(std::string_view label) const {
+  Sha256 h;
+  h.update(key_);
+  h.update("/fork/");
+  h.update(label);
+  auto digest = h.finish();
+  return Drbg(std::span<const std::uint8_t>(digest.data(), digest.size()));
+}
+
+}  // namespace sdmmon::crypto

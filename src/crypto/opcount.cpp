@@ -1,0 +1,10 @@
+#include "crypto/opcount.hpp"
+
+namespace sdmmon::crypto {
+
+OpCounters& op_counters() {
+  thread_local OpCounters counters;
+  return counters;
+}
+
+}  // namespace sdmmon::crypto

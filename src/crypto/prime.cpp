@@ -1,0 +1,103 @@
+#include "crypto/prime.hpp"
+
+#include <array>
+
+namespace sdmmon::crypto {
+
+namespace {
+
+// Primes below 1000 for cheap trial division before Miller-Rabin.
+constexpr std::array<std::uint32_t, 168> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263,
+    269, 271, 277, 281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349,
+    353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419, 421, 431, 433,
+    439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521,
+    523, 541, 547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613,
+    617, 619, 631, 641, 643, 647, 653, 659, 661, 673, 677, 683, 691, 701,
+    709, 719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787, 797, 809,
+    811, 821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887,
+    907, 911, 919, 929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997};
+
+BigUint random_below_range(const BigUint& lo, const BigUint& hi, Drbg& drbg) {
+  // Uniform in [lo, hi): rejection-sample `width`-bit values.
+  BigUint span = hi - lo;
+  const std::size_t bits = span.bit_length();
+  const std::size_t nbytes = (bits + 7) / 8;
+  for (;;) {
+    util::Bytes raw = drbg.bytes(nbytes);
+    // Mask excess top bits.
+    if (bits % 8) raw[0] &= static_cast<std::uint8_t>((1u << (bits % 8)) - 1);
+    BigUint candidate = BigUint::from_bytes_be(raw);
+    if (candidate < span) return lo + candidate;
+  }
+}
+
+}  // namespace
+
+bool is_probable_prime(const BigUint& n, Drbg& drbg, int rounds) {
+  if (n < BigUint(2)) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    BigUint bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  // n > 1000 and odd from here.
+
+  // Write n-1 = d * 2^r.
+  BigUint n_minus_1 = n - BigUint(1);
+  BigUint d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+
+  MontgomeryCtx ctx(n);
+  for (int round = 0; round < rounds; ++round) {
+    BigUint a = random_below_range(BigUint(2), n - BigUint(1), drbg);
+    BigUint x = ctx.modexp(a, d);
+    if (x.is_one() || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = BigUint::modmul(x, x, n);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigUint random_prime_candidate(std::size_t bits, Drbg& drbg) {
+  if (bits < 8) throw BignumError("prime candidate too small");
+  util::Bytes raw = drbg.bytes((bits + 7) / 8);
+  BigUint candidate = BigUint::from_bytes_be(raw);
+  // Clamp to exactly `bits` bits.
+  candidate = candidate >> (candidate.bit_length() > bits
+                                ? candidate.bit_length() - bits
+                                : 0);
+  candidate.set_bit(bits - 1);
+  candidate.set_bit(bits - 2);  // keep p*q at full width
+  candidate.set_bit(0);         // odd
+  return candidate;
+}
+
+BigUint generate_prime(std::size_t bits, Drbg& drbg, int mr_rounds) {
+  for (;;) {
+    BigUint candidate = random_prime_candidate(bits, drbg);
+    // Step by 2 a few times before drawing fresh randomness; cheaper than
+    // regenerating and keeps the top bits pinned.
+    for (int step = 0; step < 64; ++step) {
+      if (candidate.bit_length() != bits) break;
+      if (is_probable_prime(candidate, drbg, mr_rounds)) return candidate;
+      candidate += BigUint(2);
+    }
+  }
+}
+
+}  // namespace sdmmon::crypto

@@ -1,0 +1,26 @@
+// Probabilistic primality testing (Miller-Rabin) and random prime
+// generation for RSA key generation.
+#ifndef SDMMON_CRYPTO_PRIME_HPP
+#define SDMMON_CRYPTO_PRIME_HPP
+
+#include <cstddef>
+
+#include "crypto/bignum.hpp"
+#include "crypto/drbg.hpp"
+
+namespace sdmmon::crypto {
+
+/// Miller-Rabin with `rounds` random witnesses drawn from `drbg`.
+/// Small candidates are handled exactly via trial division.
+bool is_probable_prime(const BigUint& n, Drbg& drbg, int rounds = 24);
+
+/// Random odd number with exactly `bits` bits (both top bits set, so the
+/// product of two such primes has exactly 2*bits bits).
+BigUint random_prime_candidate(std::size_t bits, Drbg& drbg);
+
+/// Random probable prime with exactly `bits` bits.
+BigUint generate_prime(std::size_t bits, Drbg& drbg, int mr_rounds = 24);
+
+}  // namespace sdmmon::crypto
+
+#endif  // SDMMON_CRYPTO_PRIME_HPP

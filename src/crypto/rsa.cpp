@@ -1,0 +1,191 @@
+#include "crypto/rsa.hpp"
+
+#include "crypto/prime.hpp"
+
+namespace sdmmon::crypto {
+
+namespace {
+
+// DigestInfo prefix for SHA-256 (RFC 8017 section 9.2 note 1).
+constexpr std::uint8_t kSha256DigestInfo[] = {
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+    0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20};
+
+void write_biguint(util::ByteWriter& w, const BigUint& v) {
+  w.blob(v.to_bytes_be());
+}
+
+BigUint read_biguint(util::ByteReader& r) {
+  return BigUint::from_bytes_be(r.blob());
+}
+
+// EMSA-PKCS1-v1_5 encoding of a SHA-256 digest into `em_len` bytes.
+util::Bytes emsa_encode(const Sha256Digest& digest, std::size_t em_len) {
+  const std::size_t t_len = sizeof(kSha256DigestInfo) + digest.size();
+  if (em_len < t_len + 11) throw RsaError("modulus too small for signature");
+  util::Bytes em;
+  em.reserve(em_len);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), em_len - t_len - 3, 0xFF);
+  em.push_back(0x00);
+  em.insert(em.end(), kSha256DigestInfo,
+            kSha256DigestInfo + sizeof(kSha256DigestInfo));
+  em.insert(em.end(), digest.begin(), digest.end());
+  return em;
+}
+
+}  // namespace
+
+util::Bytes RsaPublicKey::serialize() const {
+  util::ByteWriter w;
+  write_biguint(w, n);
+  write_biguint(w, e);
+  return w.take();
+}
+
+RsaPublicKey RsaPublicKey::deserialize(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  RsaPublicKey key;
+  key.n = read_biguint(r);
+  key.e = read_biguint(r);
+  return key;
+}
+
+Sha256Digest RsaPublicKey::fingerprint() const {
+  return Sha256::hash(serialize());
+}
+
+util::Bytes RsaPrivateKey::serialize() const {
+  util::ByteWriter w;
+  for (const BigUint* v : {&n, &e, &d, &p, &q, &dp, &dq, &qinv}) {
+    write_biguint(w, *v);
+  }
+  return w.take();
+}
+
+RsaPrivateKey RsaPrivateKey::deserialize(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  RsaPrivateKey key;
+  for (BigUint* v : {&key.n, &key.e, &key.d, &key.p, &key.q, &key.dp, &key.dq,
+                     &key.qinv}) {
+    *v = read_biguint(r);
+  }
+  return key;
+}
+
+RsaKeyPair rsa_generate(std::size_t bits, Drbg& drbg) {
+  if (bits < 128 || bits % 2 != 0) {
+    throw RsaError("RSA modulus must be an even bit count >= 128");
+  }
+  const BigUint e(65537);
+  const BigUint one(1);
+
+  for (;;) {
+    BigUint p = generate_prime(bits / 2, drbg);
+    BigUint q = generate_prime(bits / 2, drbg);
+    if (p == q) continue;
+    if (p < q) std::swap(p, q);
+
+    BigUint n = p * q;
+    if (n.bit_length() != bits) continue;
+
+    BigUint p1 = p - one;
+    BigUint q1 = q - one;
+    BigUint phi = p1 * q1;
+    if (!BigUint::gcd(e, phi).is_one()) continue;
+
+    auto d = BigUint::modinv(e, phi);
+    auto qinv = BigUint::modinv(q, p);
+    if (!d || !qinv) continue;
+
+    RsaPrivateKey priv;
+    priv.n = n;
+    priv.e = e;
+    priv.d = *d;
+    priv.p = p;
+    priv.q = q;
+    priv.dp = *d % p1;
+    priv.dq = *d % q1;
+    priv.qinv = *qinv;
+    return {priv, priv.public_key()};
+  }
+}
+
+BigUint rsa_public_op(const RsaPublicKey& key, const BigUint& m) {
+  if (m >= key.n) throw RsaError("message representative out of range");
+  return BigUint::modexp(m, key.e, key.n);
+}
+
+BigUint rsa_private_op(const RsaPrivateKey& key, const BigUint& c) {
+  if (c >= key.n) throw RsaError("ciphertext representative out of range");
+  // CRT: m1 = c^dp mod p, m2 = c^dq mod q, h = qinv (m1 - m2) mod p.
+  BigUint m1 = BigUint::modexp(c % key.p, key.dp, key.p);
+  BigUint m2 = BigUint::modexp(c % key.q, key.dq, key.q);
+  BigUint diff = (m1 >= m2) ? (m1 - m2) : (key.p - ((m2 - m1) % key.p));
+  BigUint h = BigUint::modmul(diff, key.qinv, key.p);
+  return m2 + h * key.q;
+}
+
+util::Bytes rsa_encrypt(const RsaPublicKey& key,
+                        std::span<const std::uint8_t> message, Drbg& drbg) {
+  const std::size_t k = key.modulus_bytes();
+  if (message.size() + 11 > k) throw RsaError("message too long for RSA block");
+
+  // EM = 00 || 02 || PS (nonzero random) || 00 || M
+  util::Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.push_back(0x02);
+  const std::size_t ps_len = k - message.size() - 3;
+  while (em.size() < 2 + ps_len) {
+    std::uint8_t b;
+    drbg.fill(std::span<std::uint8_t>(&b, 1));
+    if (b != 0) em.push_back(b);
+  }
+  em.push_back(0x00);
+  em.insert(em.end(), message.begin(), message.end());
+
+  BigUint m = BigUint::from_bytes_be(em);
+  return rsa_public_op(key, m).to_bytes_be(k);
+}
+
+std::optional<util::Bytes> rsa_decrypt(
+    const RsaPrivateKey& key, std::span<const std::uint8_t> ciphertext) {
+  const std::size_t k = key.modulus_bytes();
+  if (ciphertext.size() != k) return std::nullopt;
+  BigUint c = BigUint::from_bytes_be(ciphertext);
+  if (c >= key.n) return std::nullopt;
+
+  util::Bytes em = rsa_private_op(key, c).to_bytes_be(k);
+  if (em.size() != k || em[0] != 0x00 || em[1] != 0x02) return std::nullopt;
+
+  // Find the 0x00 separator after at least 8 padding bytes.
+  std::size_t sep = 2;
+  while (sep < em.size() && em[sep] != 0x00) ++sep;
+  if (sep == em.size() || sep < 10) return std::nullopt;
+  return util::Bytes(em.begin() + static_cast<std::ptrdiff_t>(sep) + 1,
+                     em.end());
+}
+
+util::Bytes rsa_sign(const RsaPrivateKey& key,
+                     std::span<const std::uint8_t> message) {
+  const std::size_t k = key.modulus_bytes();
+  util::Bytes em = emsa_encode(Sha256::hash(message), k);
+  BigUint m = BigUint::from_bytes_be(em);
+  return rsa_private_op(key, m).to_bytes_be(k);
+}
+
+bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
+                std::span<const std::uint8_t> signature) {
+  const std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  BigUint s = BigUint::from_bytes_be(signature);
+  if (s >= key.n) return false;
+
+  util::Bytes em = rsa_public_op(key, s).to_bytes_be(k);
+  util::Bytes expected = emsa_encode(Sha256::hash(message), k);
+  return util::ct_equal(em, expected);
+}
+
+}  // namespace sdmmon::crypto

@@ -1,0 +1,81 @@
+// RSA with PKCS#1 v1.5 padding (encryption and signatures), implemented
+// from scratch on the bignum layer. Private-key operations use the CRT.
+// This is the asymmetric primitive the paper's prototype used via OpenSSL
+// (2048-bit keys) for the three-entity install protocol.
+#ifndef SDMMON_CRYPTO_RSA_HPP
+#define SDMMON_CRYPTO_RSA_HPP
+
+#include <cstddef>
+#include <optional>
+
+#include "crypto/bignum.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sdmmon::crypto {
+
+class RsaError : public std::runtime_error {
+ public:
+  explicit RsaError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct RsaPublicKey {
+  BigUint n;
+  BigUint e;
+
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+
+  util::Bytes serialize() const;
+  static RsaPublicKey deserialize(std::span<const std::uint8_t> data);
+
+  /// SHA-256 of the serialized key; used as a key identifier.
+  Sha256Digest fingerprint() const;
+
+  bool operator==(const RsaPublicKey& rhs) const = default;
+};
+
+struct RsaPrivateKey {
+  BigUint n;
+  BigUint e;
+  BigUint d;
+  // CRT components.
+  BigUint p, q, dp, dq, qinv;
+
+  RsaPublicKey public_key() const { return {n, e}; }
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+
+  util::Bytes serialize() const;
+  static RsaPrivateKey deserialize(std::span<const std::uint8_t> data);
+};
+
+struct RsaKeyPair {
+  RsaPrivateKey priv;
+  RsaPublicKey pub;
+};
+
+/// Generate an RSA key of `bits` modulus bits with public exponent 65537.
+RsaKeyPair rsa_generate(std::size_t bits, Drbg& drbg);
+
+/// Raw modexp operations (textbook RSA); exposed for tests.
+BigUint rsa_public_op(const RsaPublicKey& key, const BigUint& m);
+BigUint rsa_private_op(const RsaPrivateKey& key, const BigUint& c);
+
+/// PKCS#1 v1.5 encryption (EME-PKCS1-v1_5). Message must be at most
+/// modulus_bytes - 11 bytes. Randomness for padding comes from `drbg`.
+util::Bytes rsa_encrypt(const RsaPublicKey& key,
+                        std::span<const std::uint8_t> message, Drbg& drbg);
+
+/// Returns nullopt on any padding failure (no exception, no oracle detail).
+std::optional<util::Bytes> rsa_decrypt(const RsaPrivateKey& key,
+                                       std::span<const std::uint8_t> ciphertext);
+
+/// PKCS#1 v1.5 signature over SHA-256 (EMSA-PKCS1-v1_5 with DigestInfo).
+util::Bytes rsa_sign(const RsaPrivateKey& key,
+                     std::span<const std::uint8_t> message);
+
+bool rsa_verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
+                std::span<const std::uint8_t> signature);
+
+}  // namespace sdmmon::crypto
+
+#endif  // SDMMON_CRYPTO_RSA_HPP

@@ -1,0 +1,37 @@
+// Modern RSA padding schemes (RFC 8017): OAEP encryption and PSS
+// signatures, both with SHA-256 and MGF1. The paper's prototype used
+// OpenSSL's PKCS#1 v1.5 defaults (crypto/rsa.hpp); these are provided as
+// the hardened upgrade path an operator deploying SDMMon today would use,
+// and they slot into the same timing model (the modexp dominates).
+#ifndef SDMMON_CRYPTO_RSA_PADDING_HPP
+#define SDMMON_CRYPTO_RSA_PADDING_HPP
+
+#include "crypto/rsa.hpp"
+
+namespace sdmmon::crypto {
+
+/// MGF1 mask generation (RFC 8017 B.2.1) over SHA-256.
+util::Bytes mgf1_sha256(std::span<const std::uint8_t> seed, std::size_t len);
+
+/// RSAES-OAEP encryption with SHA-256 and an empty label.
+/// Message limit: modulus_bytes - 2*32 - 2.
+util::Bytes rsa_oaep_encrypt(const RsaPublicKey& key,
+                             std::span<const std::uint8_t> message,
+                             Drbg& drbg);
+
+/// Returns nullopt on any decoding failure (single failure signal, no
+/// padding oracle detail).
+std::optional<util::Bytes> rsa_oaep_decrypt(
+    const RsaPrivateKey& key, std::span<const std::uint8_t> ciphertext);
+
+/// RSASSA-PSS signature with SHA-256 and a 32-byte salt.
+util::Bytes rsa_pss_sign(const RsaPrivateKey& key,
+                         std::span<const std::uint8_t> message, Drbg& drbg);
+
+bool rsa_pss_verify(const RsaPublicKey& key,
+                    std::span<const std::uint8_t> message,
+                    std::span<const std::uint8_t> signature);
+
+}  // namespace sdmmon::crypto
+
+#endif  // SDMMON_CRYPTO_RSA_PADDING_HPP

@@ -1,0 +1,176 @@
+#include "crypto/sha256.hpp"
+
+#include <cstring>
+
+#include "crypto/opcount.hpp"
+#include "util/bitops.hpp"
+
+namespace sdmmon::crypto {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kRoundConstants = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::array<std::uint32_t, 8> kInitState = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+using util::rotr32;
+
+std::uint32_t big_sigma0(std::uint32_t x) {
+  return rotr32(x, 2) ^ rotr32(x, 13) ^ rotr32(x, 22);
+}
+std::uint32_t big_sigma1(std::uint32_t x) {
+  return rotr32(x, 6) ^ rotr32(x, 11) ^ rotr32(x, 25);
+}
+std::uint32_t small_sigma0(std::uint32_t x) {
+  return rotr32(x, 7) ^ rotr32(x, 18) ^ (x >> 3);
+}
+std::uint32_t small_sigma1(std::uint32_t x) {
+  return rotr32(x, 17) ^ rotr32(x, 19) ^ (x >> 10);
+}
+
+}  // namespace
+
+void Sha256::reset() {
+  state_ = kInitState;
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha256::update(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    std::size_t take = std::min(data.size(), buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (data.size() - offset >= 64) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+void Sha256::update(std::string_view s) {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+Sha256Digest Sha256::finish() {
+  std::uint64_t bit_len = total_bytes_ * 8;
+  std::uint8_t pad = 0x80;
+  update(std::span<const std::uint8_t>(&pad, 1));
+  std::uint8_t zero = 0;
+  while (buffered_ != 56) update(std::span<const std::uint8_t>(&zero, 1));
+  std::uint8_t len_be[8];
+  util::store_be64(bit_len, len_be);
+  // Bypass update()'s length accounting for the final length field.
+  std::memcpy(buffer_.data() + 56, len_be, 8);
+  process_block(buffer_.data());
+  buffered_ = 0;
+
+  Sha256Digest digest;
+  for (std::size_t i = 0; i < 8; ++i) {
+    util::store_be32(state_[i], digest.data() + 4 * i);
+  }
+  return digest;
+}
+
+void Sha256::process_block(const std::uint8_t* block) {
+  ++op_counters().sha256_blocks;
+
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) w[i] = util::load_be32(block + 4 * i);
+  for (int i = 16; i < 64; ++i) {
+    w[i] = small_sigma1(w[i - 2]) + w[i - 7] + small_sigma0(w[i - 15]) +
+           w[i - 16];
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t t1 =
+        h + big_sigma1(e) + ((e & f) ^ (~e & g)) + kRoundConstants[i] + w[i];
+    std::uint32_t t2 = big_sigma0(a) + ((a & b) ^ (a & c) ^ (b & c));
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+Sha256Digest Sha256::hash(std::span<const std::uint8_t> data) {
+  Sha256 h;
+  h.update(data);
+  return h.finish();
+}
+
+Sha256Digest Sha256::hash(std::string_view s) {
+  Sha256 h;
+  h.update(s);
+  return h.finish();
+}
+
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> message) {
+  std::array<std::uint8_t, 64> block_key{};
+  if (key.size() > 64) {
+    auto digest = Sha256::hash(key);
+    std::memcpy(block_key.data(), digest.data(), digest.size());
+  } else {
+    std::memcpy(block_key.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, 64> ipad, opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad[i] = block_key[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+}  // namespace sdmmon::crypto

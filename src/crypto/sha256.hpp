@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Used for signatures,
+// HMAC, certificate fingerprints, and the DRBG seeding path.
+#ifndef SDMMON_CRYPTO_SHA256_HPP
+#define SDMMON_CRYPTO_SHA256_HPP
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace sdmmon::crypto {
+
+constexpr std::size_t kSha256DigestSize = 32;
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256. Typical use: update(...) repeatedly, then finish().
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s);
+  /// Finalizes and returns the digest; the object must be reset() to reuse.
+  Sha256Digest finish();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(std::span<const std::uint8_t> data);
+  static Sha256Digest hash(std::string_view s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// HMAC-SHA256 (FIPS 198-1).
+Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                         std::span<const std::uint8_t> message);
+
+}  // namespace sdmmon::crypto
+
+#endif  // SDMMON_CRYPTO_SHA256_HPP

@@ -1,0 +1,642 @@
+#include "isa/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <optional>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace sdmmon::isa {
+
+namespace {
+
+enum class Section { Text, Data };
+
+struct Statement {
+  int line = 0;
+  Section section = Section::Text;
+  std::string mnemonic;                // lowercase; empty for pure labels
+  std::vector<std::string> operands;   // comma-separated tokens
+  std::uint32_t address = 0;           // assigned in pass 1 (byte address)
+  std::uint32_t size = 0;              // bytes occupied
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string_view strip(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Split operand list on commas, but not inside a quoted string.
+std::vector<std::string> split_operands(std::string_view s, int line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quote = false;
+  for (char c : s) {
+    if (c == '"') in_quote = !in_quote;
+    if (c == ',' && !in_quote) {
+      auto token = strip(cur);
+      if (token.empty()) throw AsmError(line, "empty operand");
+      out.emplace_back(token);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (in_quote) throw AsmError(line, "unterminated string literal");
+  auto token = strip(cur);
+  if (!token.empty()) out.emplace_back(token);
+  return out;
+}
+
+class Assembler {
+ public:
+  Assembler(std::string_view source, const AsmOptions& options)
+      : options_(options) {
+    parse(source);
+    layout();
+    emit();
+  }
+
+  Program take() {
+    Program p;
+    p.name = options_.name;
+    p.text_base = options_.text_base;
+    p.text = std::move(text_);
+    p.data_base = options_.data_base;
+    p.data = std::move(data_);
+    p.symbols = std::move(symbols_);
+    auto main_it = p.symbols.find("main");
+    p.entry = main_it != p.symbols.end() ? main_it->second : p.text_base;
+    return p;
+  }
+
+ private:
+  // ---- pass 0: parse lines into statements and labels ----
+  void parse(std::string_view source) {
+    int line_no = 0;
+    Section section = Section::Text;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+      std::size_t eol = source.find('\n', pos);
+      std::string_view raw = source.substr(
+          pos, eol == std::string_view::npos ? source.size() - pos : eol - pos);
+      pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+      ++line_no;
+
+      // Strip comments ('#' or ';'), except inside quotes.
+      std::string no_comment;
+      bool in_quote = false;
+      for (char c : raw) {
+        if (c == '"') in_quote = !in_quote;
+        if ((c == '#' || c == ';') && !in_quote) break;
+        no_comment.push_back(c);
+      }
+      std::string_view text = strip(no_comment);
+      if (text.empty()) continue;
+
+      // Peel off leading labels ("name:").
+      while (true) {
+        std::size_t i = 0;
+        while (i < text.size() && is_ident_char(text[i])) ++i;
+        if (i > 0 && i < text.size() && text[i] == ':' && text[0] != '.') {
+          std::string label(text.substr(0, i));
+          pending_labels_.push_back({line_no, section, std::move(label)});
+          text = strip(text.substr(i + 1));
+          if (text.empty()) break;
+        } else {
+          break;
+        }
+      }
+      if (text.empty()) continue;
+
+      // Mnemonic is the first whitespace-delimited token.
+      std::size_t sp = 0;
+      while (sp < text.size() && !std::isspace(static_cast<unsigned char>(text[sp]))) {
+        ++sp;
+      }
+      Statement stmt;
+      stmt.line = line_no;
+      stmt.mnemonic = lower(text.substr(0, sp));
+      stmt.operands = split_operands(strip(text.substr(sp)), line_no);
+
+      if (stmt.mnemonic == ".text") {
+        section = Section::Text;
+        attach_labels(section);
+        continue;
+      }
+      if (stmt.mnemonic == ".data") {
+        section = Section::Data;
+        attach_labels(section);
+        continue;
+      }
+      stmt.section = section;
+      attach_labels(section);
+      label_owner_[statements_.size()] = taken_labels_;
+      taken_labels_.clear();
+      statements_.push_back(std::move(stmt));
+    }
+  }
+
+  struct PendingLabel {
+    int line;
+    Section section;
+    std::string name;
+  };
+
+  void attach_labels(Section section) {
+    for (auto& pl : pending_labels_) {
+      pl.section = section;
+      taken_labels_.push_back(pl);
+    }
+    pending_labels_.clear();
+  }
+
+  // ---- pass 1: assign addresses ----
+  void layout() {
+    std::uint32_t text_addr = options_.text_base;
+    std::uint32_t data_addr = options_.data_base;
+    for (std::size_t idx = 0; idx < statements_.size(); ++idx) {
+      Statement& stmt = statements_[idx];
+      std::uint32_t& addr =
+          stmt.section == Section::Text ? text_addr : data_addr;
+      // .align may move the address before the labels bind.
+      if (stmt.mnemonic == ".align") {
+        std::uint32_t align = 1u << parse_int(stmt, 0);
+        addr = (addr + align - 1) & ~(align - 1);
+        stmt.address = addr;
+        stmt.size = 0;
+        bind_labels(idx, addr);
+        continue;
+      }
+      bind_labels(idx, addr);
+      stmt.address = addr;
+      stmt.size = statement_size(stmt);
+      addr += stmt.size;
+    }
+    // Labels at end of file with no following statement.
+    for (const auto& pl : pending_labels_) {
+      define_label(pl, pl.section == Section::Text ? text_addr : data_addr);
+    }
+    for (const auto& pl : taken_labels_) {
+      define_label(pl, pl.section == Section::Text ? text_addr : data_addr);
+    }
+  }
+
+  void bind_labels(std::size_t stmt_idx, std::uint32_t addr) {
+    auto it = label_owner_.find(stmt_idx);
+    if (it == label_owner_.end()) return;
+    for (const auto& pl : it->second) define_label(pl, addr);
+  }
+
+  void define_label(const PendingLabel& pl, std::uint32_t addr) {
+    if (!symbols_.emplace(pl.name, addr).second) {
+      throw AsmError(pl.line, "duplicate label: " + pl.name);
+    }
+  }
+
+  std::uint32_t statement_size(const Statement& stmt) const {
+    const std::string& m = stmt.mnemonic;
+    if (m[0] == '.') {
+      if (m == ".word") return 4 * static_cast<std::uint32_t>(stmt.operands.size());
+      if (m == ".half") return 2 * static_cast<std::uint32_t>(stmt.operands.size());
+      if (m == ".byte") return static_cast<std::uint32_t>(stmt.operands.size());
+      if (m == ".space") return parse_int(stmt, 0);
+      if (m == ".ascii" || m == ".asciiz") {
+        std::uint32_t n = 0;
+        for (const auto& op : stmt.operands) n += string_literal_size(stmt, op);
+        if (m == ".asciiz") n += 1;
+        return n;
+      }
+      throw AsmError(stmt.line, "unknown directive: " + m);
+    }
+    // Pseudo-instruction expansion sizes are fixed so pass 1 is exact.
+    if (m == "li" || m == "la") return 8;
+    if (m == "blt" || m == "bgt" || m == "ble" || m == "bge") return 8;
+    return 4;
+  }
+
+  // ---- pass 2: emit words/bytes ----
+  void emit() {
+    for (const Statement& stmt : statements_) {
+      if (stmt.section == Section::Data || stmt.mnemonic[0] == '.') {
+        emit_directive(stmt);
+      } else {
+        emit_instruction(stmt);
+      }
+    }
+  }
+
+  void emit_directive(const Statement& stmt) {
+    const std::string& m = stmt.mnemonic;
+    if (stmt.section == Section::Text && m[0] != '.') {
+      throw AsmError(stmt.line, "instructions must be in .text");
+    }
+    if (m[0] != '.') {
+      throw AsmError(stmt.line, "instruction in .data section: " + m);
+    }
+    auto& sink_is_data = stmt.section;
+    auto push_byte = [&](std::uint8_t b) {
+      if (sink_is_data == Section::Data) {
+        data_.push_back(b);
+      } else {
+        text_byte_buffer_.push_back(b);
+        if (text_byte_buffer_.size() == 4) {
+          // Text directives are little-endian words.
+          text_.push_back(util::load_le32(text_byte_buffer_.data()));
+          text_byte_buffer_.clear();
+        }
+      }
+    };
+    if (m == ".align") {
+      std::uint32_t align = 1u << parse_int(stmt, 0);
+      std::uint32_t addr = current_address(stmt.section);
+      while (addr & (align - 1)) {
+        push_byte(0);
+        ++addr;
+      }
+      return;
+    }
+    if (m == ".space") {
+      std::uint32_t n = parse_int(stmt, 0);
+      for (std::uint32_t i = 0; i < n; ++i) push_byte(0);
+      return;
+    }
+    if (m == ".word") {
+      for (std::size_t i = 0; i < stmt.operands.size(); ++i) {
+        std::uint32_t v = resolve_value(stmt, stmt.operands[i]);
+        if (stmt.section == Section::Text) {
+          text_.push_back(v);
+        } else {
+          std::uint8_t tmp[4];
+          util::store_le32(v, tmp);
+          for (auto b : tmp) push_byte(b);
+        }
+      }
+      return;
+    }
+    if (m == ".half") {
+      for (const auto& op : stmt.operands) {
+        std::uint32_t v = resolve_value(stmt, op);
+        push_byte(static_cast<std::uint8_t>(v));
+        push_byte(static_cast<std::uint8_t>(v >> 8));
+      }
+      return;
+    }
+    if (m == ".byte") {
+      for (const auto& op : stmt.operands) {
+        push_byte(static_cast<std::uint8_t>(resolve_value(stmt, op)));
+      }
+      return;
+    }
+    if (m == ".ascii" || m == ".asciiz") {
+      for (const auto& op : stmt.operands) {
+        append_string_literal(stmt, op, push_byte);
+      }
+      if (m == ".asciiz") push_byte(0);
+      return;
+    }
+    throw AsmError(stmt.line, "unknown directive: " + m);
+  }
+
+  std::uint32_t current_address(Section section) const {
+    if (section == Section::Data) {
+      return options_.data_base + static_cast<std::uint32_t>(data_.size());
+    }
+    return options_.text_base + static_cast<std::uint32_t>(
+                                    text_.size() * 4 + text_byte_buffer_.size());
+  }
+
+  static std::uint32_t string_literal_size(const Statement& stmt,
+                                           std::string_view op) {
+    if (op.size() < 2 || op.front() != '"' || op.back() != '"') {
+      throw AsmError(stmt.line, "expected string literal");
+    }
+    std::uint32_t n = 0;
+    for (std::size_t i = 1; i + 1 < op.size(); ++i) {
+      if (op[i] == '\\') ++i;
+      ++n;
+    }
+    return n;
+  }
+
+  template <typename PushByte>
+  void append_string_literal(const Statement& stmt, std::string_view op,
+                             PushByte&& push_byte) {
+    if (op.size() < 2 || op.front() != '"' || op.back() != '"') {
+      throw AsmError(stmt.line, "expected string literal");
+    }
+    for (std::size_t i = 1; i + 1 < op.size(); ++i) {
+      char c = op[i];
+      if (c == '\\' && i + 2 < op.size()) {
+        ++i;
+        switch (op[i]) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          default: throw AsmError(stmt.line, "bad escape in string");
+        }
+      }
+      push_byte(static_cast<std::uint8_t>(c));
+    }
+  }
+
+  void emit_instruction(const Statement& stmt) {
+    const std::string& m = stmt.mnemonic;
+    const auto& ops = stmt.operands;
+    auto expect = [&](std::size_t n) {
+      if (ops.size() != n) {
+        throw AsmError(stmt.line, m + " expects " + std::to_string(n) +
+                                      " operands, got " +
+                                      std::to_string(ops.size()));
+      }
+    };
+    auto reg = [&](std::size_t i) {
+      try {
+        return parse_reg(ops[i]);
+      } catch (const IsaError& e) {
+        throw AsmError(stmt.line, e.what());
+      }
+    };
+    auto push = [&](const Instr& instr) { text_.push_back(encode(instr)); };
+
+    // Pseudo-instructions first.
+    if (m == "nop") {
+      expect(0);
+      push(make_nop());
+      return;
+    }
+    if (m == "move") {
+      expect(2);
+      push(make_rtype(Op::Addu, reg(0), 0, reg(1)));
+      return;
+    }
+    if (m == "li" || m == "la") {
+      expect(2);
+      std::uint32_t value = resolve_value(stmt, ops[1]);
+      push(make_itype(Op::Lui, reg(0), 0, static_cast<std::int32_t>(value >> 16)));
+      push(make_itype(Op::Ori, reg(0), reg(0),
+                      static_cast<std::int32_t>(value & 0xFFFF)));
+      return;
+    }
+    if (m == "b") {
+      expect(1);
+      push(make_branch(Op::Beq, 0, 0, branch_offset(stmt, ops[0])));
+      return;
+    }
+    if (m == "beqz" || m == "bnez") {
+      expect(2);
+      Op op = m == "beqz" ? Op::Beq : Op::Bne;
+      push(make_branch(op, reg(0), 0, branch_offset(stmt, ops[1], 0)));
+      return;
+    }
+    if (m == "blt" || m == "bgt" || m == "ble" || m == "bge") {
+      expect(3);
+      int rs = reg(0), rt = reg(1);
+      // blt: slt $at, rs, rt; bne $at, $0    bgt: slt $at, rt, rs; bne
+      // ble: slt $at, rt, rs; beq $at, $0    bge: slt $at, rs, rt; beq
+      bool swap = (m == "bgt" || m == "ble");
+      Op branch = (m == "blt" || m == "bgt") ? Op::Bne : Op::Beq;
+      push(make_rtype(Op::Slt, 1, swap ? rt : rs, swap ? rs : rt));
+      push(make_branch(branch, 1, 0, branch_offset(stmt, ops[2], 1)));
+      return;
+    }
+
+    // Real instructions.
+    std::optional<Op> found;
+    for (int i = 0; i < kNumOps; ++i) {
+      Op candidate = static_cast<Op>(i);
+      if (op_name(candidate) == m) {
+        found = candidate;
+        break;
+      }
+    }
+    if (!found) throw AsmError(stmt.line, "unknown mnemonic: " + m);
+    Op op = *found;
+
+    switch (op) {
+      case Op::Sll: case Op::Srl: case Op::Sra:
+        expect(3);
+        push(make_shift(op, reg(0), reg(1),
+                        static_cast<int>(resolve_value(stmt, ops[2]))));
+        return;
+      case Op::Sllv: case Op::Srlv: case Op::Srav:
+        // MIPS syntax: sllv rd, rt, rs.
+        expect(3);
+        push(make_rtype(op, reg(0), reg(2), reg(1)));
+        return;
+      case Op::Add: case Op::Addu: case Op::Sub: case Op::Subu:
+      case Op::And: case Op::Or: case Op::Xor: case Op::Nor:
+      case Op::Slt: case Op::Sltu:
+        expect(3);
+        push(make_rtype(op, reg(0), reg(1), reg(2)));
+        return;
+      case Op::Mult: case Op::Multu: case Op::Div: case Op::Divu: {
+        expect(2);
+        Instr i;
+        i.op = op;
+        i.rs = static_cast<std::uint8_t>(reg(0));
+        i.rt = static_cast<std::uint8_t>(reg(1));
+        push(i);
+        return;
+      }
+      case Op::Mfhi: case Op::Mflo: {
+        expect(1);
+        Instr i;
+        i.op = op;
+        i.rd = static_cast<std::uint8_t>(reg(0));
+        push(i);
+        return;
+      }
+      case Op::Jr: {
+        expect(1);
+        Instr i;
+        i.op = op;
+        i.rs = static_cast<std::uint8_t>(reg(0));
+        push(i);
+        return;
+      }
+      case Op::Jalr: {
+        Instr i;
+        i.op = op;
+        if (ops.size() == 1) {
+          i.rd = 31;
+          i.rs = static_cast<std::uint8_t>(reg(0));
+        } else {
+          expect(2);
+          i.rd = static_cast<std::uint8_t>(reg(0));
+          i.rs = static_cast<std::uint8_t>(reg(1));
+        }
+        push(i);
+        return;
+      }
+      case Op::Syscall: case Op::Break: {
+        expect(0);
+        Instr i;
+        i.op = op;
+        push(i);
+        return;
+      }
+      case Op::Addi: case Op::Addiu: case Op::Slti: case Op::Sltiu:
+      case Op::Andi: case Op::Ori: case Op::Xori:
+        expect(3);
+        push(make_itype(op, reg(0), reg(1),
+                        static_cast<std::int32_t>(resolve_value(stmt, ops[2]))));
+        return;
+      case Op::Lui:
+        expect(2);
+        push(make_itype(op, reg(0), 0,
+                        static_cast<std::int32_t>(resolve_value(stmt, ops[1]))));
+        return;
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Lbu: case Op::Lhu:
+      case Op::Sb: case Op::Sh: case Op::Sw: {
+        expect(2);
+        auto [offset, base] = parse_mem_operand(stmt, ops[1]);
+        push(make_itype(op, reg(0), base, offset));
+        return;
+      }
+      case Op::Beq: case Op::Bne:
+        expect(3);
+        push(make_branch(op, reg(0), reg(1), branch_offset(stmt, ops[2])));
+        return;
+      case Op::Blez: case Op::Bgtz:
+        expect(2);
+        push(make_branch(op, reg(0), 0, branch_offset(stmt, ops[1])));
+        return;
+      case Op::J: case Op::Jal: {
+        expect(1);
+        std::uint32_t addr = resolve_value(stmt, ops[0]);
+        if (addr % 4 != 0) throw AsmError(stmt.line, "jump target unaligned");
+        push(make_jump(op, addr / 4));
+        return;
+      }
+      default:
+        throw AsmError(stmt.line, "unhandled mnemonic: " + m);
+    }
+  }
+
+  // Branch offset in words relative to pc+4 of the branch instruction.
+  // `extra_words` accounts for expansion prefixes already emitted.
+  std::int32_t branch_offset(const Statement& stmt, std::string_view target,
+                             int extra_words = 0) {
+    std::uint32_t dest = resolve_value(stmt, target);
+    std::uint32_t branch_pc = stmt.address + 4u * static_cast<std::uint32_t>(extra_words);
+    std::int64_t delta =
+        (static_cast<std::int64_t>(dest) - (static_cast<std::int64_t>(branch_pc) + 4)) / 4;
+    if (delta < -32768 || delta > 32767) {
+      throw AsmError(stmt.line, "branch target out of range");
+    }
+    return static_cast<std::int32_t>(delta);
+  }
+
+  std::pair<std::int32_t, int> parse_mem_operand(const Statement& stmt,
+                                                 std::string_view op) {
+    std::size_t open = op.find('(');
+    std::size_t close = op.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      throw AsmError(stmt.line, "expected offset(base): " + std::string(op));
+    }
+    std::string_view offset_str = strip(op.substr(0, open));
+    std::string_view base_str = strip(op.substr(open + 1, close - open - 1));
+    std::int32_t offset =
+        offset_str.empty()
+            ? 0
+            : static_cast<std::int32_t>(resolve_value(stmt, offset_str));
+    int base;
+    try {
+      base = parse_reg(base_str);
+    } catch (const IsaError& e) {
+      throw AsmError(stmt.line, e.what());
+    }
+    return {offset, base};
+  }
+
+  std::uint32_t parse_int(const Statement& stmt, std::size_t operand) const {
+    if (operand >= stmt.operands.size()) {
+      throw AsmError(stmt.line, "missing operand");
+    }
+    return parse_number(stmt, stmt.operands[operand]);
+  }
+
+  static std::uint32_t parse_number(const Statement& stmt,
+                                    std::string_view s) {
+    bool negative = false;
+    if (!s.empty() && (s[0] == '-' || s[0] == '+')) {
+      negative = s[0] == '-';
+      s.remove_prefix(1);
+    }
+    std::uint32_t value = 0;
+    std::from_chars_result res{};
+    if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+      res = std::from_chars(s.data() + 2, s.data() + s.size(), value, 16);
+    } else {
+      res = std::from_chars(s.data(), s.data() + s.size(), value, 10);
+    }
+    if (res.ec != std::errc{} || res.ptr != s.data() + s.size()) {
+      throw AsmError(stmt.line, "bad number: " + std::string(s));
+    }
+    return negative ? static_cast<std::uint32_t>(-static_cast<std::int64_t>(value))
+                    : value;
+  }
+
+  // A value operand: number or label (with optional +offset).
+  std::uint32_t resolve_value(const Statement& stmt, std::string_view s) const {
+    s = strip(s);
+    if (s.empty()) throw AsmError(stmt.line, "empty value");
+    if (std::isdigit(static_cast<unsigned char>(s[0])) || s[0] == '-' ||
+        s[0] == '+') {
+      return parse_number(stmt, s);
+    }
+    // label or label+offset
+    std::size_t plus = s.find('+');
+    std::string label(strip(s.substr(0, plus)));
+    std::uint32_t offset = 0;
+    if (plus != std::string_view::npos) {
+      offset = parse_number(stmt, strip(s.substr(plus + 1)));
+    }
+    auto it = symbols_.find(label);
+    if (it == symbols_.end()) {
+      throw AsmError(stmt.line, "undefined symbol: " + label);
+    }
+    return it->second + offset;
+  }
+
+  AsmOptions options_;
+  std::vector<Statement> statements_;
+  std::vector<PendingLabel> pending_labels_;
+  std::vector<PendingLabel> taken_labels_;
+  std::map<std::size_t, std::vector<PendingLabel>> label_owner_;
+  std::map<std::string, std::uint32_t> symbols_;
+  std::vector<std::uint32_t> text_;
+  std::vector<std::uint8_t> text_byte_buffer_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace
+
+Program assemble(std::string_view source, const AsmOptions& options) {
+  Assembler assembler(source, options);
+  return assembler.take();
+}
+
+}  // namespace sdmmon::isa

@@ -1,0 +1,46 @@
+// Two-pass assembler for the MIPS-subset ISA. Supports labels, the usual
+// operand syntax (including `offset(base)` addressing), section directives
+// (.text/.data), data directives (.word/.half/.byte/.space/.align/.ascii),
+// and a small set of pseudo-instructions with fixed expansion sizes:
+//   nop            -> sll $zero,$zero,0
+//   move rd, rs    -> addu rd, $zero, rs
+//   li   rt, imm32 -> lui + ori
+//   la   rt, label -> lui + ori
+//   b    label     -> beq $zero, $zero, label
+//   beqz/bnez rs,l -> beq/bne rs, $zero, l
+//   blt/bgt/ble/bge rs, rt, l -> slt $at, ... + bne/beq $at, ...
+//
+// Lines may carry comments starting with '#' or ';'.
+#ifndef SDMMON_ISA_ASSEMBLER_HPP
+#define SDMMON_ISA_ASSEMBLER_HPP
+
+#include <string_view>
+
+#include "isa/isa.hpp"
+#include "isa/program.hpp"
+
+namespace sdmmon::isa {
+
+class AsmError : public IsaError {
+ public:
+  AsmError(int line, const std::string& what)
+      : IsaError("line " + std::to_string(line) + ": " + what), line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+struct AsmOptions {
+  std::uint32_t text_base = 0x0000'0000;
+  std::uint32_t data_base = 0x0001'0000;
+  std::string name = "program";
+};
+
+/// Assemble a full translation unit into a linked Program image.
+/// Entry point is the `main` label when present, else text_base.
+Program assemble(std::string_view source, const AsmOptions& options = {});
+
+}  // namespace sdmmon::isa
+
+#endif  // SDMMON_ISA_ASSEMBLER_HPP

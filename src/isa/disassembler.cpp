@@ -1,0 +1,97 @@
+#include "isa/disassembler.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace sdmmon::isa {
+
+namespace {
+
+std::string hex32(std::uint32_t v) {
+  char buf[11];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
+}
+
+std::string reg(int r) { return "$" + std::string(reg_name(r)); }
+
+}  // namespace
+
+std::string disassemble(std::uint32_t word, std::uint32_t pc) {
+  auto decoded = try_decode(word);
+  if (!decoded) return ".word " + hex32(word);
+  const Instr& i = *decoded;
+  std::ostringstream os;
+  os << op_name(i.op);
+
+  switch (i.op) {
+    case Op::Sll: case Op::Srl: case Op::Sra:
+      if (word == 0) return "nop";
+      os << ' ' << reg(i.rd) << ", " << reg(i.rt) << ", " << int(i.shamt);
+      break;
+    case Op::Sllv: case Op::Srlv: case Op::Srav:
+      os << ' ' << reg(i.rd) << ", " << reg(i.rt) << ", " << reg(i.rs);
+      break;
+    case Op::Add: case Op::Addu: case Op::Sub: case Op::Subu:
+    case Op::And: case Op::Or: case Op::Xor: case Op::Nor:
+    case Op::Slt: case Op::Sltu:
+      os << ' ' << reg(i.rd) << ", " << reg(i.rs) << ", " << reg(i.rt);
+      break;
+    case Op::Mult: case Op::Multu: case Op::Div: case Op::Divu:
+      os << ' ' << reg(i.rs) << ", " << reg(i.rt);
+      break;
+    case Op::Mfhi: case Op::Mflo:
+      os << ' ' << reg(i.rd);
+      break;
+    case Op::Jr:
+      os << ' ' << reg(i.rs);
+      break;
+    case Op::Jalr:
+      os << ' ' << reg(i.rd) << ", " << reg(i.rs);
+      break;
+    case Op::Syscall: case Op::Break:
+      break;
+    case Op::Addi: case Op::Addiu: case Op::Slti: case Op::Sltiu:
+    case Op::Andi: case Op::Ori: case Op::Xori:
+      os << ' ' << reg(i.rt) << ", " << reg(i.rs) << ", " << i.imm;
+      break;
+    case Op::Lui:
+      os << ' ' << reg(i.rt) << ", " << (i.imm & 0xFFFF);
+      break;
+    case Op::Lb: case Op::Lh: case Op::Lw: case Op::Lbu: case Op::Lhu:
+    case Op::Sb: case Op::Sh: case Op::Sw:
+      os << ' ' << reg(i.rt) << ", " << i.imm << '(' << reg(i.rs) << ')';
+      break;
+    case Op::Beq: case Op::Bne:
+      os << ' ' << reg(i.rs) << ", " << reg(i.rt) << ", "
+         << hex32(pc + 4 + static_cast<std::uint32_t>(i.imm) * 4);
+      break;
+    case Op::Blez: case Op::Bgtz:
+      os << ' ' << reg(i.rs) << ", "
+         << hex32(pc + 4 + static_cast<std::uint32_t>(i.imm) * 4);
+      break;
+    case Op::J: case Op::Jal:
+      os << ' ' << hex32(i.target * 4);
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble_program(const Program& program) {
+  // Invert the symbol table so labels print above their addresses.
+  std::multimap<std::uint32_t, std::string> labels;
+  for (const auto& [name, addr] : program.symbols) labels.emplace(addr, name);
+
+  std::ostringstream os;
+  for (std::size_t idx = 0; idx < program.text.size(); ++idx) {
+    std::uint32_t pc = program.text_base + static_cast<std::uint32_t>(idx) * 4;
+    auto [lo, hi] = labels.equal_range(pc);
+    for (auto it = lo; it != hi; ++it) os << it->second << ":\n";
+    os << "  " << hex32(pc) << ":  " << disassemble(program.text[idx], pc)
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sdmmon::isa

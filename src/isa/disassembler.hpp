@@ -1,0 +1,23 @@
+// Disassembler: renders raw instruction words back to assembler syntax.
+// Used by the examples and by the offline analyzer's debug dumps.
+#ifndef SDMMON_ISA_DISASSEMBLER_HPP
+#define SDMMON_ISA_DISASSEMBLER_HPP
+
+#include <string>
+
+#include "isa/isa.hpp"
+#include "isa/program.hpp"
+
+namespace sdmmon::isa {
+
+/// Render one instruction. `pc` is the byte address of the instruction
+/// (needed to print absolute branch targets). Unknown encodings render as
+/// ".word 0x...".
+std::string disassemble(std::uint32_t word, std::uint32_t pc);
+
+/// Full program listing with addresses, one instruction per line.
+std::string disassemble_program(const Program& program);
+
+}  // namespace sdmmon::isa
+
+#endif  // SDMMON_ISA_DISASSEMBLER_HPP

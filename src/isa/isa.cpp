@@ -1,0 +1,215 @@
+#include "isa/isa.hpp"
+
+#include <array>
+
+namespace sdmmon::isa {
+
+namespace {
+
+struct OpInfo {
+  Op op;
+  std::string_view name;
+  OpClass cls;
+  int primary;  // top-6-bit opcode field; 0 for R-type
+  int funct;    // funct field for R-type, -1 otherwise
+};
+
+constexpr std::array<OpInfo, kNumOps> kOpTable = {{
+    {Op::Sll, "sll", OpClass::Alu, 0, 0},
+    {Op::Srl, "srl", OpClass::Alu, 0, 2},
+    {Op::Sra, "sra", OpClass::Alu, 0, 3},
+    {Op::Sllv, "sllv", OpClass::Alu, 0, 4},
+    {Op::Srlv, "srlv", OpClass::Alu, 0, 6},
+    {Op::Srav, "srav", OpClass::Alu, 0, 7},
+    {Op::Jr, "jr", OpClass::JumpReg, 0, 8},
+    {Op::Jalr, "jalr", OpClass::JumpReg, 0, 9},
+    {Op::Syscall, "syscall", OpClass::Trap, 0, 12},
+    {Op::Break, "break", OpClass::Trap, 0, 13},
+    {Op::Mfhi, "mfhi", OpClass::Alu, 0, 16},
+    {Op::Mflo, "mflo", OpClass::Alu, 0, 18},
+    {Op::Mult, "mult", OpClass::Alu, 0, 24},
+    {Op::Multu, "multu", OpClass::Alu, 0, 25},
+    {Op::Div, "div", OpClass::Alu, 0, 26},
+    {Op::Divu, "divu", OpClass::Alu, 0, 27},
+    {Op::Add, "add", OpClass::Alu, 0, 32},
+    {Op::Addu, "addu", OpClass::Alu, 0, 33},
+    {Op::Sub, "sub", OpClass::Alu, 0, 34},
+    {Op::Subu, "subu", OpClass::Alu, 0, 35},
+    {Op::And, "and", OpClass::Alu, 0, 36},
+    {Op::Or, "or", OpClass::Alu, 0, 37},
+    {Op::Xor, "xor", OpClass::Alu, 0, 38},
+    {Op::Nor, "nor", OpClass::Alu, 0, 39},
+    {Op::Slt, "slt", OpClass::Alu, 0, 42},
+    {Op::Sltu, "sltu", OpClass::Alu, 0, 43},
+    {Op::Beq, "beq", OpClass::Branch, 4, -1},
+    {Op::Bne, "bne", OpClass::Branch, 5, -1},
+    {Op::Blez, "blez", OpClass::Branch, 6, -1},
+    {Op::Bgtz, "bgtz", OpClass::Branch, 7, -1},
+    {Op::Addi, "addi", OpClass::Alu, 8, -1},
+    {Op::Addiu, "addiu", OpClass::Alu, 9, -1},
+    {Op::Slti, "slti", OpClass::Alu, 10, -1},
+    {Op::Sltiu, "sltiu", OpClass::Alu, 11, -1},
+    {Op::Andi, "andi", OpClass::Alu, 12, -1},
+    {Op::Ori, "ori", OpClass::Alu, 13, -1},
+    {Op::Xori, "xori", OpClass::Alu, 14, -1},
+    {Op::Lui, "lui", OpClass::Alu, 15, -1},
+    {Op::Lb, "lb", OpClass::Load, 32, -1},
+    {Op::Lh, "lh", OpClass::Load, 33, -1},
+    {Op::Lw, "lw", OpClass::Load, 35, -1},
+    {Op::Lbu, "lbu", OpClass::Load, 36, -1},
+    {Op::Lhu, "lhu", OpClass::Load, 37, -1},
+    {Op::Sb, "sb", OpClass::Store, 40, -1},
+    {Op::Sh, "sh", OpClass::Store, 41, -1},
+    {Op::Sw, "sw", OpClass::Store, 43, -1},
+    {Op::J, "j", OpClass::Jump, 2, -1},
+    {Op::Jal, "jal", OpClass::JumpLink, 3, -1},
+}};
+
+const OpInfo& info(Op op) { return kOpTable[static_cast<std::size_t>(op)]; }
+
+constexpr std::array<std::string_view, 32> kRegNames = {
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0",   "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0",   "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8",   "t9", "k0", "k1", "gp", "sp", "fp", "ra"};
+
+}  // namespace
+
+OpClass op_class(Op op) { return info(op).cls; }
+std::string_view op_name(Op op) { return info(op).name; }
+
+std::string_view reg_name(int reg) {
+  if (reg < 0 || reg > 31) throw IsaError("register out of range");
+  return kRegNames[static_cast<std::size_t>(reg)];
+}
+
+int parse_reg(std::string_view token) {
+  if (token.empty() || token[0] != '$') {
+    throw IsaError("register must start with '$': " + std::string(token));
+  }
+  std::string_view body = token.substr(1);
+  // Numeric form $0..$31.
+  if (!body.empty() && body[0] >= '0' && body[0] <= '9') {
+    int value = 0;
+    for (char c : body) {
+      if (c < '0' || c > '9') throw IsaError("bad register: " + std::string(token));
+      value = value * 10 + (c - '0');
+    }
+    if (value > 31) throw IsaError("register out of range: " + std::string(token));
+    return value;
+  }
+  for (int i = 0; i < 32; ++i) {
+    if (kRegNames[static_cast<std::size_t>(i)] == body) return i;
+  }
+  throw IsaError("unknown register: " + std::string(token));
+}
+
+std::uint32_t encode(const Instr& instr) {
+  const OpInfo& op_info = info(instr.op);
+  switch (op_info.cls) {
+    case OpClass::Jump:
+    case OpClass::JumpLink:
+      return static_cast<std::uint32_t>(op_info.primary) << 26 |
+             (instr.target & 0x03FFFFFFu);
+    default:
+      break;
+  }
+  if (op_info.primary == 0) {
+    // R-type.
+    return static_cast<std::uint32_t>(instr.rs & 31) << 21 |
+           static_cast<std::uint32_t>(instr.rt & 31) << 16 |
+           static_cast<std::uint32_t>(instr.rd & 31) << 11 |
+           static_cast<std::uint32_t>(instr.shamt & 31) << 6 |
+           static_cast<std::uint32_t>(op_info.funct);
+  }
+  // I-type.
+  return static_cast<std::uint32_t>(op_info.primary) << 26 |
+         static_cast<std::uint32_t>(instr.rs & 31) << 21 |
+         static_cast<std::uint32_t>(instr.rt & 31) << 16 |
+         (static_cast<std::uint32_t>(instr.imm) & 0xFFFFu);
+}
+
+std::optional<Instr> try_decode(std::uint32_t word) {
+  const int primary = static_cast<int>(word >> 26);
+  Instr out;
+  if (primary == 0) {
+    const int funct = static_cast<int>(word & 0x3F);
+    for (const auto& entry : kOpTable) {
+      if (entry.primary == 0 && entry.funct == funct) {
+        out.op = entry.op;
+        out.rs = static_cast<std::uint8_t>((word >> 21) & 31);
+        out.rt = static_cast<std::uint8_t>((word >> 16) & 31);
+        out.rd = static_cast<std::uint8_t>((word >> 11) & 31);
+        out.shamt = static_cast<std::uint8_t>((word >> 6) & 31);
+        return out;
+      }
+    }
+    return std::nullopt;
+  }
+  for (const auto& entry : kOpTable) {
+    if (entry.primary != primary || entry.funct != -1) continue;
+    out.op = entry.op;
+    if (entry.cls == OpClass::Jump || entry.cls == OpClass::JumpLink) {
+      out.target = word & 0x03FFFFFFu;
+      return out;
+    }
+    out.rs = static_cast<std::uint8_t>((word >> 21) & 31);
+    out.rt = static_cast<std::uint8_t>((word >> 16) & 31);
+    out.imm = static_cast<std::int32_t>(static_cast<std::int16_t>(word & 0xFFFF));
+    return out;
+  }
+  return std::nullopt;
+}
+
+Instr decode(std::uint32_t word) {
+  auto decoded = try_decode(word);
+  if (!decoded) throw IsaError("cannot decode instruction word");
+  return *decoded;
+}
+
+Instr make_rtype(Op op, int rd, int rs, int rt) {
+  Instr i;
+  i.op = op;
+  i.rd = static_cast<std::uint8_t>(rd);
+  i.rs = static_cast<std::uint8_t>(rs);
+  i.rt = static_cast<std::uint8_t>(rt);
+  return i;
+}
+
+Instr make_shift(Op op, int rd, int rt, int shamt) {
+  Instr i;
+  i.op = op;
+  i.rd = static_cast<std::uint8_t>(rd);
+  i.rt = static_cast<std::uint8_t>(rt);
+  i.shamt = static_cast<std::uint8_t>(shamt & 31);
+  return i;
+}
+
+Instr make_itype(Op op, int rt, int rs, std::int32_t imm) {
+  Instr i;
+  i.op = op;
+  i.rt = static_cast<std::uint8_t>(rt);
+  i.rs = static_cast<std::uint8_t>(rs);
+  i.imm = imm;
+  return i;
+}
+
+Instr make_branch(Op op, int rs, int rt, std::int32_t offset_words) {
+  Instr i;
+  i.op = op;
+  i.rs = static_cast<std::uint8_t>(rs);
+  i.rt = static_cast<std::uint8_t>(rt);
+  i.imm = offset_words;
+  return i;
+}
+
+Instr make_jump(Op op, std::uint32_t target_word_index) {
+  Instr i;
+  i.op = op;
+  i.target = target_word_index & 0x03FFFFFFu;
+  return i;
+}
+
+Instr make_nop() { return make_shift(Op::Sll, 0, 0, 0); }
+
+}  // namespace sdmmon::isa

@@ -1,0 +1,102 @@
+// MIPS-I-subset instruction set matching the paper's PLASMA network
+// processor core: 32-bit fixed-width instructions, 32 general registers,
+// R/I/J formats. The hardware monitor hashes the raw 32-bit instruction
+// word, so encode/decode here is bit-exact MIPS encoding.
+//
+// Simplification vs. real MIPS: the simulator has no branch delay slots
+// (branches take effect immediately). This only changes pipeline timing,
+// not the monitoring contract (the stream of executed instruction words).
+#ifndef SDMMON_ISA_ISA_HPP
+#define SDMMON_ISA_ISA_HPP
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sdmmon::isa {
+
+class IsaError : public std::runtime_error {
+ public:
+  explicit IsaError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Mnemonic-level opcode covering every instruction the core executes.
+enum class Op : std::uint8_t {
+  // R-type (opcode 0, distinguished by funct)
+  Sll, Srl, Sra, Sllv, Srlv, Srav,
+  Jr, Jalr,
+  Syscall, Break,
+  Mfhi, Mflo,
+  Mult, Multu, Div, Divu,
+  Add, Addu, Sub, Subu,
+  And, Or, Xor, Nor,
+  Slt, Sltu,
+  // I-type
+  Beq, Bne, Blez, Bgtz,
+  Addi, Addiu, Slti, Sltiu,
+  Andi, Ori, Xori, Lui,
+  Lb, Lh, Lw, Lbu, Lhu,
+  Sb, Sh, Sw,
+  // J-type
+  J, Jal,
+};
+
+constexpr int kNumOps = static_cast<int>(Op::Jal) + 1;
+
+/// Instruction classes relevant to control-flow analysis.
+enum class OpClass {
+  Alu,          // falls through to pc+4
+  Load,
+  Store,
+  Branch,       // conditional: successors {target, pc+4}
+  Jump,         // unconditional direct: successor {target}
+  JumpLink,     // jal: successor {target}, writes ra
+  JumpReg,      // jr/jalr: indirect, successors from offline analysis
+  Trap,         // syscall/break
+};
+
+OpClass op_class(Op op);
+std::string_view op_name(Op op);
+
+/// Decoded instruction. Fields are valid per format:
+///  R-type: rs, rt, rd, shamt;  I-type: rs, rt, imm;  J-type: target.
+struct Instr {
+  Op op = Op::Sll;
+  std::uint8_t rs = 0;
+  std::uint8_t rt = 0;
+  std::uint8_t rd = 0;
+  std::uint8_t shamt = 0;
+  std::int32_t imm = 0;        // sign-extended 16-bit immediate (I-type)
+  std::uint32_t target = 0;    // 26-bit word index (J-type)
+
+  bool operator==(const Instr& rhs) const = default;
+};
+
+/// Encode to the raw 32-bit word the monitor hashes.
+std::uint32_t encode(const Instr& instr);
+
+/// Decode a raw word; throws IsaError on an unknown opcode/funct.
+Instr decode(std::uint32_t word);
+
+/// Decode without throwing; nullopt on unknown encodings.
+std::optional<Instr> try_decode(std::uint32_t word);
+
+/// Register ABI names ($zero, $at, $v0, ... $ra).
+std::string_view reg_name(int reg);
+
+/// Parse "$t0", "$5", "$zero" etc.; throws IsaError on bad names.
+int parse_reg(std::string_view token);
+
+// Instruction-word builders used by app code and tests.
+Instr make_rtype(Op op, int rd, int rs, int rt);
+Instr make_shift(Op op, int rd, int rt, int shamt);
+Instr make_itype(Op op, int rt, int rs, std::int32_t imm);
+Instr make_branch(Op op, int rs, int rt, std::int32_t offset_words);
+Instr make_jump(Op op, std::uint32_t target_word_index);
+Instr make_nop();
+
+}  // namespace sdmmon::isa
+
+#endif  // SDMMON_ISA_ISA_HPP

@@ -1,0 +1,53 @@
+#include "isa/program.hpp"
+
+#include "isa/isa.hpp"
+
+namespace sdmmon::isa {
+
+std::uint32_t Program::symbol(const std::string& label) const {
+  auto it = symbols.find(label);
+  if (it == symbols.end()) throw IsaError("undefined symbol: " + label);
+  return it->second;
+}
+
+util::Bytes Program::serialize() const {
+  util::ByteWriter w;
+  w.str(name);
+  w.u32(text_base);
+  w.u32(static_cast<std::uint32_t>(text.size()));
+  for (std::uint32_t word : text) w.u32(word);
+  w.u32(data_base);
+  w.blob(data);
+  w.u32(entry);
+  w.u32(static_cast<std::uint32_t>(symbols.size()));
+  for (const auto& [label, addr] : symbols) {
+    w.str(label);
+    w.u32(addr);
+  }
+  return w.take();
+}
+
+Program Program::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  Program p;
+  p.name = r.str();
+  p.text_base = r.u32();
+  const std::uint32_t n_text = r.u32();
+  if (n_text > r.remaining() / 4) {
+    throw util::DecodeError("program image: text size exceeds input");
+  }
+  p.text.reserve(n_text);
+  for (std::uint32_t i = 0; i < n_text; ++i) p.text.push_back(r.u32());
+  p.data_base = r.u32();
+  p.data = r.blob();
+  p.entry = r.u32();
+  const std::uint32_t n_sym = r.u32();
+  for (std::uint32_t i = 0; i < n_sym; ++i) {
+    std::string label = r.str();
+    std::uint32_t addr = r.u32();
+    p.symbols.emplace(std::move(label), addr);
+  }
+  return p;
+}
+
+}  // namespace sdmmon::isa

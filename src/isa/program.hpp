@@ -1,0 +1,39 @@
+// Linked program image: text (instruction words), initialized data, and a
+// symbol table. This is the "processing binary" the network operator ships
+// to the NP core and from which the monitoring graph is extracted.
+#ifndef SDMMON_ISA_PROGRAM_HPP
+#define SDMMON_ISA_PROGRAM_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sdmmon::isa {
+
+struct Program {
+  std::string name;
+  std::uint32_t text_base = 0;         // byte address of text[0]
+  std::vector<std::uint32_t> text;     // instruction words
+  std::uint32_t data_base = 0;         // byte address of data[0]
+  std::vector<std::uint8_t> data;      // initialized data image
+  std::uint32_t entry = 0;             // byte address of the entry point
+  std::map<std::string, std::uint32_t> symbols;  // label -> byte address
+
+  std::size_t text_bytes() const { return text.size() * 4; }
+
+  /// Byte address of the symbol; throws if undefined.
+  std::uint32_t symbol(const std::string& label) const;
+
+  /// Wire format used inside the SDMMon install package.
+  util::Bytes serialize() const;
+  static Program deserialize(std::span<const std::uint8_t> bytes);
+
+  bool operator==(const Program& rhs) const = default;
+};
+
+}  // namespace sdmmon::isa
+
+#endif  // SDMMON_ISA_PROGRAM_HPP

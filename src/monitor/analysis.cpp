@@ -1,0 +1,147 @@
+#include "monitor/analysis.hpp"
+
+#include <algorithm>
+
+#include "isa/isa.hpp"
+
+namespace sdmmon::monitor {
+
+namespace {
+
+using isa::Instr;
+using isa::Op;
+using isa::OpClass;
+
+struct DecodedText {
+  std::vector<Instr> instrs;
+  std::vector<std::uint32_t> jal_targets;      // node indices
+  std::vector<std::uint32_t> return_sites;     // node index after each jal
+};
+
+DecodedText decode_text(const isa::Program& program) {
+  DecodedText out;
+  out.instrs.reserve(program.text.size());
+  const std::uint32_t n = static_cast<std::uint32_t>(program.text.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Instr instr = isa::decode(program.text[i]);
+    if (instr.op == Op::Jal) {
+      const std::uint32_t target_pc = instr.target * 4;
+      if (target_pc >= program.text_base &&
+          (target_pc - program.text_base) / 4 < n) {
+        out.jal_targets.push_back((target_pc - program.text_base) / 4);
+      }
+      if (i + 1 < n) out.return_sites.push_back(i + 1);
+    }
+    out.instrs.push_back(instr);
+  }
+  return out;
+}
+
+void add_unique(std::vector<std::uint32_t>& v, std::uint32_t x) {
+  if (std::find(v.begin(), v.end(), x) == v.end()) v.push_back(x);
+}
+
+}  // namespace
+
+BasicBlocks find_basic_blocks(const isa::Program& program) {
+  const std::uint32_t n = static_cast<std::uint32_t>(program.text.size());
+  std::vector<std::uint32_t> leaders;
+  if (n == 0) return {};
+  add_unique(leaders, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Instr instr = isa::decode(program.text[i]);
+    switch (isa::op_class(instr.op)) {
+      case OpClass::Branch: {
+        const std::int64_t target =
+            static_cast<std::int64_t>(i) + 1 + instr.imm;
+        if (target >= 0 && target < n) {
+          add_unique(leaders, static_cast<std::uint32_t>(target));
+        }
+        if (i + 1 < n) add_unique(leaders, i + 1);
+        break;
+      }
+      case OpClass::Jump:
+      case OpClass::JumpLink: {
+        const std::uint32_t target_pc = instr.target * 4;
+        if (target_pc >= program.text_base) {
+          const std::uint32_t idx = (target_pc - program.text_base) / 4;
+          if (idx < n) add_unique(leaders, idx);
+        }
+        if (i + 1 < n) add_unique(leaders, i + 1);
+        break;
+      }
+      case OpClass::JumpReg:
+      case OpClass::Trap:
+        if (i + 1 < n) add_unique(leaders, i + 1);
+        break;
+      default:
+        break;
+    }
+  }
+  std::sort(leaders.begin(), leaders.end());
+  return {std::move(leaders)};
+}
+
+MonitoringGraph extract_graph(const isa::Program& program,
+                              const InstructionHash& hash) {
+  DecodedText text = decode_text(program);
+  const std::uint32_t n = static_cast<std::uint32_t>(text.instrs.size());
+
+  std::vector<GraphNode> nodes(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    GraphNode& node = nodes[i];
+    node.hash = hash.hash(program.text[i]);
+    const Instr& instr = text.instrs[i];
+
+    switch (isa::op_class(instr.op)) {
+      case OpClass::Alu:
+      case OpClass::Load:
+      case OpClass::Store:
+        if (i + 1 < n) node.successors.push_back(i + 1);
+        break;
+      case OpClass::Branch: {
+        // Both outcomes valid: the monitor has no data path (Sec 2.1).
+        const std::int64_t taken =
+            static_cast<std::int64_t>(i) + 1 + instr.imm;
+        if (i + 1 < n) node.successors.push_back(i + 1);
+        if (taken >= 0 && taken < n &&
+            static_cast<std::uint32_t>(taken) != i + 1) {
+          node.successors.push_back(static_cast<std::uint32_t>(taken));
+        }
+        break;
+      }
+      case OpClass::Jump:
+      case OpClass::JumpLink: {
+        const std::uint32_t target_pc = instr.target * 4;
+        if (target_pc >= program.text_base) {
+          const std::uint32_t idx = (target_pc - program.text_base) / 4;
+          if (idx < n) node.successors.push_back(idx);
+        }
+        break;
+      }
+      case OpClass::JumpReg: {
+        for (std::uint32_t site : text.return_sites) {
+          add_unique(node.successors, site);
+        }
+        for (std::uint32_t target : text.jal_targets) {
+          add_unique(node.successors, target);
+        }
+        node.can_exit = true;  // may be the handler's final return
+        std::sort(node.successors.begin(), node.successors.end());
+        break;
+      }
+      case OpClass::Trap:
+        break;  // traps end the packet; no valid successor
+    }
+  }
+
+  std::uint32_t entry_index = 0;
+  if (program.entry >= program.text_base) {
+    entry_index = (program.entry - program.text_base) / 4;
+    if (entry_index >= n) entry_index = 0;
+  }
+  return MonitoringGraph(hash.width(), program.text_base, entry_index,
+                         std::move(nodes));
+}
+
+}  // namespace sdmmon::monitor

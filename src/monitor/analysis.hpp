@@ -1,0 +1,43 @@
+// Offline binary analysis (paper Figure 1, left): extract the monitoring
+// graph from a processing binary. The network operator runs this before
+// signing and shipping the (binary, graph, hash parameter) package.
+//
+// Successor rules per instruction class:
+//   ALU/load/store  -> {next}
+//   branch          -> {fall-through, taken target} (the monitor has no
+//                      data path, so both are considered valid -- Sec 2.1)
+//   j / jal         -> {absolute target}
+//   jr / jalr       -> over-approximated: every recorded return site (the
+//                      instruction after each jal) plus every jal target,
+//                      and the node is marked exit-capable (a packet
+//                      handler's final `jr $ra` returns to the runtime).
+//   syscall/break   -> no successors (traps end the packet)
+//
+// The over-approximation for indirect jumps is sound (no false alarms on
+// valid executions); it only widens the NDFA state the attacker must
+// match, never narrows it.
+#ifndef SDMMON_MONITOR_ANALYSIS_HPP
+#define SDMMON_MONITOR_ANALYSIS_HPP
+
+#include "isa/program.hpp"
+#include "monitor/graph.hpp"
+#include "monitor/hash.hpp"
+
+namespace sdmmon::monitor {
+
+/// Basic-block boundaries of the program text (for reports and tests).
+struct BasicBlocks {
+  /// Sorted instruction indices that start a basic block.
+  std::vector<std::uint32_t> leaders;
+};
+
+BasicBlocks find_basic_blocks(const isa::Program& program);
+
+/// Build the monitoring graph for `program` using `hash`. Throws
+/// isa::IsaError if the text contains undecodable words.
+MonitoringGraph extract_graph(const isa::Program& program,
+                              const InstructionHash& hash);
+
+}  // namespace sdmmon::monitor
+
+#endif  // SDMMON_MONITOR_ANALYSIS_HPP

@@ -1,0 +1,192 @@
+#include "monitor/block_monitor.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "isa/isa.hpp"
+#include "monitor/analysis.hpp"
+
+namespace sdmmon::monitor {
+
+std::size_t BlockGraph::size_bits() const {
+  if (blocks_.empty()) return 0;
+  const std::size_t index_bits = std::max<std::size_t>(
+      1, std::bit_width(blocks_.size() - 1 == 0 ? std::size_t{1}
+                                                : blocks_.size() - 1));
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    total += static_cast<std::size_t>(hash_width_) + 8 + 1 + 2;
+    for (std::uint32_t succ : blocks_[i].successors) {
+      if (succ != i + 1) total += index_bits;
+    }
+  }
+  return total;
+}
+
+BlockGraph extract_block_graph(const isa::Program& program,
+                               const MerkleTreeHash& hash) {
+  const std::uint32_t n = static_cast<std::uint32_t>(program.text.size());
+  if (n == 0) return BlockGraph(hash.width(), 0, {});
+
+  // Leaders from control flow, plus the entry point.
+  BasicBlocks bb = find_basic_blocks(program);
+  std::vector<std::uint32_t> leaders = bb.leaders;
+  std::uint32_t entry_index = 0;
+  if (program.entry >= program.text_base) {
+    entry_index = (program.entry - program.text_base) / 4;
+    if (entry_index >= n) entry_index = 0;
+  }
+  if (std::find(leaders.begin(), leaders.end(), entry_index) ==
+      leaders.end()) {
+    leaders.push_back(entry_index);
+    std::sort(leaders.begin(), leaders.end());
+  }
+
+  // Map every leader instruction index to its block index.
+  std::map<std::uint32_t, std::uint32_t> block_of_leader;
+  for (std::uint32_t b = 0; b < leaders.size(); ++b) {
+    block_of_leader[leaders[b]] = b;
+  }
+  auto block_at = [&](std::uint32_t instr) -> std::optional<std::uint32_t> {
+    auto it = block_of_leader.find(instr);
+    if (it == block_of_leader.end()) return std::nullopt;
+    return it->second;
+  };
+
+  // Collect jr/jalr over-approximation targets, as the instruction-level
+  // analyzer does.
+  std::vector<std::uint32_t> indirect_targets;  // instruction indices
+  for (std::uint32_t i = 0; i < n; ++i) {
+    isa::Instr instr = isa::decode(program.text[i]);
+    if (instr.op == isa::Op::Jal) {
+      if (i + 1 < n) indirect_targets.push_back(i + 1);
+      const std::uint32_t target_pc = instr.target * 4;
+      if (target_pc >= program.text_base &&
+          (target_pc - program.text_base) / 4 < n) {
+        indirect_targets.push_back((target_pc - program.text_base) / 4);
+      }
+    }
+  }
+
+  std::vector<BlockNode> blocks(leaders.size());
+  for (std::uint32_t b = 0; b < leaders.size(); ++b) {
+    BlockNode& block = blocks[b];
+    block.first_instr = leaders[b];
+    const std::uint32_t end =
+        (b + 1 < leaders.size()) ? leaders[b + 1] : n;
+    block.length = end - leaders[b];
+
+    std::uint8_t fold = 0;
+    for (std::uint32_t i = leaders[b]; i < end; ++i) {
+      fold = hash.compress(fold, hash.hash(program.text[i]));
+    }
+    block.fold = fold;
+
+    // Successors from the block's last instruction.
+    const std::uint32_t last = end - 1;
+    isa::Instr instr = isa::decode(program.text[last]);
+    auto add_succ = [&](std::uint32_t instr_index) {
+      auto target = block_at(instr_index);
+      if (target &&
+          std::find(block.successors.begin(), block.successors.end(),
+                    *target) == block.successors.end()) {
+        block.successors.push_back(*target);
+      }
+    };
+    switch (isa::op_class(instr.op)) {
+      case isa::OpClass::Alu:
+      case isa::OpClass::Load:
+      case isa::OpClass::Store:
+        if (last + 1 < n) add_succ(last + 1);
+        break;
+      case isa::OpClass::Branch: {
+        if (last + 1 < n) add_succ(last + 1);
+        const std::int64_t taken =
+            static_cast<std::int64_t>(last) + 1 + instr.imm;
+        if (taken >= 0 && taken < n) {
+          add_succ(static_cast<std::uint32_t>(taken));
+        }
+        break;
+      }
+      case isa::OpClass::Jump:
+      case isa::OpClass::JumpLink: {
+        const std::uint32_t target_pc = instr.target * 4;
+        if (target_pc >= program.text_base) {
+          const std::uint32_t idx = (target_pc - program.text_base) / 4;
+          if (idx < n) add_succ(idx);
+        }
+        break;
+      }
+      case isa::OpClass::JumpReg:
+        for (std::uint32_t t : indirect_targets) add_succ(t);
+        block.can_exit = true;
+        std::sort(block.successors.begin(), block.successors.end());
+        break;
+      case isa::OpClass::Trap:
+        break;
+    }
+  }
+
+  const std::uint32_t entry_block = *block_at(entry_index);
+  return BlockGraph(hash.width(), entry_block, std::move(blocks));
+}
+
+BlockMonitor::BlockMonitor(BlockGraph graph,
+                           std::unique_ptr<MerkleTreeHash> hash)
+    : graph_(std::move(graph)), hash_(std::move(hash)) {
+  reset();
+}
+
+void BlockMonitor::reset() {
+  state_.clear();
+  if (!graph_.blocks().empty()) {
+    state_.push_back({graph_.entry_block(), 0, 0});
+  }
+  exit_allowed_ = true;
+  attack_flagged_ = false;
+}
+
+Verdict BlockMonitor::on_instruction(std::uint32_t word) {
+  if (attack_flagged_) return Verdict::Mismatch;
+
+  const std::uint8_t h = hash_->hash(word);
+  scratch_.clear();
+  bool exit_next = false;
+
+  auto push_unique = [&](const Tracked& t) {
+    for (const Tracked& existing : scratch_) {
+      if (existing.block == t.block && existing.seen == t.seen &&
+          existing.fold == t.fold) {
+        return;
+      }
+    }
+    scratch_.push_back(t);
+  };
+
+  for (const Tracked& t : state_) {
+    const BlockNode& block = graph_.blocks()[t.block];
+    Tracked next{t.block, t.seen + 1,
+                 hash_->compress(t.fold, h)};
+    if (next.seen < block.length) {
+      push_unique(next);
+      continue;
+    }
+    // Block completed: the fold must match.
+    if (next.fold != block.fold) continue;
+    exit_next = exit_next || block.can_exit;
+    for (std::uint32_t succ : block.successors) {
+      push_unique({succ, 0, 0});
+    }
+  }
+
+  if (scratch_.empty() && !exit_next) {
+    attack_flagged_ = true;
+    return Verdict::Mismatch;
+  }
+  state_ = scratch_;
+  exit_allowed_ = exit_next;
+  return Verdict::Ok;
+}
+
+}  // namespace sdmmon::monitor

@@ -1,0 +1,58 @@
+#include "monitor/graph.hpp"
+
+#include "monitor/graph_codec.hpp"
+
+namespace sdmmon::monitor {
+
+std::size_t MonitoringGraph::size_bits() const {
+  if (nodes_.empty()) return 0;
+  return encoded_graph_bits(*this);
+}
+
+util::Bytes MonitoringGraph::serialize() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(hash_width_));
+  w.u32(text_base_);
+  w.u32(entry_index_);
+  w.u32(static_cast<std::uint32_t>(nodes_.size()));
+  for (const GraphNode& node : nodes_) {
+    w.u8(node.hash);
+    w.u8(node.can_exit ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(node.successors.size()));
+    for (std::uint32_t succ : node.successors) w.u32(succ);
+  }
+  return w.take();
+}
+
+MonitoringGraph MonitoringGraph::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  const int width = r.u8();
+  const std::uint32_t text_base = r.u32();
+  const std::uint32_t entry = r.u32();
+  const std::uint32_t count = r.u32();
+  // Bound claimed counts by the bytes actually present (each node needs at
+  // least 6 bytes) so hostile inputs cannot force huge allocations.
+  if (count > r.remaining() / 6) {
+    throw util::DecodeError("monitoring graph: node count exceeds input");
+  }
+  std::vector<GraphNode> nodes;
+  nodes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    GraphNode node;
+    node.hash = r.u8();
+    node.can_exit = r.u8() != 0;
+    const std::uint32_t n_succ = r.u32();
+    if (n_succ > r.remaining() / 4) {
+      throw util::DecodeError("monitoring graph: edge count exceeds input");
+    }
+    node.successors.reserve(n_succ);
+    for (std::uint32_t s = 0; s < n_succ; ++s) {
+      node.successors.push_back(r.u32());
+    }
+    nodes.push_back(std::move(node));
+  }
+  return MonitoringGraph(width, text_base, entry, std::move(nodes));
+}
+
+}  // namespace sdmmon::monitor

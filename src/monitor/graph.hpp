@@ -1,0 +1,64 @@
+// Monitoring graph: the offline-derived description of valid processor
+// behavior (paper Section 2.1). One node per instruction in the binary,
+// holding the w-bit hash of that instruction word and the set of nodes
+// that may legally execute next. The graph -- not the binary -- is what
+// the hardware monitor stores, which is why it must be compact and why
+// its secure installation is the paper's core problem.
+#ifndef SDMMON_MONITOR_GRAPH_HPP
+#define SDMMON_MONITOR_GRAPH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sdmmon::monitor {
+
+struct GraphNode {
+  std::uint8_t hash = 0;                  // w-bit hash of the instruction word
+  bool can_exit = false;                  // a handler return may follow
+  std::vector<std::uint32_t> successors;  // node indices that may run next
+
+  bool operator==(const GraphNode& rhs) const = default;
+};
+
+class MonitoringGraph {
+ public:
+  MonitoringGraph() = default;
+  MonitoringGraph(int hash_width, std::uint32_t text_base,
+                  std::uint32_t entry_index, std::vector<GraphNode> nodes)
+      : hash_width_(hash_width),
+        text_base_(text_base),
+        entry_index_(entry_index),
+        nodes_(std::move(nodes)) {}
+
+  int hash_width() const { return hash_width_; }
+  std::uint32_t text_base() const { return text_base_; }
+  std::uint32_t entry_index() const { return entry_index_; }
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+  const GraphNode& node(std::uint32_t index) const { return nodes_[index]; }
+
+  /// Exact storage footprint of the graph in monitor memory: the bit
+  /// length of the compact encoding (monitor/graph_codec.hpp) -- per node
+  /// a w-bit hash, 1-bit exit flag, and 2-bit successor-shape tag;
+  /// sequential successors are implicit, non-sequential edges cost
+  /// ceil(log2(N)) bits each.
+  std::size_t size_bits() const;
+
+  /// Wire format (shipped inside the signed install package).
+  util::Bytes serialize() const;
+  static MonitoringGraph deserialize(std::span<const std::uint8_t> bytes);
+
+  bool operator==(const MonitoringGraph& rhs) const = default;
+
+ private:
+  int hash_width_ = 4;
+  std::uint32_t text_base_ = 0;
+  std::uint32_t entry_index_ = 0;
+  std::vector<GraphNode> nodes_;
+};
+
+}  // namespace sdmmon::monitor
+
+#endif  // SDMMON_MONITOR_GRAPH_HPP

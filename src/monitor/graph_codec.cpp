@@ -1,0 +1,171 @@
+#include "monitor/graph_codec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace sdmmon::monitor {
+
+namespace {
+
+int index_bits_for(std::uint32_t node_count) {
+  if (node_count <= 1) return 1;
+  return static_cast<int>(std::bit_width(node_count - 1));
+}
+
+enum Shape : std::uint32_t {
+  kTerminal = 0,
+  kSequential = 1,
+  kSeqPlusEdge = 2,
+  kExplicitList = 3,
+};
+
+}  // namespace
+
+void BitWriter::write(std::uint32_t value, int bits) {
+  for (int i = bits - 1; i >= 0; --i) {
+    const std::size_t byte = bits_ / 8;
+    if (byte == buf_.size()) buf_.push_back(0);
+    if ((value >> i) & 1) {
+      buf_[byte] |= static_cast<std::uint8_t>(0x80u >> (bits_ % 8));
+    }
+    ++bits_;
+  }
+}
+
+std::uint32_t BitReader::read(int bits) {
+  std::uint32_t out = 0;
+  for (int i = 0; i < bits; ++i) {
+    const std::size_t byte = pos_ / 8;
+    if (byte >= data_.size()) {
+      throw util::DecodeError("BitReader: past end of stream");
+    }
+    out = (out << 1) |
+          ((data_[byte] >> (7 - pos_ % 8)) & 1u);
+    ++pos_;
+  }
+  return out;
+}
+
+util::Bytes EncodedGraph::serialize() const {
+  util::ByteWriter w;
+  w.u8(hash_width);
+  w.u32(text_base);
+  w.u32(entry_index);
+  w.u32(node_count);
+  w.u64(bit_length);
+  w.blob(bits);
+  return w.take();
+}
+
+EncodedGraph EncodedGraph::deserialize(std::span<const std::uint8_t> data) {
+  util::ByteReader r(data);
+  EncodedGraph e;
+  e.hash_width = r.u8();
+  e.text_base = r.u32();
+  e.entry_index = r.u32();
+  e.node_count = r.u32();
+  e.bit_length = r.u64();
+  e.bits = r.blob();
+  return e;
+}
+
+EncodedGraph encode_graph(const MonitoringGraph& graph) {
+  const auto& nodes = graph.nodes();
+  const std::uint32_t n = static_cast<std::uint32_t>(nodes.size());
+  const int idx_bits = index_bits_for(n);
+  const int w = graph.hash_width();
+
+  BitWriter writer;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const GraphNode& node = nodes[i];
+    writer.write(node.hash, w);
+    writer.write(node.can_exit ? 1 : 0, 1);
+
+    const auto& succ = node.successors;
+    const bool has_seq =
+        succ.size() >= 1 &&
+        std::find(succ.begin(), succ.end(), i + 1) != succ.end();
+    if (succ.empty()) {
+      writer.write(kTerminal, 2);
+    } else if (succ.size() == 1 && has_seq) {
+      writer.write(kSequential, 2);
+    } else if (succ.size() == 2 && succ[0] == i + 1) {
+      writer.write(kSeqPlusEdge, 2);
+      writer.write(succ[1], idx_bits);
+    } else {
+      if (succ.size() > 255) {
+        throw std::invalid_argument("graph node has too many successors");
+      }
+      writer.write(kExplicitList, 2);
+      writer.write(static_cast<std::uint32_t>(succ.size()), 8);
+      for (std::uint32_t target : succ) writer.write(target, idx_bits);
+    }
+  }
+
+  EncodedGraph out;
+  out.hash_width = static_cast<std::uint8_t>(w);
+  out.text_base = graph.text_base();
+  out.entry_index = graph.entry_index();
+  out.node_count = n;
+  out.bit_length = writer.bit_count();
+  out.bits = writer.bytes();
+  return out;
+}
+
+MonitoringGraph decode_graph(const EncodedGraph& encoded) {
+  const std::uint32_t n = encoded.node_count;
+  const int w = encoded.hash_width;
+  // Hostile-input bounds: sane width, and the claimed node count must fit
+  // in the bitstream (every node costs at least w+3 bits).
+  if (w < 1 || w > 8) {
+    throw util::DecodeError("encoded graph: bad hash width");
+  }
+  const std::uint64_t min_bits_per_node = static_cast<std::uint64_t>(w) + 3;
+  if (static_cast<std::uint64_t>(n) * min_bits_per_node >
+      encoded.bits.size() * 8ull) {
+    throw util::DecodeError("encoded graph: node count exceeds bitstream");
+  }
+  const int idx_bits = index_bits_for(n);
+
+  BitReader reader(encoded.bits);
+  std::vector<GraphNode> nodes(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    GraphNode& node = nodes[i];
+    node.hash = static_cast<std::uint8_t>(reader.read(w));
+    node.can_exit = reader.read(1) != 0;
+    switch (reader.read(2)) {
+      case kTerminal:
+        break;
+      case kSequential:
+        node.successors = {i + 1};
+        break;
+      case kSeqPlusEdge: {
+        // The analyzer emits fall-through first, then the taken target,
+        // so decode preserves that order.
+        std::uint32_t other = reader.read(idx_bits);
+        node.successors = {i + 1, other};
+        break;
+      }
+      case kExplicitList: {
+        std::uint32_t count = reader.read(8);
+        node.successors.reserve(count);
+        for (std::uint32_t s = 0; s < count; ++s) {
+          node.successors.push_back(reader.read(idx_bits));
+        }
+        break;
+      }
+    }
+  }
+  if (reader.position() != encoded.bit_length) {
+    throw util::DecodeError("graph bitstream length mismatch");
+  }
+  return MonitoringGraph(w, encoded.text_base, encoded.entry_index,
+                         std::move(nodes));
+}
+
+std::size_t encoded_graph_bits(const MonitoringGraph& graph) {
+  return encode_graph(graph).bit_length;
+}
+
+}  // namespace sdmmon::monitor

@@ -1,0 +1,76 @@
+// Compact bitstream encoding of the monitoring graph -- the
+// representation the paper's monitor memory actually stores ("monitor
+// graphs with small hash values can be represented very compactly and
+// processed with a single memory access", Sec 3.2).
+//
+// Per node layout:
+//   hash            w bits
+//   exit flag       1 bit
+//   shape tag       2 bits:
+//     0 = terminal (no successors)
+//     1 = sequential only        {i+1}
+//     2 = sequential + 1 edge    {i+1, target}        + index
+//     3 = explicit list          count (8 bits) + count * index
+//   explicit edge targets are ceil(log2(N)) bits each.
+//
+// MonitoringGraph::size_bits() is defined as the exact bit length this
+// codec produces (asserted by tests).
+#ifndef SDMMON_MONITOR_GRAPH_CODEC_HPP
+#define SDMMON_MONITOR_GRAPH_CODEC_HPP
+
+#include "monitor/graph.hpp"
+
+namespace sdmmon::monitor {
+
+/// Append-only bit stream (MSB-first within bytes).
+class BitWriter {
+ public:
+  void write(std::uint32_t value, int bits);
+  std::size_t bit_count() const { return bits_; }
+  const util::Bytes& bytes() const { return buf_; }
+
+ private:
+  util::Bytes buf_;
+  std::size_t bits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+  /// Throws util::DecodeError past the end.
+  std::uint32_t read(int bits);
+  std::size_t position() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Encode the graph body into the compact bitstream (header: width, base,
+/// entry, node count are carried alongside as plain fields).
+struct EncodedGraph {
+  std::uint8_t hash_width = 4;
+  std::uint32_t text_base = 0;
+  std::uint32_t entry_index = 0;
+  std::uint32_t node_count = 0;
+  util::Bytes bits;           // packed node stream
+  std::size_t bit_length = 0; // exact number of payload bits
+
+  util::Bytes serialize() const;
+  static EncodedGraph deserialize(std::span<const std::uint8_t> data);
+};
+
+/// Compact-encode; throws std::invalid_argument if a node's successor set
+/// cannot be represented (more than 255 explicit edges).
+EncodedGraph encode_graph(const MonitoringGraph& graph);
+
+/// Decode back to the full in-memory form.
+MonitoringGraph decode_graph(const EncodedGraph& encoded);
+
+/// Exact payload size in bits of the compact encoding (what the monitor
+/// memory must provision for this graph).
+std::size_t encoded_graph_bits(const MonitoringGraph& graph);
+
+}  // namespace sdmmon::monitor
+
+#endif  // SDMMON_MONITOR_GRAPH_CODEC_HPP

@@ -1,0 +1,49 @@
+#include "monitor/graph_dot.hpp"
+
+#include <sstream>
+
+#include "isa/disassembler.hpp"
+
+namespace sdmmon::monitor {
+
+std::string graph_to_dot(const MonitoringGraph& graph,
+                         const isa::Program* program) {
+  std::ostringstream os;
+  os << "digraph monitoring_graph {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=box, fontname=\"monospace\", fontsize=9];\n";
+
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const GraphNode& node = graph.node(static_cast<std::uint32_t>(i));
+    os << "  n" << i << " [label=\"" << i << ": h=" << int(node.hash);
+    if (program != nullptr && i < program->text.size()) {
+      std::string text = isa::disassemble(
+          program->text[i],
+          program->text_base + static_cast<std::uint32_t>(i) * 4);
+      // Escape quotes for DOT.
+      std::string escaped;
+      for (char c : text) {
+        if (c == '"') escaped += "\\\"";
+        else escaped += c;
+      }
+      os << "\\n" << escaped;
+    }
+    os << "\"";
+    if (node.can_exit) os << ", peripheries=2";
+    if (i == graph.entry_index()) os << ", style=bold";
+    os << "];\n";
+  }
+
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    for (std::uint32_t succ :
+         graph.node(static_cast<std::uint32_t>(i)).successors) {
+      os << "  n" << i << " -> n" << succ;
+      if (succ != i + 1) os << " [style=dashed]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace sdmmon::monitor

@@ -1,0 +1,22 @@
+// Graphviz (DOT) export of monitoring graphs, for debugging offline
+// analysis and for documentation figures (the paper's Figure 1 monitoring
+// graph, concretely).
+#ifndef SDMMON_MONITOR_GRAPH_DOT_HPP
+#define SDMMON_MONITOR_GRAPH_DOT_HPP
+
+#include <string>
+
+#include "isa/program.hpp"
+#include "monitor/graph.hpp"
+
+namespace sdmmon::monitor {
+
+/// DOT digraph of the monitoring graph. When `program` is non-null the
+/// node labels include the disassembled instruction; otherwise only index
+/// and hash. Exit-capable nodes are drawn with a double border.
+std::string graph_to_dot(const MonitoringGraph& graph,
+                         const isa::Program* program = nullptr);
+
+}  // namespace sdmmon::monitor
+
+#endif  // SDMMON_MONITOR_GRAPH_DOT_HPP

@@ -1,0 +1,100 @@
+#include "monitor/hash.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/bitops.hpp"
+
+namespace sdmmon::monitor {
+
+namespace {
+void check_width(int width_bits) {
+  if (width_bits != 1 && width_bits != 2 && width_bits != 4 &&
+      width_bits != 8) {
+    throw std::invalid_argument("hash width must be 1, 2, 4, or 8 bits");
+  }
+}
+}  // namespace
+
+const char* compression_name(Compression compression) {
+  switch (compression) {
+    case Compression::ArithmeticSum: return "sum";
+    case Compression::SboxSum: return "sbox-sum";
+  }
+  return "?";
+}
+
+MerkleTreeHash::MerkleTreeHash(std::uint32_t parameter, int width_bits,
+                               Compression compression)
+    : parameter_(parameter), width_(width_bits), compression_(compression) {
+  check_width(width_bits);
+}
+
+std::uint8_t MerkleTreeHash::compress(std::uint8_t a, std::uint8_t b) const {
+  // PRESENT cipher 4-bit S-box.
+  static constexpr std::uint8_t kSbox[16] = {0xC, 0x5, 0x6, 0xB, 0x9, 0x0,
+                                             0xA, 0xD, 0x3, 0xE, 0xF, 0x8,
+                                             0x4, 0x7, 0x1, 0x2};
+  const std::uint8_t sum = static_cast<std::uint8_t>((a + b) & mask());
+  if (compression_ == Compression::ArithmeticSum || width_ < 4) return sum;
+  if (width_ == 4) return kSbox[sum];
+  // width 8: substitute each nibble.
+  return static_cast<std::uint8_t>(kSbox[sum >> 4] << 4 | kSbox[sum & 0xF]);
+}
+
+int MerkleTreeHash::node_count() const {
+  // Leaves pair parameter chunks with instruction chunks; the binary tree
+  // above them has (leaves - 1) inner nodes.
+  const int leaves = 32 / width_;
+  return 2 * leaves - 1;
+}
+
+std::uint8_t MerkleTreeHash::hash(std::uint32_t word) const {
+  const int w = width_;
+  const int chunks = 32 / w;
+
+  // Leaf layer: leaf i compresses parameter chunk i with word chunk i.
+  // Fixed-size buffer (at most 32 chunks at w=1); hashing runs once per
+  // simulated instruction, so this path must not allocate.
+  std::uint8_t level[32];
+  for (int i = 0; i < chunks; ++i) {
+    auto p = static_cast<std::uint8_t>(util::bits(parameter_, i * w, w));
+    auto d = static_cast<std::uint8_t>(util::bits(word, i * w, w));
+    level[i] = compress(p, d);
+  }
+
+  // Reduce pairwise to the root.
+  int count = chunks;
+  while (count > 1) {
+    int next = 0;
+    for (int i = 0; i + 1 < count; i += 2) {
+      level[next++] = compress(level[i], level[i + 1]);
+    }
+    if (count % 2 == 1) level[next++] = level[count - 1];
+    count = next;
+  }
+  return level[0];
+}
+
+std::string MerkleTreeHash::name() const {
+  return std::string("merkle-tree/w") + std::to_string(width_) + "/" +
+         compression_name(compression_);
+}
+
+std::unique_ptr<InstructionHash> MerkleTreeHash::clone() const {
+  return std::make_unique<MerkleTreeHash>(*this);
+}
+
+BitcountHash::BitcountHash(int width_bits) : width_(width_bits) {
+  check_width(width_bits);
+}
+
+std::uint8_t BitcountHash::hash(std::uint32_t word) const {
+  return static_cast<std::uint8_t>(util::popcount32(word)) & mask();
+}
+
+std::unique_ptr<InstructionHash> BitcountHash::clone() const {
+  return std::make_unique<BitcountHash>(*this);
+}
+
+}  // namespace sdmmon::monitor

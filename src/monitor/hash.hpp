@@ -1,0 +1,103 @@
+// Instruction-word hash functions for the hardware monitor.
+//
+// The paper's SDMMon hash (Section 3.2, Figure 4) is a Merkle tree of
+// 8-to-4-bit compression functions: leaves pair 4 bits of a secret 32-bit
+// parameter with 4 bits of the instruction word; inner nodes combine two
+// 4-bit values; the root emits the 4-bit hash stored per instruction in
+// the monitoring graph. The compression function used in the prototype is
+// the 4-bit arithmetic sum of both inputs. A non-parameterizable bitcount
+// (population count) hash is the paper's comparison baseline (Table 3).
+//
+// Both hashes are generalized to width w in {1,2,4,8} bits for the hash-
+// width ablation; the paper's configuration is w = 4.
+#ifndef SDMMON_MONITOR_HASH_HPP
+#define SDMMON_MONITOR_HASH_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace sdmmon::monitor {
+
+/// Interface of a per-instruction hash: 32-bit word -> w-bit value.
+class InstructionHash {
+ public:
+  virtual ~InstructionHash() = default;
+
+  /// Hash of one instruction word; result fits in width() bits.
+  virtual std::uint8_t hash(std::uint32_t word) const = 0;
+
+  /// Output width in bits (1..8).
+  virtual int width() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Clone (monitor instances own their hash).
+  virtual std::unique_ptr<InstructionHash> clone() const = 0;
+
+  std::uint8_t mask() const {
+    return static_cast<std::uint8_t>((1u << width()) - 1);
+  }
+};
+
+/// Compression function used at every tree node.
+enum class Compression : std::uint8_t {
+  /// The prototype's choice: (a + b) mod 2^w. Cheap, but *additive in the
+  /// parameter*: two words that collide under one parameter collide under
+  /// every parameter, so hash collisions transfer across routers. Our
+  /// fleet experiment quantifies this weakness.
+  ArithmeticSum,
+  /// (a + b) passed through a fixed 4-bit S-box (PRESENT cipher S-box).
+  /// Nonlinear in the parameter, restoring SR2's diversity guarantee.
+  /// Defined for widths 4 and 8 (nibble-wise); narrower widths fall back
+  /// to ArithmeticSum.
+  SboxSum,
+};
+
+const char* compression_name(Compression compression);
+
+/// Paper's parameterizable Merkle-tree hash keyed by a 32-bit parameter.
+class MerkleTreeHash final : public InstructionHash {
+ public:
+  explicit MerkleTreeHash(std::uint32_t parameter, int width_bits = 4,
+                          Compression compression = Compression::ArithmeticSum);
+
+  std::uint8_t hash(std::uint32_t word) const override;
+  int width() const override { return width_; }
+  std::string name() const override;
+  std::unique_ptr<InstructionHash> clone() const override;
+
+  std::uint32_t parameter() const { return parameter_; }
+  Compression compression() const { return compression_; }
+
+  /// One tree node: compress two w-bit inputs to w bits. Exposed for the
+  /// resource model and for tests.
+  std::uint8_t compress(std::uint8_t a, std::uint8_t b) const;
+
+  /// Number of compression nodes in the tree (leaves + inner).
+  int node_count() const;
+
+ private:
+  std::uint32_t parameter_;
+  int width_;
+  Compression compression_;
+};
+
+/// Baseline: count of set bits in the word, truncated to w bits. Not
+/// parameterizable -- identical on every router (the homogeneity risk).
+class BitcountHash final : public InstructionHash {
+ public:
+  explicit BitcountHash(int width_bits = 4);
+
+  std::uint8_t hash(std::uint32_t word) const override;
+  int width() const override { return width_; }
+  std::string name() const override { return "bitcount"; }
+  std::unique_ptr<InstructionHash> clone() const override;
+
+ private:
+  int width_;
+};
+
+}  // namespace sdmmon::monitor
+
+#endif  // SDMMON_MONITOR_HASH_HPP

@@ -1,0 +1,85 @@
+// Runtime hardware monitor (paper Figure 1, right). Co-located with a
+// core, it receives the w-bit hash of every retired instruction and walks
+// the monitoring graph. Because branches admit two successors and indirect
+// jumps several, the monitor tracks a *set* of possible positions (an NFA
+// over graph nodes). An instruction whose hash matches no tracked node is
+// an attack: the monitor raises a flag and the system resets the core and
+// drops the packet.
+#ifndef SDMMON_MONITOR_MONITOR_HPP
+#define SDMMON_MONITOR_MONITOR_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "monitor/graph.hpp"
+#include "monitor/hash.hpp"
+
+namespace sdmmon::monitor {
+
+enum class Verdict : std::uint8_t {
+  Ok,        // hash matched a tracked graph node
+  Mismatch,  // attack detected: no tracked node expects this hash
+};
+
+/// Cumulative statistics for evaluation.
+struct MonitorStats {
+  std::uint64_t instructions_checked = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t packets_monitored = 0;
+  /// Sum of tracked-state-set sizes, for average ambiguity reporting.
+  std::uint64_t state_size_accum = 0;
+
+  double average_ambiguity() const {
+    return instructions_checked == 0
+               ? 0.0
+               : static_cast<double>(state_size_accum) /
+                     static_cast<double>(instructions_checked);
+  }
+};
+
+class HardwareMonitor {
+ public:
+  HardwareMonitor(MonitoringGraph graph, std::unique_ptr<InstructionHash> hash);
+
+  /// Arm for a new packet: state set = {entry node}.
+  void reset();
+
+  /// Install a new (graph, hash) pair -- the dynamic reprogramming step
+  /// SDMMon secures. Resets monitoring state.
+  void install(MonitoringGraph graph, std::unique_ptr<InstructionHash> hash);
+
+  /// Feed the raw word of a retired instruction. The monitor applies its
+  /// own hash function (the core reports through the parameterizable hash
+  /// unit in hardware; here the unit is owned by the monitor object).
+  Verdict on_instruction(std::uint32_t word);
+
+  /// Feed an already-hashed value (used by attack simulations that probe
+  /// the monitor without knowing the parameter).
+  Verdict on_hashed(std::uint8_t hashed);
+
+  /// True if the handler may legitimately finish now (the last matched
+  /// instruction was exit-capable, or nothing executed yet).
+  bool exit_allowed() const { return exit_allowed_; }
+
+  /// True once a mismatch has been flagged; cleared by reset().
+  bool attack_flagged() const { return attack_flagged_; }
+
+  std::size_t state_size() const { return state_.size(); }
+  const MonitorStats& stats() const { return stats_; }
+  const MonitoringGraph& graph() const { return graph_; }
+  const InstructionHash& hash() const { return *hash_; }
+
+ private:
+  MonitoringGraph graph_;
+  std::unique_ptr<InstructionHash> hash_;
+  std::vector<std::uint32_t> state_;       // tracked node indices (sorted)
+  std::vector<std::uint32_t> scratch_;     // reused successor buffer
+  bool exit_allowed_ = true;
+  bool attack_flagged_ = false;
+  MonitorStats stats_;
+};
+
+}  // namespace sdmmon::monitor
+
+#endif  // SDMMON_MONITOR_MONITOR_HPP

@@ -1,0 +1,95 @@
+#include "monitor/resource_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sdmmon::monitor {
+
+ResourceCost bitcount_hash_cost(int input_bits, int width_bits) {
+  // Compressor tree (one LUT per input bit across the 6:3 counter levels)
+  // plus a small final adder and the registered output.
+  ResourceCost cost;
+  cost.luts = static_cast<std::uint64_t>(input_bits) +
+              static_cast<std::uint64_t>((input_bits + 7) / 8) + 1;
+  cost.ffs = static_cast<std::uint64_t>(width_bits);
+  cost.mem_bits = 0;
+  return cost;
+}
+
+ResourceCost merkle_hash_cost(int width_bits) {
+  const int chunks = 32 / width_bits;
+  ResourceCost cost;
+  // 3:1 modular-sum stages pack into ~0.75*w ALUT each after collapsing
+  // the tree; (chunks - 1) two-input compressions are needed.
+  cost.luts = static_cast<std::uint64_t>(
+      std::llround(0.75 * width_bits * (chunks - 1)));
+  cost.ffs = static_cast<std::uint64_t>(width_bits);  // output register
+  cost.mem_bits = 32;  // stored hash parameter
+  return cost;
+}
+
+ResourceCost hash_cost(const InstructionHash& hash) {
+  if (dynamic_cast<const MerkleTreeHash*>(&hash) != nullptr) {
+    return merkle_hash_cost(hash.width());
+  }
+  if (dynamic_cast<const BitcountHash*>(&hash) != nullptr) {
+    return bitcount_hash_cost(32, hash.width());
+  }
+  throw std::invalid_argument("no resource model for hash " + hash.name());
+}
+
+namespace {
+
+/// Append a balance entry so the inventory total matches `target` exactly;
+/// the balance models interconnect, glue logic, and synthesis overhead
+/// that per-IP estimates cannot capture.
+void add_balance(std::vector<ComponentCost>& inventory,
+                 const ResourceCost& target) {
+  ResourceCost sum = total(inventory);
+  ResourceCost balance;
+  balance.luts = target.luts > sum.luts ? target.luts - sum.luts : 0;
+  balance.ffs = target.ffs > sum.ffs ? target.ffs - sum.ffs : 0;
+  balance.mem_bits =
+      target.mem_bits > sum.mem_bits ? target.mem_bits - sum.mem_bits : 0;
+  inventory.push_back({"interconnect & glue (balance)", balance});
+}
+
+}  // namespace
+
+std::vector<ComponentCost> control_processor_inventory() {
+  std::vector<ComponentCost> inventory = {
+      {"Nios II/f CPU core", {3'000, 2'800, 0}},
+      {"I-cache + D-cache (4 KiB each)", {200, 300, 65'536}},
+      {"on-chip boot/TCM RAM (32 KiB)", {100, 100, 262'144}},
+      {"triple-speed Ethernet MAC", {2'800, 3'900, 147'456}},
+      {"DDR2 controller + PHY", {3'200, 4'600, 65'536}},
+      {"UART/JTAG/timers/sysid", {900, 1'100, 16'384}},
+      {"DMA + descriptor buffers", {400, 800, 225'000}},
+  };
+  add_balance(inventory, kPaperControlProcessor);
+  return inventory;
+}
+
+std::vector<ComponentCost> np_core_with_monitor_inventory(
+    std::uint64_t graph_mem_bits) {
+  std::vector<ComponentCost> inventory = {
+      {"PLASMA MIPS-I core", {3'500, 1'300, 0}},
+      {"instruction + data memory (96 KiB)", {300, 200, 786'432}},
+      {"packet rx/tx buffers (2 x 2 KiB)", {150, 150, 32'768}},
+      {"monitor: graph walker + comparators", {18'000, 16'000, 0}},
+      {"monitor: graph memory", {0, 0, graph_mem_bits}},
+      {"parameterizable hash unit", merkle_hash_cost(4)},
+      {"NIC + packet DMA", {6'000, 7'500, 0}},
+      {"pipeline & dispatch arbiter", {5'000, 5'000, 0}},
+  };
+  add_balance(inventory, kPaperNpCoreWithMonitor);
+  return inventory;
+}
+
+ResourceCost total(const std::vector<ComponentCost>& inventory) {
+  ResourceCost sum;
+  for (const auto& component : inventory) sum += component.cost;
+  return sum;
+}
+
+}  // namespace sdmmon::monitor

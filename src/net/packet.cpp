@@ -1,0 +1,151 @@
+#include "net/packet.hpp"
+
+namespace sdmmon::net {
+
+std::size_t Ipv4Packet::header_len() const {
+  std::size_t opt_bytes = 0;
+  for (const auto& opt : options) opt_bytes += 2 + opt.data.size();
+  // Pad options to a 4-byte boundary.
+  opt_bytes = (opt_bytes + 3) & ~std::size_t{3};
+  return 20 + opt_bytes;
+}
+
+util::Bytes Ipv4Packet::to_bytes() const {
+  const std::size_t hlen = header_len();
+  if (hlen > 60) throw std::length_error("IPv4 options too long (IHL > 15)");
+  const std::size_t total = hlen + payload.size();
+
+  util::Bytes out(total, 0);
+  out[0] = static_cast<std::uint8_t>(0x40 | (hlen / 4));  // version | IHL
+  out[1] = tos;
+  util::store_be16(static_cast<std::uint16_t>(total), out.data() + 2);
+  util::store_be16(identification, out.data() + 4);
+  // flags/fragment offset zero.
+  out[8] = ttl;
+  out[9] = protocol;
+  // checksum (bytes 10-11) computed below.
+  util::store_be32(src, out.data() + 12);
+  util::store_be32(dst, out.data() + 16);
+
+  std::size_t off = 20;
+  for (const auto& opt : options) {
+    out[off++] = opt.type;
+    out[off++] = static_cast<std::uint8_t>(2 + opt.data.size());
+    std::copy(opt.data.begin(), opt.data.end(), out.begin() + static_cast<std::ptrdiff_t>(off));
+    off += opt.data.size();
+  }
+  // Remaining option bytes stay zero (End-of-Options padding).
+
+  std::uint16_t cksum =
+      ipv4_checksum(std::span<const std::uint8_t>(out.data(), hlen));
+  util::store_be16(cksum, out.data() + 10);
+
+  std::copy(payload.begin(), payload.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(hlen));
+  return out;
+}
+
+std::optional<Ipv4Packet> Ipv4Packet::parse(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 20) return std::nullopt;
+  const int version = bytes[0] >> 4;
+  const std::size_t hlen = static_cast<std::size_t>(bytes[0] & 0xF) * 4;
+  if (version != 4 || hlen < 20 || hlen > bytes.size()) return std::nullopt;
+  const std::size_t total = util::load_be16(bytes.data() + 2);
+  if (total < hlen || total > bytes.size()) return std::nullopt;
+
+  Ipv4Packet p;
+  p.tos = bytes[1];
+  p.identification = util::load_be16(bytes.data() + 4);
+  p.ttl = bytes[8];
+  p.protocol = bytes[9];
+  p.src = util::load_be32(bytes.data() + 12);
+  p.dst = util::load_be32(bytes.data() + 16);
+
+  std::size_t off = 20;
+  while (off < hlen) {
+    const std::uint8_t type = bytes[off];
+    if (type == 0) break;  // End of Options
+    if (type == 1) {       // NOP
+      ++off;
+      continue;
+    }
+    if (off + 2 > hlen) return std::nullopt;
+    const std::uint8_t tlv_len = bytes[off + 1];
+    if (tlv_len < 2 || off + tlv_len > hlen) return std::nullopt;
+    Ipv4Option opt;
+    opt.type = type;
+    opt.data.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off + 2),
+                    bytes.begin() + static_cast<std::ptrdiff_t>(off + tlv_len));
+    p.options.push_back(std::move(opt));
+    off += tlv_len;
+  }
+
+  p.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(hlen),
+                   bytes.begin() + static_cast<std::ptrdiff_t>(total));
+  return p;
+}
+
+std::uint16_t ipv4_checksum(std::span<const std::uint8_t> header) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < header.size(); i += 2) {
+    std::uint16_t word = util::load_be16(header.data() + i);
+    // Skip the checksum field itself (bytes 10-11).
+    if (i == 10) word = 0;
+    sum += word;
+  }
+  if (header.size() % 2) sum += static_cast<std::uint32_t>(header.back()) << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+bool ipv4_checksum_ok(std::span<const std::uint8_t> packet) {
+  if (packet.size() < 20) return false;
+  const std::size_t hlen = static_cast<std::size_t>(packet[0] & 0xF) * 4;
+  if (hlen < 20 || hlen > packet.size()) return false;
+  return ipv4_checksum(packet.subspan(0, hlen)) ==
+         util::load_be16(packet.data() + 10);
+}
+
+util::Bytes UdpDatagram::to_bytes() const {
+  util::Bytes out(8 + payload.size());
+  util::store_be16(src_port, out.data());
+  util::store_be16(dst_port, out.data() + 2);
+  util::store_be16(static_cast<std::uint16_t>(out.size()), out.data() + 4);
+  // checksum zero (optional in IPv4)
+  std::copy(payload.begin(), payload.end(), out.begin() + 8);
+  return out;
+}
+
+std::optional<UdpDatagram> UdpDatagram::parse(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 8) return std::nullopt;
+  const std::size_t len = util::load_be16(bytes.data() + 4);
+  if (len < 8 || len > bytes.size()) return std::nullopt;
+  UdpDatagram d;
+  d.src_port = util::load_be16(bytes.data());
+  d.dst_port = util::load_be16(bytes.data() + 2);
+  d.payload.assign(bytes.begin() + 8,
+                   bytes.begin() + static_cast<std::ptrdiff_t>(len));
+  return d;
+}
+
+util::Bytes make_udp_packet(std::uint32_t src, std::uint32_t dst,
+                            std::uint16_t src_port, std::uint16_t dst_port,
+                            std::span<const std::uint8_t> payload,
+                            std::uint8_t ttl) {
+  UdpDatagram udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.payload.assign(payload.begin(), payload.end());
+
+  Ipv4Packet ip_pkt;
+  ip_pkt.src = src;
+  ip_pkt.dst = dst;
+  ip_pkt.ttl = ttl;
+  ip_pkt.protocol = 17;
+  ip_pkt.payload = udp.to_bytes();
+  return ip_pkt.to_bytes();
+}
+
+}  // namespace sdmmon::net

@@ -1,0 +1,74 @@
+// IPv4 and UDP packet construction/parsing for the workload generators and
+// for crafting attack packets. The NP applications receive the raw IPv4
+// packet at the start of the receive buffer (the prototype's Ethernet
+// framing is stripped by the MAC before dispatch).
+#ifndef SDMMON_NET_PACKET_HPP
+#define SDMMON_NET_PACKET_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace sdmmon::net {
+
+/// One IPv4 option TLV (type, then length covering the whole TLV).
+struct Ipv4Option {
+  std::uint8_t type = 0;
+  util::Bytes data;  // option payload (TLV length = data.size() + 2)
+};
+
+struct Ipv4Packet {
+  std::uint8_t tos = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 17;  // UDP by default
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::vector<Ipv4Option> options;
+  util::Bytes payload;
+
+  /// Header length in bytes (20 + padded options).
+  std::size_t header_len() const;
+
+  /// Serialize with a correct header checksum.
+  util::Bytes to_bytes() const;
+
+  /// Parse; returns nullopt on malformed input (short, bad version/IHL).
+  /// Does not require a valid checksum (callers check separately).
+  static std::optional<Ipv4Packet> parse(std::span<const std::uint8_t> bytes);
+};
+
+/// RFC 791 header checksum over `header` (must be 16-bit aligned length).
+std::uint16_t ipv4_checksum(std::span<const std::uint8_t> header);
+
+/// True if the embedded checksum field validates.
+bool ipv4_checksum_ok(std::span<const std::uint8_t> packet);
+
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  util::Bytes payload;
+
+  /// Serialize with length set and checksum zero (optional in IPv4).
+  util::Bytes to_bytes() const;
+  static std::optional<UdpDatagram> parse(std::span<const std::uint8_t> bytes);
+};
+
+/// Convenience: UDP-in-IPv4 with sensible defaults.
+util::Bytes make_udp_packet(std::uint32_t src, std::uint32_t dst,
+                            std::uint16_t src_port, std::uint16_t dst_port,
+                            std::span<const std::uint8_t> payload,
+                            std::uint8_t ttl = 64);
+
+/// Dotted-quad helper for readable tests: ip(10,0,0,1).
+constexpr std::uint32_t ip(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                           std::uint8_t d) {
+  return static_cast<std::uint32_t>(a) << 24 |
+         static_cast<std::uint32_t>(b) << 16 |
+         static_cast<std::uint32_t>(c) << 8 | d;
+}
+
+}  // namespace sdmmon::net
+
+#endif  // SDMMON_NET_PACKET_HPP

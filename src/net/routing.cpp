@@ -1,0 +1,203 @@
+#include "net/routing.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "isa/assembler.hpp"
+#include "util/bytes.hpp"
+
+namespace sdmmon::net {
+
+void RoutingTable::add_route(std::uint32_t prefix, int prefix_len,
+                             std::uint8_t port) {
+  if (prefix_len < 0 || prefix_len > 32) {
+    throw std::invalid_argument("prefix length must be 0..32");
+  }
+  const std::uint32_t mask =
+      prefix_len == 0 ? 0 : 0xFFFF'FFFFu << (32 - prefix_len);
+  if ((prefix & ~mask) != 0) {
+    throw std::invalid_argument("prefix has host bits set");
+  }
+
+  std::uint32_t node = 0;
+  for (int bit = 0; bit < prefix_len; ++bit) {
+    const bool right = (prefix >> (31 - bit)) & 1;
+    std::uint32_t child = right ? nodes_[node].right : nodes_[node].left;
+    if (child == kNoChild) {
+      child = static_cast<std::uint32_t>(nodes_.size());
+      Node fresh;
+      fresh.prefix_len = bit + 1;
+      nodes_.push_back(fresh);  // may reallocate; re-index the parent
+      if (right) {
+        nodes_[node].right = child;
+      } else {
+        nodes_[node].left = child;
+      }
+    }
+    node = child;
+  }
+  if (nodes_[node].route_word == 0) ++route_count_;
+  nodes_[node].route_word = static_cast<std::uint32_t>(port) + 1;
+}
+
+std::optional<Route> RoutingTable::lookup(std::uint32_t address) const {
+  std::optional<Route> best;
+  std::uint32_t node = 0;
+  for (int bit = 0; bit <= 32; ++bit) {
+    const Node& n = nodes_[node];
+    if (n.route_word != 0) {
+      Route r;
+      r.prefix_len = n.prefix_len;
+      r.prefix = r.prefix_len == 0
+                     ? 0
+                     : address & (0xFFFF'FFFFu << (32 - r.prefix_len));
+      r.port = static_cast<std::uint8_t>(n.route_word - 1);
+      best = r;
+    }
+    if (bit == 32) break;
+    const bool right = (address >> (31 - bit)) & 1;
+    const std::uint32_t child = right ? n.right : n.left;
+    if (child == kNoChild) break;
+    node = child;
+  }
+  return best;
+}
+
+std::vector<std::uint8_t> RoutingTable::compile() const {
+  std::vector<std::uint8_t> image(nodes_.size() * 12);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    util::store_le32(nodes_[i].left, image.data() + 12 * i);
+    util::store_le32(nodes_[i].right, image.data() + 12 * i + 4);
+    util::store_le32(nodes_[i].route_word, image.data() + 12 * i + 8);
+  }
+  return image;
+}
+
+std::string ipv4_router_source(const RoutingTable& table) {
+  std::ostringstream os;
+  os << R"(# ipv4-router: validate header, longest-prefix-match the
+# destination against the trie in data memory, report the egress port,
+# decrement TTL, rewrite the checksum, forward. Drops when no route.
+main:
+    li $s0, 0x30000           # PKT_IN
+    li $s1, 0x40000           # PKT_OUT
+    li $t0, 0xFFFF0000        # PKT_IN_LEN
+    lw $s2, 0($t0)
+    slti $t1, $s2, 20
+    bnez $t1, drop
+    lbu $t2, 0($s0)
+    srl $t3, $t2, 4
+    li $t4, 4
+    bne $t3, $t4, drop
+    andi $s3, $t2, 0xF
+    sll $s3, $s3, 2
+    slti $t1, $s3, 20
+    bnez $t1, drop
+    blt $s2, $s3, drop
+    lbu $t5, 8($s0)           # TTL
+    slti $t1, $t5, 2
+    bnez $t1, drop
+    # destination address (network order, bytes 16..19)
+    lbu $s5, 16($s0)
+    sll $s5, $s5, 8
+    lbu $t5, 17($s0)
+    or $s5, $s5, $t5
+    sll $s5, $s5, 8
+    lbu $t5, 18($s0)
+    or $s5, $s5, $t5
+    sll $s5, $s5, 8
+    lbu $t5, 19($s0)
+    or $s5, $s5, $t5
+    # trie walk: $t6 = node index, $s6 = best route word, $t9 = bits left
+    la $t7, trie
+    move $t6, $zero
+    move $s6, $zero
+    li $t9, 32
+walk:
+    sll $t8, $t6, 3           # node offset = index * 12
+    sll $t5, $t6, 2
+    addu $t8, $t8, $t5
+    addu $t8, $t7, $t8
+    lw $t5, 8($t8)            # route word at this node
+    beqz $t5, no_route_here
+    move $s6, $t5
+no_route_here:
+    beqz $t9, walk_done
+    srl $t5, $s5, 31          # next address bit (MSB first)
+    sll $s5, $s5, 1
+    beqz $t5, go_left
+    lw $t6, 4($t8)
+    b child_check
+go_left:
+    lw $t6, 0($t8)
+child_check:
+    addiu $t9, $t9, -1
+    li $t5, 0xFFFFFFFF
+    bne $t6, $t5, walk
+walk_done:
+    beqz $s6, drop            # no covering route
+    addiu $t5, $s6, -1        # egress port
+    li $t8, 0xFFFF0014        # PKT_OUT_PORT
+    sw $t5, 0($t8)
+    # forward: copy, TTL--, checksum
+    move $t6, $zero
+copy:
+    addu $t7, $s0, $t6
+    lbu $t8, 0($t7)
+    addu $t7, $s1, $t6
+    sb $t8, 0($t7)
+    addiu $t6, $t6, 1
+    bne $t6, $s2, copy
+    lbu $t5, 8($s1)
+    addiu $t5, $t5, -1
+    sb $t5, 8($s1)
+    sb $zero, 10($s1)
+    sb $zero, 11($s1)
+    move $t6, $zero
+    move $t7, $zero
+cksum:
+    addu $t8, $s1, $t6
+    lbu $t9, 0($t8)
+    sll $t9, $t9, 8
+    lbu $t8, 1($t8)
+    or $t9, $t9, $t8
+    addu $t7, $t7, $t9
+    addiu $t6, $t6, 2
+    blt $t6, $s3, cksum
+fold:
+    srl $t8, $t7, 16
+    beqz $t8, folded
+    andi $t7, $t7, 0xFFFF
+    addu $t7, $t7, $t8
+    b fold
+folded:
+    nor $t7, $t7, $zero
+    andi $t7, $t7, 0xFFFF
+    srl $t8, $t7, 8
+    sb $t8, 10($s1)
+    sb $t7, 11($s1)
+    li $t0, 0xFFFF0004        # PKT_OUT_COMMIT
+    sw $s2, 0($t0)
+drop:
+    jr $ra
+
+.data
+trie:
+)";
+  // Emit the compiled trie as .word triplets.
+  std::vector<std::uint8_t> image = table.compile();
+  for (std::size_t off = 0; off + 12 <= image.size(); off += 12) {
+    os << "    .word 0x" << std::hex << util::load_le32(image.data() + off)
+       << ", 0x" << util::load_le32(image.data() + off + 4) << ", 0x"
+       << util::load_le32(image.data() + off + 8) << std::dec << "\n";
+  }
+  return os.str();
+}
+
+isa::Program build_ipv4_router(const RoutingTable& table) {
+  isa::AsmOptions options;
+  options.name = "ipv4-router";
+  return isa::assemble(ipv4_router_source(table), options);
+}
+
+}  // namespace sdmmon::net

@@ -1,0 +1,68 @@
+// Longest-prefix-match IPv4 routing: a binary-trie reference
+// implementation in C++ plus a compiler that lowers the trie into the NP
+// core's data memory, together with the `ipv4-router` application that
+// walks it in assembly and reports the selected egress port through the
+// kRegPktOutPort MMIO register.
+//
+// Trie memory layout (one node = three little-endian words):
+//   +0  left child node index  (kNoChild if absent)
+//   +4  right child node index (kNoChild if absent)
+//   +8  route word: 0 = no route here, else egress port + 1
+#ifndef SDMMON_NET_ROUTING_HPP
+#define SDMMON_NET_ROUTING_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace sdmmon::net {
+
+struct Route {
+  std::uint32_t prefix = 0;   // network-order value, host representation
+  int prefix_len = 0;         // 0..32
+  std::uint8_t port = 0;      // egress port
+};
+
+/// Reference longest-prefix-match table (binary trie on address bits,
+/// most-significant first). Also the oracle for the assembly lookup.
+class RoutingTable {
+ public:
+  static constexpr std::uint32_t kNoChild = 0xFFFF'FFFF;
+
+  /// Insert or overwrite a route; throws std::invalid_argument on a bad
+  /// prefix length or non-canonical prefix (host bits set).
+  void add_route(std::uint32_t prefix, int prefix_len, std::uint8_t port);
+
+  /// Longest-prefix match; nullopt if no route covers the address.
+  std::optional<Route> lookup(std::uint32_t address) const;
+
+  std::size_t route_count() const { return route_count_; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Lower the trie into the NP data-memory image (12 bytes per node).
+  std::vector<std::uint8_t> compile() const;
+
+ private:
+  struct Node {
+    std::uint32_t left = kNoChild;
+    std::uint32_t right = kNoChild;
+    std::uint32_t route_word = 0;  // 0 = none, else port + 1
+    int prefix_len = 0;            // depth, for Route reconstruction
+  };
+
+  std::vector<Node> nodes_{Node{}};  // node 0 is the root
+  std::size_t route_count_ = 0;
+};
+
+/// Assembly source of the trie-walking router app for `table`.
+std::string ipv4_router_source(const RoutingTable& table);
+
+/// Assembled router program with the compiled trie in its data section.
+isa::Program build_ipv4_router(const RoutingTable& table);
+
+}  // namespace sdmmon::net
+
+#endif  // SDMMON_NET_ROUTING_HPP

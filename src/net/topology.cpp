@@ -1,0 +1,96 @@
+#include "net/topology.hpp"
+
+#include <memory>
+
+#include "monitor/analysis.hpp"
+
+namespace sdmmon::net {
+
+const char* delivery_status_name(Network::Status status) {
+  switch (status) {
+    case Network::Status::Delivered: return "delivered";
+    case Network::Status::Dropped: return "dropped";
+    case Network::Status::AttackDetected: return "attack-detected";
+    case Network::Status::Trapped: return "trapped";
+    case Network::Status::HopLimit: return "hop-limit";
+  }
+  return "?";
+}
+
+std::size_t Network::add_router(const std::string& name,
+                                const RoutingTable& table,
+                                std::uint32_t hash_param) {
+  return add_node(name, build_ipv4_router(table), hash_param);
+}
+
+std::size_t Network::add_node(const std::string& name,
+                              const isa::Program& program,
+                              std::uint32_t hash_param) {
+  Node node;
+  node.name = name;
+  monitor::MerkleTreeHash hash(hash_param);
+  node.core.install(program, monitor::extract_graph(program, hash),
+                    std::make_unique<monitor::MerkleTreeHash>(hash));
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+void Network::connect(std::size_t node_a, std::uint32_t port_a,
+                      std::size_t node_b, std::uint32_t port_b) {
+  auto ensure_port = [](Node& node, std::uint32_t port) -> Peer& {
+    if (node.links.size() <= port) node.links.resize(port + 1);
+    return node.links[port];
+  };
+  Peer& a = ensure_port(nodes_.at(node_a), port_a);
+  Peer& b = ensure_port(nodes_.at(node_b), port_b);
+  a = {node_b, port_b, true};
+  b = {node_a, port_a, true};
+}
+
+const Network::Peer* Network::peer_of(std::size_t node,
+                                      std::uint32_t port) const {
+  const auto& links = nodes_[node].links;
+  if (port >= links.size() || !links[port].connected) return nullptr;
+  return &links[port];
+}
+
+Network::Delivery Network::send(std::size_t ingress,
+                                std::span<const std::uint8_t> packet,
+                                int max_hops) {
+  Delivery delivery;
+  util::Bytes current(packet.begin(), packet.end());
+  std::size_t node = ingress;
+
+  for (int hop = 0; hop < max_hops; ++hop) {
+    delivery.path.push_back(node);
+    np::PacketResult r = nodes_[node].core.process_packet(current);
+    switch (r.outcome) {
+      case np::PacketOutcome::Dropped:
+        delivery.status = Status::Dropped;
+        return delivery;
+      case np::PacketOutcome::AttackDetected:
+        delivery.status = Status::AttackDetected;
+        return delivery;
+      case np::PacketOutcome::Trapped:
+        delivery.status = Status::Trapped;
+        return delivery;
+      case np::PacketOutcome::Forwarded:
+        break;
+    }
+    current = std::move(r.output);
+    const Peer* peer = peer_of(node, r.output_port);
+    if (peer == nullptr) {
+      // Edge port: the packet leaves the operator's network.
+      delivery.status = Status::Delivered;
+      delivery.egress_node = node;
+      delivery.egress_port = r.output_port;
+      delivery.final_packet = std::move(current);
+      return delivery;
+    }
+    node = peer->node;
+  }
+  delivery.status = Status::HopLimit;
+  return delivery;
+}
+
+}  // namespace sdmmon::net

@@ -1,0 +1,88 @@
+// Multi-router network simulation: each node is a monitored NP device
+// running a real `ipv4-router` binary compiled from its own routing
+// table; links join (node, port) pairs; packets are forwarded hop by hop
+// by actual NP-core execution. This is the network context the paper's
+// introduction motivates -- many identical programmable routers in one
+// operator's network.
+#ifndef SDMMON_NET_TOPOLOGY_HPP
+#define SDMMON_NET_TOPOLOGY_HPP
+
+#include <string>
+#include <vector>
+
+#include "net/routing.hpp"
+#include "np/monitored_core.hpp"
+
+namespace sdmmon::net {
+
+class Network {
+ public:
+  /// Add a router node running ipv4-router over `table`, with its monitor
+  /// keyed by `hash_param` (per-router diversity). Returns the node id.
+  std::size_t add_router(const std::string& name, const RoutingTable& table,
+                         std::uint32_t hash_param);
+
+  /// Add a node running an arbitrary application (e.g. the vulnerable
+  /// ipv4-cm on an edge router). Apps that never set kRegPktOutPort egress
+  /// on port 0.
+  std::size_t add_node(const std::string& name, const isa::Program& program,
+                       std::uint32_t hash_param);
+
+  /// Join two router ports with a bidirectional link.
+  void connect(std::size_t node_a, std::uint32_t port_a, std::size_t node_b,
+               std::uint32_t port_b);
+
+  enum class Status : std::uint8_t {
+    Delivered,       // egressed through an unconnected (edge) port
+    Dropped,         // a router dropped it (no route / TTL expired / bad)
+    AttackDetected,  // a monitor flagged it
+    Trapped,         // a core trapped on it
+    HopLimit,        // forwarding loop ran out of the hop budget
+  };
+
+  struct Delivery {
+    Status status = Status::Dropped;
+    std::vector<std::size_t> path;   // nodes visited in order
+    std::size_t egress_node = 0;     // valid when Delivered
+    std::uint32_t egress_port = 0;   // valid when Delivered
+    util::Bytes final_packet;        // packet as it left the network
+  };
+
+  /// Inject a packet at `ingress` and forward until it leaves the
+  /// network, is dropped/flagged, or exceeds `max_hops`.
+  Delivery send(std::size_t ingress, std::span<const std::uint8_t> packet,
+                int max_hops = 64);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::string& node_name(std::size_t node) const {
+    return nodes_[node].name;
+  }
+  const np::CoreStats& node_stats(std::size_t node) const {
+    return nodes_[node].core.stats();
+  }
+  np::MonitoredCore& node_core(std::size_t node) {
+    return nodes_[node].core;
+  }
+
+ private:
+  struct Peer {
+    std::size_t node = 0;
+    std::uint32_t port = 0;
+    bool connected = false;
+  };
+  struct Node {
+    std::string name;
+    np::MonitoredCore core;
+    std::vector<Peer> links;  // indexed by local port
+  };
+
+  const Peer* peer_of(std::size_t node, std::uint32_t port) const;
+
+  std::vector<Node> nodes_;
+};
+
+const char* delivery_status_name(Network::Status status);
+
+}  // namespace sdmmon::net
+
+#endif  // SDMMON_NET_TOPOLOGY_HPP

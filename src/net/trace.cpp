@@ -1,0 +1,87 @@
+#include "net/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace sdmmon::net {
+
+util::Bytes Trace::serialize() const {
+  util::ByteWriter w;
+  w.u32(kMagic);
+  w.u32(1);  // format version
+  w.u32(static_cast<std::uint32_t>(records_.size()));
+  for (const TraceRecord& r : records_) {
+    w.u64(r.timestamp_ns);
+    w.u32(r.flow_key);
+    w.blob(r.packet);
+  }
+  return w.take();
+}
+
+Trace Trace::deserialize(std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  if (r.u32() != kMagic) throw util::DecodeError("trace: bad magic");
+  const std::uint32_t version = r.u32();
+  if (version != 1) throw util::DecodeError("trace: unsupported version");
+  const std::uint32_t count = r.u32();
+  Trace trace;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TraceRecord record;
+    record.timestamp_ns = r.u64();
+    record.flow_key = r.u32();
+    record.packet = r.blob();
+    trace.add(std::move(record));
+  }
+  return trace;
+}
+
+void Trace::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  util::Bytes bytes = serialize();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw std::runtime_error("trace write failed: " + path);
+}
+
+Trace Trace::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  util::Bytes bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return deserialize(bytes);
+}
+
+Trace Trace::capture(TrafficGenerator& generator, std::size_t count,
+                     std::uint64_t inter_arrival_ns) {
+  Trace trace;
+  std::uint64_t now = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto g = generator.next();
+    TraceRecord record;
+    record.timestamp_ns = now;
+    record.flow_key = g.flow_key;
+    record.packet = std::move(g.packet);
+    trace.add(std::move(record));
+    now += inter_arrival_ns;
+  }
+  return trace;
+}
+
+ReplayStats replay(const Trace& trace, np::MonitoredCore& core) {
+  ReplayStats stats;
+  for (const TraceRecord& record : trace.records()) {
+    np::PacketResult r = core.process_packet(record.packet);
+    ++stats.packets;
+    stats.instructions += r.instructions;
+    switch (r.outcome) {
+      case np::PacketOutcome::Forwarded: ++stats.forwarded; break;
+      case np::PacketOutcome::Dropped: ++stats.dropped; break;
+      case np::PacketOutcome::AttackDetected: ++stats.attacks_detected; break;
+      case np::PacketOutcome::Trapped: ++stats.trapped; break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace sdmmon::net

@@ -1,0 +1,64 @@
+// Packet trace container (record/replay): a compact pcap-like format so
+// workloads are reproducible artifacts -- capture a generator's output or
+// a live run once, then replay the identical byte stream into any device
+// configuration. Used by the throughput bench and the CLI tools.
+#ifndef SDMMON_NET_TRACE_HPP
+#define SDMMON_NET_TRACE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/traffic.hpp"
+#include "np/monitored_core.hpp"
+#include "util/bytes.hpp"
+
+namespace sdmmon::net {
+
+struct TraceRecord {
+  std::uint64_t timestamp_ns = 0;
+  std::uint32_t flow_key = 0;
+  util::Bytes packet;
+
+  bool operator==(const TraceRecord& rhs) const = default;
+};
+
+class Trace {
+ public:
+  static constexpr std::uint32_t kMagic = 0x53444D54;  // "SDMT"
+
+  void add(TraceRecord record) { records_.push_back(std::move(record)); }
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  util::Bytes serialize() const;
+  static Trace deserialize(std::span<const std::uint8_t> bytes);
+
+  /// File I/O; throws std::runtime_error on failure.
+  void save(const std::string& path) const;
+  static Trace load(const std::string& path);
+
+  /// Capture `count` packets from a generator at a fixed inter-arrival.
+  static Trace capture(TrafficGenerator& generator, std::size_t count,
+                       std::uint64_t inter_arrival_ns = 10'000);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Outcome tallies of replaying a trace into a monitored core.
+struct ReplayStats {
+  std::uint64_t packets = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t attacks_detected = 0;
+  std::uint64_t trapped = 0;
+  std::uint64_t instructions = 0;
+};
+
+ReplayStats replay(const Trace& trace, np::MonitoredCore& core);
+
+}  // namespace sdmmon::net
+
+#endif  // SDMMON_NET_TRACE_HPP

@@ -1,0 +1,32 @@
+#include "net/traffic.hpp"
+
+#include "net/packet.hpp"
+
+namespace sdmmon::net {
+
+TrafficGenerator::TrafficGenerator(TrafficConfig config)
+    : config_(config), rng_(config.seed) {}
+
+TrafficGenerator::Generated TrafficGenerator::next() {
+  const std::uint32_t flow =
+      static_cast<std::uint32_t>(counter_++ % config_.flows);
+  const std::size_t payload_len =
+      config_.min_payload +
+      rng_.below(config_.max_payload - config_.min_payload + 1);
+
+  util::Bytes payload(payload_len);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng_.next());
+
+  Generated out;
+  out.flow_key = flow;
+  out.packet = make_udp_packet(
+      ip(10, 0, static_cast<std::uint8_t>(flow >> 8),
+         static_cast<std::uint8_t>(flow)),
+      ip(192, 168, 1, static_cast<std::uint8_t>(flow)),
+      static_cast<std::uint16_t>(1024 + flow),
+      static_cast<std::uint16_t>(rng_.below(4) == 0 ? 53 : 8000 + flow % 100),
+      payload, config_.ttl);
+  return out;
+}
+
+}  // namespace sdmmon::net

@@ -1,0 +1,42 @@
+// Deterministic workload generator: streams of valid UDP-over-IPv4
+// packets with configurable flow count and size distribution, used by the
+// throughput bench and the integration tests.
+#ifndef SDMMON_NET_TRAFFIC_HPP
+#define SDMMON_NET_TRAFFIC_HPP
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace sdmmon::net {
+
+struct TrafficConfig {
+  std::size_t flows = 64;
+  std::size_t min_payload = 16;
+  std::size_t max_payload = 1024;
+  std::uint8_t ttl = 64;
+  std::uint64_t seed = 0xF10E5;
+};
+
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(TrafficConfig config = {});
+
+  struct Generated {
+    util::Bytes packet;
+    std::uint32_t flow_key;  // for MPSoC flow-hash dispatch
+  };
+
+  /// Next packet in the stream (round-robins flows, random sizes).
+  Generated next();
+
+ private:
+  TrafficConfig config_;
+  util::Rng rng_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace sdmmon::net
+
+#endif  // SDMMON_NET_TRAFFIC_HPP

@@ -1,0 +1,396 @@
+#include "np/core.hpp"
+
+#include "isa/isa.hpp"
+
+namespace sdmmon::np {
+
+using isa::Instr;
+using isa::Op;
+
+const char* trap_name(Trap trap) {
+  switch (trap) {
+    case Trap::None: return "none";
+    case Trap::FetchFault: return "fetch-fault";
+    case Trap::DecodeFault: return "decode-fault";
+    case Trap::MemFault: return "mem-fault";
+    case Trap::Overflow: return "overflow";
+    case Trap::Syscall: return "syscall";
+    case Trap::Break: return "break";
+    case Trap::Watchdog: return "watchdog";
+  }
+  return "?";
+}
+
+Core::Core() = default;
+
+void Core::load_program(const isa::Program& program) {
+  program_ = program;
+  program_loaded_ = true;
+  reset();
+}
+
+void Core::reset() {
+  mem_.clear();
+  if (program_loaded_) {
+    // Re-image text and data so attack side effects cannot persist.
+    util::Bytes text_bytes(program_.text.size() * 4);
+    for (std::size_t i = 0; i < program_.text.size(); ++i) {
+      util::store_le32(program_.text[i], text_bytes.data() + 4 * i);
+    }
+    mem_.write_block(program_.text_base, text_bytes);
+    if (!program_.data.empty()) {
+      mem_.write_block(program_.data_base, program_.data);
+    }
+  }
+  reset_architectural_state();
+}
+
+void Core::soft_reset() {
+  // Fresh processing stack and packet buffers; application data persists.
+  mem_.write_block(kStackBase, util::Bytes(kStackSize, 0));
+  mem_.write_block(kPktInBase, util::Bytes(kPktInSize, 0));
+  mem_.write_block(kPktOutBase, util::Bytes(kPktOutSize, 0));
+  reset_architectural_state();
+}
+
+void Core::reset_architectural_state() {
+  regs_.fill(0);
+  regs_[29] = kStackTop;          // $sp
+  regs_[31] = kReturnSentinel;    // $ra -> normal-return sentinel
+  pc_ = program_.entry;
+  hi_ = lo_ = 0;
+  packet_cycles_ = 0;
+  pkt_in_len_ = 0;
+  output_.clear();
+  has_output_ = false;
+  out_port_ = 0;
+  runnable_ = program_loaded_;
+}
+
+void Core::deliver_packet(std::span<const std::uint8_t> packet) {
+  const std::size_t n = std::min<std::size_t>(packet.size(), kPktInSize);
+  mem_.write_block(kPktInBase, packet.subspan(0, n));
+  pkt_in_len_ = static_cast<std::uint32_t>(n);
+}
+
+StepInfo Core::finish(StepInfo info, StepEvent event, Trap trap) {
+  info.event = event;
+  info.trap = trap;
+  if (event != StepEvent::Executed) runnable_ = false;
+  return info;
+}
+
+bool Core::mmio_load(std::uint32_t addr, std::uint32_t& value) const {
+  switch (addr) {
+    case kRegPktInLen:
+      value = pkt_in_len_;
+      return true;
+    case kRegCycles:
+      value = static_cast<std::uint32_t>(cycles_);
+      return true;
+    default:
+      return false;
+  }
+}
+
+StepInfo Core::mmio_store(StepInfo info, std::uint32_t addr,
+                          std::uint32_t value) {
+  switch (addr) {
+    case kRegPktOutCommit: {
+      const std::uint32_t len = std::min(value, kPktOutSize);
+      output_ = mem_.read_block(kPktOutBase, len);
+      has_output_ = true;
+      return finish(info, StepEvent::PacketOut);
+    }
+    case kRegPktDone:
+      return finish(info, StepEvent::PacketDone);
+    case kRegHalt:
+      return finish(info, StepEvent::Halted);
+    case kRegPktOutPort:
+      out_port_ = value;  // latched; not a terminal event
+      pc_ += 4;           // the store retires normally
+      info.event = StepEvent::Executed;
+      return info;
+    default:
+      return finish(info, StepEvent::Trapped, Trap::MemFault);
+  }
+}
+
+StepInfo Core::step() {
+  StepInfo info;
+  if (!runnable_) {
+    info.event = StepEvent::Trapped;
+    info.trap = Trap::FetchFault;
+    return info;
+  }
+
+  if (packet_cycles_ >= watchdog_budget_) {
+    return finish(info, StepEvent::Trapped, Trap::Watchdog);
+  }
+
+  info.pc = pc_;
+  if (pc_ == kReturnSentinel) {
+    // Handler returned normally: packet processed (drop unless committed).
+    return finish(info, StepEvent::PacketDone);
+  }
+
+  auto word = mem_.load32(pc_);
+  if (!word) {
+    return finish(info, StepEvent::Trapped, Trap::FetchFault);
+  }
+  info.word = *word;
+
+  auto decoded = isa::try_decode(*word);
+  if (!decoded) {
+    return finish(info, StepEvent::Trapped, Trap::DecodeFault);
+  }
+  const Instr& in = *decoded;
+
+  ++cycles_;
+  ++packet_cycles_;
+  std::uint32_t next_pc = pc_ + 4;
+
+  // Retired-instruction mix for the cycle-cost model. Branches start as
+  // not-taken and are reclassified after execution resolves them.
+  switch (isa::op_class(in.op)) {
+    case isa::OpClass::Alu:
+      if (in.op == Op::Mult || in.op == Op::Multu || in.op == Op::Div ||
+          in.op == Op::Divu) {
+        ++mix_.muldiv;
+      } else {
+        ++mix_.alu;
+      }
+      break;
+    case isa::OpClass::Load: ++mix_.load; break;
+    case isa::OpClass::Store: ++mix_.store; break;
+    case isa::OpClass::Branch: ++mix_.branch_not_taken; break;
+    case isa::OpClass::Jump:
+    case isa::OpClass::JumpLink:
+    case isa::OpClass::JumpReg: ++mix_.jump; break;
+    case isa::OpClass::Trap: ++mix_.trap; break;
+  }
+
+  auto rs = [&] { return regs_[in.rs]; };
+  auto rt = [&] { return regs_[in.rt]; };
+  auto write_rd = [&](std::uint32_t v) {
+    if (in.rd != 0) regs_[in.rd] = v;
+  };
+  auto write_rt = [&](std::uint32_t v) {
+    if (in.rt != 0) regs_[in.rt] = v;
+  };
+  auto simm = static_cast<std::uint32_t>(in.imm);
+  auto zimm = static_cast<std::uint32_t>(in.imm) & 0xFFFFu;
+
+  switch (in.op) {
+    case Op::Sll: write_rd(rt() << in.shamt); break;
+    case Op::Srl: write_rd(rt() >> in.shamt); break;
+    case Op::Sra:
+      write_rd(static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(rt()) >> in.shamt));
+      break;
+    case Op::Sllv: write_rd(rt() << (rs() & 31)); break;
+    case Op::Srlv: write_rd(rt() >> (rs() & 31)); break;
+    case Op::Srav:
+      write_rd(static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(rt()) >> (rs() & 31)));
+      break;
+
+    case Op::Jr: next_pc = rs(); break;
+    case Op::Jalr: {
+      std::uint32_t target = rs();
+      write_rd(pc_ + 4);
+      next_pc = target;
+      break;
+    }
+
+    case Op::Syscall:
+      return finish(info, StepEvent::Trapped, Trap::Syscall);
+    case Op::Break:
+      return finish(info, StepEvent::Trapped, Trap::Break);
+
+    case Op::Mfhi: write_rd(hi_); break;
+    case Op::Mflo: write_rd(lo_); break;
+    case Op::Mult: {
+      std::int64_t prod = static_cast<std::int64_t>(
+                              static_cast<std::int32_t>(rs())) *
+                          static_cast<std::int32_t>(rt());
+      lo_ = static_cast<std::uint32_t>(prod);
+      hi_ = static_cast<std::uint32_t>(static_cast<std::uint64_t>(prod) >> 32);
+      break;
+    }
+    case Op::Multu: {
+      std::uint64_t prod = static_cast<std::uint64_t>(rs()) * rt();
+      lo_ = static_cast<std::uint32_t>(prod);
+      hi_ = static_cast<std::uint32_t>(prod >> 32);
+      break;
+    }
+    case Op::Div: {
+      std::int32_t a = static_cast<std::int32_t>(rs());
+      std::int32_t b = static_cast<std::int32_t>(rt());
+      if (b != 0) {
+        lo_ = static_cast<std::uint32_t>(a / b);
+        hi_ = static_cast<std::uint32_t>(a % b);
+      }
+      break;
+    }
+    case Op::Divu:
+      if (rt() != 0) {
+        lo_ = rs() / rt();
+        hi_ = rs() % rt();
+      }
+      break;
+
+    case Op::Add: {
+      std::uint32_t sum = rs() + rt();
+      // Signed overflow iff operands share sign and result differs.
+      if (~(rs() ^ rt()) & (rs() ^ sum) & 0x8000'0000u) {
+        return finish(info, StepEvent::Trapped, Trap::Overflow);
+      }
+      write_rd(sum);
+      break;
+    }
+    case Op::Addu: write_rd(rs() + rt()); break;
+    case Op::Sub: {
+      std::uint32_t diff = rs() - rt();
+      if ((rs() ^ rt()) & (rs() ^ diff) & 0x8000'0000u) {
+        return finish(info, StepEvent::Trapped, Trap::Overflow);
+      }
+      write_rd(diff);
+      break;
+    }
+    case Op::Subu: write_rd(rs() - rt()); break;
+    case Op::And: write_rd(rs() & rt()); break;
+    case Op::Or: write_rd(rs() | rt()); break;
+    case Op::Xor: write_rd(rs() ^ rt()); break;
+    case Op::Nor: write_rd(~(rs() | rt())); break;
+    case Op::Slt:
+      write_rd(static_cast<std::int32_t>(rs()) < static_cast<std::int32_t>(rt())
+                   ? 1
+                   : 0);
+      break;
+    case Op::Sltu: write_rd(rs() < rt() ? 1 : 0); break;
+
+    case Op::Beq:
+      if (rs() == rt()) next_pc = pc_ + 4 + simm * 4;
+      break;
+    case Op::Bne:
+      if (rs() != rt()) next_pc = pc_ + 4 + simm * 4;
+      break;
+    case Op::Blez:
+      if (static_cast<std::int32_t>(rs()) <= 0) next_pc = pc_ + 4 + simm * 4;
+      break;
+    case Op::Bgtz:
+      if (static_cast<std::int32_t>(rs()) > 0) next_pc = pc_ + 4 + simm * 4;
+      break;
+
+    case Op::Addi: {
+      std::uint32_t sum = rs() + simm;
+      if (~(rs() ^ simm) & (rs() ^ sum) & 0x8000'0000u) {
+        return finish(info, StepEvent::Trapped, Trap::Overflow);
+      }
+      write_rt(sum);
+      break;
+    }
+    case Op::Addiu: write_rt(rs() + simm); break;
+    case Op::Slti:
+      write_rt(static_cast<std::int32_t>(rs()) < in.imm ? 1 : 0);
+      break;
+    case Op::Sltiu: write_rt(rs() < simm ? 1 : 0); break;
+    case Op::Andi: write_rt(rs() & zimm); break;
+    case Op::Ori: write_rt(rs() | zimm); break;
+    case Op::Xori: write_rt(rs() ^ zimm); break;
+    case Op::Lui: write_rt(zimm << 16); break;
+
+    case Op::Lb: case Op::Lbu: {
+      std::uint32_t addr = rs() + simm;
+      std::uint32_t mmio;
+      if (mmio_load(addr, mmio)) {
+        write_rt(mmio & 0xFF);
+        break;
+      }
+      auto v = mem_.load8(addr);
+      if (!v) return finish(info, StepEvent::Trapped, Trap::MemFault);
+      write_rt(in.op == Op::Lb
+                   ? static_cast<std::uint32_t>(
+                         static_cast<std::int32_t>(static_cast<std::int8_t>(*v)))
+                   : *v);
+      break;
+    }
+    case Op::Lh: case Op::Lhu: {
+      std::uint32_t addr = rs() + simm;
+      auto v = mem_.load16(addr);
+      if (!v) return finish(info, StepEvent::Trapped, Trap::MemFault);
+      write_rt(in.op == Op::Lh
+                   ? static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                         static_cast<std::int16_t>(*v)))
+                   : *v);
+      break;
+    }
+    case Op::Lw: {
+      std::uint32_t addr = rs() + simm;
+      std::uint32_t mmio;
+      if (mmio_load(addr, mmio)) {
+        write_rt(mmio);
+        break;
+      }
+      auto v = mem_.load32(addr);
+      if (!v) return finish(info, StepEvent::Trapped, Trap::MemFault);
+      write_rt(*v);
+      break;
+    }
+    case Op::Sb: {
+      std::uint32_t addr = rs() + simm;
+      if (addr >= kMmioBase) return mmio_store(info, addr & ~3u, rt());
+      if (mem_.store8(addr, static_cast<std::uint8_t>(rt())) !=
+          MemFault::None) {
+        return finish(info, StepEvent::Trapped, Trap::MemFault);
+      }
+      break;
+    }
+    case Op::Sh: {
+      std::uint32_t addr = rs() + simm;
+      if (addr >= kMmioBase) return mmio_store(info, addr & ~3u, rt());
+      if (mem_.store16(addr, static_cast<std::uint16_t>(rt())) !=
+          MemFault::None) {
+        return finish(info, StepEvent::Trapped, Trap::MemFault);
+      }
+      break;
+    }
+    case Op::Sw: {
+      std::uint32_t addr = rs() + simm;
+      if (addr >= kMmioBase) return mmio_store(info, addr, rt());
+      if (mem_.store32(addr, rt()) != MemFault::None) {
+        return finish(info, StepEvent::Trapped, Trap::MemFault);
+      }
+      break;
+    }
+
+    case Op::J:
+      next_pc = in.target * 4;
+      break;
+    case Op::Jal:
+      regs_[31] = pc_ + 4;
+      next_pc = in.target * 4;
+      break;
+  }
+
+  if (isa::op_class(in.op) == isa::OpClass::Branch && next_pc != info.pc + 4) {
+    --mix_.branch_not_taken;
+    ++mix_.branch_taken;
+  }
+
+  pc_ = next_pc;
+  info.event = StepEvent::Executed;
+  return info;
+}
+
+StepInfo Core::run(std::uint64_t max_steps) {
+  StepInfo last;
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    last = step();
+    if (last.event != StepEvent::Executed) return last;
+  }
+  return last;
+}
+
+}  // namespace sdmmon::np

@@ -1,0 +1,130 @@
+// Single network-processor core: a PLASMA-like MIPS-subset interpreter
+// with packet-I/O MMIO. The core exposes exactly the contract the hardware
+// monitor taps in the paper's Figure 1: for every retired instruction it
+// reports the (pc, raw 32-bit word) pair.
+//
+// Convention for packet handlers: the core enters at Program::entry with
+// $ra set to kReturnSentinel; returning there counts as "packet done"
+// (drop). Handlers can instead commit an output packet by storing the
+// output length to kRegPktOutCommit.
+#ifndef SDMMON_NP_CORE_HPP
+#define SDMMON_NP_CORE_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "isa/program.hpp"
+#include "np/cycle_model.hpp"
+#include "np/memory.hpp"
+
+namespace sdmmon::np {
+
+/// pc value that signals a normal return from the packet handler.
+constexpr std::uint32_t kReturnSentinel = 0xDEAD'BEE0;
+
+enum class Trap : std::uint8_t {
+  None,
+  FetchFault,    // pc outside memory or unaligned
+  DecodeFault,   // unknown instruction encoding
+  MemFault,      // data access outside memory / unaligned
+  Overflow,      // signed overflow on add/addi/sub
+  Syscall,       // syscall executed (unused by our apps; acts as a guard)
+  Break,         // break executed
+  Watchdog,      // per-packet cycle budget exhausted
+};
+
+const char* trap_name(Trap trap);
+
+/// What a single step did.
+enum class StepEvent : std::uint8_t {
+  Executed,    // normal instruction retired
+  PacketOut,   // instruction retired and committed an output packet
+  PacketDone,  // handler finished without output (drop) or returned
+  Halted,      // core halted via kRegHalt
+  Trapped,     // instruction trapped; core needs reset
+};
+
+struct StepInfo {
+  std::uint32_t pc = 0;     // address of the executed instruction
+  std::uint32_t word = 0;   // raw instruction word (what the monitor hashes)
+  StepEvent event = StepEvent::Executed;
+  Trap trap = Trap::None;
+};
+
+class Core {
+ public:
+  Core();
+
+  /// Load program text+data into memory and prime entry state.
+  void load_program(const isa::Program& program);
+
+  /// Full reset: architectural state AND memory re-imaged from the loaded
+  /// program (text, data, zeroed stack/buffers). Used at install time and
+  /// as the paper's attack recovery -- nothing an attacker wrote survives.
+  void reset();
+
+  /// Per-packet reset: registers/pc/stack/packet buffers are reset but the
+  /// application's data RAM persists (flow tables, counters). This is the
+  /// normal between-packets path of a real NP core.
+  void soft_reset();
+
+  /// Place a packet in the receive buffer (truncated to the buffer size).
+  void deliver_packet(std::span<const std::uint8_t> packet);
+
+  /// Execute one instruction. After a terminal event (PacketDone/PacketOut/
+  /// Halted/Trapped) the core refuses to step until reset().
+  StepInfo step();
+
+  /// Run until a terminal event or `max_steps`; returns the last StepInfo.
+  StepInfo run(std::uint64_t max_steps = 1'000'000);
+
+  bool runnable() const { return runnable_; }
+  std::uint32_t pc() const { return pc_; }
+  std::uint32_t reg(int index) const {
+    return regs_[static_cast<std::size_t>(index)];
+  }
+  void set_reg(int index, std::uint32_t value) {
+    if (index != 0) regs_[static_cast<std::size_t>(index)] = value;
+  }
+  std::uint64_t cycles() const { return cycles_; }
+  /// Cumulative retired-instruction mix (survives reset(); feeds the
+  /// cycle-cost model for modeled throughput).
+  const InstrMix& instr_mix() const { return mix_; }
+  std::uint64_t watchdog_budget() const { return watchdog_budget_; }
+  void set_watchdog_budget(std::uint64_t cycles) { watchdog_budget_ = cycles; }
+
+  bool has_output() const { return has_output_; }
+  const util::Bytes& output() const { return output_; }
+  /// Egress port selected via kRegPktOutPort (0 if never written).
+  std::uint32_t output_port() const { return out_port_; }
+
+  Memory& memory() { return mem_; }
+  const Memory& memory() const { return mem_; }
+
+ private:
+  void reset_architectural_state();
+  StepInfo finish(StepInfo info, StepEvent event, Trap trap = Trap::None);
+  StepInfo mmio_store(StepInfo info, std::uint32_t addr, std::uint32_t value);
+  bool mmio_load(std::uint32_t addr, std::uint32_t& value) const;
+
+  Memory mem_;
+  isa::Program program_;
+  bool program_loaded_ = false;
+  std::array<std::uint32_t, 32> regs_{};
+  std::uint32_t pc_ = 0;
+  std::uint32_t hi_ = 0;
+  std::uint32_t lo_ = 0;
+  std::uint64_t cycles_ = 0;
+  InstrMix mix_;
+  std::uint64_t packet_cycles_ = 0;
+  std::uint64_t watchdog_budget_ = 1'000'000;
+  bool runnable_ = false;
+  std::uint32_t pkt_in_len_ = 0;
+  util::Bytes output_;
+  bool has_output_ = false;
+  std::uint32_t out_port_ = 0;
+};
+
+}  // namespace sdmmon::np
+
+#endif  // SDMMON_NP_CORE_HPP

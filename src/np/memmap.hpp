@@ -1,0 +1,40 @@
+// Memory map of one network-processor core, modeled on the paper's
+// PLASMA-based prototype: unified memory with no execute protection (which
+// is exactly what makes data-plane code-injection attacks possible), plus
+// memory-mapped packet I/O registers.
+#ifndef SDMMON_NP_MEMMAP_HPP
+#define SDMMON_NP_MEMMAP_HPP
+
+#include <cstdint>
+
+namespace sdmmon::np {
+
+// Region bases and sizes (byte addresses).
+constexpr std::uint32_t kTextBase = 0x0000'0000;
+constexpr std::uint32_t kTextSize = 0x0001'0000;  // 64 KiB instruction memory
+
+constexpr std::uint32_t kDataBase = 0x0001'0000;
+constexpr std::uint32_t kDataSize = 0x0001'0000;  // 64 KiB data/heap
+
+constexpr std::uint32_t kStackBase = 0x0002'0000;
+constexpr std::uint32_t kStackSize = 0x0001'0000;  // 64 KiB stack
+constexpr std::uint32_t kStackTop = kStackBase + kStackSize - 16;
+
+constexpr std::uint32_t kPktInBase = 0x0003'0000;
+constexpr std::uint32_t kPktInSize = 0x0000'0800;  // 2 KiB receive buffer
+
+constexpr std::uint32_t kPktOutBase = 0x0004'0000;
+constexpr std::uint32_t kPktOutSize = 0x0000'0800;  // 2 KiB transmit buffer
+
+// Memory-mapped control registers.
+constexpr std::uint32_t kMmioBase = 0xFFFF'0000;
+constexpr std::uint32_t kRegPktInLen = kMmioBase + 0x0;    // RO: bytes in rx buf
+constexpr std::uint32_t kRegPktOutCommit = kMmioBase + 0x4;  // WO: commit tx len
+constexpr std::uint32_t kRegPktDone = kMmioBase + 0x8;     // WO: drop / finish
+constexpr std::uint32_t kRegHalt = kMmioBase + 0xC;        // WO: halt core
+constexpr std::uint32_t kRegCycles = kMmioBase + 0x10;     // RO: cycle count
+constexpr std::uint32_t kRegPktOutPort = kMmioBase + 0x14;  // WO: egress port
+
+}  // namespace sdmmon::np
+
+#endif  // SDMMON_NP_MEMMAP_HPP

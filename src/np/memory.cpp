@@ -1,0 +1,107 @@
+#include "np/memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace sdmmon::np {
+
+Memory::Memory() {
+  regions_.push_back({kTextBase, std::vector<std::uint8_t>(kTextSize)});
+  regions_.push_back({kDataBase, std::vector<std::uint8_t>(kDataSize)});
+  regions_.push_back({kStackBase, std::vector<std::uint8_t>(kStackSize)});
+  regions_.push_back({kPktInBase, std::vector<std::uint8_t>(kPktInSize)});
+  regions_.push_back({kPktOutBase, std::vector<std::uint8_t>(kPktOutSize)});
+}
+
+void Memory::clear() {
+  for (auto& region : regions_) {
+    std::fill(region.bytes.begin(), region.bytes.end(), 0);
+  }
+}
+
+const Memory::Region* Memory::find(std::uint32_t addr, unsigned size) const {
+  for (const auto& region : regions_) {
+    if (region.contains(addr, size)) return &region;
+  }
+  return nullptr;
+}
+
+Memory::Region* Memory::find(std::uint32_t addr, unsigned size) {
+  return const_cast<Region*>(
+      static_cast<const Memory*>(this)->find(addr, size));
+}
+
+std::optional<std::uint32_t> Memory::load32(std::uint32_t addr) const {
+  if (addr % 4 != 0) return std::nullopt;
+  const Region* region = find(addr, 4);
+  if (!region) return std::nullopt;
+  return util::load_le32(region->bytes.data() + (addr - region->base));
+}
+
+std::optional<std::uint16_t> Memory::load16(std::uint32_t addr) const {
+  if (addr % 2 != 0) return std::nullopt;
+  const Region* region = find(addr, 2);
+  if (!region) return std::nullopt;
+  const std::uint8_t* p = region->bytes.data() + (addr - region->base);
+  return static_cast<std::uint16_t>(p[0] | p[1] << 8);
+}
+
+std::optional<std::uint8_t> Memory::load8(std::uint32_t addr) const {
+  const Region* region = find(addr, 1);
+  if (!region) return std::nullopt;
+  return region->bytes[addr - region->base];
+}
+
+MemFault Memory::load_fault(std::uint32_t addr, unsigned size) const {
+  if (size > 1 && addr % size != 0) return MemFault::Unaligned;
+  return find(addr, size) ? MemFault::None : MemFault::OutOfRange;
+}
+
+MemFault Memory::store32(std::uint32_t addr, std::uint32_t value) {
+  if (addr % 4 != 0) return MemFault::Unaligned;
+  Region* region = find(addr, 4);
+  if (!region) return MemFault::OutOfRange;
+  util::store_le32(value, region->bytes.data() + (addr - region->base));
+  return MemFault::None;
+}
+
+MemFault Memory::store16(std::uint32_t addr, std::uint16_t value) {
+  if (addr % 2 != 0) return MemFault::Unaligned;
+  Region* region = find(addr, 2);
+  if (!region) return MemFault::OutOfRange;
+  std::uint8_t* p = region->bytes.data() + (addr - region->base);
+  p[0] = static_cast<std::uint8_t>(value);
+  p[1] = static_cast<std::uint8_t>(value >> 8);
+  return MemFault::None;
+}
+
+MemFault Memory::store8(std::uint32_t addr, std::uint8_t value) {
+  Region* region = find(addr, 1);
+  if (!region) return MemFault::OutOfRange;
+  region->bytes[addr - region->base] = value;
+  return MemFault::None;
+}
+
+void Memory::write_block(std::uint32_t addr,
+                         std::span<const std::uint8_t> data) {
+  if (data.empty()) return;
+  Region* region = find(addr, 1);
+  if (!region || addr + data.size() > region->base + region->bytes.size()) {
+    throw std::out_of_range("Memory::write_block outside a region");
+  }
+  std::memcpy(region->bytes.data() + (addr - region->base), data.data(),
+              data.size());
+}
+
+util::Bytes Memory::read_block(std::uint32_t addr, std::size_t len) const {
+  if (len == 0) return {};
+  const Region* region = find(addr, 1);
+  if (!region || addr + len > region->base + region->bytes.size()) {
+    throw std::out_of_range("Memory::read_block outside a region");
+  }
+  const std::uint8_t* p = region->bytes.data() + (addr - region->base);
+  return util::Bytes(p, p + len);
+}
+
+}  // namespace sdmmon::np

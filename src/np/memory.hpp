@@ -1,0 +1,64 @@
+// Flat region-based memory for one NP core. All regions are readable and
+// writable and *all readable memory is executable* -- faithful to the
+// simple embedded cores the paper targets and required for the
+// code-injection attack path the monitor defends against.
+#ifndef SDMMON_NP_MEMORY_HPP
+#define SDMMON_NP_MEMORY_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "np/memmap.hpp"
+#include "util/bytes.hpp"
+
+namespace sdmmon::np {
+
+/// Why a memory access failed; becomes a core trap.
+enum class MemFault {
+  None,
+  OutOfRange,
+  Unaligned,
+};
+
+class Memory {
+ public:
+  Memory();
+
+  /// Zero all regions (used on core reset between packets).
+  void clear();
+
+  // All accessors return/accept little-endian values (MIPS LE).
+  std::optional<std::uint32_t> load32(std::uint32_t addr) const;
+  std::optional<std::uint16_t> load16(std::uint32_t addr) const;
+  std::optional<std::uint8_t> load8(std::uint32_t addr) const;
+  MemFault store32(std::uint32_t addr, std::uint32_t value);
+  MemFault store16(std::uint32_t addr, std::uint16_t value);
+  MemFault store8(std::uint32_t addr, std::uint8_t value);
+
+  /// Classify why a load failed (for trap reporting).
+  MemFault load_fault(std::uint32_t addr, unsigned size) const;
+
+  /// Bulk copy used by the loader and packet I/O (throws on overflow).
+  void write_block(std::uint32_t addr, std::span<const std::uint8_t> data);
+  util::Bytes read_block(std::uint32_t addr, std::size_t len) const;
+
+ private:
+  struct Region {
+    std::uint32_t base;
+    std::vector<std::uint8_t> bytes;
+    bool contains(std::uint32_t addr, unsigned size) const {
+      return addr >= base && addr + size <= base + bytes.size() &&
+             addr + size > addr;
+    }
+  };
+
+  const Region* find(std::uint32_t addr, unsigned size) const;
+  Region* find(std::uint32_t addr, unsigned size);
+
+  std::vector<Region> regions_;
+};
+
+}  // namespace sdmmon::np
+
+#endif  // SDMMON_NP_MEMORY_HPP

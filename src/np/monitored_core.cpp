@@ -1,0 +1,104 @@
+#include "np/monitored_core.hpp"
+
+namespace sdmmon::np {
+
+const char* packet_outcome_name(PacketOutcome outcome) {
+  switch (outcome) {
+    case PacketOutcome::Forwarded: return "forwarded";
+    case PacketOutcome::Dropped: return "dropped";
+    case PacketOutcome::AttackDetected: return "attack-detected";
+    case PacketOutcome::Trapped: return "trapped";
+  }
+  return "?";
+}
+
+MonitoredCore::MonitoredCore() = default;
+
+void MonitoredCore::install(const isa::Program& program,
+                            monitor::MonitoringGraph graph,
+                            std::unique_ptr<monitor::InstructionHash> hash) {
+  core_.load_program(program);
+  if (monitor_) {
+    monitor_->install(std::move(graph), std::move(hash));
+  } else {
+    monitor_ = std::make_unique<monitor::HardwareMonitor>(std::move(graph),
+                                                          std::move(hash));
+  }
+}
+
+PacketResult MonitoredCore::process_packet(
+    std::span<const std::uint8_t> packet) {
+  PacketResult result;
+  if (!installed()) {
+    result.outcome = PacketOutcome::Dropped;
+    return result;
+  }
+
+  // Per-packet path: fresh stack/registers, persistent application data.
+  // Attack/trap recovery below uses the full re-imaging reset().
+  core_.soft_reset();
+  monitor_->reset();
+  core_.deliver_packet(packet);
+  ++stats_.packets;
+
+  for (;;) {
+    StepInfo info = core_.step();
+
+    const bool retired = info.event == StepEvent::Executed ||
+                         info.event == StepEvent::PacketOut ||
+                         info.event == StepEvent::Halted ||
+                         (info.event == StepEvent::PacketDone &&
+                          info.pc != kReturnSentinel);
+    if (retired) {
+      ++result.instructions;
+      monitor::Verdict verdict = monitor_->on_instruction(info.word);
+      if (verdict == monitor::Verdict::Mismatch && enforce_) {
+        result.outcome = PacketOutcome::AttackDetected;
+        ++stats_.attacks_detected;
+        stats_.instructions += result.instructions;
+        core_.reset();  // paper's recovery: reset stack, next packet
+        return result;
+      }
+    }
+
+    switch (info.event) {
+      case StepEvent::Executed:
+        continue;
+      case StepEvent::PacketOut:
+        result.outcome = PacketOutcome::Forwarded;
+        result.output = core_.output();
+        result.output_port = core_.output_port();
+        ++stats_.forwarded;
+        stats_.instructions += result.instructions;
+        return result;
+      case StepEvent::PacketDone:
+        // A sentinel return must be sanctioned by the monitoring graph.
+        if (info.pc == kReturnSentinel && !monitor_->exit_allowed() &&
+            enforce_) {
+          result.outcome = PacketOutcome::AttackDetected;
+          ++stats_.attacks_detected;
+          stats_.instructions += result.instructions;
+          core_.reset();
+          return result;
+        }
+        result.outcome = PacketOutcome::Dropped;
+        ++stats_.dropped;
+        stats_.instructions += result.instructions;
+        return result;
+      case StepEvent::Halted:
+        result.outcome = PacketOutcome::Dropped;
+        ++stats_.dropped;
+        stats_.instructions += result.instructions;
+        return result;
+      case StepEvent::Trapped:
+        result.outcome = PacketOutcome::Trapped;
+        result.trap = info.trap;
+        ++stats_.traps;
+        stats_.instructions += result.instructions;
+        core_.reset();
+        return result;
+    }
+  }
+}
+
+}  // namespace sdmmon::np

@@ -1,0 +1,76 @@
+// A network-processor core wired to its hardware monitor (paper Figure 1):
+// every retired instruction word is reported through the parameterizable
+// hash unit to the monitor; a mismatch triggers the recovery path -- the
+// packet is dropped and the core's processing stack reset before the next
+// packet, exactly the paper's IP-network recovery argument (Section 2.1).
+#ifndef SDMMON_NP_MONITORED_CORE_HPP
+#define SDMMON_NP_MONITORED_CORE_HPP
+
+#include <memory>
+#include <optional>
+
+#include "monitor/monitor.hpp"
+#include "np/core.hpp"
+
+namespace sdmmon::np {
+
+enum class PacketOutcome : std::uint8_t {
+  Forwarded,       // handler committed an output packet
+  Dropped,         // handler finished without output
+  AttackDetected,  // monitor mismatch; core reset, packet dropped
+  Trapped,         // core trap (fault/overflow/watchdog); packet dropped
+};
+
+const char* packet_outcome_name(PacketOutcome outcome);
+
+struct PacketResult {
+  PacketOutcome outcome = PacketOutcome::Dropped;
+  util::Bytes output;               // valid when outcome == Forwarded
+  std::uint32_t output_port = 0;    // egress port chosen by the app
+  std::uint64_t instructions = 0;   // instructions retired for this packet
+  Trap trap = Trap::None;           // valid when outcome == Trapped
+};
+
+/// Cumulative per-core counters.
+struct CoreStats {
+  std::uint64_t packets = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t attacks_detected = 0;
+  std::uint64_t traps = 0;
+  std::uint64_t instructions = 0;
+};
+
+class MonitoredCore {
+ public:
+  /// Construct with monitoring disabled (no program installed yet).
+  MonitoredCore();
+
+  /// Install a (binary, monitoring graph, hash) configuration -- the step
+  /// SDMMon authenticates. The hash unit's parameter is part of `hash`.
+  void install(const isa::Program& program, monitor::MonitoringGraph graph,
+               std::unique_ptr<monitor::InstructionHash> hash);
+
+  bool installed() const { return monitor_ != nullptr; }
+
+  /// Process one packet to completion (reset -> deliver -> run).
+  PacketResult process_packet(std::span<const std::uint8_t> packet);
+
+  const CoreStats& stats() const { return stats_; }
+  Core& core() { return core_; }
+  const monitor::HardwareMonitor& monitor() const { return *monitor_; }
+
+  /// When true (default), mismatches stop the core immediately. Disabling
+  /// lets benchmarks measure the unmonitored baseline on identical inputs.
+  void set_enforcement(bool on) { enforce_ = on; }
+
+ private:
+  Core core_;
+  std::unique_ptr<monitor::HardwareMonitor> monitor_;
+  CoreStats stats_;
+  bool enforce_ = true;
+};
+
+}  // namespace sdmmon::np
+
+#endif  // SDMMON_NP_MONITORED_CORE_HPP

@@ -1,0 +1,64 @@
+#include "np/mpsoc.hpp"
+
+namespace sdmmon::np {
+
+Mpsoc::Mpsoc(std::size_t num_cores, DispatchPolicy policy)
+    : cores_(num_cores), policy_(policy) {}
+
+void Mpsoc::install_all(const isa::Program& program,
+                        const monitor::MonitoringGraph& graph,
+                        const monitor::InstructionHash& hash) {
+  for (auto& core : cores_) {
+    core.install(program, graph, hash.clone());
+  }
+}
+
+void Mpsoc::install(std::size_t core_index, const isa::Program& program,
+                    monitor::MonitoringGraph graph,
+                    std::unique_ptr<monitor::InstructionHash> hash) {
+  cores_.at(core_index).install(program, std::move(graph), std::move(hash));
+}
+
+std::size_t Mpsoc::pick_core(std::uint32_t flow_key) {
+  switch (policy_) {
+    case DispatchPolicy::FlowHash:
+      // Fibonacci hashing spreads sequential flow keys.
+      return (flow_key * 2654435761u) % cores_.size();
+    case DispatchPolicy::LeastLoaded: {
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < cores_.size(); ++c) {
+        if (cores_[c].stats().instructions <
+            cores_[best].stats().instructions) {
+          best = c;
+        }
+      }
+      return best;
+    }
+    case DispatchPolicy::RoundRobin:
+      break;
+  }
+  std::size_t index = next_;
+  next_ = (next_ + 1) % cores_.size();
+  return index;
+}
+
+PacketResult Mpsoc::process_packet(std::span<const std::uint8_t> packet,
+                                   std::uint32_t flow_key) {
+  return cores_[pick_core(flow_key)].process_packet(packet);
+}
+
+CoreStats Mpsoc::aggregate_stats() const {
+  CoreStats sum;
+  for (const auto& core : cores_) {
+    const CoreStats& s = core.stats();
+    sum.packets += s.packets;
+    sum.forwarded += s.forwarded;
+    sum.dropped += s.dropped;
+    sum.attacks_detected += s.attacks_detected;
+    sum.traps += s.traps;
+    sum.instructions += s.instructions;
+  }
+  return sum;
+}
+
+}  // namespace sdmmon::np

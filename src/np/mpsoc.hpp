@@ -1,0 +1,57 @@
+// Multicore network processor (MPSoC): a set of monitored cores behind a
+// dispatcher, the system the paper's "Dynamics" challenge is about --
+// multiple cores, each independently (re)programmable at runtime with a
+// binary + monitoring graph + hash parameter.
+#ifndef SDMMON_NP_MPSOC_HPP
+#define SDMMON_NP_MPSOC_HPP
+
+#include <vector>
+
+#include "np/monitored_core.hpp"
+
+namespace sdmmon::np {
+
+enum class DispatchPolicy : std::uint8_t {
+  RoundRobin,
+  FlowHash,     // same flow key -> same core (stable per-flow ordering)
+  LeastLoaded,  // core with the fewest instructions retired so far
+};
+
+class Mpsoc {
+ public:
+  explicit Mpsoc(std::size_t num_cores,
+                 DispatchPolicy policy = DispatchPolicy::RoundRobin);
+
+  std::size_t num_cores() const { return cores_.size(); }
+  MonitoredCore& core(std::size_t index) { return cores_[index]; }
+  const MonitoredCore& core(std::size_t index) const { return cores_[index]; }
+
+  /// Install the same configuration on every core (cloning the hash unit).
+  void install_all(const isa::Program& program,
+                   const monitor::MonitoringGraph& graph,
+                   const monitor::InstructionHash& hash);
+
+  /// Install on one core only (heterogeneous workload mapping).
+  void install(std::size_t core_index, const isa::Program& program,
+               monitor::MonitoringGraph graph,
+               std::unique_ptr<monitor::InstructionHash> hash);
+
+  /// Dispatch a packet to a core per the policy; `flow_key` feeds the
+  /// FlowHash policy (ignored for RoundRobin).
+  PacketResult process_packet(std::span<const std::uint8_t> packet,
+                              std::uint32_t flow_key = 0);
+
+  /// Aggregate counters over all cores.
+  CoreStats aggregate_stats() const;
+
+ private:
+  std::size_t pick_core(std::uint32_t flow_key);
+
+  std::vector<MonitoredCore> cores_;
+  DispatchPolicy policy_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace sdmmon::np
+
+#endif  // SDMMON_NP_MPSOC_HPP

@@ -1,0 +1,59 @@
+#include "sdmmon/fleet_ops.hpp"
+
+#include <set>
+
+#include "sdmmon/timed_install.hpp"
+
+namespace sdmmon::protocol {
+
+FleetOperator::CampaignResult FleetOperator::deploy(
+    const isa::Program& binary, std::uint64_t now,
+    const NiosTimingModel& model) {
+  CampaignResult result;
+  double per_install_s = 0;
+  bool measured = false;
+
+  for (NetworkProcessorDevice* device : devices_) {
+    WirePackage wire = op_.program_device(binary, device->public_key());
+    if (!measured) {
+      // Instrument the first install to extrapolate the campaign cost.
+      TimedInstallResult timed =
+          timed_install(wire, device->private_key_for_instrumentation(),
+                        manufacturer_root_, now);
+      if (timed.ok) per_install_s = timed.timing(model).total();
+      measured = timed.ok;
+    }
+    if (device->install(wire, now) == InstallStatus::Ok) {
+      ++result.succeeded;
+    } else {
+      ++result.failed;
+    }
+  }
+  result.modeled_seconds_sequential =
+      per_install_s * static_cast<double>(devices_.size());
+  last_binary_ = binary;
+  has_binary_ = true;
+  return result;
+}
+
+FleetOperator::CampaignResult FleetOperator::rotate_parameters(
+    std::uint64_t now, const NiosTimingModel& model) {
+  if (!has_binary_) return {};
+  return deploy(last_binary_, now, model);
+}
+
+bool FleetOperator::parameters_all_distinct() const {
+  std::set<std::uint32_t> seen;
+  for (const NetworkProcessorDevice* device : devices_) {
+    if (!device->has_application()) continue;
+    const auto& soc = device->mpsoc();
+    if (soc.num_cores() == 0 || !soc.core(0).installed()) continue;
+    const auto* merkle = dynamic_cast<const monitor::MerkleTreeHash*>(
+        &soc.core(0).monitor().hash());
+    if (merkle == nullptr) continue;
+    if (!seen.insert(merkle->parameter()).second) return false;
+  }
+  return true;
+}
+
+}  // namespace sdmmon::protocol

@@ -1,0 +1,66 @@
+// Operator-side fleet management. The paper's homogeneity argument (SR2)
+// assumes the operator actually provisions *distinct* hash parameters on
+// every router and can re-key the fleet; this module implements that
+// operational layer: enrollment, fleet-wide deployment campaigns (one
+// sealed package per device, each with a fresh parameter), and scheduled
+// parameter rotation that re-seals the current application for every
+// enrolled device.
+#ifndef SDMMON_SDMMON_FLEET_OPS_HPP
+#define SDMMON_SDMMON_FLEET_OPS_HPP
+
+#include <vector>
+
+#include "sdmmon/entities.hpp"
+#include "sdmmon/timing.hpp"
+
+namespace sdmmon::protocol {
+
+class FleetOperator {
+ public:
+  /// `manufacturer_root` is the manufacturer's public key (the operator
+  /// knows it -- its own certificate chains to it); used only to
+  /// instrument a representative install for campaign-cost estimates.
+  FleetOperator(NetworkOperator& op, crypto::RsaPublicKey manufacturer_root)
+      : op_(op), manufacturer_root_(std::move(manufacturer_root)) {}
+
+  /// Register a device (non-owning; devices outlive the fleet view).
+  void enroll(NetworkProcessorDevice* device) { devices_.push_back(device); }
+
+  std::size_t size() const { return devices_.size(); }
+
+  struct CampaignResult {
+    std::size_t succeeded = 0;
+    std::size_t failed = 0;
+    /// Modeled wall-clock of the campaign on the embedded side if the
+    /// installs run sequentially (one instrumented install extrapolated
+    /// across the fleet).
+    double modeled_seconds_sequential = 0;
+  };
+
+  /// Install `binary` on every enrolled device, each with its own fresh
+  /// hash parameter (the operator's DRBG advances per package).
+  CampaignResult deploy(const isa::Program& binary, std::uint64_t now,
+                        const NiosTimingModel& model = NiosTimingModel());
+
+  /// Re-key the fleet: re-seal the most recently deployed binary with new
+  /// parameters for every device. Bounds the value of any brute-force
+  /// progress an attacker has made against a single router.
+  CampaignResult rotate_parameters(std::uint64_t now,
+                                   const NiosTimingModel& model =
+                                       NiosTimingModel());
+
+  /// True if no two enrolled devices share a monitor hash parameter
+  /// (inspects the installed monitors; used by tests and health checks).
+  bool parameters_all_distinct() const;
+
+ private:
+  NetworkOperator& op_;
+  crypto::RsaPublicKey manufacturer_root_;
+  std::vector<NetworkProcessorDevice*> devices_;
+  isa::Program last_binary_;
+  bool has_binary_ = false;
+};
+
+}  // namespace sdmmon::protocol
+
+#endif  // SDMMON_SDMMON_FLEET_OPS_HPP

@@ -1,0 +1,108 @@
+#include "sdmmon/timed_install.hpp"
+
+#include <chrono>
+
+#include "crypto/aes.hpp"
+
+namespace sdmmon::protocol {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_s(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+InstallTiming TimedInstallResult::timing(const NiosTimingModel& model) const {
+  InstallTiming t;
+  t.download_s = model.download_seconds(wire_bytes);
+  t.cert_check_s = model.step_seconds(cert_ops);
+  t.rsa_unwrap_s = model.step_seconds(unwrap_ops);
+  t.aes_decrypt_s = model.step_seconds(aes_ops);
+  t.verify_sig_s = model.step_seconds(verify_ops);
+  return t;
+}
+
+TimedInstallResult timed_install(const WirePackage& wire,
+                                 const crypto::RsaPrivateKey& device_priv,
+                                 const crypto::RsaPublicKey& manufacturer_key,
+                                 std::uint64_t now) {
+  TimedInstallResult result;
+  result.wire_bytes = wire.wire_size();
+
+  // Step: check manufacturer certificate of operator's public key.
+  {
+    crypto::OpScope scope;
+    auto start = Clock::now();
+    result.cert_status = crypto::verify_certificate(
+        wire.operator_cert, manufacturer_key, now,
+        crypto::CertRole::NetworkOperator);
+    result.host_cert_s = elapsed_s(start);
+    result.cert_ops = scope.delta();
+  }
+  if (result.cert_status != crypto::CertStatus::Ok) return result;
+
+  // Step: decrypt AES key K_sym using router's private key.
+  util::Bytes k_sym;
+  {
+    crypto::OpScope scope;
+    auto start = Clock::now();
+    auto unwrapped = crypto::rsa_decrypt(device_priv, wire.wrapped_key);
+    result.host_unwrap_s = elapsed_s(start);
+    result.unwrap_ops = scope.delta();
+    if (!unwrapped) {
+      result.open_status = OpenStatus::WrongDevice;
+      return result;
+    }
+    k_sym = std::move(*unwrapped);
+  }
+
+  // Step: decrypt package with AES key.
+  util::Bytes inner;
+  {
+    crypto::OpScope scope;
+    auto start = Clock::now();
+    try {
+      inner = crypto::aes_cbc_decrypt(k_sym, wire.iv, wire.ciphertext);
+    } catch (const crypto::AesError&) {
+      result.host_aes_s = elapsed_s(start);
+      result.aes_ops = scope.delta();
+      result.open_status = OpenStatus::CorruptCiphertext;
+      return result;
+    }
+    result.host_aes_s = elapsed_s(start);
+    result.aes_ops = scope.delta();
+  }
+
+  // Step: verify package signature with operator's public key.
+  {
+    crypto::OpScope scope;
+    auto start = Clock::now();
+    util::Bytes plain, signature;
+    try {
+      util::ByteReader r(inner);
+      plain = r.blob();
+      signature = r.blob();
+    } catch (const util::DecodeError&) {
+      result.open_status = OpenStatus::CorruptCiphertext;
+      return result;
+    }
+    const bool sig_ok = crypto::rsa_verify(wire.operator_cert.subject_key,
+                                           plain, signature);
+    result.host_verify_s = elapsed_s(start);
+    result.verify_ops = scope.delta();
+    if (!sig_ok) {
+      result.open_status = OpenStatus::BadSignature;
+      return result;
+    }
+  }
+
+  result.open_status = OpenStatus::Ok;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace sdmmon::protocol

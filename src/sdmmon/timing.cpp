@@ -1,0 +1,23 @@
+#include "sdmmon/timing.hpp"
+
+namespace sdmmon::protocol {
+
+double NiosTimingModel::compute_seconds(const crypto::OpCounters& ops) const {
+  const double cycles =
+      static_cast<double>(ops.limb_muls) * config_.cycles_per_limb_mul +
+      static_cast<double>(ops.aes_blocks) * config_.cycles_per_aes_block +
+      static_cast<double>(ops.sha256_blocks) * config_.cycles_per_sha_block;
+  return cycles / config_.clock_hz;
+}
+
+double NiosTimingModel::download_seconds(std::size_t bytes) const {
+  return config_.download_rtt_s +
+         static_cast<double>(bytes) * 8.0 / config_.download_goodput_bps;
+}
+
+double NiosTimingModel::switch_seconds(std::size_t app_bytes) const {
+  return config_.switch_overhead_s +
+         static_cast<double>(app_bytes) * 8.0 / config_.memory_bandwidth_bps;
+}
+
+}  // namespace sdmmon::protocol

@@ -1,0 +1,114 @@
+#include "sdmmon/workload.hpp"
+
+#include <algorithm>
+
+#include "net/packet.hpp"
+
+namespace sdmmon::protocol {
+
+WorkloadManager::WorkloadManager(NetworkProcessorDevice& device)
+    : device_(device), assignment_(device.mpsoc().num_cores()) {}
+
+void WorkloadManager::add_port_rule(std::uint16_t port_lo,
+                                    std::uint16_t port_hi,
+                                    const std::string& app_name) {
+  rules_.push_back({port_lo, port_hi, app_name});
+}
+
+const std::string& WorkloadManager::classify(
+    std::span<const std::uint8_t> packet) const {
+  auto ip = net::Ipv4Packet::parse(packet);
+  if (ip && ip->protocol == 17) {
+    auto udp = net::UdpDatagram::parse(ip->payload);
+    if (udp) {
+      for (const PortRule& rule : rules_) {
+        if (udp->dst_port >= rule.lo && udp->dst_port <= rule.hi) {
+          return rule.app;
+        }
+      }
+    }
+  }
+  return default_app_;
+}
+
+np::PacketResult WorkloadManager::process(
+    std::span<const std::uint8_t> packet) {
+  const std::string& app = classify(packet);
+  ++counts_[app];
+
+  // Cores currently assigned to this app.
+  std::vector<std::size_t> candidates;
+  for (std::size_t c = 0; c < assignment_.size(); ++c) {
+    if (assignment_[c] == app) candidates.push_back(c);
+  }
+  std::size_t core = 0;
+  if (!candidates.empty()) {
+    std::size_t& cursor = next_core_[app];
+    core = candidates[cursor % candidates.size()];
+    ++cursor;
+  }
+  return device_.mpsoc().core(core).process_packet(packet);
+}
+
+std::size_t WorkloadManager::rebalance() {
+  const std::size_t cores = assignment_.size();
+  if (cores == 0 || counts_.empty()) return 0;
+
+  // Keep only apps that are actually resident.
+  std::vector<std::pair<std::string, std::uint64_t>> loads;
+  std::uint64_t total = 0;
+  auto resident = device_.stored_apps();
+  for (const auto& [app, count] : counts_) {
+    if (std::find(resident.begin(), resident.end(), app) == resident.end()) {
+      continue;
+    }
+    loads.emplace_back(app, count);
+    total += count;
+  }
+  if (loads.empty() || total == 0) return 0;
+  // Heaviest first so leftover cores favor hot apps.
+  std::sort(loads.begin(), loads.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  // Largest-remainder apportionment with a floor of one core per app.
+  std::vector<std::size_t> quota(loads.size(), 1);
+  std::size_t assigned = std::min(loads.size(), cores);
+  quota.resize(assigned, 1);
+  loads.resize(assigned);
+  for (std::size_t round = assigned; round < cores; ++round) {
+    // Give the next core to the app with the largest load-per-core.
+    std::size_t best = 0;
+    double best_ratio = -1;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      double ratio = static_cast<double>(loads[i].second) /
+                     static_cast<double>(quota[i] + 1);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = i;
+      }
+    }
+    ++quota[best];
+  }
+
+  // Materialize the new assignment and switch changed cores.
+  std::vector<std::string> fresh;
+  fresh.reserve(cores);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    for (std::size_t q = 0; q < quota[i]; ++q) fresh.push_back(loads[i].first);
+  }
+  while (fresh.size() < cores) fresh.push_back(loads[0].first);
+
+  std::size_t switched = 0;
+  for (std::size_t c = 0; c < cores; ++c) {
+    if (assignment_[c] == fresh[c]) continue;
+    if (device_.switch_core_to(c, fresh[c])) {
+      assignment_[c] = fresh[c];
+      ++switched;
+    }
+  }
+  counts_.clear();
+  next_core_.clear();
+  return switched;
+}
+
+}  // namespace sdmmon::protocol

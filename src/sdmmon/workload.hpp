@@ -1,0 +1,69 @@
+// Runtime workload management. The paper defers the *when to install*
+// decision to prior work ([7,13]) and secures only the installation
+// itself; this module supplies a simple such decision-maker so the system
+// runs closed-loop: it classifies traffic to applications (by UDP
+// destination port), tracks per-app load, and periodically remaps the
+// MPSoC's cores proportionally to the observed shares using the device's
+// fast in-memory switching (no new cryptographic install needed).
+#ifndef SDMMON_SDMMON_WORKLOAD_HPP
+#define SDMMON_SDMMON_WORKLOAD_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sdmmon/entities.hpp"
+
+namespace sdmmon::protocol {
+
+class WorkloadManager {
+ public:
+  explicit WorkloadManager(NetworkProcessorDevice& device);
+
+  /// Route UDP packets with dst port in [lo, hi] to `app_name` (must be
+  /// resident in the device's app store at dispatch time).
+  void add_port_rule(std::uint16_t port_lo, std::uint16_t port_hi,
+                     const std::string& app_name);
+
+  /// App for traffic matching no rule (and non-UDP/unparsable packets).
+  void set_default_app(const std::string& app_name) { default_app_ = app_name; }
+
+  /// Name of the app this packet belongs to.
+  const std::string& classify(std::span<const std::uint8_t> packet) const;
+
+  /// Classify, account, and dispatch to a core currently running the
+  /// packet's app (round-robin among that app's cores). Packets whose app
+  /// has no core yet are handled by core 0's current app (and counted, so
+  /// the next rebalance assigns capacity).
+  np::PacketResult process(std::span<const std::uint8_t> packet);
+
+  /// Remap cores proportionally to the observed per-app load since the
+  /// last rebalance (largest-remainder; every observed app gets >= 1
+  /// core). Switches only cores whose assignment changes; resets the
+  /// observation window. Returns the number of cores switched.
+  std::size_t rebalance();
+
+  /// Current core -> app assignment ("" = untouched since construction).
+  const std::vector<std::string>& assignment() const { return assignment_; }
+
+  const std::map<std::string, std::uint64_t>& observed() const {
+    return counts_;
+  }
+
+ private:
+  struct PortRule {
+    std::uint16_t lo, hi;
+    std::string app;
+  };
+
+  NetworkProcessorDevice& device_;
+  std::vector<PortRule> rules_;
+  std::string default_app_;
+  std::map<std::string, std::uint64_t> counts_;
+  std::vector<std::string> assignment_;
+  std::map<std::string, std::size_t> next_core_;  // round-robin cursor
+};
+
+}  // namespace sdmmon::protocol
+
+#endif  // SDMMON_SDMMON_WORKLOAD_HPP

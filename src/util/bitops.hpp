@@ -1,0 +1,38 @@
+// Small bit-manipulation helpers shared by the hash functions and the
+// resource model.
+#ifndef SDMMON_UTIL_BITOPS_HPP
+#define SDMMON_UTIL_BITOPS_HPP
+
+#include <bit>
+#include <cstdint>
+
+namespace sdmmon::util {
+
+constexpr int popcount32(std::uint32_t v) { return std::popcount(v); }
+
+/// Number of differing bits between two 32-bit words.
+constexpr int hamming32(std::uint32_t a, std::uint32_t b) {
+  return std::popcount(a ^ b);
+}
+
+constexpr std::uint32_t rotl32(std::uint32_t v, int s) {
+  return std::rotl(v, s);
+}
+
+constexpr std::uint32_t rotr32(std::uint32_t v, int s) {
+  return std::rotr(v, s);
+}
+
+/// Extract `width` bits of `v` starting at bit `lo` (LSB = bit 0).
+constexpr std::uint32_t bits(std::uint32_t v, int lo, int width) {
+  return (v >> lo) & ((width >= 32) ? 0xFFFFFFFFu : ((1u << width) - 1u));
+}
+
+/// Set/clear bit `i` of `v`.
+constexpr std::uint32_t with_bit(std::uint32_t v, int i, bool on) {
+  return on ? (v | (1u << i)) : (v & ~(1u << i));
+}
+
+}  // namespace sdmmon::util
+
+#endif  // SDMMON_UTIL_BITOPS_HPP

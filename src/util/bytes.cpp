@@ -1,0 +1,181 @@
+#include "util/bytes.hpp"
+
+#include <algorithm>
+
+namespace sdmmon::util {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw DecodeError("from_hex: odd length");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_val(hex[i]);
+    int lo = hex_val(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw DecodeError("from_hex: bad digit");
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+Bytes bytes_of(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+bool ct_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+void store_be16(std::uint16_t v, std::uint8_t* out) {
+  out[0] = static_cast<std::uint8_t>(v >> 8);
+  out[1] = static_cast<std::uint8_t>(v);
+}
+
+std::uint16_t load_be16(const std::uint8_t* in) {
+  return static_cast<std::uint16_t>(in[0] << 8 | in[1]);
+}
+
+void store_be32(std::uint32_t v, std::uint8_t* out) {
+  out[0] = static_cast<std::uint8_t>(v >> 24);
+  out[1] = static_cast<std::uint8_t>(v >> 16);
+  out[2] = static_cast<std::uint8_t>(v >> 8);
+  out[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t load_be32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) << 24 |
+         static_cast<std::uint32_t>(in[1]) << 16 |
+         static_cast<std::uint32_t>(in[2]) << 8 |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+void store_be64(std::uint64_t v, std::uint8_t* out) {
+  store_be32(static_cast<std::uint32_t>(v >> 32), out);
+  store_be32(static_cast<std::uint32_t>(v), out + 4);
+}
+
+std::uint64_t load_be64(const std::uint8_t* in) {
+  return static_cast<std::uint64_t>(load_be32(in)) << 32 | load_be32(in + 4);
+}
+
+void store_le32(std::uint32_t v, std::uint8_t* out) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t load_le32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+void ByteWriter::u16(std::uint16_t v) {
+  std::uint8_t tmp[2];
+  store_be16(v, tmp);
+  buf_.insert(buf_.end(), tmp, tmp + 2);
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  std::uint8_t tmp[4];
+  store_be32(v, tmp);
+  buf_.insert(buf_.end(), tmp, tmp + 4);
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  std::uint8_t tmp[8];
+  store_be64(v, tmp);
+  buf_.insert(buf_.end(), tmp, tmp + 8);
+}
+
+void ByteWriter::blob(std::span<const std::uint8_t> data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) throw DecodeError("ByteReader: truncated input");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  std::uint16_t v = load_be16(data_.data() + pos_);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = load_be32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = load_be64(data_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+Bytes ByteReader::blob() {
+  std::uint32_t n = u32();
+  return raw(n);
+}
+
+std::string ByteReader::str() {
+  std::uint32_t n = u32();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Bytes ByteReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace sdmmon::util

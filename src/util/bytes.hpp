@@ -1,0 +1,92 @@
+// Byte-buffer utilities: hex codecs, endian load/store, and a small
+// length-prefixed serialization reader/writer used by the crypto and
+// sdmmon package formats.
+#ifndef SDMMON_UTIL_BYTES_HPP
+#define SDMMON_UTIL_BYTES_HPP
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdmmon::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown on malformed serialized input (truncated fields, bad hex, ...).
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Lowercase hex encoding of a byte span.
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Decode a hex string (even length, [0-9a-fA-F]); throws DecodeError.
+Bytes from_hex(std::string_view hex);
+
+/// Bytes from a string's character values.
+Bytes bytes_of(std::string_view s);
+
+/// Constant-time equality (length leak only); for MAC/signature compares.
+bool ct_equal(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+// Big-endian fixed-width stores/loads (network order).
+void store_be32(std::uint32_t v, std::uint8_t* out);
+void store_be64(std::uint64_t v, std::uint8_t* out);
+std::uint32_t load_be32(const std::uint8_t* in);
+std::uint64_t load_be64(const std::uint8_t* in);
+void store_be16(std::uint16_t v, std::uint8_t* out);
+std::uint16_t load_be16(const std::uint8_t* in);
+
+// Little-endian variants (used by the ISA image format).
+void store_le32(std::uint32_t v, std::uint8_t* out);
+std::uint32_t load_le32(const std::uint8_t* in);
+
+/// Append-only serializer producing length-prefixed, tagged fields.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// 32-bit length prefix followed by raw bytes.
+  void blob(std::span<const std::uint8_t> data);
+  void str(std::string_view s);
+  void raw(std::span<const std::uint8_t> data);
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Mirror of ByteWriter; throws DecodeError on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes blob();
+  std::string str();
+  Bytes raw(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sdmmon::util
+
+#endif  // SDMMON_UTIL_BYTES_HPP

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Default level is Warn so library code stays quiet
+// in tests and benches; examples raise it to Info to narrate the protocol.
+#ifndef SDMMON_UTIL_LOG_HPP
+#define SDMMON_UTIL_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace sdmmon::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_message(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  detail::log_fmt(LogLevel::Debug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  detail::log_fmt(LogLevel::Info, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  detail::log_fmt(LogLevel::Warn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  detail::log_fmt(LogLevel::Error, args...);
+}
+
+}  // namespace sdmmon::util
+
+#endif  // SDMMON_UTIL_LOG_HPP

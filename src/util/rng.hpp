@@ -1,0 +1,52 @@
+// Deterministic simulation RNG (xoshiro256**) used by workload generators,
+// the fleet simulation, and tests. Cryptographic randomness lives in
+// crypto/drbg.hpp, not here.
+#ifndef SDMMON_UTIL_RNG_HPP
+#define SDMMON_UTIL_RNG_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace sdmmon::util {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+/// Satisfies UniformRandomBitGenerator so it works with <random>.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5DEECE66DULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  std::uint64_t next();
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next() >> 32); }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sdmmon::util
+
+#endif  // SDMMON_UTIL_RNG_HPP

@@ -1,0 +1,166 @@
+#include "monitor/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+
+namespace sdmmon::monitor {
+namespace {
+
+isa::Program prog(const char* src) { return isa::assemble(src); }
+
+MonitoringGraph graph_of(const char* src, std::uint32_t param = 0x1234) {
+  return extract_graph(prog(src), MerkleTreeHash(param));
+}
+
+TEST(Analysis, StraightLineSuccessors) {
+  auto g = graph_of(R"(
+main:
+    addiu $t0, $t0, 1
+    addiu $t0, $t0, 2
+    jr $ra
+  )");
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.node(0).successors, (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(g.node(1).successors, (std::vector<std::uint32_t>{2}));
+  EXPECT_FALSE(g.node(0).can_exit);
+}
+
+TEST(Analysis, BranchHasBothSuccessors) {
+  auto g = graph_of(R"(
+main:
+    beq $t0, $t1, skip
+    addiu $t0, $t0, 1
+skip:
+    jr $ra
+  )");
+  // Node 0 (beq): fall-through 1 and target 2.
+  EXPECT_EQ(g.node(0).successors, (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(Analysis, JumpHasSingleSuccessor) {
+  auto g = graph_of(R"(
+main:
+    j end
+    addiu $t0, $t0, 1
+end:
+    jr $ra
+  )");
+  EXPECT_EQ(g.node(0).successors, (std::vector<std::uint32_t>{2}));
+}
+
+TEST(Analysis, JalAndJrReturnSites) {
+  auto g = graph_of(R"(
+main:
+    jal fn        # node 0, return site = 1
+    jr $ra        # node 1
+fn:
+    jr $ra        # node 2
+  )");
+  // jal -> its target only.
+  EXPECT_EQ(g.node(0).successors, (std::vector<std::uint32_t>{2}));
+  // jr nodes: all return sites (1) + all jal targets (2), exit-capable.
+  EXPECT_EQ(g.node(2).successors, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_TRUE(g.node(1).can_exit);
+  EXPECT_TRUE(g.node(2).can_exit);
+}
+
+TEST(Analysis, TrapHasNoSuccessors) {
+  auto g = graph_of(R"(
+main:
+    syscall
+    nop
+  )");
+  EXPECT_TRUE(g.node(0).successors.empty());
+  EXPECT_FALSE(g.node(0).can_exit);
+}
+
+TEST(Analysis, HashesMatchChosenFunction) {
+  auto p = prog("main:\n addiu $t0, $t0, 1\n jr $ra\n");
+  MerkleTreeHash h(0xCAFE);
+  auto g = extract_graph(p, h);
+  for (std::size_t i = 0; i < p.text.size(); ++i) {
+    EXPECT_EQ(g.node(static_cast<std::uint32_t>(i)).hash, h.hash(p.text[i]));
+  }
+  // A different parameter yields a different hash labeling (with high
+  // probability over several instructions).
+  auto g2 = extract_graph(p, MerkleTreeHash(0xBEEF));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < p.text.size(); ++i) {
+    any_diff |= g.node(static_cast<std::uint32_t>(i)).hash !=
+                g2.node(static_cast<std::uint32_t>(i)).hash;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Analysis, EntryIndexFollowsMainLabel) {
+  auto g = graph_of(R"(
+helper:
+    jr $ra
+main:
+    nop
+    jr $ra
+  )");
+  EXPECT_EQ(g.entry_index(), 1u);
+}
+
+TEST(Analysis, GraphWidthTracksHash) {
+  auto p = prog("main:\n jr $ra\n");
+  EXPECT_EQ(extract_graph(p, MerkleTreeHash(0, 8)).hash_width(), 8);
+  EXPECT_EQ(extract_graph(p, BitcountHash(2)).hash_width(), 2);
+}
+
+TEST(Analysis, BasicBlockLeaders) {
+  auto blocks = find_basic_blocks(prog(R"(
+main:
+    addiu $t0, $t0, 1     # 0 leader (entry)
+    beq $t0, $t1, skip    # 1
+    addiu $t0, $t0, 2     # 2 leader (fall-through)
+skip:
+    addiu $t0, $t0, 3     # 3 leader (branch target)
+    jr $ra                # 4
+  )"));
+  EXPECT_EQ(blocks.leaders, (std::vector<std::uint32_t>{0, 2, 3}));
+}
+
+TEST(Analysis, GraphSerializationRoundTrip) {
+  auto g = graph_of(R"(
+main:
+    beq $t0, $t1, out
+    jal fn
+out:
+    jr $ra
+fn:
+    jr $ra
+  )");
+  auto bytes = g.serialize();
+  auto back = MonitoringGraph::deserialize(bytes);
+  EXPECT_EQ(back, g);
+}
+
+TEST(Analysis, GraphIsCompactRelativeToBinary) {
+  // The monitoring graph must be a fraction of the binary (Section 2.1).
+  std::string src = "main:\n";
+  for (int i = 0; i < 500; ++i) src += "  addiu $t0, $t0, 1\n";
+  src += "  jr $ra\n";
+  auto p = prog(src.c_str());
+  auto g = extract_graph(p, MerkleTreeHash(1));
+  const std::size_t binary_bits = p.text.size() * 32;
+  EXPECT_LT(g.size_bits(), binary_bits / 4);
+}
+
+TEST(Analysis, UndecodableTextThrows) {
+  isa::Program p;
+  p.text = {0xFC000000u};
+  EXPECT_THROW(extract_graph(p, MerkleTreeHash(0)), isa::IsaError);
+}
+
+TEST(Analysis, EmptyProgramYieldsEmptyGraph) {
+  isa::Program p;
+  auto g = extract_graph(p, MerkleTreeHash(0));
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_EQ(g.size_bits(), 0u);
+}
+
+}  // namespace
+}  // namespace sdmmon::monitor

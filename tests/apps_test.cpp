@@ -1,0 +1,225 @@
+// End-to-end tests of the packet-processing apps running on the simulated
+// NP core (no monitor here; monitored behaviour is covered in
+// attack_test.cpp and integration_test.cpp).
+#include "net/apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+#include "np/core.hpp"
+
+namespace sdmmon::net {
+namespace {
+
+using np::Core;
+using np::StepEvent;
+
+struct RunResult {
+  StepEvent event;
+  util::Bytes output;
+};
+
+RunResult run_app(const isa::Program& app, const util::Bytes& packet) {
+  Core core;
+  core.load_program(app);
+  core.deliver_packet(packet);
+  np::StepInfo last = core.run(2'000'000);
+  RunResult r{last.event, {}};
+  if (core.has_output()) r.output = core.output();
+  return r;
+}
+
+util::Bytes udp(std::uint8_t ttl = 64, std::uint16_t dst_port = 8080) {
+  return make_udp_packet(ip(10, 1, 2, 3), ip(172, 16, 0, 9), 4444, dst_port,
+                         util::bytes_of("payload-bytes"), ttl);
+}
+
+TEST(Ipv4ForwardApp, ForwardsAndDecrementsTtl) {
+  auto result = run_app(build_ipv4_forward(), udp(64));
+  ASSERT_EQ(result.event, StepEvent::PacketOut);
+  auto out = Ipv4Packet::parse(result.output);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->ttl, 63);
+  EXPECT_TRUE(ipv4_checksum_ok(result.output));
+  // Payload untouched.
+  auto udp_out = UdpDatagram::parse(out->payload);
+  ASSERT_TRUE(udp_out.has_value());
+  EXPECT_EQ(udp_out->payload, util::bytes_of("payload-bytes"));
+}
+
+TEST(Ipv4ForwardApp, ChecksumCorrectForManyTtls) {
+  auto app = build_ipv4_forward();
+  for (std::uint8_t ttl : {2, 3, 17, 100, 255}) {
+    auto result = run_app(app, udp(ttl));
+    ASSERT_EQ(result.event, StepEvent::PacketOut) << "ttl " << int(ttl);
+    EXPECT_TRUE(ipv4_checksum_ok(result.output)) << "ttl " << int(ttl);
+    EXPECT_EQ(Ipv4Packet::parse(result.output)->ttl, ttl - 1);
+  }
+}
+
+TEST(Ipv4ForwardApp, DropsExpiredTtl) {
+  auto app = build_ipv4_forward();
+  EXPECT_EQ(run_app(app, udp(1)).event, StepEvent::PacketDone);
+  EXPECT_EQ(run_app(app, udp(0)).event, StepEvent::PacketDone);
+}
+
+TEST(Ipv4ForwardApp, DropsMalformed) {
+  auto app = build_ipv4_forward();
+  // Too short.
+  EXPECT_EQ(run_app(app, util::Bytes(10, 0)).event, StepEvent::PacketDone);
+  // Wrong version.
+  util::Bytes bad = udp();
+  bad[0] = 0x65;
+  EXPECT_EQ(run_app(app, bad).event, StepEvent::PacketDone);
+  // IHL shorter than minimum.
+  bad = udp();
+  bad[0] = 0x44;
+  EXPECT_EQ(run_app(app, bad).event, StepEvent::PacketDone);
+  // Empty packet.
+  EXPECT_EQ(run_app(app, util::Bytes{}).event, StepEvent::PacketDone);
+}
+
+TEST(Ipv4ForwardApp, ForwardsPacketsWithOptionsUntouched) {
+  Ipv4Packet p;
+  p.src = ip(1, 1, 1, 1);
+  p.dst = ip(2, 2, 2, 2);
+  p.ttl = 9;
+  Ipv4Option opt;
+  opt.type = 0x07;  // record route (just some option)
+  opt.data = {1, 2, 3, 4, 5, 6};
+  p.options.push_back(opt);
+  p.payload = util::bytes_of("x");
+  auto result = run_app(build_ipv4_forward(), p.to_bytes());
+  ASSERT_EQ(result.event, StepEvent::PacketOut);
+  auto out = Ipv4Packet::parse(result.output);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->ttl, 8);
+  ASSERT_EQ(out->options.size(), 1u);
+  EXPECT_EQ(out->options[0].data, opt.data);
+  EXPECT_TRUE(ipv4_checksum_ok(result.output));
+}
+
+TEST(Ipv4CmApp, ForwardsPlainPackets) {
+  auto result = run_app(build_ipv4_cm(), udp(20));
+  ASSERT_EQ(result.event, StepEvent::PacketOut);
+  EXPECT_EQ(Ipv4Packet::parse(result.output)->ttl, 19);
+  EXPECT_TRUE(ipv4_checksum_ok(result.output));
+}
+
+TEST(Ipv4CmApp, BenignCmOptionLowCongestionNoMark) {
+  // attack::benign_cm_packet lives in the attack lib; build inline here.
+  Ipv4Packet p;
+  p.src = ip(9, 9, 9, 9);
+  p.dst = ip(8, 8, 8, 8);
+  p.ttl = 44;
+  Ipv4Option opt;
+  opt.type = kCmOptionType;
+  opt.data.assign(8, 0);
+  opt.data[0] = 5;  // low congestion level
+  p.options.push_back(opt);
+  p.payload = util::bytes_of("zz");
+  auto result = run_app(build_ipv4_cm(), p.to_bytes());
+  ASSERT_EQ(result.event, StepEvent::PacketOut);
+  auto out = Ipv4Packet::parse(result.output);
+  EXPECT_EQ(out->tos & 0x3, 0);  // no CE mark
+  EXPECT_TRUE(ipv4_checksum_ok(result.output));
+}
+
+TEST(Ipv4CmApp, BenignCmOptionHighCongestionMarksCe) {
+  Ipv4Packet p;
+  p.src = ip(9, 9, 9, 9);
+  p.dst = ip(8, 8, 8, 8);
+  p.ttl = 44;
+  Ipv4Option opt;
+  opt.type = kCmOptionType;
+  opt.data.assign(8, 0);
+  opt.data[0] = 200;  // congested
+  p.options.push_back(opt);
+  p.payload = util::bytes_of("zz");
+  auto result = run_app(build_ipv4_cm(), p.to_bytes());
+  ASSERT_EQ(result.event, StepEvent::PacketOut);
+  auto out = Ipv4Packet::parse(result.output);
+  EXPECT_EQ(out->tos & 0x3, 0x3);  // CE mark set
+  EXPECT_TRUE(ipv4_checksum_ok(result.output));
+}
+
+TEST(Ipv4CmApp, IgnoresOtherOptions) {
+  Ipv4Packet p;
+  p.src = ip(9, 9, 9, 9);
+  p.dst = ip(8, 8, 8, 8);
+  p.ttl = 44;
+  Ipv4Option opt;
+  opt.type = 0x07;
+  opt.data.assign(4, 1);
+  p.options.push_back(opt);
+  p.payload = util::bytes_of("zz");
+  auto result = run_app(build_ipv4_cm(), p.to_bytes());
+  ASSERT_EQ(result.event, StepEvent::PacketOut);
+}
+
+TEST(UdpEchoApp, SwapsAddressesAndPorts) {
+  auto result = run_app(build_udp_echo(), udp(64, 7777));
+  ASSERT_EQ(result.event, StepEvent::PacketOut);
+  auto out = Ipv4Packet::parse(result.output);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->src, ip(172, 16, 0, 9));
+  EXPECT_EQ(out->dst, ip(10, 1, 2, 3));
+  EXPECT_TRUE(ipv4_checksum_ok(result.output));
+  auto udp_out = UdpDatagram::parse(out->payload);
+  ASSERT_TRUE(udp_out.has_value());
+  EXPECT_EQ(udp_out->src_port, 7777);
+  EXPECT_EQ(udp_out->dst_port, 4444);
+  EXPECT_EQ(udp_out->payload, util::bytes_of("payload-bytes"));
+}
+
+TEST(UdpEchoApp, DropsNonUdp) {
+  util::Bytes tcp = udp();
+  tcp[9] = 6;  // TCP
+  // Checksum now wrong but echo app doesn't validate it; protocol check
+  // fires first either way.
+  EXPECT_EQ(run_app(build_udp_echo(), tcp).event, StepEvent::PacketDone);
+}
+
+TEST(FirewallApp, DropsBlockedPort) {
+  auto app = build_firewall({53, 8080});
+  EXPECT_EQ(run_app(app, udp(64, 8080)).event, StepEvent::PacketDone);
+  EXPECT_EQ(run_app(app, udp(64, 53)).event, StepEvent::PacketDone);
+}
+
+TEST(FirewallApp, ForwardsAllowedPort) {
+  auto app = build_firewall({53, 8080});
+  auto result = run_app(app, udp(64, 9999));
+  ASSERT_EQ(result.event, StepEvent::PacketOut);
+  EXPECT_EQ(Ipv4Packet::parse(result.output)->ttl, 63);
+  EXPECT_TRUE(ipv4_checksum_ok(result.output));
+}
+
+TEST(FirewallApp, NonUdpBypassesFilter) {
+  auto app = build_firewall({0, 1, 2});
+  util::Bytes icmp = udp(64, 0);
+  icmp[9] = 1;  // ICMP -- but checksum now stale; rebuild properly:
+  Ipv4Packet p;
+  p.src = ip(10, 1, 2, 3);
+  p.dst = ip(172, 16, 0, 9);
+  p.ttl = 64;
+  p.protocol = 1;
+  p.payload = util::bytes_of("ping");
+  auto result = run_app(app, p.to_bytes());
+  EXPECT_EQ(result.event, StepEvent::PacketOut);
+}
+
+TEST(FirewallApp, EmptyBlocklistForwardsEverything) {
+  auto app = build_firewall({});
+  EXPECT_EQ(run_app(app, udp(64, 53)).event, StepEvent::PacketOut);
+}
+
+TEST(Apps, AllSourcesAssemble) {
+  EXPECT_GT(build_ipv4_forward().text.size(), 20u);
+  EXPECT_GT(build_ipv4_cm().text.size(), 50u);
+  EXPECT_GT(build_udp_echo().text.size(), 30u);
+  EXPECT_GT(build_firewall({1, 2, 3}).text.size(), 30u);
+  EXPECT_EQ(build_ipv4_forward().name, "ipv4-forward");
+}
+
+}  // namespace
+}  // namespace sdmmon::net

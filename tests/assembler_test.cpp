@@ -1,0 +1,268 @@
+#include "isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/disassembler.hpp"
+#include "isa/isa.hpp"
+
+namespace sdmmon::isa {
+namespace {
+
+TEST(Assembler, EmptySourceGivesEmptyProgram) {
+  Program p = assemble("");
+  EXPECT_TRUE(p.text.empty());
+  EXPECT_TRUE(p.data.empty());
+}
+
+TEST(Assembler, SingleInstruction) {
+  Program p = assemble("add $t0, $t1, $t2\n");
+  ASSERT_EQ(p.text.size(), 1u);
+  EXPECT_EQ(p.text[0], 0x012A4020u);
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored) {
+  Program p = assemble(R"(
+    # full-line comment
+    add $t0, $t1, $t2   # trailing comment
+    ; semicolon comment
+    nop
+  )");
+  EXPECT_EQ(p.text.size(), 2u);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  Program p = assemble(R"(
+loop:
+    addiu $t0, $t0, 1
+    bne $t0, $t1, loop
+    nop
+  )");
+  ASSERT_EQ(p.text.size(), 3u);
+  Instr bne = decode(p.text[1]);
+  EXPECT_EQ(bne.op, Op::Bne);
+  // Branch at word 1 back to word 0: offset = (0 - (1+1)) = -2.
+  EXPECT_EQ(bne.imm, -2);
+  EXPECT_EQ(p.symbol("loop"), 0u);
+}
+
+TEST(Assembler, ForwardReferences) {
+  Program p = assemble(R"(
+    beq $zero, $zero, done
+    nop
+    nop
+done:
+    jr $ra
+  )");
+  Instr beq = decode(p.text[0]);
+  EXPECT_EQ(beq.imm, 2);  // skip two nops
+  EXPECT_EQ(p.symbol("done"), 12u);
+}
+
+TEST(Assembler, JumpTargetsAreAbsoluteWordIndices) {
+  Program p = assemble(R"(
+main:
+    j main
+  )");
+  Instr j = decode(p.text[0]);
+  EXPECT_EQ(j.op, Op::J);
+  EXPECT_EQ(j.target, 0u);
+  EXPECT_EQ(p.entry, 0u);
+}
+
+TEST(Assembler, EntryIsMainLabel) {
+  Program p = assemble(R"(
+    nop
+    nop
+main:
+    jr $ra
+  )");
+  EXPECT_EQ(p.entry, 8u);
+}
+
+TEST(Assembler, LiExpandsToLuiOri) {
+  Program p = assemble("li $t0, 0x12345678\n");
+  ASSERT_EQ(p.text.size(), 2u);
+  Instr lui = decode(p.text[0]);
+  Instr ori = decode(p.text[1]);
+  EXPECT_EQ(lui.op, Op::Lui);
+  EXPECT_EQ(lui.imm & 0xFFFF, 0x1234);
+  EXPECT_EQ(ori.op, Op::Ori);
+  EXPECT_EQ(ori.imm & 0xFFFF, 0x5678);
+}
+
+TEST(Assembler, LaLoadsDataAddress) {
+  Program p = assemble(R"(
+    la $t0, table
+.data
+table:
+    .word 1, 2, 3
+  )");
+  ASSERT_EQ(p.text.size(), 2u);
+  EXPECT_EQ(p.symbol("table"), 0x10000u);
+  Instr lui = decode(p.text[0]);
+  Instr ori = decode(p.text[1]);
+  EXPECT_EQ(lui.imm & 0xFFFF, 0x0001);
+  EXPECT_EQ(ori.imm & 0xFFFF, 0x0000);
+}
+
+TEST(Assembler, MemoryOperands) {
+  Program p = assemble("lw $t0, 8($sp)\nsw $t1, -4($fp)\nlw $t2, ($a0)\n");
+  Instr lw = decode(p.text[0]);
+  EXPECT_EQ(lw.op, Op::Lw);
+  EXPECT_EQ(lw.imm, 8);
+  EXPECT_EQ(lw.rs, 29);
+  Instr sw = decode(p.text[1]);
+  EXPECT_EQ(sw.imm, -4);
+  Instr lw2 = decode(p.text[2]);
+  EXPECT_EQ(lw2.imm, 0);
+  EXPECT_EQ(lw2.rs, 4);
+}
+
+TEST(Assembler, DataDirectives) {
+  Program p = assemble(R"(
+.data
+w:  .word 0x11223344
+h:  .half 0x5566, 0x7788
+b:  .byte 1, 2, 3
+s:  .space 5
+z:  .asciiz "hi"
+  )");
+  // .word is little-endian in the data image.
+  ASSERT_GE(p.data.size(), 4u);
+  EXPECT_EQ(p.data[0], 0x44);
+  EXPECT_EQ(p.data[3], 0x11);
+  EXPECT_EQ(p.symbol("h"), 0x10004u);
+  EXPECT_EQ(p.data[4], 0x66);
+  EXPECT_EQ(p.symbol("b"), 0x10008u);
+  EXPECT_EQ(p.symbol("s"), 0x1000Bu);
+  EXPECT_EQ(p.symbol("z"), 0x10010u);
+  EXPECT_EQ(p.data[0x10], 'h');
+  EXPECT_EQ(p.data[0x11], 'i');
+  EXPECT_EQ(p.data[0x12], 0);
+}
+
+TEST(Assembler, AlignDirective) {
+  Program p = assemble(R"(
+.data
+    .byte 1
+    .align 2
+aligned:
+    .word 7
+  )");
+  EXPECT_EQ(p.symbol("aligned") % 4, 0u);
+}
+
+TEST(Assembler, PseudoBranchesExpand) {
+  Program p = assemble(R"(
+top:
+    blt $t0, $t1, top
+    bge $t0, $t1, top
+    beqz $t2, top
+    bnez $t2, top
+    b top
+  )");
+  // blt/bge are 2 words each, beqz/bnez/b 1 word each = 7 words.
+  ASSERT_EQ(p.text.size(), 7u);
+  EXPECT_EQ(decode(p.text[0]).op, Op::Slt);
+  EXPECT_EQ(decode(p.text[1]).op, Op::Bne);
+  EXPECT_EQ(decode(p.text[1]).imm, -2);
+  EXPECT_EQ(decode(p.text[3]).op, Op::Beq);
+  EXPECT_EQ(decode(p.text[4]).op, Op::Beq);
+  EXPECT_EQ(decode(p.text[6]).op, Op::Beq);
+  EXPECT_EQ(decode(p.text[6]).imm, -7);
+}
+
+TEST(Assembler, MoveAndNop) {
+  Program p = assemble("move $s0, $v0\nnop\n");
+  Instr mv = decode(p.text[0]);
+  EXPECT_EQ(mv.op, Op::Addu);
+  EXPECT_EQ(mv.rd, 16);
+  EXPECT_EQ(mv.rt, 2);
+  EXPECT_EQ(mv.rs, 0);
+  EXPECT_EQ(p.text[1], 0u);
+}
+
+TEST(Assembler, VariableShiftsUseMipsOperandOrder) {
+  // sllv rd, rt, rs.
+  Program p = assemble("sllv $t0, $t1, $t2\n");
+  Instr i = decode(p.text[0]);
+  EXPECT_EQ(i.rd, 8);
+  EXPECT_EQ(i.rt, 9);
+  EXPECT_EQ(i.rs, 10);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nbogus $t0\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(Assembler, DuplicateLabelRejected) {
+  EXPECT_THROW(assemble("x:\nnop\nx:\nnop\n"), AsmError);
+}
+
+TEST(Assembler, UndefinedSymbolRejected) {
+  EXPECT_THROW(assemble("j nowhere\n"), AsmError);
+}
+
+TEST(Assembler, WrongOperandCountRejected) {
+  EXPECT_THROW(assemble("add $t0, $t1\n"), AsmError);
+  EXPECT_THROW(assemble("jr $t0, $t1\n"), AsmError);
+}
+
+TEST(Assembler, BranchOutOfRangeRejected) {
+  std::string src = "start:\n";
+  for (int i = 0; i < 40000; ++i) src += "nop\n";
+  src += "b start\n";
+  EXPECT_THROW(assemble(src), AsmError);
+}
+
+TEST(Assembler, LabelPlusOffset) {
+  Program p = assemble(R"(
+    la $t0, buf+8
+.data
+buf: .space 16
+  )");
+  Instr ori = decode(p.text[1]);
+  EXPECT_EQ(ori.imm & 0xFFFF, 0x0008);
+}
+
+TEST(Assembler, ProgramSerializationRoundTrip) {
+  Program p = assemble(R"(
+main:
+    li $t0, 42
+    jr $ra
+.data
+msg: .asciiz "hello"
+  )");
+  p.name = "round-trip";
+  auto bytes = p.serialize();
+  Program back = Program::deserialize(bytes);
+  EXPECT_EQ(back, p);
+}
+
+TEST(Disassembler, RoundTripsCommonInstructions) {
+  const char* src =
+      "main:\n"
+      "  addiu $sp, $sp, -16\n"
+      "  sw $ra, 12($sp)\n"
+      "  beq $a0, $zero, main\n"
+      "  jal main\n"
+      "  jr $ra\n";
+  Program p = assemble(src);
+  std::string listing = disassemble_program(p);
+  EXPECT_NE(listing.find("addiu $sp, $sp, -16"), std::string::npos);
+  EXPECT_NE(listing.find("sw $ra, 12($sp)"), std::string::npos);
+  EXPECT_NE(listing.find("jr $ra"), std::string::npos);
+  EXPECT_NE(listing.find("main:"), std::string::npos);
+}
+
+TEST(Disassembler, UnknownWordRendersAsData) {
+  EXPECT_EQ(disassemble(0xFC000000u, 0), ".word 0xfc000000");
+}
+
+}  // namespace
+}  // namespace sdmmon::isa

@@ -1,0 +1,214 @@
+#include "monitor/block_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "util/rng.hpp"
+
+namespace sdmmon::monitor {
+namespace {
+
+struct Rig {
+  isa::Program program;
+  BlockMonitor monitor;
+};
+
+Rig make(const char* src, std::uint32_t param = 0xB10C) {
+  isa::Program p = isa::assemble(src);
+  MerkleTreeHash hash(param);
+  return {p, BlockMonitor(extract_block_graph(p, hash),
+                          std::make_unique<MerkleTreeHash>(hash))};
+}
+
+TEST(BlockGraphTest, StraightLineIsOneBlock) {
+  isa::Program p = isa::assemble(R"(
+main:
+    addiu $t0, $t0, 1
+    addiu $t0, $t0, 2
+    jr $ra
+  )");
+  auto g = extract_block_graph(p, MerkleTreeHash(1));
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.blocks()[0].length, 3u);
+  EXPECT_TRUE(g.blocks()[0].can_exit);
+}
+
+TEST(BlockGraphTest, BranchSplitsBlocks) {
+  isa::Program p = isa::assemble(R"(
+main:
+    beq $t0, $t1, skip
+    addiu $t0, $t0, 1
+skip:
+    jr $ra
+  )");
+  auto g = extract_block_graph(p, MerkleTreeHash(1));
+  ASSERT_EQ(g.size(), 3u);
+  // Block 0 = {beq}: successors are both block 1 and block 2.
+  EXPECT_EQ(g.blocks()[0].length, 1u);
+  EXPECT_EQ(g.blocks()[0].successors, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(g.blocks()[1].successors, (std::vector<std::uint32_t>{2}));
+}
+
+TEST(BlockGraphTest, FoldIsIteratedCompression) {
+  isa::Program p = isa::assemble("main:\n addiu $t0, $t0, 1\n jr $ra\n");
+  MerkleTreeHash hash(0x77);
+  auto g = extract_block_graph(p, hash);
+  std::uint8_t expected = hash.compress(0, hash.hash(p.text[0]));
+  expected = hash.compress(expected, hash.hash(p.text[1]));
+  EXPECT_EQ(g.blocks()[0].fold, expected);
+}
+
+TEST(BlockGraphTest, EntryMidTextBecomesLeader) {
+  isa::Program p = isa::assemble(R"(
+helper:
+    jr $ra
+main:
+    nop
+    jr $ra
+  )");
+  auto g = extract_block_graph(p, MerkleTreeHash(1));
+  EXPECT_EQ(g.blocks()[g.entry_block()].first_instr, 1u);
+}
+
+TEST(BlockGraphTest, CompacterThanInstructionGraph) {
+  std::string src = "main:\n";
+  for (int i = 0; i < 200; ++i) src += "  addiu $t0, $t0, 1\n";
+  src += "  jr $ra\n";
+  isa::Program p = isa::assemble(src);
+  auto g = extract_block_graph(p, MerkleTreeHash(1));
+  // One big block: far fewer bits than per-instruction storage.
+  EXPECT_LT(g.size_bits(), 100u);
+}
+
+TEST(BlockMonitorTest, AcceptsValidExecution) {
+  auto rig = make(R"(
+main:
+    addiu $t0, $t0, 1
+    beq $t0, $t1, out
+    addiu $t0, $t0, 2
+out:
+    jr $ra
+  )");
+  // Not-taken path.
+  for (std::uint32_t w : rig.program.text) {
+    ASSERT_EQ(rig.monitor.on_instruction(w), Verdict::Ok);
+  }
+  EXPECT_TRUE(rig.monitor.exit_allowed());
+}
+
+TEST(BlockMonitorTest, AcceptsTakenBranchPath) {
+  auto rig = make(R"(
+main:
+    addiu $t0, $t0, 1
+    beq $t0, $t1, out
+    addiu $t0, $t0, 2
+out:
+    jr $ra
+  )");
+  EXPECT_EQ(rig.monitor.on_instruction(rig.program.text[0]), Verdict::Ok);
+  EXPECT_EQ(rig.monitor.on_instruction(rig.program.text[1]), Verdict::Ok);
+  EXPECT_EQ(rig.monitor.on_instruction(rig.program.text[3]), Verdict::Ok);
+  EXPECT_TRUE(rig.monitor.exit_allowed());
+}
+
+TEST(BlockMonitorTest, DetectsDeviationAtBlockBoundary) {
+  auto rig = make(R"(
+main:
+    addiu $t0, $t0, 1
+    addiu $t0, $t0, 2
+    addiu $t0, $t0, 3
+    jr $ra
+  )");
+  // Deviate on the second instruction of the single 4-instruction block:
+  // the monitor cannot flag until the block completes.
+  EXPECT_EQ(rig.monitor.on_instruction(rig.program.text[0]), Verdict::Ok);
+  std::uint32_t foreign = 0x00FF00FF;
+  Verdict v1 = rig.monitor.on_instruction(foreign);
+  Verdict v2 = rig.monitor.on_instruction(rig.program.text[2]);
+  Verdict v3 = rig.monitor.on_instruction(rig.program.text[3]);
+  // Mid-block reports stay Ok; the boundary check flags (unless the fold
+  // happens to collide, probability 2^-4).
+  EXPECT_EQ(v1, Verdict::Ok);
+  EXPECT_EQ(v2, Verdict::Ok);
+  bool flagged = (v3 == Verdict::Mismatch) || rig.monitor.attack_flagged();
+  // With this fixed foreign word and parameter the fold differs.
+  EXPECT_TRUE(flagged);
+}
+
+TEST(BlockMonitorTest, FoldCollisionEscapesAtBlockLevel) {
+  // Construct a two-instruction swap that keeps the (commutative) sum
+  // fold identical: the block monitor MUST miss it, the per-instruction
+  // scheme would catch the first wrong word with p=15/16.
+  auto rig = make(R"(
+main:
+    addiu $t0, $t0, 1
+    addiu $t0, $t0, 2
+    jr $ra
+  )");
+  // Swap the two addiu instructions: same multiset of hashes -> same sum
+  // fold -> block accepts.
+  EXPECT_EQ(rig.monitor.on_instruction(rig.program.text[1]), Verdict::Ok);
+  EXPECT_EQ(rig.monitor.on_instruction(rig.program.text[0]), Verdict::Ok);
+  EXPECT_EQ(rig.monitor.on_instruction(rig.program.text[2]), Verdict::Ok);
+  EXPECT_FALSE(rig.monitor.attack_flagged());
+}
+
+TEST(BlockMonitorTest, MismatchLatchesUntilReset) {
+  auto rig = make("main:\n addiu $t0, $t0, 1\n jr $ra\n");
+  // Finish the block with garbage so the fold check fails.
+  rig.monitor.on_instruction(0x11111111);
+  rig.monitor.on_instruction(0x22222222);
+  // After flagging, everything mismatches.
+  if (rig.monitor.attack_flagged()) {
+    EXPECT_EQ(rig.monitor.on_instruction(rig.program.text[0]),
+              Verdict::Mismatch);
+  }
+  rig.monitor.reset();
+  EXPECT_FALSE(rig.monitor.attack_flagged());
+  EXPECT_EQ(rig.monitor.on_instruction(rig.program.text[0]), Verdict::Ok);
+}
+
+TEST(BlockMonitorTest, LoopsStayValid) {
+  auto rig = make(R"(
+main:
+    li $t1, 3
+loop:
+    addiu $t0, $t0, 1
+    bne $t0, $t1, loop
+    jr $ra
+  )");
+  const auto& text = rig.program.text;
+  EXPECT_EQ(rig.monitor.on_instruction(text[0]), Verdict::Ok);
+  EXPECT_EQ(rig.monitor.on_instruction(text[1]), Verdict::Ok);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(rig.monitor.on_instruction(text[2]), Verdict::Ok);
+    EXPECT_EQ(rig.monitor.on_instruction(text[3]), Verdict::Ok);
+  }
+  EXPECT_EQ(rig.monitor.on_instruction(text[4]), Verdict::Ok);
+  EXPECT_TRUE(rig.monitor.exit_allowed());
+}
+
+TEST(BlockMonitorTest, RandomValidProgramsNeverFlagged) {
+  util::Rng rng(0xB10C5);
+  for (int t = 0; t < 30; ++t) {
+    std::string src = "main:\n";
+    const int len = 2 + static_cast<int>(rng.below(12));
+    for (int i = 0; i < len; ++i) {
+      src += "  ori $t" + std::to_string(rng.below(8)) + ", $t" +
+             std::to_string(rng.below(8)) + ", " +
+             std::to_string(rng.below(256)) + "\n";
+    }
+    src += "  jr $ra\n";
+    isa::Program p = isa::assemble(src);
+    MerkleTreeHash hash(rng.next_u32());
+    BlockMonitor monitor(extract_block_graph(p, hash),
+                         std::make_unique<MerkleTreeHash>(hash));
+    for (std::uint32_t w : p.text) {
+      ASSERT_EQ(monitor.on_instruction(w), Verdict::Ok);
+    }
+    EXPECT_TRUE(monitor.exit_allowed());
+  }
+}
+
+}  // namespace
+}  // namespace sdmmon::monitor

@@ -1,0 +1,118 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdmmon::util {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x10};
+  EXPECT_EQ(to_hex(data), "0001abff10");
+  EXPECT_EQ(from_hex("0001abff10"), data);
+  EXPECT_EQ(from_hex("0001ABFF10"), data);
+}
+
+TEST(Hex, Empty) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), DecodeError);
+}
+
+TEST(Hex, RejectsBadDigit) {
+  EXPECT_THROW(from_hex("zz"), DecodeError);
+}
+
+TEST(Endian, Be32RoundTrip) {
+  std::uint8_t buf[4];
+  store_be32(0x12345678u, buf);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(buf[3], 0x78);
+  EXPECT_EQ(load_be32(buf), 0x12345678u);
+}
+
+TEST(Endian, Be64RoundTrip) {
+  std::uint8_t buf[8];
+  store_be64(0x0123456789ABCDEFull, buf);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[7], 0xEF);
+  EXPECT_EQ(load_be64(buf), 0x0123456789ABCDEFull);
+}
+
+TEST(Endian, Le32RoundTrip) {
+  std::uint8_t buf[4];
+  store_le32(0x12345678u, buf);
+  EXPECT_EQ(buf[0], 0x78);
+  EXPECT_EQ(buf[3], 0x12);
+  EXPECT_EQ(load_le32(buf), 0x12345678u);
+}
+
+TEST(Endian, Be16RoundTrip) {
+  std::uint8_t buf[2];
+  store_be16(0xBEEF, buf);
+  EXPECT_EQ(load_be16(buf), 0xBEEF);
+}
+
+TEST(CtEqual, Basics) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+}
+
+TEST(ByteRw, ScalarRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ull);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ull);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteRw, BlobAndString) {
+  ByteWriter w;
+  w.blob(Bytes{9, 8, 7});
+  w.str("hello");
+  w.blob(Bytes{});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.blob(), (Bytes{9, 8, 7}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteRw, TruncationThrows) {
+  ByteWriter w;
+  w.u32(10);  // claims a 10-byte blob follows, but nothing does
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.blob(), DecodeError);
+}
+
+TEST(ByteRw, ReadPastEndThrows) {
+  Bytes data{1};
+  ByteReader r(data);
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_THROW(r.u8(), DecodeError);
+}
+
+TEST(ByteRw, RawPreservesOrder) {
+  ByteWriter w;
+  w.raw(Bytes{1, 2});
+  w.raw(Bytes{3});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.raw(3), (Bytes{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace sdmmon::util

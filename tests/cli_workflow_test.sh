@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# End-to-end CLI workflow: assemble an app, run it, then drive the full
+# three-entity protocol through files, including a wrong-device rejection.
+# Usage: cli_workflow_test.sh <tools-dir>
+set -euo pipefail
+
+TOOLS="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+cat > echo.s <<'EOF'
+main:
+    li $t0, 0xFFFF0000
+    lw $s2, 0($t0)
+    beqz $s2, drop
+    li $s0, 0x30000
+    li $s1, 0x40000
+    move $t1, $zero
+loop:
+    addu $t2, $s0, $t1
+    lbu $t3, 0($t2)
+    addu $t2, $s1, $t1
+    sb $t3, 0($t2)
+    addiu $t1, $t1, 1
+    bne $t1, $s2, loop
+    li $t0, 0xFFFF0004
+    sw $s2, 0($t0)
+drop:
+    jr $ra
+EOF
+
+"$TOOLS/sdmmon-asm" echo.s --out echo.img --name echo --list | grep -q "19 instructions"
+
+"$TOOLS/sdmmon-run" echo.img --hex cafebabe --param 0x77 | grep -q "forwarded 1"
+"$TOOLS/sdmmon-run" echo.img --gen 20 | grep -q "packets 20"
+
+"$TOOLS/sdmmon-protocol" keygen --seed cli-man --bits 1024 --priv m.key --pub m.pub > /dev/null
+"$TOOLS/sdmmon-protocol" keygen --seed cli-op  --bits 1024 --priv op.key --pub op.pub > /dev/null
+"$TOOLS/sdmmon-protocol" keygen --seed cli-dev --bits 1024 --priv dev.key --pub dev.pub > /dev/null
+
+"$TOOLS/sdmmon-protocol" certify --issuer-priv m.key --issuer-name acme \
+    --subject-pub op.pub --subject-name noc --out op.cert | grep -q "certified 'noc'"
+
+"$TOOLS/sdmmon-protocol" package --operator-priv op.key --cert op.cert \
+    --device-pub dev.pub --image echo.img --seed pkg --out pkg.bin | grep -q "sealed 'echo'"
+
+"$TOOLS/sdmmon-protocol" install --device-priv dev.key --root-pub m.pub \
+    --pkg pkg.bin | grep -q "ACCEPTED"
+
+# SR4: the same package must not open on a different device's key.
+if "$TOOLS/sdmmon-protocol" install --device-priv op.key --root-pub m.pub \
+    --pkg pkg.bin > out.txt 2>&1; then
+  echo "expected wrong-device rejection" >&2
+  exit 1
+fi
+grep -q "wrong-device" out.txt
+
+# Corrupt the package: any field damage must be rejected.
+python3 - <<'PYEOF'
+data = bytearray(open('pkg.bin', 'rb').read())
+data[len(data) // 2] ^= 0x40
+open('pkg_bad.bin', 'wb').write(bytes(data))
+PYEOF
+if "$TOOLS/sdmmon-protocol" install --device-priv dev.key --root-pub m.pub \
+    --pkg pkg_bad.bin > out2.txt 2>&1; then
+  echo "expected corrupt-package rejection" >&2
+  exit 1
+fi
+grep -q "REJECTED" out2.txt
+
+echo "cli workflow ok"

@@ -1,0 +1,104 @@
+#include "np/cycle_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "np/core.hpp"
+
+namespace sdmmon::np {
+namespace {
+
+TEST(InstrMixTest, CoreClassifiesRetiredInstructions) {
+  Core core;
+  core.load_program(isa::assemble(R"(
+main:
+    li $t0, 0x10000     # lui+ori: 2 alu
+    li $t1, 7           # 2 alu
+    sw $t1, 0($t0)      # 1 store
+    lw $t2, 0($t0)      # 1 load
+    mult $t1, $t2       # 1 muldiv
+    beq $t1, $t2, skip  # taken? t1=7, t2=7 -> taken
+    addiu $t3, $t3, 1   # skipped
+skip:
+    bne $t1, $zero, go  # taken (skips one instruction)
+    addiu $t4, $t4, 1   # skipped
+go:
+    beq $t1, $zero, no  # not taken
+    jr $ra              # 1 jump
+no:
+    nop
+  )"));
+  StepInfo last = core.run();
+  ASSERT_EQ(last.event, StepEvent::PacketDone);
+  const InstrMix& mix = core.instr_mix();
+  EXPECT_EQ(mix.alu, 4u);
+  EXPECT_EQ(mix.store, 1u);
+  EXPECT_EQ(mix.load, 1u);
+  EXPECT_EQ(mix.muldiv, 1u);
+  EXPECT_EQ(mix.branch_taken, 2u);
+  EXPECT_EQ(mix.branch_not_taken, 1u);
+  EXPECT_EQ(mix.jump, 1u);
+  EXPECT_EQ(mix.trap, 0u);
+  EXPECT_EQ(mix.total(), 11u);
+}
+
+TEST(InstrMixTest, TrapCounted) {
+  Core core;
+  core.load_program(isa::assemble("main:\n syscall\n"));
+  (void)core.run();
+  EXPECT_EQ(core.instr_mix().trap, 1u);
+}
+
+TEST(InstrMixTest, SurvivesReset) {
+  Core core;
+  core.load_program(isa::assemble("main:\n addiu $t0, $t0, 1\n jr $ra\n"));
+  (void)core.run();
+  std::uint64_t after_first = core.instr_mix().total();
+  core.reset();
+  (void)core.run();
+  EXPECT_EQ(core.instr_mix().total(), 2 * after_first);
+}
+
+TEST(CycleModelTest, CostsApplied) {
+  InstrMix mix;
+  mix.alu = 10;
+  mix.load = 5;
+  mix.branch_taken = 2;
+  mix.muldiv = 1;
+  CycleModel model;  // defaults: alu 1, load 2, taken 2, muldiv 12
+  EXPECT_DOUBLE_EQ(model.cycles(mix), 10 * 1.0 + 5 * 2.0 + 2 * 2.0 + 12.0);
+  EXPECT_DOUBLE_EQ(model.seconds(mix), model.cycles(mix) / 100e6);
+  EXPECT_NEAR(model.cpi(mix), model.cycles(mix) / 18.0, 1e-12);
+}
+
+TEST(CycleModelTest, CustomCostsAndClock) {
+  CycleCosts costs;
+  costs.alu = 2.0;
+  CycleModel model(costs, 50e6);
+  InstrMix mix;
+  mix.alu = 100;
+  EXPECT_DOUBLE_EQ(model.cycles(mix), 200.0);
+  EXPECT_DOUBLE_EQ(model.seconds(mix), 200.0 / 50e6);
+  EXPECT_DOUBLE_EQ(model.clock_hz(), 50e6);
+}
+
+TEST(CycleModelTest, EmptyMixHasZeroCpi) {
+  CycleModel model;
+  EXPECT_DOUBLE_EQ(model.cpi(InstrMix{}), 0.0);
+}
+
+TEST(InstrMixTest, DifferenceOperator) {
+  InstrMix a;
+  a.alu = 10;
+  a.load = 4;
+  InstrMix b;
+  b.alu = 3;
+  b.load = 1;
+  InstrMix d = a - b;
+  EXPECT_EQ(d.alu, 7u);
+  EXPECT_EQ(d.load, 3u);
+  EXPECT_EQ(d.total(), 10u);
+}
+
+}  // namespace
+}  // namespace sdmmon::np

@@ -1,0 +1,106 @@
+#include "crypto/drbg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/bytes.hpp"
+
+namespace sdmmon::crypto {
+namespace {
+
+using util::Bytes;
+using util::from_hex;
+using util::to_hex;
+
+// RFC 8439 section 2.3.2 block-function test vector.
+TEST(ChaCha20, Rfc8439BlockVector) {
+  std::array<std::uint8_t, 32> key;
+  for (std::size_t i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  std::array<std::uint8_t, 12> nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                                        0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  auto block = chacha20_block(key, nonce, 1);
+  EXPECT_EQ(
+      to_hex(std::span<const std::uint8_t>(block.data(), block.size())),
+      "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+      "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(Drbg, DeterministicForSeed) {
+  Drbg a("seed-1"), b("seed-1");
+  EXPECT_EQ(a.bytes(100), b.bytes(100));
+}
+
+TEST(Drbg, DifferentSeedsDiffer) {
+  Drbg a("seed-1"), b("seed-2");
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Drbg, StreamContinuesAcrossCalls) {
+  Drbg a("seed");
+  Bytes first = a.bytes(10);
+  Bytes second = a.bytes(10);
+  Drbg b("seed");
+  Bytes both = b.bytes(20);
+  Bytes expected(both.begin(), both.begin() + 10);
+  EXPECT_EQ(first, expected);
+  EXPECT_NE(first, second);
+}
+
+TEST(Drbg, FillSpansBlockBoundary) {
+  Drbg a("seed");
+  Bytes head = a.bytes(60);
+  Bytes tail = a.bytes(8);  // crosses the 64-byte block boundary
+  Drbg b("seed");
+  Bytes all = b.bytes(68);
+  Bytes expect_tail(all.begin() + 60, all.end());
+  EXPECT_EQ(tail, expect_tail);
+  EXPECT_EQ(head, Bytes(all.begin(), all.begin() + 60));
+}
+
+TEST(Drbg, BelowInRangeAndUniformish) {
+  Drbg d("uniform-test");
+  std::map<std::uint64_t, int> counts;
+  const int n = 64000;
+  for (int i = 0; i < n; ++i) ++counts[d.below(16)];
+  EXPECT_EQ(counts.size(), 16u);
+  for (auto& [v, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 16, 0.01) << "value " << v;
+  }
+}
+
+TEST(Drbg, ForkIsIndependentAndDeterministic) {
+  Drbg parent("root");
+  Drbg child1 = parent.fork("a");
+  Drbg child1_again = Drbg("root").fork("a");
+  EXPECT_EQ(child1.bytes(32), child1_again.bytes(32));
+  Drbg c1 = Drbg("root").fork("a");
+  Drbg c2 = Drbg("root").fork("b");
+  EXPECT_NE(c1.bytes(32), c2.bytes(32));
+}
+
+TEST(Drbg, ForkDoesNotDisturbParent) {
+  Drbg a("root"), b("root");
+  (void)a.fork("label");
+  EXPECT_EQ(a.bytes(32), b.bytes(32));
+}
+
+TEST(Drbg, ByteSeedConstructor) {
+  Bytes seed = from_hex("deadbeef");
+  Drbg a{std::span<const std::uint8_t>(seed)};
+  Drbg b{std::span<const std::uint8_t>(seed.data(), seed.size())};
+  EXPECT_EQ(a.bytes(16), b.bytes(16));
+}
+
+TEST(Drbg, U32AndU64Advance) {
+  Drbg d("ints");
+  auto a = d.next_u32();
+  auto b = d.next_u32();
+  EXPECT_NE(a, b);  // astronomically unlikely to collide
+  auto c = d.next_u64();
+  auto e = d.next_u64();
+  EXPECT_NE(c, e);
+}
+
+}  // namespace
+}  // namespace sdmmon::crypto

@@ -1,0 +1,114 @@
+#include "sdmmon/fleet_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/apps.hpp"
+#include "net/packet.hpp"
+
+namespace sdmmon::protocol {
+namespace {
+
+constexpr std::size_t kKeyBits = 1024;
+constexpr std::uint64_t kNow = 1'760'000'000;
+
+struct FleetFixture {
+  Manufacturer manufacturer{"m", kKeyBits, crypto::Drbg("fo-man")};
+  NetworkOperator op{"o", kKeyBits, crypto::Drbg("fo-op")};
+  std::vector<std::unique_ptr<NetworkProcessorDevice>> devices;
+  FleetOperator fleet{op, manufacturer.public_key()};
+
+  FleetFixture() {
+    op.accept_certificate(manufacturer.certify_operator(
+        op.name(), op.public_key(), kNow - 10, kNow + 1'000'000));
+    for (int i = 0; i < 5; ++i) {
+      devices.push_back(manufacturer.provision_device(
+          "fleet-router-" + std::to_string(i), 1));
+      fleet.enroll(devices.back().get());
+    }
+  }
+};
+
+FleetFixture& fixture() {
+  static FleetFixture f;
+  return f;
+}
+
+std::uint32_t param_of(const NetworkProcessorDevice& device) {
+  const auto* merkle = dynamic_cast<const monitor::MerkleTreeHash*>(
+      &device.mpsoc().core(0).monitor().hash());
+  return merkle == nullptr ? 0 : merkle->parameter();
+}
+
+TEST(FleetOps, DeployReachesEveryDevice) {
+  FleetFixture& f = fixture();
+  auto result = f.fleet.deploy(net::build_ipv4_forward(), kNow);
+  EXPECT_EQ(result.succeeded, 5u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_GT(result.modeled_seconds_sequential, 5.0);  // >1s per install
+  for (const auto& device : f.devices) {
+    EXPECT_TRUE(device->has_application());
+    EXPECT_EQ(device->application_name(), "ipv4-forward");
+  }
+}
+
+TEST(FleetOps, ParametersDistinctAcrossFleet) {
+  FleetFixture& f = fixture();
+  (void)f.fleet.deploy(net::build_ipv4_forward(), kNow);
+  EXPECT_TRUE(f.fleet.parameters_all_distinct());
+  // Cross-check by reading the actual monitor parameters.
+  std::set<std::uint32_t> params;
+  for (const auto& device : f.devices) params.insert(param_of(*device));
+  EXPECT_EQ(params.size(), f.devices.size());
+}
+
+TEST(FleetOps, RotationChangesEveryParameter) {
+  FleetFixture& f = fixture();
+  (void)f.fleet.deploy(net::build_ipv4_forward(), kNow);
+  std::vector<std::uint32_t> before;
+  for (const auto& device : f.devices) before.push_back(param_of(*device));
+
+  auto result = f.fleet.rotate_parameters(kNow + 60);
+  EXPECT_EQ(result.succeeded, 5u);
+  EXPECT_TRUE(f.fleet.parameters_all_distinct());
+  for (std::size_t i = 0; i < f.devices.size(); ++i) {
+    EXPECT_NE(param_of(*f.devices[i]), before[i]) << "device " << i;
+    EXPECT_EQ(f.devices[i]->application_name(), "ipv4-forward");
+  }
+}
+
+TEST(FleetOps, FleetStillProcessesTrafficAfterRotation) {
+  FleetFixture& f = fixture();
+  (void)f.fleet.deploy(net::build_ipv4_forward(), kNow);
+  (void)f.fleet.rotate_parameters(kNow + 120);
+  util::Bytes pkt = net::make_udp_packet(net::ip(10, 0, 0, 1),
+                                         net::ip(10, 0, 0, 2), 1, 2,
+                                         util::bytes_of("post-rotation"));
+  for (const auto& device : f.devices) {
+    EXPECT_EQ(device->process_packet(pkt).outcome,
+              np::PacketOutcome::Forwarded);
+  }
+}
+
+TEST(FleetOps, RotateWithoutDeployIsNoop) {
+  Manufacturer m("m2", kKeyBits, crypto::Drbg("fo-man2"));
+  NetworkOperator o("o2", kKeyBits, crypto::Drbg("fo-op2"));
+  o.accept_certificate(
+      m.certify_operator(o.name(), o.public_key(), 0, 4'000'000'000ull));
+  FleetOperator fleet(o, m.public_key());
+  auto result = fleet.rotate_parameters(kNow);
+  EXPECT_EQ(result.succeeded, 0u);
+  EXPECT_EQ(result.failed, 0u);
+}
+
+TEST(FleetOps, EmptyFleetDeploys) {
+  FleetFixture& f = fixture();
+  FleetOperator empty(f.op, f.manufacturer.public_key());
+  auto result = empty.deploy(net::build_udp_echo(), kNow);
+  EXPECT_EQ(result.succeeded, 0u);
+  EXPECT_EQ(result.modeled_seconds_sequential, 0.0);
+}
+
+}  // namespace
+}  // namespace sdmmon::protocol

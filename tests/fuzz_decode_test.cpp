@@ -1,0 +1,132 @@
+// Deserializer robustness fuzz: every wire-format decoder in the system
+// must either produce a value or throw DecodeError on arbitrary input --
+// never crash, hang, or allocate unboundedly. Random blobs and mutated
+// valid blobs both.
+#include <gtest/gtest.h>
+
+#include "crypto/cert.hpp"
+#include "isa/program.hpp"
+#include "monitor/analysis.hpp"
+#include "monitor/graph_codec.hpp"
+#include "net/apps.hpp"
+#include "net/trace.hpp"
+#include "sdmmon/package.hpp"
+#include "util/rng.hpp"
+
+namespace sdmmon {
+namespace {
+
+util::Bytes random_blob(util::Rng& rng, std::size_t max_len) {
+  util::Bytes out(rng.below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+// Each decoder wrapped to swallow only the sanctioned failure type.
+template <typename Fn>
+void expect_no_crash(Fn&& decode, const util::Bytes& input,
+                     const char* what) {
+  try {
+    decode(input);
+  } catch (const util::DecodeError&) {
+    // sanctioned failure
+  } catch (const std::exception& e) {
+    FAIL() << what << " threw unexpected " << e.what();
+  }
+}
+
+TEST(FuzzDecode, RandomBlobsAgainstAllDecoders) {
+  util::Rng rng(0xF022);
+  for (int i = 0; i < 3000; ++i) {
+    util::Bytes blob = random_blob(rng, 512);
+    expect_no_crash(
+        [](const util::Bytes& b) { (void)isa::Program::deserialize(b); },
+        blob, "Program");
+    expect_no_crash(
+        [](const util::Bytes& b) {
+          (void)monitor::MonitoringGraph::deserialize(b);
+        },
+        blob, "MonitoringGraph");
+    expect_no_crash(
+        [](const util::Bytes& b) {
+          (void)monitor::EncodedGraph::deserialize(b);
+        },
+        blob, "EncodedGraph");
+    expect_no_crash(
+        [](const util::Bytes& b) { (void)crypto::Certificate::deserialize(b); },
+        blob, "Certificate");
+    expect_no_crash(
+        [](const util::Bytes& b) {
+          (void)protocol::WirePackage::deserialize(b);
+        },
+        blob, "WirePackage");
+    expect_no_crash(
+        [](const util::Bytes& b) { (void)net::Trace::deserialize(b); }, blob,
+        "Trace");
+  }
+}
+
+TEST(FuzzDecode, MutatedValidProgramNeverCrashes) {
+  isa::Program p = net::build_ipv4_cm();
+  util::Bytes valid = p.serialize();
+  util::Rng rng(0xF023);
+  for (int i = 0; i < 2000; ++i) {
+    util::Bytes mutated = valid;
+    const int flips = 1 + static_cast<int>(rng.below(8));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    expect_no_crash(
+        [](const util::Bytes& b) { (void)isa::Program::deserialize(b); },
+        mutated, "Program(mutated)");
+  }
+}
+
+TEST(FuzzDecode, MutatedGraphEitherFailsOrDecodesConsistently) {
+  auto program = net::build_udp_echo();
+  monitor::MerkleTreeHash hash(0xF12);
+  auto graph = monitor::extract_graph(program, hash);
+  auto encoded = monitor::encode_graph(graph);
+  util::Bytes wire = encoded.serialize();
+  util::Rng rng(0xF024);
+  for (int i = 0; i < 2000; ++i) {
+    util::Bytes mutated = wire;
+    mutated[rng.below(mutated.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    try {
+      auto e = monitor::EncodedGraph::deserialize(mutated);
+      auto g = monitor::decode_graph(e);
+      // If it decodes, re-encoding must reproduce the same bitstream
+      // modulo the (possibly mutated) header fields.
+      auto re = monitor::encode_graph(g);
+      EXPECT_EQ(re.node_count, e.node_count);
+    } catch (const util::DecodeError&) {
+    } catch (const std::invalid_argument&) {
+      // encode_graph may reject >255 successors on garbage decodes
+    }
+  }
+}
+
+TEST(FuzzDecode, TraceWithHugeClaimedCountRejectedGracefully) {
+  // A count field of 2^32-1 must not allocate 4G records: the reader hits
+  // end-of-input on the first missing record.
+  util::ByteWriter w;
+  w.u32(net::Trace::kMagic);
+  w.u32(1);
+  w.u32(0xFFFFFFFF);
+  EXPECT_THROW(net::Trace::deserialize(w.bytes()), util::DecodeError);
+}
+
+TEST(FuzzDecode, GraphWithHugeNodeCountRejectedGracefully) {
+  util::ByteWriter w;
+  w.u8(4);
+  w.u32(0);
+  w.u32(0);
+  w.u32(0xFFFFFFFF);  // claimed node count
+  EXPECT_THROW(monitor::MonitoringGraph::deserialize(w.bytes()),
+               util::DecodeError);
+}
+
+}  // namespace
+}  // namespace sdmmon

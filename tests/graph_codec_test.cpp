@@ -1,0 +1,178 @@
+#include "monitor/graph_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "monitor/analysis.hpp"
+#include "net/apps.hpp"
+#include "util/rng.hpp"
+
+namespace sdmmon::monitor {
+namespace {
+
+MonitoringGraph graph_of(const char* src, std::uint32_t param = 0xC0DEC) {
+  return extract_graph(isa::assemble(src), MerkleTreeHash(param));
+}
+
+TEST(BitIo, RoundTripVariousWidths) {
+  BitWriter w;
+  w.write(0x5, 3);
+  w.write(0x1, 1);
+  w.write(0xABCD, 16);
+  w.write(0x3FFFFFFF, 30);
+  w.write(0, 2);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(3), 0x5u);
+  EXPECT_EQ(r.read(1), 0x1u);
+  EXPECT_EQ(r.read(16), 0xABCDu);
+  EXPECT_EQ(r.read(30), 0x3FFFFFFFu);
+  EXPECT_EQ(r.read(2), 0u);
+  EXPECT_EQ(r.position(), w.bit_count());
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter w;
+  w.write(1, 4);
+  BitReader r(w.bytes());
+  r.read(4);
+  // Remaining padding bits of the byte are readable; past the byte throws.
+  r.read(4);
+  EXPECT_THROW(r.read(1), util::DecodeError);
+}
+
+TEST(BitIo, MsbFirstLayout) {
+  BitWriter w;
+  w.write(1, 1);  // bit 7 of byte 0
+  w.write(0, 1);
+  w.write(1, 1);
+  EXPECT_EQ(w.bytes()[0], 0xA0);
+}
+
+TEST(GraphCodec, StraightLineRoundTrip) {
+  auto g = graph_of(R"(
+main:
+    addiu $t0, $t0, 1
+    addiu $t0, $t0, 2
+    jr $ra
+  )");
+  auto encoded = encode_graph(g);
+  auto back = decode_graph(encoded);
+  EXPECT_EQ(back, g);
+}
+
+TEST(GraphCodec, BranchesAndCallsRoundTrip) {
+  auto g = graph_of(R"(
+main:
+    beq $t0, $t1, skip
+    jal fn
+skip:
+    bne $t0, $t2, main
+    jr $ra
+fn:
+    addiu $v0, $zero, 1
+    jr $ra
+  )");
+  EXPECT_EQ(decode_graph(encode_graph(g)), g);
+}
+
+TEST(GraphCodec, RealAppsRoundTrip) {
+  for (auto& program :
+       {net::build_ipv4_forward(), net::build_ipv4_cm(),
+        net::build_udp_echo(), net::build_firewall({53, 80})}) {
+    MerkleTreeHash hash(0xFEED0000 + program.text.size());
+    auto g = extract_graph(program, hash);
+    EXPECT_EQ(decode_graph(encode_graph(g)), g) << program.name;
+  }
+}
+
+TEST(GraphCodec, AllWidthsRoundTrip) {
+  isa::Program p = isa::assemble("main:\n beq $t0, $t1, main\n jr $ra\n");
+  for (int w : {1, 2, 4, 8}) {
+    auto g = extract_graph(p, MerkleTreeHash(7, w));
+    EXPECT_EQ(decode_graph(encode_graph(g)), g) << "width " << w;
+  }
+}
+
+TEST(GraphCodec, SizeBitsIsExactEncodedLength) {
+  auto g = graph_of(R"(
+main:
+    beq $t0, $t1, out
+    jal fn
+out:
+    jr $ra
+fn:
+    syscall
+  )");
+  EXPECT_EQ(g.size_bits(), encode_graph(g).bit_length);
+}
+
+TEST(GraphCodec, StraightLineCostsSevenBitsPerNode) {
+  // w=4 hash + 1 exit bit + 2-bit tag = 7 bits for sequential nodes.
+  std::string src = "main:\n";
+  for (int i = 0; i < 100; ++i) src += "  addiu $t0, $t0, 1\n";
+  src += "  jr $ra\n";
+  auto g = graph_of(src.c_str());
+  // 100 sequential nodes at 7 bits + jr node (explicit list).
+  EXPECT_GE(g.size_bits(), 100u * 7u);
+  EXPECT_LT(g.size_bits(), 100u * 7u + 64u);
+}
+
+TEST(GraphCodec, CompressionBeatsNaiveSerialization) {
+  auto program = net::build_ipv4_cm();
+  auto g = extract_graph(program, MerkleTreeHash(1));
+  const std::size_t naive_bits = g.serialize().size() * 8;
+  EXPECT_LT(g.size_bits(), naive_bits / 5);
+  // And is a fraction of the binary itself (paper Sec 2.1).
+  EXPECT_LT(g.size_bits(), program.text.size() * 32 / 2);
+}
+
+TEST(GraphCodec, EncodedSerializationRoundTrip) {
+  auto g = graph_of("main:\n bne $t0, $t1, main\n jr $ra\n");
+  auto encoded = encode_graph(g);
+  auto wire = encoded.serialize();
+  auto back = EncodedGraph::deserialize(wire);
+  EXPECT_EQ(back.bits, encoded.bits);
+  EXPECT_EQ(back.bit_length, encoded.bit_length);
+  EXPECT_EQ(decode_graph(back), g);
+}
+
+TEST(GraphCodec, TruncatedStreamThrows) {
+  auto g = graph_of("main:\n addiu $t0, $t0, 1\n jr $ra\n");
+  auto encoded = encode_graph(g);
+  encoded.bits.resize(encoded.bits.size() / 2);
+  EXPECT_THROW(decode_graph(encoded), util::DecodeError);
+}
+
+TEST(GraphCodec, LengthMismatchThrows) {
+  auto g = graph_of("main:\n addiu $t0, $t0, 1\n jr $ra\n");
+  auto encoded = encode_graph(g);
+  encoded.bit_length += 3;
+  EXPECT_THROW(decode_graph(encoded), util::DecodeError);
+}
+
+TEST(GraphCodec, RandomGraphsRoundTrip) {
+  // Property: arbitrary analyzer-produced graphs survive the codec.
+  util::Rng rng(0x60DEC);
+  const char* branch_ops[] = {"beq", "bne"};
+  for (int t = 0; t < 30; ++t) {
+    std::string src = "main:\n";
+    const int blocks = 2 + static_cast<int>(rng.below(6));
+    for (int b = 0; b < blocks; ++b) {
+      src += "b" + std::to_string(b) + ":\n";
+      const int len = 1 + static_cast<int>(rng.below(5));
+      for (int i = 0; i < len; ++i) {
+        src += "  addiu $t" + std::to_string(rng.below(8)) + ", $t" +
+               std::to_string(rng.below(8)) + ", 1\n";
+      }
+      src += "  ";
+      src += branch_ops[rng.below(2)];
+      src += " $t0, $t1, b" + std::to_string(rng.below(blocks)) + "\n";
+    }
+    src += "  jr $ra\n";
+    auto g = extract_graph(isa::assemble(src), MerkleTreeHash(rng.next_u32()));
+    EXPECT_EQ(decode_graph(encode_graph(g)), g) << "trial " << t;
+  }
+}
+
+}  // namespace
+}  // namespace sdmmon::monitor

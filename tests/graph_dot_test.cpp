@@ -1,0 +1,57 @@
+#include "monitor/graph_dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "monitor/analysis.hpp"
+
+namespace sdmmon::monitor {
+namespace {
+
+TEST(GraphDot, ContainsNodesAndEdges) {
+  isa::Program p = isa::assemble(R"(
+main:
+    beq $t0, $t1, out
+    addiu $t0, $t0, 1
+out:
+    jr $ra
+  )");
+  auto g = extract_graph(p, MerkleTreeHash(0xD07));
+  std::string dot = graph_to_dot(g, &p);
+  EXPECT_NE(dot.find("digraph monitoring_graph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);   // fall-through
+  EXPECT_NE(dot.find("n0 -> n2"), std::string::npos);   // taken edge
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // non-seq edge
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos); // exit node
+  EXPECT_NE(dot.find("beq"), std::string::npos);  // disassembly in labels
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);  // entry mark
+}
+
+TEST(GraphDot, WorksWithoutProgram) {
+  isa::Program p = isa::assemble("main:\n jr $ra\n");
+  auto g = extract_graph(p, MerkleTreeHash(1));
+  std::string dot = graph_to_dot(g);
+  EXPECT_NE(dot.find("n0 [label=\"0: h="), std::string::npos);
+  EXPECT_EQ(dot.find("jr"), std::string::npos);  // no disassembly
+}
+
+TEST(GraphDot, BalancedBracesAndValidStructure) {
+  isa::Program p = isa::assemble(R"(
+main:
+    jal fn
+    jr $ra
+fn:
+    jr $ra
+  )");
+  auto g = extract_graph(p, MerkleTreeHash(2));
+  std::string dot = graph_to_dot(g, &p);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'), 1);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '}'), 1);
+  // Every node appears.
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_NE(dot.find("n" + std::to_string(i) + " ["), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sdmmon::monitor

@@ -1,0 +1,167 @@
+#include "monitor/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace sdmmon::monitor {
+namespace {
+
+TEST(MerkleHash, DeterministicAndInRange) {
+  MerkleTreeHash h(0x12345678);
+  for (std::uint32_t w : {0u, 1u, 0xFFFFFFFFu, 0xDEADBEEFu}) {
+    EXPECT_EQ(h.hash(w), h.hash(w));
+    EXPECT_LE(h.hash(w), 0xF);
+  }
+}
+
+TEST(MerkleHash, EqualsNibbleSumForSumCompression) {
+  // With the arithmetic-sum compression, the tree reduces to the modular
+  // sum of all parameter and instruction nibbles -- a useful independent
+  // check of the tree evaluation.
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint32_t param = rng.next_u32();
+    std::uint32_t word = rng.next_u32();
+    MerkleTreeHash h(param);
+    unsigned sum = 0;
+    for (int n = 0; n < 8; ++n) {
+      sum += util::bits(param, n * 4, 4) + util::bits(word, n * 4, 4);
+    }
+    EXPECT_EQ(h.hash(word), sum & 0xF);
+  }
+}
+
+TEST(MerkleHash, ParameterChangesOutput) {
+  // For a fixed word, different parameters must reach all 16 hash values
+  // (parameter diversity is SR2's mechanism).
+  std::set<std::uint8_t> seen;
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    seen.insert(MerkleTreeHash(p).hash(0xDEADBEEF));
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(MerkleHash, OutputRoughlyUniformOverRandomWords) {
+  MerkleTreeHash h(0xA5A5A5A5);
+  util::Rng rng(7);
+  std::map<std::uint8_t, int> counts;
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) ++counts[h.hash(rng.next_u32())];
+  ASSERT_EQ(counts.size(), 16u);
+  for (auto& [v, c] : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 16, 0.005)
+        << "hash value " << int(v);
+  }
+}
+
+TEST(MerkleHash, WidthVariants) {
+  for (int w : {1, 2, 4, 8}) {
+    MerkleTreeHash h(0x13579BDF, w);
+    EXPECT_EQ(h.width(), w);
+    EXPECT_LE(h.hash(0xCAFEBABE), h.mask());
+    EXPECT_EQ(h.node_count(), 2 * (32 / w) - 1);
+  }
+  EXPECT_THROW(MerkleTreeHash(0, 3), std::invalid_argument);
+  EXPECT_THROW(MerkleTreeHash(0, 16), std::invalid_argument);
+}
+
+TEST(MerkleHash, PaperConfigurationNodeCount) {
+  // Figure 4: 8 leaves + 7 inner nodes = 15 compression nodes at w=4.
+  EXPECT_EQ(MerkleTreeHash(0).node_count(), 15);
+}
+
+TEST(MerkleHash, CompressIsSumModulo) {
+  MerkleTreeHash h(0, 4);
+  EXPECT_EQ(h.compress(7, 8), 15);
+  EXPECT_EQ(h.compress(8, 8), 0);
+  EXPECT_EQ(h.compress(15, 15), 14);
+}
+
+TEST(MerkleHash, CloneKeepsParameter) {
+  MerkleTreeHash h(0x11112222);
+  auto c = h.clone();
+  for (std::uint32_t w : {1u, 2u, 3u}) EXPECT_EQ(c->hash(w), h.hash(w));
+  EXPECT_EQ(c->name(), h.name());
+}
+
+TEST(BitcountHashTest, CountsBits) {
+  BitcountHash h;
+  EXPECT_EQ(h.hash(0x00000000), 0);
+  EXPECT_EQ(h.hash(0x00000001), 1);
+  EXPECT_EQ(h.hash(0xFF000000), 8);
+  // popcount(0xFFFFFFFF) = 32 -> truncated to 4 bits = 0.
+  EXPECT_EQ(h.hash(0xFFFFFFFF), 0);
+}
+
+TEST(BitcountHashTest, NotParameterizable) {
+  // Same function everywhere -- two instances always agree (homogeneity).
+  BitcountHash a, b;
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    std::uint32_t w = rng.next_u32();
+    EXPECT_EQ(a.hash(w), b.hash(w));
+  }
+}
+
+TEST(BitcountHashTest, OutputIsBiased) {
+  // Popcount of random words is binomial(32, 1/2): value 0 (popcount 0,16,32)
+  // is far more likely than value 8 (popcount 8 or 24). This bias is a
+  // weakness vs. the Merkle hash worth pinning down.
+  BitcountHash h;
+  util::Rng rng(5);
+  std::map<std::uint8_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[h.hash(rng.next_u32())];
+  EXPECT_GT(counts[0], counts[4] * 2);
+}
+
+// Parameterized sweep: avalanche quality per hash width. A single flipped
+// input bit must change the output with probability near 1 - 2^-w.
+class AvalancheTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AvalancheTest, SingleBitFlipChangesOutput) {
+  const int w = GetParam();
+  MerkleTreeHash h(0xC001D00D, w);
+  util::Rng rng(11);
+  int changed = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    std::uint32_t word = rng.next_u32();
+    int bit = static_cast<int>(rng.below(32));
+    if (h.hash(word) != h.hash(word ^ (1u << bit))) ++changed;
+  }
+  const double p_change = static_cast<double>(changed) / trials;
+  // A flipped bit always changes its nibble's contribution by a nonzero
+  // delta, so the sum always moves unless the delta wraps to 0 mod 2^w;
+  // for single-bit flips the delta is +/-2^k which never wraps -> ~1.0.
+  EXPECT_GT(p_change, 0.95) << "width " << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AvalancheTest, ::testing::Values(2, 4, 8));
+
+// Collision probability of random word pairs should be ~2^-w.
+class CollisionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollisionTest, MatchesTheoreticalRate) {
+  const int w = GetParam();
+  MerkleTreeHash h(0xBADC0FFE, w);
+  util::Rng rng(13);
+  int collisions = 0;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    if (h.hash(rng.next_u32()) == h.hash(rng.next_u32())) ++collisions;
+  }
+  const double rate = static_cast<double>(collisions) / trials;
+  const double expected = 1.0 / (1 << w);
+  EXPECT_NEAR(rate, expected, expected * 0.25 + 0.003) << "width " << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CollisionTest, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace sdmmon::monitor

@@ -1,0 +1,122 @@
+#include "isa/isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdmmon::isa {
+namespace {
+
+TEST(Encode, RTypeMatchesMipsReference) {
+  // add $t0, $t1, $t2 => 0x012A4020
+  Instr i = make_rtype(Op::Add, 8, 9, 10);
+  EXPECT_EQ(encode(i), 0x012A4020u);
+}
+
+TEST(Encode, ShiftMatchesMipsReference) {
+  // sll $t0, $t1, 4 => 0x00094100
+  Instr i = make_shift(Op::Sll, 8, 9, 4);
+  EXPECT_EQ(encode(i), 0x00094100u);
+}
+
+TEST(Encode, ITypeMatchesMipsReference) {
+  // addiu $t0, $t1, -1 => 0x2528FFFF
+  Instr i = make_itype(Op::Addiu, 8, 9, -1);
+  EXPECT_EQ(encode(i), 0x2528FFFFu);
+  // lw $t0, 8($sp) => 0x8FA80008
+  Instr lw = make_itype(Op::Lw, 8, 29, 8);
+  EXPECT_EQ(encode(lw), 0x8FA80008u);
+}
+
+TEST(Encode, BranchMatchesMipsReference) {
+  // beq $t0, $t1, +3 words => 0x11090003
+  Instr i = make_branch(Op::Beq, 8, 9, 3);
+  EXPECT_EQ(encode(i), 0x11090003u);
+}
+
+TEST(Encode, JumpMatchesMipsReference) {
+  // j word-index 0x100 => 0x08000100
+  Instr i = make_jump(Op::J, 0x100);
+  EXPECT_EQ(encode(i), 0x08000100u);
+}
+
+TEST(Encode, NopIsAllZero) {
+  EXPECT_EQ(encode(make_nop()), 0u);
+}
+
+TEST(Decode, RoundTripEveryOpcode) {
+  for (int opi = 0; opi < kNumOps; ++opi) {
+    Op op = static_cast<Op>(opi);
+    Instr i;
+    i.op = op;
+    switch (op_class(op)) {
+      case OpClass::Jump:
+      case OpClass::JumpLink:
+        i.target = 0x123456;
+        break;
+      default:
+        i.rs = 3;
+        i.rt = 7;
+        i.rd = 12;
+        i.shamt = 5;
+        i.imm = -42;
+        break;
+    }
+    // Zero out fields the encoding drops, per format.
+    std::uint32_t word = encode(i);
+    Instr back = decode(word);
+    EXPECT_EQ(back.op, op) << op_name(op);
+    EXPECT_EQ(encode(back), word) << op_name(op);
+  }
+}
+
+TEST(Decode, SignExtendsImmediates) {
+  Instr i = decode(encode(make_itype(Op::Addi, 1, 2, -30000)));
+  EXPECT_EQ(i.imm, -30000);
+  Instr j = decode(encode(make_itype(Op::Addi, 1, 2, 30000)));
+  EXPECT_EQ(j.imm, 30000);
+}
+
+TEST(Decode, UnknownEncodingReturnsNullopt) {
+  // Primary opcode 0x3F is unused in our subset.
+  EXPECT_FALSE(try_decode(0xFC000000u).has_value());
+  // R-type with unused funct 0x3F.
+  EXPECT_FALSE(try_decode(0x0000003Fu).has_value());
+  EXPECT_THROW(decode(0xFC000000u), IsaError);
+}
+
+TEST(OpClassify, ControlFlowClasses) {
+  EXPECT_EQ(op_class(Op::Beq), OpClass::Branch);
+  EXPECT_EQ(op_class(Op::Bne), OpClass::Branch);
+  EXPECT_EQ(op_class(Op::J), OpClass::Jump);
+  EXPECT_EQ(op_class(Op::Jal), OpClass::JumpLink);
+  EXPECT_EQ(op_class(Op::Jr), OpClass::JumpReg);
+  EXPECT_EQ(op_class(Op::Jalr), OpClass::JumpReg);
+  EXPECT_EQ(op_class(Op::Lw), OpClass::Load);
+  EXPECT_EQ(op_class(Op::Sw), OpClass::Store);
+  EXPECT_EQ(op_class(Op::Addu), OpClass::Alu);
+  EXPECT_EQ(op_class(Op::Syscall), OpClass::Trap);
+}
+
+TEST(Registers, NamesRoundTrip) {
+  for (int r = 0; r < 32; ++r) {
+    std::string token = "$" + std::string(reg_name(r));
+    EXPECT_EQ(parse_reg(token), r);
+  }
+}
+
+TEST(Registers, NumericForms) {
+  EXPECT_EQ(parse_reg("$0"), 0);
+  EXPECT_EQ(parse_reg("$31"), 31);
+  EXPECT_EQ(parse_reg("$sp"), 29);
+  EXPECT_EQ(parse_reg("$ra"), 31);
+}
+
+TEST(Registers, BadNamesThrow) {
+  EXPECT_THROW(parse_reg("t0"), IsaError);    // missing $
+  EXPECT_THROW(parse_reg("$32"), IsaError);   // out of range
+  EXPECT_THROW(parse_reg("$xx"), IsaError);   // unknown name
+  EXPECT_THROW(parse_reg(""), IsaError);
+  EXPECT_THROW(reg_name(32), IsaError);
+}
+
+}  // namespace
+}  // namespace sdmmon::isa

@@ -1,0 +1,97 @@
+#include "np/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdmmon::np {
+namespace {
+
+TEST(Memory, Load32StoreRoundTrip) {
+  Memory m;
+  EXPECT_EQ(m.store32(kDataBase, 0xDEADBEEF), MemFault::None);
+  EXPECT_EQ(m.load32(kDataBase).value(), 0xDEADBEEFu);
+}
+
+TEST(Memory, LittleEndianByteOrder) {
+  Memory m;
+  ASSERT_EQ(m.store32(kDataBase, 0x11223344), MemFault::None);
+  EXPECT_EQ(m.load8(kDataBase).value(), 0x44);
+  EXPECT_EQ(m.load8(kDataBase + 3).value(), 0x11);
+  EXPECT_EQ(m.load16(kDataBase).value(), 0x3344);
+  EXPECT_EQ(m.load16(kDataBase + 2).value(), 0x1122);
+}
+
+TEST(Memory, Store8And16) {
+  Memory m;
+  EXPECT_EQ(m.store8(kStackBase + 1, 0xAB), MemFault::None);
+  EXPECT_EQ(m.load8(kStackBase + 1).value(), 0xAB);
+  EXPECT_EQ(m.store16(kStackBase + 2, 0xCDEF), MemFault::None);
+  EXPECT_EQ(m.load16(kStackBase + 2).value(), 0xCDEF);
+}
+
+TEST(Memory, UnalignedAccessFaults) {
+  Memory m;
+  EXPECT_EQ(m.store32(kDataBase + 1, 0), MemFault::Unaligned);
+  EXPECT_EQ(m.store16(kDataBase + 1, 0), MemFault::Unaligned);
+  EXPECT_FALSE(m.load32(kDataBase + 2).has_value());
+  EXPECT_FALSE(m.load16(kDataBase + 1).has_value());
+  EXPECT_EQ(m.load_fault(kDataBase + 2, 4), MemFault::Unaligned);
+}
+
+TEST(Memory, OutOfRangeAccessFaults) {
+  Memory m;
+  // Hole above the packet-out region.
+  const std::uint32_t hole = kPktOutBase + kPktOutSize + 0x100;
+  EXPECT_EQ(m.store32(hole, 1), MemFault::OutOfRange);
+  EXPECT_FALSE(m.load32(hole).has_value());
+  EXPECT_EQ(m.load_fault(hole, 4), MemFault::OutOfRange);
+  // Far beyond all regions (but below MMIO).
+  EXPECT_FALSE(m.load8(0x0010'0000).has_value());
+}
+
+TEST(Memory, RegionBoundaryStraddleFaults) {
+  Memory m;
+  // Last word inside the text region works; one past straddles out.
+  EXPECT_EQ(m.store32(kTextBase + kTextSize - 4, 7), MemFault::None);
+  EXPECT_FALSE(m.load32(kTextBase + kTextSize - 2).has_value());
+}
+
+TEST(Memory, AllFiveRegionsExist) {
+  Memory m;
+  for (std::uint32_t base :
+       {kTextBase, kDataBase, kStackBase, kPktInBase, kPktOutBase}) {
+    EXPECT_EQ(m.store32(base, 0x55AA55AA), MemFault::None) << base;
+    EXPECT_EQ(m.load32(base).value(), 0x55AA55AAu) << base;
+  }
+}
+
+TEST(Memory, PacketBufferIsExecutableStorage) {
+  // No execute protection: reads from the packet-in region succeed, which
+  // is exactly the property the code-injection attack exploits.
+  Memory m;
+  ASSERT_EQ(m.store32(kPktInBase + 8, 0x01234567), MemFault::None);
+  EXPECT_EQ(m.load32(kPktInBase + 8).value(), 0x01234567u);
+}
+
+TEST(Memory, BlockCopyRoundTrip) {
+  Memory m;
+  util::Bytes data = {1, 2, 3, 4, 5};
+  m.write_block(kDataBase + 100, data);
+  EXPECT_EQ(m.read_block(kDataBase + 100, 5), data);
+}
+
+TEST(Memory, BlockCopyOverflowThrows) {
+  Memory m;
+  util::Bytes big(kPktInSize + 1, 0xFF);
+  EXPECT_THROW(m.write_block(kPktInBase, big), std::out_of_range);
+  EXPECT_THROW(m.read_block(kPktInBase, kPktInSize + 1), std::out_of_range);
+}
+
+TEST(Memory, ClearZeroesEverything) {
+  Memory m;
+  ASSERT_EQ(m.store32(kDataBase, 0xFFFFFFFF), MemFault::None);
+  m.clear();
+  EXPECT_EQ(m.load32(kDataBase).value(), 0u);
+}
+
+}  // namespace
+}  // namespace sdmmon::np

@@ -1,0 +1,209 @@
+#include "monitor/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "monitor/analysis.hpp"
+#include "util/rng.hpp"
+
+namespace sdmmon::monitor {
+namespace {
+
+struct Setup {
+  isa::Program program;
+  HardwareMonitor monitor;
+};
+
+Setup make(const char* src, std::uint32_t param = 0x600DCAFE, int width = 4) {
+  isa::Program p = isa::assemble(src);
+  MerkleTreeHash hash(param, width);
+  return {p, HardwareMonitor(extract_graph(p, hash),
+                             std::make_unique<MerkleTreeHash>(hash))};
+}
+
+// Feed the straight-line execution trace of a program with no branches.
+void feed_linear(HardwareMonitor& m, const isa::Program& p,
+                 std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(m.on_instruction(p.text[i]), Verdict::Ok) << "instr " << i;
+  }
+}
+
+TEST(Monitor, AcceptsValidStraightLineExecution) {
+  auto s = make(R"(
+main:
+    addiu $t0, $t0, 1
+    addiu $t1, $t1, 2
+    addu $t2, $t0, $t1
+    jr $ra
+  )");
+  feed_linear(s.monitor, s.program, s.program.text.size());
+  EXPECT_TRUE(s.monitor.exit_allowed());
+  EXPECT_FALSE(s.monitor.attack_flagged());
+}
+
+TEST(Monitor, AcceptsBothBranchOutcomes) {
+  const char* src = R"(
+main:
+    beq $t0, $t1, skip
+    addiu $t0, $t0, 1
+skip:
+    jr $ra
+  )";
+  // Not-taken path: beq, addiu, jr.
+  auto a = make(src);
+  EXPECT_EQ(a.monitor.on_instruction(a.program.text[0]), Verdict::Ok);
+  EXPECT_EQ(a.monitor.on_instruction(a.program.text[1]), Verdict::Ok);
+  EXPECT_EQ(a.monitor.on_instruction(a.program.text[2]), Verdict::Ok);
+  EXPECT_TRUE(a.monitor.exit_allowed());
+  // Taken path: beq, jr.
+  auto b = make(src);
+  EXPECT_EQ(b.monitor.on_instruction(b.program.text[0]), Verdict::Ok);
+  EXPECT_EQ(b.monitor.on_instruction(b.program.text[2]), Verdict::Ok);
+  EXPECT_TRUE(b.monitor.exit_allowed());
+}
+
+TEST(Monitor, DetectsForeignInstructionWithHighProbability) {
+  // Substituting random instructions must be detected at rate ~15/16 per
+  // instruction for a 4-bit hash (Section 2.1).
+  auto base_src = R"(
+main:
+    addiu $t0, $t0, 1
+    addiu $t1, $t1, 2
+    addiu $t2, $t2, 3
+    addiu $t3, $t3, 4
+    jr $ra
+  )";
+  util::Rng rng(42);
+  int detected = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    auto s = make(base_src, 0xAAAA5555);
+    // Execute two valid instructions, then one random foreign word.
+    s.monitor.on_instruction(s.program.text[0]);
+    s.monitor.on_instruction(s.program.text[1]);
+    std::uint32_t foreign = rng.next_u32();
+    if (foreign == s.program.text[2]) continue;  // astronomically rare
+    if (s.monitor.on_instruction(foreign) == Verdict::Mismatch) ++detected;
+  }
+  const double rate = static_cast<double>(detected) / trials;
+  EXPECT_NEAR(rate, 15.0 / 16.0, 0.02);
+}
+
+TEST(Monitor, MismatchLatchesUntilReset) {
+  auto s = make("main:\n addiu $t0, $t0, 1\n jr $ra\n");
+  // Find a word whose hash differs from instruction 0's.
+  std::uint32_t bad = 0;
+  while (s.monitor.hash().hash(bad) == s.monitor.graph().node(0).hash) ++bad;
+  EXPECT_EQ(s.monitor.on_instruction(bad), Verdict::Mismatch);
+  EXPECT_TRUE(s.monitor.attack_flagged());
+  // Even a now-valid word keeps reporting mismatch until reset.
+  EXPECT_EQ(s.monitor.on_instruction(s.program.text[0]), Verdict::Mismatch);
+  s.monitor.reset();
+  EXPECT_FALSE(s.monitor.attack_flagged());
+  EXPECT_EQ(s.monitor.on_instruction(s.program.text[0]), Verdict::Ok);
+}
+
+TEST(Monitor, ExitOnlyAllowedAfterExitCapableInstruction) {
+  auto s = make(R"(
+main:
+    addiu $t0, $t0, 1
+    jr $ra
+  )");
+  EXPECT_EQ(s.monitor.on_instruction(s.program.text[0]), Verdict::Ok);
+  EXPECT_FALSE(s.monitor.exit_allowed());  // addiu cannot end the handler
+  EXPECT_EQ(s.monitor.on_instruction(s.program.text[1]), Verdict::Ok);
+  EXPECT_TRUE(s.monitor.exit_allowed());
+}
+
+TEST(Monitor, NothingValidAfterTrapInstruction) {
+  auto s = make("main:\n syscall\n nop\n");
+  EXPECT_EQ(s.monitor.on_instruction(s.program.text[0]), Verdict::Ok);
+  // syscall has no successors; anything after it is an attack.
+  EXPECT_EQ(s.monitor.on_instruction(s.program.text[1]), Verdict::Mismatch);
+}
+
+TEST(Monitor, LoopExecutionStaysValid) {
+  auto s = make(R"(
+main:
+    li $t1, 3
+loop:
+    addiu $t0, $t0, 1
+    bne $t0, $t1, loop
+    jr $ra
+  )");
+  const auto& text = s.program.text;
+  // li expands to lui+ori (indices 0,1); loop body 2,3; exit 4.
+  ASSERT_EQ(text.size(), 5u);
+  EXPECT_EQ(s.monitor.on_instruction(text[0]), Verdict::Ok);
+  EXPECT_EQ(s.monitor.on_instruction(text[1]), Verdict::Ok);
+  for (int iter = 0; iter < 3; ++iter) {
+    EXPECT_EQ(s.monitor.on_instruction(text[2]), Verdict::Ok);
+    EXPECT_EQ(s.monitor.on_instruction(text[3]), Verdict::Ok);
+  }
+  EXPECT_EQ(s.monitor.on_instruction(text[4]), Verdict::Ok);
+  EXPECT_TRUE(s.monitor.exit_allowed());
+}
+
+TEST(Monitor, StatsAccumulate) {
+  auto s = make("main:\n addiu $t0, $t0, 1\n jr $ra\n");
+  s.monitor.on_instruction(s.program.text[0]);
+  s.monitor.on_instruction(s.program.text[1]);
+  EXPECT_EQ(s.monitor.stats().instructions_checked, 2u);
+  EXPECT_EQ(s.monitor.stats().mismatches, 0u);
+  EXPECT_GT(s.monitor.stats().average_ambiguity(), 0.0);
+}
+
+TEST(Monitor, InstallSwapsProgram) {
+  auto s = make("main:\n addiu $t0, $t0, 1\n jr $ra\n");
+  isa::Program p2 = isa::assemble("main:\n xori $t5, $t5, 0x7\n jr $ra\n");
+  MerkleTreeHash h2(0x22222222);
+  s.monitor.install(extract_graph(p2, h2),
+                    std::make_unique<MerkleTreeHash>(h2));
+  EXPECT_EQ(s.monitor.on_instruction(p2.text[0]), Verdict::Ok);
+  EXPECT_EQ(s.monitor.on_instruction(p2.text[1]), Verdict::Ok);
+}
+
+TEST(Monitor, HashedInterfaceMatchesWordInterface) {
+  auto s1 = make("main:\n addiu $t0, $t0, 1\n jr $ra\n");
+  auto s2 = make("main:\n addiu $t0, $t0, 1\n jr $ra\n");
+  std::uint8_t h = s2.monitor.hash().hash(s2.program.text[0]);
+  EXPECT_EQ(s1.monitor.on_instruction(s1.program.text[0]),
+            s2.monitor.on_hashed(h));
+}
+
+// Property sweep: for random straight-line programs, the true execution is
+// always accepted (no false positives), across widths.
+class NoFalsePositiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NoFalsePositiveTest, ValidTracesAlwaysAccepted) {
+  const int width = GetParam();
+  util::Rng rng(100 + width);
+  const char* alu_ops[] = {"addiu", "ori", "xori", "andi"};
+  for (int t = 0; t < 50; ++t) {
+    std::string src = "main:\n";
+    const int len = 3 + static_cast<int>(rng.below(20));
+    for (int i = 0; i < len; ++i) {
+      src += "  ";
+      src += alu_ops[rng.below(4)];
+      src += " $t" + std::to_string(rng.below(8)) + ", $t" +
+             std::to_string(rng.below(8)) + ", " +
+             std::to_string(rng.below(1000)) + "\n";
+    }
+    src += "  jr $ra\n";
+    isa::Program p = isa::assemble(src);
+    MerkleTreeHash hash(rng.next_u32(), width);
+    HardwareMonitor m(extract_graph(p, hash),
+                      std::make_unique<MerkleTreeHash>(hash));
+    for (std::uint32_t word : p.text) {
+      ASSERT_EQ(m.on_instruction(word), Verdict::Ok);
+    }
+    EXPECT_TRUE(m.exit_allowed());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, NoFalsePositiveTest,
+                         ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace sdmmon::monitor

@@ -1,0 +1,140 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdmmon::net {
+namespace {
+
+TEST(Ipv4, MinimalHeaderRoundTrip) {
+  Ipv4Packet p;
+  p.src = ip(10, 0, 0, 1);
+  p.dst = ip(192, 168, 1, 2);
+  p.ttl = 17;
+  p.protocol = 6;
+  p.tos = 0x20;
+  p.identification = 0x4242;
+  p.payload = util::bytes_of("hello");
+
+  util::Bytes wire = p.to_bytes();
+  ASSERT_EQ(wire.size(), 25u);
+  EXPECT_EQ(wire[0], 0x45);  // version 4, IHL 5
+  EXPECT_TRUE(ipv4_checksum_ok(wire));
+
+  auto parsed = Ipv4Packet::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, p.src);
+  EXPECT_EQ(parsed->dst, p.dst);
+  EXPECT_EQ(parsed->ttl, 17);
+  EXPECT_EQ(parsed->protocol, 6);
+  EXPECT_EQ(parsed->tos, 0x20);
+  EXPECT_EQ(parsed->identification, 0x4242);
+  EXPECT_EQ(parsed->payload, p.payload);
+}
+
+TEST(Ipv4, OptionsRoundTripAndPadding) {
+  Ipv4Packet p;
+  p.src = ip(1, 2, 3, 4);
+  p.dst = ip(5, 6, 7, 8);
+  Ipv4Option opt;
+  opt.type = 0x88;
+  opt.data = {0xAA, 0xBB, 0xCC};  // TLV = 5 bytes -> padded to 8
+  p.options.push_back(opt);
+
+  util::Bytes wire = p.to_bytes();
+  EXPECT_EQ(p.header_len(), 28u);
+  EXPECT_EQ(wire[0] & 0xF, 7);  // IHL = 7 words
+  EXPECT_TRUE(ipv4_checksum_ok(wire));
+
+  auto parsed = Ipv4Packet::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->options.size(), 1u);
+  EXPECT_EQ(parsed->options[0].type, 0x88);
+  EXPECT_EQ(parsed->options[0].data, opt.data);
+}
+
+TEST(Ipv4, MaxOptionsLength) {
+  Ipv4Packet p;
+  Ipv4Option opt;
+  opt.type = 0x88;
+  opt.data.assign(38, 0x11);  // TLV 40 -> header 60 (IHL 15)
+  p.options.push_back(opt);
+  util::Bytes wire = p.to_bytes();
+  EXPECT_EQ(wire[0] & 0xF, 15);
+  EXPECT_TRUE(Ipv4Packet::parse(wire).has_value());
+
+  // One byte more overflows IHL.
+  p.options[0].data.assign(39, 0x11);
+  EXPECT_THROW(p.to_bytes(), std::length_error);
+}
+
+TEST(Ipv4, ParseRejectsGarbage) {
+  EXPECT_FALSE(Ipv4Packet::parse(util::Bytes{}).has_value());
+  EXPECT_FALSE(Ipv4Packet::parse(util::Bytes(10, 0)).has_value());
+  util::Bytes bad_version(20, 0);
+  bad_version[0] = 0x65;  // version 6
+  EXPECT_FALSE(Ipv4Packet::parse(bad_version).has_value());
+  util::Bytes bad_ihl(20, 0);
+  bad_ihl[0] = 0x43;  // IHL 3 < 5
+  EXPECT_FALSE(Ipv4Packet::parse(bad_ihl).has_value());
+}
+
+TEST(Ipv4, ChecksumDetectsCorruption) {
+  util::Bytes wire =
+      make_udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1000, 2000,
+                      util::bytes_of("x"));
+  ASSERT_TRUE(ipv4_checksum_ok(wire));
+  wire[8] ^= 0x01;  // flip a TTL bit
+  EXPECT_FALSE(ipv4_checksum_ok(wire));
+}
+
+TEST(Ipv4, KnownChecksumVector) {
+  // Classic example header (Wikipedia/RFC 1071): checksum must be 0xB861.
+  util::Bytes header =
+      util::from_hex("45000073000040004011b861c0a80001c0a800c7");
+  EXPECT_EQ(ipv4_checksum(header), 0xB861);
+}
+
+TEST(Udp, RoundTrip) {
+  UdpDatagram d;
+  d.src_port = 1234;
+  d.dst_port = 53;
+  d.payload = util::bytes_of("query");
+  util::Bytes wire = d.to_bytes();
+  EXPECT_EQ(wire.size(), 13u);
+  auto parsed = UdpDatagram::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 1234);
+  EXPECT_EQ(parsed->dst_port, 53);
+  EXPECT_EQ(parsed->payload, d.payload);
+}
+
+TEST(Udp, ParseRejectsShortOrLying) {
+  EXPECT_FALSE(UdpDatagram::parse(util::Bytes(7, 0)).has_value());
+  UdpDatagram d;
+  d.payload = util::bytes_of("abc");
+  util::Bytes wire = d.to_bytes();
+  util::store_be16(200, wire.data() + 4);  // length beyond buffer
+  EXPECT_FALSE(UdpDatagram::parse(wire).has_value());
+}
+
+TEST(Udp, InIpv4Convenience) {
+  util::Bytes payload = util::bytes_of("data");
+  util::Bytes wire =
+      make_udp_packet(ip(10, 0, 0, 1), ip(10, 0, 0, 2), 5555, 80, payload, 9);
+  auto ip_parsed = Ipv4Packet::parse(wire);
+  ASSERT_TRUE(ip_parsed.has_value());
+  EXPECT_EQ(ip_parsed->ttl, 9);
+  EXPECT_EQ(ip_parsed->protocol, 17);
+  auto udp_parsed = UdpDatagram::parse(ip_parsed->payload);
+  ASSERT_TRUE(udp_parsed.has_value());
+  EXPECT_EQ(udp_parsed->dst_port, 80);
+  EXPECT_EQ(udp_parsed->payload, payload);
+}
+
+TEST(IpHelper, DottedQuad) {
+  EXPECT_EQ(ip(1, 2, 3, 4), 0x01020304u);
+  EXPECT_EQ(ip(255, 255, 255, 255), 0xFFFFFFFFu);
+}
+
+}  // namespace
+}  // namespace sdmmon::net

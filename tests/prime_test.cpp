@@ -1,0 +1,86 @@
+#include "crypto/prime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdmmon::crypto {
+namespace {
+
+TEST(MillerRabin, SmallPrimes) {
+  Drbg d("mr");
+  for (std::uint64_t p : {2u, 3u, 5u, 7u, 11u, 13u, 97u, 997u}) {
+    EXPECT_TRUE(is_probable_prime(BigUint(p), d)) << p;
+  }
+}
+
+TEST(MillerRabin, SmallComposites) {
+  Drbg d("mr");
+  for (std::uint64_t c : {1u, 4u, 6u, 9u, 15u, 91u, 100u, 561u, 1001u}) {
+    EXPECT_FALSE(is_probable_prime(BigUint(c), d)) << c;
+  }
+}
+
+TEST(MillerRabin, CarmichaelNumbers) {
+  // Carmichael numbers fool Fermat but not Miller-Rabin.
+  Drbg d("carmichael");
+  for (std::uint64_t c : {561u, 1105u, 1729u, 2465u, 2821u, 6601u, 8911u}) {
+    EXPECT_FALSE(is_probable_prime(BigUint(c), d)) << c;
+  }
+}
+
+TEST(MillerRabin, KnownLargePrime) {
+  // 2^127 - 1 is a Mersenne prime.
+  BigUint m127 = (BigUint(1) << 127) - BigUint(1);
+  Drbg d("m127");
+  EXPECT_TRUE(is_probable_prime(m127, d));
+  // 2^128 - 1 is composite (divisible by 3, among others).
+  BigUint m128 = (BigUint(1) << 128) - BigUint(1);
+  EXPECT_FALSE(is_probable_prime(m128, d));
+}
+
+TEST(MillerRabin, ProductOfTwoPrimesIsComposite) {
+  Drbg d("pq");
+  BigUint p = generate_prime(96, d);
+  BigUint q = generate_prime(96, d);
+  EXPECT_FALSE(is_probable_prime(p * q, d));
+}
+
+TEST(PrimeCandidate, HasRequestedShape) {
+  Drbg d("cand");
+  for (std::size_t bits : {64u, 128u, 257u}) {
+    BigUint c = random_prime_candidate(bits, d);
+    EXPECT_EQ(c.bit_length(), bits);
+    EXPECT_TRUE(c.is_odd());
+    EXPECT_TRUE(c.bit(bits - 2));  // second-highest bit pinned
+  }
+}
+
+TEST(GeneratePrime, ProducesPrimeOfExactWidth) {
+  Drbg d("gen");
+  for (std::size_t bits : {64u, 128u, 256u}) {
+    BigUint p = generate_prime(bits, d);
+    EXPECT_EQ(p.bit_length(), bits);
+    Drbg check("check");
+    EXPECT_TRUE(is_probable_prime(p, check));
+  }
+}
+
+TEST(GeneratePrime, DeterministicForSeed) {
+  Drbg a("same-seed"), b("same-seed");
+  EXPECT_EQ(generate_prime(128, a), generate_prime(128, b));
+}
+
+TEST(GeneratePrime, DistinctForDistinctSeeds) {
+  Drbg a("seed-a"), b("seed-b");
+  EXPECT_NE(generate_prime(128, a), generate_prime(128, b));
+}
+
+TEST(GeneratePrime, ProductHasFullWidth) {
+  // The two pinned top bits guarantee p*q has exactly 2*bits bits.
+  Drbg d("width");
+  BigUint p = generate_prime(128, d);
+  BigUint q = generate_prime(128, d);
+  EXPECT_EQ((p * q).bit_length(), 256u);
+}
+
+}  // namespace
+}  // namespace sdmmon::crypto

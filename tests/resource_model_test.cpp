@@ -1,0 +1,82 @@
+#include "monitor/resource_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdmmon::monitor {
+namespace {
+
+TEST(ResourceModelTable3, BitcountMatchesPaper) {
+  EXPECT_EQ(bitcount_hash_cost(32, 4), kPaperBitcountHash);
+}
+
+TEST(ResourceModelTable3, MerkleMatchesPaper) {
+  EXPECT_EQ(merkle_hash_cost(4), kPaperMerkleHash);
+}
+
+TEST(ResourceModelTable3, MerkleCheaperInLogicButUsesMemory) {
+  auto merkle = merkle_hash_cost(4);
+  auto bitcount = bitcount_hash_cost(32, 4);
+  EXPECT_LT(merkle.luts, bitcount.luts);
+  EXPECT_GT(merkle.mem_bits, bitcount.mem_bits);
+  EXPECT_EQ(merkle.ffs, bitcount.ffs);
+}
+
+TEST(ResourceModelTable3, WidthScaling) {
+  // Narrower hash -> fewer LUTs... actually more chunks but narrower
+  // adders; the model must stay monotone in total adder bits.
+  auto w2 = merkle_hash_cost(2);
+  auto w4 = merkle_hash_cost(4);
+  auto w8 = merkle_hash_cost(8);
+  EXPECT_EQ(w2.mem_bits, 32u);
+  EXPECT_EQ(w8.mem_bits, 32u);
+  EXPECT_EQ(w2.ffs, 2u);
+  EXPECT_EQ(w8.ffs, 8u);
+  EXPECT_LT(w2.luts, w4.luts + w8.luts);  // sanity: all are small
+}
+
+TEST(ResourceModelTable3, HashCostDispatch) {
+  MerkleTreeHash merkle(0x1234);
+  BitcountHash bitcount;
+  EXPECT_EQ(hash_cost(merkle), kPaperMerkleHash);
+  EXPECT_EQ(hash_cost(bitcount), kPaperBitcountHash);
+}
+
+TEST(ResourceModelTable1, ControlProcessorInventorySumsToPaper) {
+  EXPECT_EQ(total(control_processor_inventory()), kPaperControlProcessor);
+}
+
+TEST(ResourceModelTable1, NpCoreInventorySumsToPaper) {
+  EXPECT_EQ(total(np_core_with_monitor_inventory()), kPaperNpCoreWithMonitor);
+}
+
+TEST(ResourceModelTable1, ControlProcessorIsAboutOneThirdOfNpCore) {
+  // The paper's system-level claim (Section 4.1).
+  auto ctrl = total(control_processor_inventory());
+  auto np = total(np_core_with_monitor_inventory());
+  double ratio = static_cast<double>(ctrl.luts) / static_cast<double>(np.luts);
+  EXPECT_GT(ratio, 0.25);
+  EXPECT_LT(ratio, 0.40);
+}
+
+TEST(ResourceModelTable1, FitsOnStratixIv) {
+  auto ctrl = total(control_processor_inventory());
+  auto np = total(np_core_with_monitor_inventory());
+  // Prototype = 1 control processor + 1 monitored NP core.
+  EXPECT_LT(ctrl.luts + np.luts, kStratixIvCapacity.luts);
+  EXPECT_LT(ctrl.ffs + np.ffs, kStratixIvCapacity.ffs);
+  EXPECT_LT(ctrl.mem_bits + np.mem_bits, kStratixIvCapacity.mem_bits);
+}
+
+TEST(ResourceModelTable1, GraphMemoryParameterFlowsThrough) {
+  auto small = total(np_core_with_monitor_inventory(1'000));
+  auto large = total(np_core_with_monitor_inventory(3'000'000));
+  EXPECT_LT(small.mem_bits, large.mem_bits);
+}
+
+TEST(ResourceModel, CostArithmetic) {
+  ResourceCost a{1, 2, 3}, b{10, 20, 30};
+  EXPECT_EQ(a + b, (ResourceCost{11, 22, 33}));
+}
+
+}  // namespace
+}  // namespace sdmmon::monitor

@@ -1,0 +1,171 @@
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "monitor/analysis.hpp"
+#include "net/packet.hpp"
+#include "np/monitored_core.hpp"
+#include "util/rng.hpp"
+
+namespace sdmmon::net {
+namespace {
+
+RoutingTable sample_table() {
+  RoutingTable t;
+  t.add_route(ip(10, 0, 0, 0), 8, 1);
+  t.add_route(ip(10, 1, 0, 0), 16, 2);     // more specific than 10/8
+  t.add_route(ip(192, 168, 0, 0), 16, 3);
+  t.add_route(ip(192, 168, 7, 0), 24, 4);  // more specific than /16
+  t.add_route(0, 0, 9);                    // default route
+  return t;
+}
+
+TEST(RoutingTableTest, LongestPrefixWins) {
+  RoutingTable t = sample_table();
+  EXPECT_EQ(t.lookup(ip(10, 5, 5, 5))->port, 1);
+  EXPECT_EQ(t.lookup(ip(10, 1, 2, 3))->port, 2);
+  EXPECT_EQ(t.lookup(ip(192, 168, 1, 1))->port, 3);
+  EXPECT_EQ(t.lookup(ip(192, 168, 7, 200))->port, 4);
+  EXPECT_EQ(t.lookup(ip(8, 8, 8, 8))->port, 9);  // default
+}
+
+TEST(RoutingTableTest, NoDefaultMeansMiss) {
+  RoutingTable t;
+  t.add_route(ip(10, 0, 0, 0), 8, 1);
+  EXPECT_FALSE(t.lookup(ip(11, 0, 0, 1)).has_value());
+  EXPECT_TRUE(t.lookup(ip(10, 255, 0, 1)).has_value());
+}
+
+TEST(RoutingTableTest, HostRouteExactMatch) {
+  RoutingTable t;
+  t.add_route(ip(1, 2, 3, 4), 32, 7);
+  EXPECT_EQ(t.lookup(ip(1, 2, 3, 4))->port, 7);
+  EXPECT_FALSE(t.lookup(ip(1, 2, 3, 5)).has_value());
+}
+
+TEST(RoutingTableTest, OverwriteKeepsCount) {
+  RoutingTable t;
+  t.add_route(ip(10, 0, 0, 0), 8, 1);
+  t.add_route(ip(10, 0, 0, 0), 8, 5);
+  EXPECT_EQ(t.route_count(), 1u);
+  EXPECT_EQ(t.lookup(ip(10, 1, 1, 1))->port, 5);
+}
+
+TEST(RoutingTableTest, RejectsBadPrefixes) {
+  RoutingTable t;
+  EXPECT_THROW(t.add_route(ip(10, 0, 0, 1), 8, 1), std::invalid_argument);
+  EXPECT_THROW(t.add_route(0, 33, 1), std::invalid_argument);
+  EXPECT_THROW(t.add_route(0, -1, 1), std::invalid_argument);
+}
+
+TEST(RoutingTableTest, ReportedRouteFields) {
+  RoutingTable t = sample_table();
+  auto r = t.lookup(ip(192, 168, 7, 9));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->prefix, ip(192, 168, 7, 0));
+  EXPECT_EQ(r->prefix_len, 24);
+}
+
+TEST(RoutingTableTest, CompiledImageLayout) {
+  RoutingTable t;
+  t.add_route(0x80000000u, 1, 3);  // one right child off the root
+  auto image = t.compile();
+  ASSERT_EQ(image.size(), 24u);  // root + one node
+  // Root: left none, right = node 1, no route.
+  EXPECT_EQ(util::load_le32(image.data()), RoutingTable::kNoChild);
+  EXPECT_EQ(util::load_le32(image.data() + 4), 1u);
+  EXPECT_EQ(util::load_le32(image.data() + 8), 0u);
+  // Node 1: leaf with port 3 (stored as port+1).
+  EXPECT_EQ(util::load_le32(image.data() + 12), RoutingTable::kNoChild);
+  EXPECT_EQ(util::load_le32(image.data() + 20), 4u);
+}
+
+// --- assembly router app against the C++ oracle ---
+
+struct RouterRig {
+  isa::Program program;
+  np::MonitoredCore core;
+
+  explicit RouterRig(const RoutingTable& table)
+      : program(build_ipv4_router(table)) {
+    monitor::MerkleTreeHash hash(0x12AB34CD);
+    core.install(program, monitor::extract_graph(program, hash),
+                 std::make_unique<monitor::MerkleTreeHash>(hash));
+  }
+
+  np::PacketResult route(std::uint32_t dst) {
+    util::Bytes pkt = make_udp_packet(ip(172, 16, 0, 1), dst, 1000, 2000,
+                                      util::bytes_of("payload"));
+    return core.process_packet(pkt);
+  }
+};
+
+TEST(RouterApp, MatchesOracleOnKnownAddresses) {
+  RoutingTable t = sample_table();
+  RouterRig rig(t);
+  for (std::uint32_t dst :
+       {ip(10, 5, 5, 5), ip(10, 1, 2, 3), ip(192, 168, 1, 1),
+        ip(192, 168, 7, 200), ip(8, 8, 8, 8)}) {
+    auto r = rig.route(dst);
+    ASSERT_EQ(r.outcome, np::PacketOutcome::Forwarded) << dst;
+    EXPECT_EQ(r.output_port, t.lookup(dst)->port) << dst;
+    EXPECT_TRUE(ipv4_checksum_ok(r.output));
+    EXPECT_EQ(Ipv4Packet::parse(r.output)->ttl, 63);
+  }
+}
+
+TEST(RouterApp, DropsUnroutableWithoutDefault) {
+  RoutingTable t;
+  t.add_route(ip(10, 0, 0, 0), 8, 1);
+  RouterRig rig(t);
+  EXPECT_EQ(rig.route(ip(99, 1, 1, 1)).outcome, np::PacketOutcome::Dropped);
+  EXPECT_EQ(rig.route(ip(10, 9, 9, 9)).outcome, np::PacketOutcome::Forwarded);
+}
+
+TEST(RouterApp, RandomizedDifferentialAgainstOracle) {
+  // Property: the assembly trie walk agrees with the C++ trie on random
+  // tables and random addresses.
+  util::Rng rng(0x40073);
+  for (int trial = 0; trial < 5; ++trial) {
+    RoutingTable t;
+    const int n_routes = 3 + static_cast<int>(rng.below(12));
+    for (int i = 0; i < n_routes; ++i) {
+      int len = 4 + static_cast<int>(rng.below(25));
+      std::uint32_t prefix =
+          rng.next_u32() & (0xFFFF'FFFFu << (32 - len));
+      t.add_route(prefix, len, static_cast<std::uint8_t>(rng.below(16)));
+    }
+    RouterRig rig(t);
+    for (int q = 0; q < 40; ++q) {
+      std::uint32_t dst = rng.next_u32();
+      auto oracle = t.lookup(dst);
+      auto r = rig.route(dst);
+      if (oracle) {
+        ASSERT_EQ(r.outcome, np::PacketOutcome::Forwarded)
+            << "trial " << trial << " dst " << dst;
+        EXPECT_EQ(r.output_port, oracle->port);
+      } else {
+        EXPECT_EQ(r.outcome, np::PacketOutcome::Dropped);
+      }
+    }
+  }
+}
+
+TEST(RouterApp, MonitoredExecutionNeverFlagsHonestTraffic) {
+  RoutingTable t = sample_table();
+  RouterRig rig(t);
+  util::Rng rng(0xBEE);
+  for (int i = 0; i < 200; ++i) {
+    (void)rig.route(rng.next_u32());
+  }
+  EXPECT_EQ(rig.core.stats().attacks_detected, 0u);
+}
+
+TEST(RouterApp, EmptyTableDropsEverything) {
+  RoutingTable t;
+  RouterRig rig(t);
+  EXPECT_EQ(rig.route(ip(1, 2, 3, 4)).outcome, np::PacketOutcome::Dropped);
+}
+
+}  // namespace
+}  // namespace sdmmon::net

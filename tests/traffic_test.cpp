@@ -1,0 +1,62 @@
+#include "net/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/packet.hpp"
+
+namespace sdmmon::net {
+namespace {
+
+TEST(Traffic, GeneratesValidPackets) {
+  TrafficGenerator gen;
+  for (int i = 0; i < 500; ++i) {
+    auto g = gen.next();
+    auto parsed = Ipv4Packet::parse(g.packet);
+    ASSERT_TRUE(parsed.has_value()) << "packet " << i;
+    EXPECT_TRUE(ipv4_checksum_ok(g.packet));
+    EXPECT_EQ(parsed->protocol, 17);
+    EXPECT_TRUE(UdpDatagram::parse(parsed->payload).has_value());
+  }
+}
+
+TEST(Traffic, RespectsSizeBounds) {
+  TrafficConfig config;
+  config.min_payload = 10;
+  config.max_payload = 20;
+  TrafficGenerator gen(config);
+  for (int i = 0; i < 200; ++i) {
+    auto g = gen.next();
+    auto udp = UdpDatagram::parse(Ipv4Packet::parse(g.packet)->payload);
+    ASSERT_TRUE(udp.has_value());
+    EXPECT_GE(udp->payload.size(), 10u);
+    EXPECT_LE(udp->payload.size(), 20u);
+  }
+}
+
+TEST(Traffic, CyclesThroughFlows) {
+  TrafficConfig config;
+  config.flows = 5;
+  TrafficGenerator gen(config);
+  std::set<std::uint32_t> keys;
+  for (int i = 0; i < 10; ++i) keys.insert(gen.next().flow_key);
+  EXPECT_EQ(keys.size(), 5u);
+}
+
+TEST(Traffic, DeterministicForSeed) {
+  TrafficConfig config;
+  config.seed = 99;
+  TrafficGenerator a(config), b(config);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next().packet, b.next().packet);
+}
+
+TEST(Traffic, PacketsFitReceiveBuffer) {
+  TrafficGenerator gen;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LE(gen.next().packet.size(), 2048u);
+  }
+}
+
+}  // namespace
+}  // namespace sdmmon::net

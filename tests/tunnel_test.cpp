@@ -1,0 +1,105 @@
+// IP-in-IP tunnel apps: encapsulation at one monitored core, decapsulation
+// at another, with the inner packet surviving the round trip bit-exactly.
+#include <gtest/gtest.h>
+
+#include "monitor/analysis.hpp"
+#include "net/apps.hpp"
+#include "net/packet.hpp"
+#include "np/monitored_core.hpp"
+
+namespace sdmmon::net {
+namespace {
+
+constexpr std::uint32_t kTunnelSrc = 0xC0A80001;  // 192.168.0.1
+constexpr std::uint32_t kTunnelDst = 0xC0A800FE;  // 192.168.0.254
+
+np::MonitoredCore make_core(const isa::Program& app, std::uint32_t param) {
+  np::MonitoredCore core;
+  monitor::MerkleTreeHash hash(param);
+  core.install(app, monitor::extract_graph(app, hash),
+               std::make_unique<monitor::MerkleTreeHash>(hash));
+  return core;
+}
+
+util::Bytes inner_packet() {
+  return make_udp_packet(ip(10, 0, 0, 5), ip(10, 0, 9, 9), 5353, 53,
+                         util::bytes_of("tunneled dns query"), 17);
+}
+
+TEST(Tunnel, EncapWrapsWithValidOuterHeader) {
+  auto core = make_core(build_ipip_encap(kTunnelSrc, kTunnelDst), 0x71);
+  util::Bytes inner = inner_packet();
+  np::PacketResult r = core.process_packet(inner);
+  ASSERT_EQ(r.outcome, np::PacketOutcome::Forwarded);
+  ASSERT_EQ(r.output.size(), inner.size() + 20);
+
+  auto outer = Ipv4Packet::parse(r.output);
+  ASSERT_TRUE(outer.has_value());
+  EXPECT_EQ(outer->protocol, 4);  // IPIP
+  EXPECT_EQ(outer->src, kTunnelSrc);
+  EXPECT_EQ(outer->dst, kTunnelDst);
+  EXPECT_EQ(outer->ttl, 64);
+  EXPECT_TRUE(ipv4_checksum_ok(r.output));
+  // Payload of the outer packet is the untouched inner packet.
+  EXPECT_EQ(outer->payload, inner);
+}
+
+TEST(Tunnel, DecapRecoversInnerExactly) {
+  auto encap = make_core(build_ipip_encap(kTunnelSrc, kTunnelDst), 0x72);
+  auto decap = make_core(build_ipip_decap(), 0x73);
+  util::Bytes inner = inner_packet();
+
+  np::PacketResult wrapped = encap.process_packet(inner);
+  ASSERT_EQ(wrapped.outcome, np::PacketOutcome::Forwarded);
+  np::PacketResult unwrapped = decap.process_packet(wrapped.output);
+  ASSERT_EQ(unwrapped.outcome, np::PacketOutcome::Forwarded);
+  EXPECT_EQ(unwrapped.output, inner);  // bit-exact round trip
+}
+
+TEST(Tunnel, DecapForwardsNonTunnelTraffic) {
+  auto decap = make_core(build_ipip_decap(), 0x74);
+  util::Bytes plain = inner_packet();  // proto 17, not 4
+  np::PacketResult r = decap.process_packet(plain);
+  ASSERT_EQ(r.outcome, np::PacketOutcome::Forwarded);
+  auto out = Ipv4Packet::parse(r.output);
+  EXPECT_EQ(out->ttl, 16);  // normal forwarding path decrements
+  EXPECT_TRUE(ipv4_checksum_ok(r.output));
+}
+
+TEST(Tunnel, DecapDropsTruncatedTunnelPayload) {
+  auto decap = make_core(build_ipip_decap(), 0x75);
+  Ipv4Packet outer;
+  outer.src = kTunnelSrc;
+  outer.dst = kTunnelDst;
+  outer.protocol = 4;
+  outer.payload = util::Bytes(10, 0x11);  // too short to be IPv4
+  np::PacketResult r = decap.process_packet(outer.to_bytes());
+  EXPECT_EQ(r.outcome, np::PacketOutcome::Dropped);
+}
+
+TEST(Tunnel, EncapDropsMalformedInner) {
+  auto encap = make_core(build_ipip_encap(kTunnelSrc, kTunnelDst), 0x76);
+  EXPECT_EQ(encap.process_packet(util::Bytes(8, 0)).outcome,
+            np::PacketOutcome::Dropped);
+}
+
+TEST(Tunnel, MonitoredTunnelPathNoFalsePositives) {
+  auto encap = make_core(build_ipip_encap(kTunnelSrc, kTunnelDst), 0x77);
+  auto decap = make_core(build_ipip_decap(), 0x78);
+  for (int i = 0; i < 50; ++i) {
+    util::Bytes inner = make_udp_packet(
+        ip(10, 0, 0, static_cast<std::uint8_t>(i)), ip(10, 0, 9, 9),
+        static_cast<std::uint16_t>(1000 + i), 53,
+        util::Bytes(static_cast<std::size_t>(10 + i), 0x5A));
+    auto w = encap.process_packet(inner);
+    ASSERT_EQ(w.outcome, np::PacketOutcome::Forwarded);
+    auto u = decap.process_packet(w.output);
+    ASSERT_EQ(u.outcome, np::PacketOutcome::Forwarded);
+    ASSERT_EQ(u.output, inner);
+  }
+  EXPECT_EQ(encap.stats().attacks_detected, 0u);
+  EXPECT_EQ(decap.stats().attacks_detected, 0u);
+}
+
+}  // namespace
+}  // namespace sdmmon::net

@@ -1,0 +1,132 @@
+#include "sdmmon/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/apps.hpp"
+#include "net/packet.hpp"
+
+namespace sdmmon::protocol {
+namespace {
+
+constexpr std::size_t kKeyBits = 1024;
+constexpr std::uint64_t kNow = 1'750'000'000;
+
+struct ManagedDevice {
+  Manufacturer manufacturer{"m", kKeyBits, crypto::Drbg("wl-man")};
+  NetworkOperator op{"o", kKeyBits, crypto::Drbg("wl-op")};
+  std::unique_ptr<NetworkProcessorDevice> device;
+
+  ManagedDevice() {
+    op.accept_certificate(manufacturer.certify_operator(
+        op.name(), op.public_key(), kNow - 10, kNow + 1'000'000));
+    device = manufacturer.provision_device("wl-router", 4);
+    EXPECT_EQ(device->install(op.program_device(net::build_udp_echo(),
+                                                device->public_key()),
+                              kNow),
+              InstallStatus::Ok);
+    EXPECT_EQ(device->install(op.program_device(net::build_ipv4_forward(),
+                                                device->public_key()),
+                              kNow),
+              InstallStatus::Ok);
+  }
+};
+
+ManagedDevice& fixture() {
+  static ManagedDevice d;
+  return d;
+}
+
+util::Bytes udp_to_port(std::uint16_t port) {
+  return net::make_udp_packet(net::ip(10, 0, 0, 1), net::ip(10, 9, 9, 9),
+                              1111, port, util::bytes_of("payload"));
+}
+
+TEST(Workload, ClassifiesByPortRules) {
+  ManagedDevice& f = fixture();
+  WorkloadManager mgr(*f.device);
+  mgr.add_port_rule(7, 7, "udp-echo");
+  mgr.set_default_app("ipv4-forward");
+  EXPECT_EQ(mgr.classify(udp_to_port(7)), "udp-echo");
+  EXPECT_EQ(mgr.classify(udp_to_port(80)), "ipv4-forward");
+  // Non-IP garbage goes to the default app.
+  util::Bytes junk(10, 0xAA);
+  EXPECT_EQ(mgr.classify(junk), "ipv4-forward");
+}
+
+TEST(Workload, FirstMatchingRuleWins) {
+  ManagedDevice& f = fixture();
+  WorkloadManager mgr(*f.device);
+  mgr.add_port_rule(0, 100, "udp-echo");
+  mgr.add_port_rule(50, 200, "ipv4-forward");
+  EXPECT_EQ(mgr.classify(udp_to_port(60)), "udp-echo");
+  EXPECT_EQ(mgr.classify(udp_to_port(150)), "ipv4-forward");
+}
+
+TEST(Workload, RebalanceAssignsCoresProportionally) {
+  ManagedDevice& f = fixture();
+  WorkloadManager mgr(*f.device);
+  mgr.add_port_rule(7, 7, "udp-echo");
+  mgr.set_default_app("ipv4-forward");
+
+  // 75% echo traffic, 25% forward traffic.
+  for (int i = 0; i < 300; ++i) (void)mgr.process(udp_to_port(7));
+  for (int i = 0; i < 100; ++i) (void)mgr.process(udp_to_port(9000));
+
+  std::size_t switched = mgr.rebalance();
+  EXPECT_GT(switched, 0u);
+  int echo_cores = 0, fwd_cores = 0;
+  for (const auto& app : mgr.assignment()) {
+    if (app == "udp-echo") ++echo_cores;
+    if (app == "ipv4-forward") ++fwd_cores;
+  }
+  EXPECT_EQ(echo_cores, 3);
+  EXPECT_EQ(fwd_cores, 1);
+  // Observation window reset.
+  EXPECT_TRUE(mgr.observed().empty());
+}
+
+TEST(Workload, DispatchReachesTheRightApp) {
+  ManagedDevice& f = fixture();
+  WorkloadManager mgr(*f.device);
+  mgr.add_port_rule(7, 7, "udp-echo");
+  mgr.set_default_app("ipv4-forward");
+  for (int i = 0; i < 30; ++i) (void)mgr.process(udp_to_port(7));
+  for (int i = 0; i < 10; ++i) (void)mgr.process(udp_to_port(9000));
+  ASSERT_GT(mgr.rebalance(), 0u);
+
+  // Echo packets come back with swapped addresses; forwarded ones do not.
+  np::PacketResult echoed = mgr.process(udp_to_port(7));
+  ASSERT_EQ(echoed.outcome, np::PacketOutcome::Forwarded);
+  EXPECT_EQ(net::Ipv4Packet::parse(echoed.output)->dst, net::ip(10, 0, 0, 1));
+
+  np::PacketResult forwarded = mgr.process(udp_to_port(9000));
+  ASSERT_EQ(forwarded.outcome, np::PacketOutcome::Forwarded);
+  EXPECT_EQ(net::Ipv4Packet::parse(forwarded.output)->dst,
+            net::ip(10, 9, 9, 9));
+}
+
+TEST(Workload, UnknownAppsIgnoredByRebalance) {
+  ManagedDevice& f = fixture();
+  WorkloadManager mgr(*f.device);
+  mgr.add_port_rule(1, 1, "not-installed");
+  mgr.set_default_app("ipv4-forward");
+  for (int i = 0; i < 10; ++i) (void)mgr.process(udp_to_port(1));
+  // Only the unknown app was observed: nothing to assign.
+  EXPECT_EQ(mgr.rebalance(), 0u);
+}
+
+TEST(Workload, RebalanceWithNoTrafficIsNoop) {
+  ManagedDevice& f = fixture();
+  WorkloadManager mgr(*f.device);
+  EXPECT_EQ(mgr.rebalance(), 0u);
+}
+
+TEST(Workload, SwitchCoreToRejectsBadArgs) {
+  ManagedDevice& f = fixture();
+  EXPECT_FALSE(f.device->switch_core_to(0, "no-such-app"));
+  EXPECT_FALSE(f.device->switch_core_to(99, "udp-echo"));
+  EXPECT_TRUE(f.device->switch_core_to(0, "udp-echo"));
+}
+
+}  // namespace
+}  // namespace sdmmon::protocol

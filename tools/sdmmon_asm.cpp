@@ -1,0 +1,38 @@
+// sdmmon-asm: assemble a .s source file into a program image.
+//
+//   sdmmon-asm prog.s --out prog.img [--name myapp] [--list]
+#include <cstdio>
+
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+#include "tool_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sdmmon;
+  try {
+    tools::Args args = tools::Args::parse(argc, argv);
+    if (args.positional.size() != 1) {
+      std::fprintf(stderr,
+                   "usage: sdmmon-asm <source.s> --out <image> [--name N]"
+                   " [--list]\n");
+      return 2;
+    }
+    std::string source = tools::read_text_file(args.positional[0]);
+    isa::AsmOptions options;
+    options.name = args.get_or("name", args.positional[0]);
+    isa::Program program = isa::assemble(source, options);
+
+    const std::string out = args.get("out");
+    tools::write_file(out, program.serialize());
+    std::printf("%s: %zu instructions, %zu data bytes, entry 0x%08x -> %s\n",
+                program.name.c_str(), program.text.size(),
+                program.data.size(), program.entry, out.c_str());
+    if (args.has("list")) {
+      std::printf("%s", isa::disassemble_program(program).c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sdmmon-asm: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,84 @@
+// Shared helpers for the command-line tools: file I/O for byte blobs and
+// a minimal flag parser (--name value pairs plus positionals).
+#ifndef SDMMON_TOOLS_TOOL_UTIL_HPP
+#define SDMMON_TOOLS_TOOL_UTIL_HPP
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string_view>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sdmmon::tools {
+
+inline util::Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return util::Bytes((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+inline std::string read_text_file(const std::string& path) {
+  util::Bytes raw = read_file(path);
+  return std::string(raw.begin(), raw.end());
+}
+
+inline void write_file(const std::string& path,
+                       std::span<const std::uint8_t> data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+/// Parsed command line: flags are "--name value"; everything else is a
+/// positional argument in order.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      std::string token = argv[i];
+      if (token.rfind("--", 0) == 0) {
+        std::string name = token.substr(2);
+        // A flag followed by another flag (or nothing) is boolean.
+        if (i + 1 >= argc ||
+            std::string_view(argv[i + 1]).rfind("--", 0) == 0) {
+          args.flags[name] = "1";
+        } else {
+          args.flags[name] = argv[++i];
+        }
+      } else {
+        args.positional.push_back(std::move(token));
+      }
+    }
+    return args;
+  }
+
+  std::string get(const std::string& name) const {
+    auto it = flags.find(name);
+    if (it == flags.end()) {
+      throw std::runtime_error("missing required flag --" + name);
+    }
+    return it->second;
+  }
+
+  std::string get_or(const std::string& name,
+                     const std::string& fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+
+  bool has(const std::string& name) const { return flags.count(name) > 0; }
+};
+
+}  // namespace sdmmon::tools
+
+#endif  // SDMMON_TOOLS_TOOL_UTIL_HPP
