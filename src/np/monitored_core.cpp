@@ -30,7 +30,12 @@ PacketResult MonitoredCore::process_packet(
     std::span<const std::uint8_t> packet) {
   PacketResult result;
   if (!installed()) {
+    // No program/monitor yet: the packet is dropped, and counted -- an
+    // operator watching stats must see the black-holed traffic rather
+    // than a core that appears idle.
     result.outcome = PacketOutcome::Dropped;
+    ++stats_.packets;
+    ++stats_.dropped;
     return result;
   }
 

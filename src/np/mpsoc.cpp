@@ -2,34 +2,66 @@
 
 namespace sdmmon::np {
 
-Mpsoc::Mpsoc(std::size_t num_cores, DispatchPolicy policy)
-    : cores_(num_cores), policy_(policy) {}
+Mpsoc::Mpsoc(std::size_t num_cores, DispatchPolicy policy,
+             RecoveryConfig recovery)
+    : cores_(num_cores),
+      last_good_(num_cores),
+      policy_(policy),
+      recovery_(num_cores, recovery) {}
+
+void Mpsoc::validate_config(const isa::Program& program,
+                            const monitor::MonitoringGraph& graph,
+                            const monitor::InstructionHash& hash) {
+  // Stage on a scratch core/monitor: load_program throws when the binary
+  // does not fit the memory map, and the monitor constructor rejects
+  // graph/hash pairings it cannot run. Cores are identical, so success
+  // here guarantees success on every real core (commit cannot fail).
+  Core scratch;
+  scratch.load_program(program);
+  monitor::HardwareMonitor probe(graph, hash.clone());
+}
 
 void Mpsoc::install_all(const isa::Program& program,
                         const monitor::MonitoringGraph& graph,
                         const monitor::InstructionHash& hash) {
-  for (auto& core : cores_) {
-    core.install(program, graph, hash.clone());
+  validate_config(program, graph, hash);
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    cores_[c].install(program, graph, hash.clone());
+    last_good_[c] = LastGood{program, graph, hash.clone()};
   }
 }
 
 void Mpsoc::install(std::size_t core_index, const isa::Program& program,
                     monitor::MonitoringGraph graph,
                     std::unique_ptr<monitor::InstructionHash> hash) {
+  validate_config(program, graph, *hash);
+  last_good_.at(core_index) = LastGood{program, graph, hash->clone()};
   cores_.at(core_index).install(program, std::move(graph), std::move(hash));
 }
 
-std::size_t Mpsoc::pick_core(std::uint32_t flow_key) {
+std::vector<std::size_t> Mpsoc::active_cores() const {
+  std::vector<std::size_t> active;
+  active.reserve(cores_.size());
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    if (core_dispatchable(c)) active.push_back(c);
+  }
+  return active;
+}
+
+std::size_t Mpsoc::pick_core(const std::vector<std::size_t>& active,
+                             std::uint32_t flow_key) {
   switch (policy_) {
     case DispatchPolicy::FlowHash:
-      // Fibonacci hashing spreads sequential flow keys.
-      return (flow_key * 2654435761u) % cores_.size();
+      // Fibonacci hashing spreads sequential flow keys. Hashing over the
+      // *active* list remaps flows off quarantined cores while flows on
+      // surviving cores stay put as long as the active set is stable.
+      return active[(flow_key * 2654435761u) % active.size()];
     case DispatchPolicy::LeastLoaded: {
-      std::size_t best = 0;
-      for (std::size_t c = 1; c < cores_.size(); ++c) {
-        if (cores_[c].stats().instructions <
+      std::size_t best = active[0];
+      for (std::size_t i = 1; i < active.size(); ++i) {
+        if (cores_[active[i]].stats().instructions <
             cores_[best].stats().instructions) {
-          best = c;
+          best = active[i];
         }
       }
       return best;
@@ -37,27 +69,74 @@ std::size_t Mpsoc::pick_core(std::uint32_t flow_key) {
     case DispatchPolicy::RoundRobin:
       break;
   }
-  std::size_t index = next_;
-  next_ = (next_ + 1) % cores_.size();
-  return index;
+  return active[next_++ % active.size()];
+}
+
+void Mpsoc::reinstall_core(std::size_t index) {
+  const std::optional<LastGood>& good = last_good_[index];
+  if (!good) return;  // nothing to re-image from; policy degrades to reset
+  cores_[index].install(good->program, good->graph, good->hash->clone());
+  recovery_.note_reinstall(index);
+  ++reinstalls_;
 }
 
 PacketResult Mpsoc::process_packet(std::span<const std::uint8_t> packet,
                                    std::uint32_t flow_key) {
-  return cores_[pick_core(flow_key)].process_packet(packet);
+  std::vector<std::size_t> active = active_cores();
+  if (active.empty()) {
+    // Fully degraded (or nothing installed yet): drop, never crash.
+    ++undispatched_;
+    PacketResult result;
+    result.outcome = PacketOutcome::Dropped;
+    return result;
+  }
+  std::size_t index = pick_core(active, flow_key);
+  PacketResult result = cores_[index].process_packet(packet);
+  switch (recovery_.on_outcome(index, result.outcome)) {
+    case RecoveryAction::None:
+      break;
+    case RecoveryAction::Reinstall:
+      reinstall_core(index);
+      break;
+    case RecoveryAction::Quarantine:
+      // Controller already moved the core out of the dispatch set; the
+      // next packet's active_cores() no longer contains it.
+      break;
+  }
+  return result;
 }
 
-CoreStats Mpsoc::aggregate_stats() const {
-  CoreStats sum;
-  for (const auto& core : cores_) {
-    const CoreStats& s = core.stats();
+MpsocStats Mpsoc::aggregate_stats() const {
+  MpsocStats sum;
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    const CoreStats& s = cores_[c].stats();
     sum.packets += s.packets;
     sum.forwarded += s.forwarded;
     sum.dropped += s.dropped;
     sum.attacks_detected += s.attacks_detected;
     sum.traps += s.traps;
     sum.instructions += s.instructions;
+    switch (recovery_.health(c)) {
+      case CoreHealth::Healthy:
+        if (cores_[c].installed()) {
+          ++sum.healthy_cores;
+        } else {
+          ++sum.uninstalled_cores;
+        }
+        break;
+      case CoreHealth::Quarantined:
+        ++sum.quarantined_cores;
+        break;
+      case CoreHealth::Offline:
+        ++sum.offline_cores;
+        break;
+    }
   }
+  sum.total_cores = cores_.size();
+  sum.undispatched = undispatched_;
+  sum.violations = recovery_.total_violations();
+  sum.quarantine_events = recovery_.quarantine_events();
+  sum.reinstalls = reinstalls_;
   return sum;
 }
 

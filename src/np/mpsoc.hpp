@@ -2,12 +2,20 @@
 // dispatcher, the system the paper's "Dynamics" challenge is about --
 // multiple cores, each independently (re)programmable at runtime with a
 // binary + monitoring graph + hash parameter.
+//
+// Beyond dispatch, the MPSoC owns the recovery pipeline: every packet
+// outcome feeds a RecoveryController, and the dispatcher routes around
+// cores that are quarantined, offline, or simply not yet installed, so a
+// partially-degraded MPSoC keeps forwarding on its remaining cores
+// (graceful degradation) instead of black-holing a share of the traffic.
 #ifndef SDMMON_NP_MPSOC_HPP
 #define SDMMON_NP_MPSOC_HPP
 
+#include <optional>
 #include <vector>
 
 #include "np/monitored_core.hpp"
+#include "np/recovery.hpp"
 
 namespace sdmmon::np {
 
@@ -17,39 +25,101 @@ enum class DispatchPolicy : std::uint8_t {
   LeastLoaded,  // core with the fewest instructions retired so far
 };
 
+/// Aggregate counters plus MPSoC-level health. Inherits the summed
+/// per-core counters so existing readers of `.forwarded` etc. keep
+/// working; the health fields describe the dispatcher's current view.
+struct MpsocStats : CoreStats {
+  std::size_t total_cores = 0;
+  std::size_t healthy_cores = 0;       // dispatchable (and installed)
+  std::size_t quarantined_cores = 0;
+  std::size_t offline_cores = 0;
+  std::size_t uninstalled_cores = 0;   // healthy but nothing installed yet
+  /// Packets that could not be dispatched because no core was available.
+  std::uint64_t undispatched = 0;
+  std::uint64_t violations = 0;        // attacks + counted traps
+  std::uint64_t quarantine_events = 0;
+  std::uint64_t reinstalls = 0;        // last-good re-images performed
+};
+
 class Mpsoc {
  public:
   explicit Mpsoc(std::size_t num_cores,
-                 DispatchPolicy policy = DispatchPolicy::RoundRobin);
+                 DispatchPolicy policy = DispatchPolicy::RoundRobin,
+                 RecoveryConfig recovery = {});
 
   std::size_t num_cores() const { return cores_.size(); }
   MonitoredCore& core(std::size_t index) { return cores_[index]; }
   const MonitoredCore& core(std::size_t index) const { return cores_[index]; }
 
   /// Install the same configuration on every core (cloning the hash unit).
+  /// Transactional: the configuration is validated on a scratch core
+  /// first, so a bad program/graph throws *before* any real core is
+  /// touched and the previous configuration keeps running everywhere.
   void install_all(const isa::Program& program,
                    const monitor::MonitoringGraph& graph,
                    const monitor::InstructionHash& hash);
 
-  /// Install on one core only (heterogeneous workload mapping).
+  /// Install on one core only (heterogeneous workload mapping). Validated
+  /// on a scratch core first, like install_all.
   void install(std::size_t core_index, const isa::Program& program,
                monitor::MonitoringGraph graph,
                std::unique_ptr<monitor::InstructionHash> hash);
 
   /// Dispatch a packet to a core per the policy; `flow_key` feeds the
-  /// FlowHash policy (ignored for RoundRobin).
+  /// FlowHash policy (ignored for RoundRobin). Quarantined, offline, and
+  /// uninstalled cores are routed around; when no core is dispatchable
+  /// the packet is dropped (and counted in `undispatched`).
   PacketResult process_packet(std::span<const std::uint8_t> packet,
                               std::uint32_t flow_key = 0);
 
-  /// Aggregate counters over all cores.
-  CoreStats aggregate_stats() const;
+  /// Aggregate counters + health over all cores.
+  MpsocStats aggregate_stats() const;
+
+  RecoveryController& recovery() { return recovery_; }
+  const RecoveryController& recovery() const { return recovery_; }
+  CoreHealth core_health(std::size_t index) const {
+    return recovery_.health(index);
+  }
+  /// Administrative drain / restore of one core.
+  void set_core_offline(std::size_t index, bool offline) {
+    recovery_.set_offline(index, offline);
+  }
+  /// Operator releases a quarantined core back into the dispatch set.
+  void release_core(std::size_t index) { recovery_.release(index); }
+
+  /// True if `index` would currently receive traffic.
+  bool core_dispatchable(std::size_t index) const {
+    return recovery_.dispatchable(index) && cores_[index].installed();
+  }
 
  private:
-  std::size_t pick_core(std::uint32_t flow_key);
+  /// The core configuration captured at the last successful install, used
+  /// by RecoveryPolicy::ReinstallLastGood to re-image a misbehaving core.
+  struct LastGood {
+    isa::Program program;
+    monitor::MonitoringGraph graph;
+    std::unique_ptr<monitor::InstructionHash> hash;
+  };
+
+  /// Throws if (program, graph, hash) cannot be installed; leaves all
+  /// real cores untouched.
+  static void validate_config(const isa::Program& program,
+                              const monitor::MonitoringGraph& graph,
+                              const monitor::InstructionHash& hash);
+
+  /// Dispatchable core indices in ascending order (empty = degraded out).
+  std::vector<std::size_t> active_cores() const;
+  std::size_t pick_core(const std::vector<std::size_t>& active,
+                        std::uint32_t flow_key);
+  void reinstall_core(std::size_t index);
 
   std::vector<MonitoredCore> cores_;
+  std::vector<std::optional<LastGood>> last_good_;
   DispatchPolicy policy_;
+  RecoveryController recovery_;
   std::size_t next_ = 0;
+  std::uint64_t undispatched_ = 0;
+  std::uint64_t reinstalls_ = 0;
 };
 
 }  // namespace sdmmon::np

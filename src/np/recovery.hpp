@@ -1,0 +1,131 @@
+// Per-core attack-recovery policy, extending the paper's single recovery
+// action (drop packet, reset core, continue -- Section 2.1) into a state
+// machine suited to sustained attacks:
+//
+//               K violations in window            reinstalls exhausted
+//   Healthy ------------------------------> ... ------------------------
+//     ^  |                                                             |
+//     |  | policy = ResetAndContinue: stay Healthy (paper baseline)    v
+//     |  | policy = ReinstallLastGood: re-image from last-good,   Quarantined
+//     |  |   up to max_reinstalls, then quarantine                     |
+//     |  | policy = QuarantineAfterK: quarantine immediately           |
+//     |  +-----------------------------------------------------------> |
+//     +------------------- release() (operator action) ----------------+
+//
+// Offline is a separate administrative state (hardware fault / manual
+// drain); only an explicit set_offline(false) brings a core back. The
+// dispatcher treats Quarantined and Offline cores as undispatchable, so a
+// compromised or flaky core sheds load to its healthy peers instead of
+// black-holing a fixed slice of traffic.
+#ifndef SDMMON_NP_RECOVERY_HPP
+#define SDMMON_NP_RECOVERY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "np/monitored_core.hpp"
+
+namespace sdmmon::np {
+
+enum class CoreHealth : std::uint8_t {
+  Healthy,      // dispatchable
+  Quarantined,  // too many violations; excluded until released
+  Offline,      // administratively removed (fault / drain)
+};
+
+const char* core_health_name(CoreHealth health);
+
+enum class RecoveryPolicy : std::uint8_t {
+  ResetAndContinue,  // paper baseline: per-packet reset only, never isolate
+  QuarantineAfterK,  // isolate a core after K violations in the window
+  ReinstallLastGood, // re-image from last-good config first; quarantine
+                     // only after max_reinstalls re-images in a row fail
+                     // to stop the violations
+};
+
+const char* recovery_policy_name(RecoveryPolicy policy);
+
+struct RecoveryConfig {
+  RecoveryPolicy policy = RecoveryPolicy::ResetAndContinue;
+  /// K: violations within the sliding window that trip the policy.
+  std::size_t violation_threshold = 3;
+  /// Sliding window length, in packets processed by the core.
+  std::size_t window_packets = 64;
+  /// ReinstallLastGood: re-images allowed before escalating to quarantine.
+  std::size_t max_reinstalls = 2;
+  /// Whether traps (faults/watchdog) count as violations alongside
+  /// monitor mismatches. Traps on a healthy binary usually indicate a
+  /// corrupted program store -- exactly what reinstall fixes.
+  bool count_traps = true;
+};
+
+/// What the caller (the MPSoC) must do after reporting an outcome.
+enum class RecoveryAction : std::uint8_t {
+  None,       // nothing beyond the per-packet reset the core already did
+  Reinstall,  // re-image the core from its last-good config
+  Quarantine, // the controller just quarantined the core
+};
+
+class RecoveryController {
+ public:
+  explicit RecoveryController(std::size_t num_cores,
+                              RecoveryConfig config = {});
+
+  const RecoveryConfig& config() const { return config_; }
+  std::size_t num_cores() const { return cores_.size(); }
+
+  /// Report one packet outcome for `core`; returns the action the policy
+  /// demands. Quarantined/offline cores report None (they should not be
+  /// receiving packets at all).
+  RecoveryAction on_outcome(std::size_t core, PacketOutcome outcome);
+
+  CoreHealth health(std::size_t core) const { return cores_[core].health; }
+  bool dispatchable(std::size_t core) const {
+    return cores_[core].health == CoreHealth::Healthy;
+  }
+
+  /// Administrative transitions.
+  void set_offline(std::size_t core, bool offline);
+  void quarantine(std::size_t core);
+  /// Operator releases a quarantined/offline core back to service with a
+  /// clean violation window.
+  void release(std::size_t core);
+
+  /// The MPSoC calls this after acting on RecoveryAction::Reinstall so
+  /// the escalation counter and window restart cleanly.
+  void note_reinstall(std::size_t core);
+
+  /// Violations currently inside `core`'s sliding window.
+  std::size_t window_violations(std::size_t core) const {
+    return cores_[core].window_violations;
+  }
+
+  std::uint64_t total_violations() const { return total_violations_; }
+  std::uint64_t quarantine_events() const { return quarantine_events_; }
+  std::uint64_t reinstall_requests() const { return reinstall_requests_; }
+  std::size_t healthy_cores() const;
+  std::size_t quarantined_cores() const;
+  std::size_t offline_cores() const;
+
+ private:
+  struct CoreState {
+    CoreHealth health = CoreHealth::Healthy;
+    std::vector<bool> window;        // ring buffer of recent outcomes
+    std::size_t window_pos = 0;
+    std::size_t window_fill = 0;
+    std::size_t window_violations = 0;
+    std::size_t reinstalls = 0;      // consecutive re-images (escalation)
+  };
+
+  void clear_window(CoreState& state);
+
+  RecoveryConfig config_;
+  std::vector<CoreState> cores_;
+  std::uint64_t total_violations_ = 0;
+  std::uint64_t quarantine_events_ = 0;
+  std::uint64_t reinstall_requests_ = 0;
+};
+
+}  // namespace sdmmon::np
+
+#endif  // SDMMON_NP_RECOVERY_HPP

@@ -58,8 +58,25 @@ const char* install_status_name(InstallStatus status) {
     case InstallStatus::BadSignature: return "bad-signature";
     case InstallStatus::ReplayRejected: return "replay-rejected";
     case InstallStatus::GraphMismatch: return "graph-mismatch";
+    case InstallStatus::StageFailed: return "stage-failed";
   }
   return "?";
+}
+
+bool install_status_permanent(InstallStatus status) {
+  switch (status) {
+    case InstallStatus::BadCertificate:
+    case InstallStatus::WrongDevice:
+    case InstallStatus::BadSignature:
+    case InstallStatus::GraphMismatch:
+      return true;
+    case InstallStatus::Ok:
+    case InstallStatus::CorruptPackage:  // usually in-flight damage
+    case InstallStatus::ReplayRejected:  // stale state; re-seal fixes it
+    case InstallStatus::StageFailed:
+      return false;
+  }
+  return false;
 }
 
 NetworkProcessorDevice::NetworkProcessorDevice(
@@ -73,7 +90,37 @@ NetworkProcessorDevice::NetworkProcessorDevice(
 InstallStatus NetworkProcessorDevice::install(const WirePackage& wire,
                                               std::uint64_t now) {
   last_time_ = now;
-  InstallStatus status = install_impl(wire, now);
+  InstallStatus status;
+  try {
+    status = install_impl(wire, now);
+  } catch (const std::exception&) {
+    // A payload that passed every cryptographic check can still fail to
+    // stage (e.g. its binary does not fit the memory map). The MPSoC
+    // validates before committing, so the cores still run the previous
+    // configuration; restore the device-level bookkeeping to match.
+    status = InstallStatus::StageFailed;
+    auto it = store_.find(app_name_);
+    if (installed_ && it != store_.end()) activate(it->second);
+  }
+  return record_install(status, now);
+}
+
+InstallStatus NetworkProcessorDevice::install_bytes(
+    std::span<const std::uint8_t> wire_bytes, std::uint64_t now) {
+  WirePackage wire;
+  try {
+    wire = WirePackage::deserialize(wire_bytes);
+  } catch (const std::exception&) {
+    last_time_ = now;
+    return record_install(InstallStatus::CorruptPackage, now);
+  }
+  return install(wire, now);
+}
+
+InstallStatus NetworkProcessorDevice::record_install(InstallStatus status,
+                                                     std::uint64_t now) {
+  last_install_status_ = status;
+  install_attempted_ = true;
   AuditEvent event;
   event.kind = AuditEvent::Kind::InstallAttempt;
   event.time = now;

@@ -96,9 +96,17 @@ enum class InstallStatus : std::uint8_t {
   BadSignature,     // operator signature invalid (SR1)
   ReplayRejected,   // sequence number not fresh
   GraphMismatch,    // monitoring graph does not match binary + parameter
+  StageFailed,      // payload verified but could not be staged on the
+                    // cores (e.g. binary exceeds the memory map); the
+                    // previous configuration was kept running
 };
 
 const char* install_status_name(InstallStatus status);
+
+/// True for rejections that retrying the same campaign cannot fix (bad
+/// keys, certificates, signatures, or graphs); false for damage a lossy
+/// channel can inflict on an otherwise-good package.
+bool install_status_permanent(InstallStatus status);
 
 /// One entry of the device's tamper-evident operations log. Every install
 /// attempt (accepted or rejected, with its rejection reason) and every
@@ -132,7 +140,24 @@ class NetworkProcessorDevice {
   /// Full verify-decrypt-install pipeline (paper Table 2's steps 2-5).
   /// On success the binary+graph+hash are installed on every core and the
   /// application is retained in the on-device store for fast switching.
+  /// Atomic: any failure -- including a mid-pipeline exception while
+  /// staging the new configuration -- leaves the previously-installed
+  /// application running on every core.
   InstallStatus install(const WirePackage& wire, std::uint64_t now);
+
+  /// What a device actually receives from the network: serialized wire
+  /// bytes, possibly damaged in flight. Parses and then runs the full
+  /// install pipeline; structural damage reports CorruptPackage instead
+  /// of surfacing a decode exception.
+  InstallStatus install_bytes(std::span<const std::uint8_t> wire_bytes,
+                              std::uint64_t now);
+
+  /// Result of the most recent install attempt (Ok before any attempt).
+  InstallStatus last_install_status() const { return last_install_status_; }
+  bool last_install_ok() const {
+    return last_install_status_ == InstallStatus::Ok;
+  }
+  bool install_attempted() const { return install_attempted_; }
 
   /// Fast application switch (paper Sec 4.2: "switching between
   /// applications already installed ... can be done quickly ... by keeping
@@ -180,6 +205,7 @@ class NetworkProcessorDevice {
 
   void activate(const StoredApp& app);
   InstallStatus install_impl(const WirePackage& wire, std::uint64_t now);
+  InstallStatus record_install(InstallStatus status, std::uint64_t now);
 
   std::string name_;
   crypto::RsaKeyPair keys_;
@@ -188,6 +214,8 @@ class NetworkProcessorDevice {
   bool installed_ = false;
   bool verify_graph_ = true;
   std::string app_name_;
+  InstallStatus last_install_status_ = InstallStatus::Ok;
+  bool install_attempted_ = false;
   std::uint64_t last_sequence_ = 0;
   std::uint64_t last_time_ = 0;
   std::map<std::string, StoredApp> store_;

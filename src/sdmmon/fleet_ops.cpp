@@ -1,45 +1,172 @@
 #include "sdmmon/fleet_ops.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "sdmmon/timed_install.hpp"
+#include "util/log.hpp"
 
 namespace sdmmon::protocol {
 
-FleetOperator::CampaignResult FleetOperator::deploy(
+const char* device_outcome_name(DeviceOutcome outcome) {
+  switch (outcome) {
+    case DeviceOutcome::Installed: return "installed";
+    case DeviceOutcome::Rejected: return "rejected";
+    case DeviceOutcome::ChannelLost: return "channel-lost";
+    case DeviceOutcome::BudgetExhausted: return "budget-exhausted";
+    case DeviceOutcome::SkippedUnhealthy: return "skipped-unhealthy";
+  }
+  return "?";
+}
+
+const DeviceReport* FleetOperator::CampaignResult::report_for(
+    const std::string& device) const {
+  for (const DeviceReport& report : reports) {
+    if (report.device == device) return &report;
+  }
+  return nullptr;
+}
+
+DeviceReport FleetOperator::deploy_one(NetworkProcessorDevice& device,
+                                       const isa::Program& binary,
+                                       std::uint64_t now, Channel& channel,
+                                       const RetryPolicy& retry) {
+  DeviceReport report;
+  report.device = device.name();
+  double backoff = retry.initial_backoff_s;
+
+  for (std::size_t attempt = 0; attempt < retry.max_attempts; ++attempt) {
+    // Each attempt is a freshly sealed package: a new hash parameter and,
+    // crucially, a new sequence number -- so a retry after a lost *reply*
+    // (the device actually installed) is fresh, not a replay.
+    WirePackage wire = op_.program_device(binary, device.public_key());
+    ChannelResult sent = channel.send_install(device, wire, now);
+    ++report.attempts;
+
+    if (sent.status == ChannelStatus::Delivered) {
+      report.saw_reply = true;
+      report.last_status = sent.install_status;
+      if (sent.install_status == InstallStatus::Ok) {
+        report.outcome = DeviceOutcome::Installed;
+        return report;
+      }
+      if (install_status_permanent(sent.install_status)) {
+        // Retrying cannot fix bad keys/certs/signatures; fail fast.
+        report.outcome = DeviceOutcome::Rejected;
+        return report;
+      }
+    }
+
+    if (attempt + 1 == retry.max_attempts) break;
+    if (report.backoff_s + backoff > retry.backoff_budget_s) {
+      report.outcome = DeviceOutcome::BudgetExhausted;
+      return report;
+    }
+    report.backoff_s += backoff;
+    backoff = std::min(backoff * retry.backoff_multiplier,
+                       retry.max_backoff_s);
+  }
+
+  report.outcome = report.saw_reply ? DeviceOutcome::Rejected
+                                    : DeviceOutcome::ChannelLost;
+  return report;
+}
+
+FleetOperator::CampaignResult FleetOperator::run_campaign(
+    const std::vector<NetworkProcessorDevice*>& targets,
     const isa::Program& binary, std::uint64_t now,
-    const NiosTimingModel& model) {
+    const NiosTimingModel& model, Channel* channel,
+    const RetryPolicy& retry) {
+  DirectChannel direct;
+  Channel& link = channel != nullptr ? *channel : direct;
+
   CampaignResult result;
+  pending_.clear();
   double per_install_s = 0;
   bool measured = false;
 
-  for (NetworkProcessorDevice* device : devices_) {
-    WirePackage wire = op_.program_device(binary, device->public_key());
+  for (NetworkProcessorDevice* device : targets) {
     if (!measured) {
-      // Instrument the first install to extrapolate the campaign cost.
+      // Instrument one representative install to extrapolate the
+      // campaign cost (uses a scratch package; the DRBG advances, which
+      // is fine -- parameters must be fresh anyway).
+      WirePackage probe = op_.program_device(binary, device->public_key());
       TimedInstallResult timed =
-          timed_install(wire, device->private_key_for_instrumentation(),
+          timed_install(probe, device->private_key_for_instrumentation(),
                         manufacturer_root_, now);
       if (timed.ok) per_install_s = timed.timing(model).total();
       measured = timed.ok;
     }
-    if (device->install(wire, now) == InstallStatus::Ok) {
+    DeviceReport report = deploy_one(*device, binary, now, link, retry);
+    result.modeled_seconds_sequential +=
+        per_install_s * static_cast<double>(report.attempts) +
+        report.backoff_s;
+    if (report.ok()) {
       ++result.succeeded;
     } else {
       ++result.failed;
+      pending_.push_back(device);
+      util::log_info("campaign: device ", report.device, " failed (",
+                     device_outcome_name(report.outcome), ", last status ",
+                     install_status_name(report.last_status), ", ",
+                     report.attempts, " attempts)");
     }
+    result.reports.push_back(std::move(report));
   }
-  result.modeled_seconds_sequential =
-      per_install_s * static_cast<double>(devices_.size());
-  last_binary_ = binary;
-  has_binary_ = true;
   return result;
 }
 
+FleetOperator::CampaignResult FleetOperator::deploy(
+    const isa::Program& binary, std::uint64_t now,
+    const NiosTimingModel& model, Channel* channel,
+    const RetryPolicy& retry) {
+  last_binary_ = binary;
+  has_binary_ = true;
+  return run_campaign(devices_, binary, now, model, channel, retry);
+}
+
+FleetOperator::CampaignResult FleetOperator::resume(
+    std::uint64_t now, const NiosTimingModel& model, Channel* channel,
+    const RetryPolicy& retry) {
+  if (!has_binary_ || pending_.empty()) return {};
+  std::vector<NetworkProcessorDevice*> targets = std::move(pending_);
+  pending_.clear();
+  return run_campaign(targets, last_binary_, now, model, channel, retry);
+}
+
 FleetOperator::CampaignResult FleetOperator::rotate_parameters(
-    std::uint64_t now, const NiosTimingModel& model) {
+    std::uint64_t now, const NiosTimingModel& model, Channel* channel,
+    const RetryPolicy& retry) {
   if (!has_binary_) return {};
-  return deploy(last_binary_, now, model);
+
+  std::vector<NetworkProcessorDevice*> healthy;
+  std::vector<DeviceReport> skipped;
+  for (NetworkProcessorDevice* device : devices_) {
+    if (device->install_attempted() && !device->last_install_ok()) {
+      DeviceReport report;
+      report.device = device->name();
+      report.outcome = DeviceOutcome::SkippedUnhealthy;
+      report.last_status = device->last_install_status();
+      skipped.push_back(std::move(report));
+    } else {
+      healthy.push_back(device);
+    }
+  }
+
+  CampaignResult result =
+      run_campaign(healthy, last_binary_, now, model, channel, retry);
+  result.skipped = skipped.size();
+  for (DeviceReport& report : skipped) {
+    // Unhealthy devices stay on the pending list so resume() can bring
+    // them back once the underlying fault clears.
+    auto it = std::find_if(devices_.begin(), devices_.end(),
+                           [&](NetworkProcessorDevice* d) {
+                             return d->name() == report.device;
+                           });
+    if (it != devices_.end()) pending_.push_back(*it);
+    result.reports.push_back(std::move(report));
+  }
+  return result;
 }
 
 bool FleetOperator::parameters_all_distinct() const {

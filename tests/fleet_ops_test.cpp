@@ -102,6 +102,63 @@ TEST(FleetOps, RotateWithoutDeployIsNoop) {
   EXPECT_EQ(result.failed, 0u);
 }
 
+TEST(FleetOps, DeployProducesPerDeviceReports) {
+  FleetFixture& f = fixture();
+  auto result = f.fleet.deploy(net::build_ipv4_forward(), kNow);
+  EXPECT_TRUE(result.converged());
+  ASSERT_EQ(result.reports.size(), f.devices.size());
+  for (const auto& device : f.devices) {
+    const DeviceReport* report = result.report_for(device->name());
+    ASSERT_NE(report, nullptr) << device->name();
+    EXPECT_TRUE(report->ok());
+    EXPECT_EQ(report->outcome, DeviceOutcome::Installed);
+    EXPECT_EQ(report->last_status, InstallStatus::Ok);
+    EXPECT_EQ(report->attempts, 1u);  // reliable channel: one shot each
+  }
+  EXPECT_EQ(result.report_for("no-such-device"), nullptr);
+  EXPECT_EQ(f.fleet.pending_devices(), 0u);
+}
+
+TEST(FleetOps, RotateSkipsUnhealthyDeviceAndResumeRecoversIt) {
+  FleetFixture& f = fixture();
+  (void)f.fleet.deploy(net::build_ipv4_forward(), kNow);
+
+  // Sabotage one device: a garbage package leaves its last install failed.
+  NetworkProcessorDevice& sick = *f.devices[2];
+  util::Bytes garbage = {0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_NE(sick.install_bytes(garbage, kNow), InstallStatus::Ok);
+  ASSERT_FALSE(sick.last_install_ok());
+  std::uint32_t sick_param = param_of(sick);
+
+  auto rotated = f.fleet.rotate_parameters(kNow + 200);
+  EXPECT_EQ(rotated.succeeded, 4u);
+  EXPECT_EQ(rotated.skipped, 1u);
+  const DeviceReport* report = rotated.report_for(sick.name());
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->outcome, DeviceOutcome::SkippedUnhealthy);
+  // The unhealthy device was not touched: old parameter still active.
+  EXPECT_EQ(param_of(sick), sick_param);
+  EXPECT_EQ(f.fleet.pending_devices(), 1u);
+
+  // resume() brings the skipped device back once the fault has cleared.
+  auto resumed = f.fleet.resume(kNow + 300);
+  EXPECT_EQ(resumed.succeeded, 1u);
+  EXPECT_TRUE(resumed.converged());
+  EXPECT_TRUE(sick.last_install_ok());
+  EXPECT_NE(param_of(sick), sick_param);
+  EXPECT_EQ(f.fleet.pending_devices(), 0u);
+  EXPECT_TRUE(f.fleet.parameters_all_distinct());
+}
+
+TEST(FleetOps, ResumeWithoutFailuresIsNoop) {
+  FleetFixture& f = fixture();
+  (void)f.fleet.deploy(net::build_ipv4_forward(), kNow);
+  auto result = f.fleet.resume(kNow + 400);
+  EXPECT_EQ(result.succeeded, 0u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_TRUE(result.reports.empty());
+}
+
 TEST(FleetOps, EmptyFleetDeploys) {
   FleetFixture& f = fixture();
   FleetOperator empty(f.op, f.manufacturer.public_key());
