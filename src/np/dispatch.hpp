@@ -1,0 +1,55 @@
+// Dispatch-policy core selection, shared verbatim between the serial
+// Mpsoc and the parallel engine so the two cannot drift: the differential
+// test suite asserts bit-identical dispatch decisions, and both engines
+// funnel through this one function to make that hold by construction.
+#ifndef SDMMON_NP_DISPATCH_HPP
+#define SDMMON_NP_DISPATCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace sdmmon::np {
+
+enum class DispatchPolicy : std::uint8_t {
+  RoundRobin,
+  FlowHash,     // same flow key -> same core (stable per-flow ordering)
+  LeastLoaded,  // core with the fewest instructions retired so far
+};
+
+/// Pick one entry of `active` (must be non-empty, ascending core indices).
+/// `rr_next` is the RoundRobin cursor: it is consumed and advanced only by
+/// RoundRobin dispatch, exactly once per dispatched packet. `load` maps a
+/// core index to its LeastLoaded metric; ties break toward the lowest
+/// active index (strict less-than keeps the first minimum).
+template <typename LoadFn>
+std::size_t pick_dispatch_core(DispatchPolicy policy,
+                               const std::vector<std::size_t>& active,
+                               std::uint32_t flow_key, std::size_t& rr_next,
+                               LoadFn&& load) {
+  switch (policy) {
+    case DispatchPolicy::FlowHash:
+      // Fibonacci hashing spreads sequential flow keys. Hashing over the
+      // *active* list remaps flows off quarantined cores while flows on
+      // surviving cores stay put as long as the active set is stable.
+      return active[(flow_key * 2654435761u) % active.size()];
+    case DispatchPolicy::LeastLoaded: {
+      std::size_t best = active[0];
+      std::uint64_t best_load = load(active[0]);
+      for (std::size_t i = 1; i < active.size(); ++i) {
+        const std::uint64_t candidate = load(active[i]);
+        if (candidate < best_load) {
+          best = active[i];
+          best_load = candidate;
+        }
+      }
+      return best;
+    }
+    case DispatchPolicy::RoundRobin:
+      break;
+  }
+  return active[rr_next++ % active.size()];
+}
+
+}  // namespace sdmmon::np
+
+#endif  // SDMMON_NP_DISPATCH_HPP

@@ -26,25 +26,15 @@ void MonitoredCore::install(const isa::Program& program,
   }
 }
 
-PacketResult MonitoredCore::process_packet(
+PacketResult MonitoredCore::execute_packet(
     std::span<const std::uint8_t> packet) {
   PacketResult result;
-  if (!installed()) {
-    // No program/monitor yet: the packet is dropped, and counted -- an
-    // operator watching stats must see the black-holed traffic rather
-    // than a core that appears idle.
-    result.outcome = PacketOutcome::Dropped;
-    ++stats_.packets;
-    ++stats_.dropped;
-    return result;
-  }
 
   // Per-packet path: fresh stack/registers, persistent application data.
   // Attack/trap recovery below uses the full re-imaging reset().
   core_.soft_reset();
   monitor_->reset();
   core_.deliver_packet(packet);
-  ++stats_.packets;
 
   for (;;) {
     StepInfo info = core_.step();
@@ -59,8 +49,6 @@ PacketResult MonitoredCore::process_packet(
       monitor::Verdict verdict = monitor_->on_instruction(info.word);
       if (verdict == monitor::Verdict::Mismatch && enforce_) {
         result.outcome = PacketOutcome::AttackDetected;
-        ++stats_.attacks_detected;
-        stats_.instructions += result.instructions;
         core_.reset();  // paper's recovery: reset stack, next packet
         return result;
       }
@@ -73,37 +61,63 @@ PacketResult MonitoredCore::process_packet(
         result.outcome = PacketOutcome::Forwarded;
         result.output = core_.output();
         result.output_port = core_.output_port();
-        ++stats_.forwarded;
-        stats_.instructions += result.instructions;
         return result;
       case StepEvent::PacketDone:
         // A sentinel return must be sanctioned by the monitoring graph.
         if (info.pc == kReturnSentinel && !monitor_->exit_allowed() &&
             enforce_) {
           result.outcome = PacketOutcome::AttackDetected;
-          ++stats_.attacks_detected;
-          stats_.instructions += result.instructions;
           core_.reset();
           return result;
         }
         result.outcome = PacketOutcome::Dropped;
-        ++stats_.dropped;
-        stats_.instructions += result.instructions;
         return result;
       case StepEvent::Halted:
         result.outcome = PacketOutcome::Dropped;
-        ++stats_.dropped;
-        stats_.instructions += result.instructions;
         return result;
       case StepEvent::Trapped:
         result.outcome = PacketOutcome::Trapped;
         result.trap = info.trap;
-        ++stats_.traps;
-        stats_.instructions += result.instructions;
         core_.reset();
         return result;
     }
   }
+}
+
+void MonitoredCore::commit_result(const PacketResult& result) {
+  ++stats_.packets;
+  switch (result.outcome) {
+    case PacketOutcome::Forwarded:
+      ++stats_.forwarded;
+      break;
+    case PacketOutcome::Dropped:
+      ++stats_.dropped;
+      break;
+    case PacketOutcome::AttackDetected:
+      ++stats_.attacks_detected;
+      break;
+    case PacketOutcome::Trapped:
+      ++stats_.traps;
+      break;
+  }
+  stats_.instructions += result.instructions;
+}
+
+PacketResult MonitoredCore::process_packet(
+    std::span<const std::uint8_t> packet) {
+  if (!installed()) {
+    // No program/monitor yet: the packet is dropped, and counted -- an
+    // operator watching stats must see the black-holed traffic rather
+    // than a core that appears idle.
+    PacketResult result;
+    result.outcome = PacketOutcome::Dropped;
+    ++stats_.packets;
+    ++stats_.dropped;
+    return result;
+  }
+  PacketResult result = execute_packet(packet);
+  commit_result(result);
+  return result;
 }
 
 }  // namespace sdmmon::np

@@ -54,7 +54,21 @@ class MonitoredCore {
   bool installed() const { return monitor_ != nullptr; }
 
   /// Process one packet to completion (reset -> deliver -> run).
+  /// Equivalent to execute_packet() followed by commit_result().
   PacketResult process_packet(std::span<const std::uint8_t> packet);
+
+  /// Run one packet WITHOUT touching the cumulative CoreStats. All memory
+  /// and monitor effects (soft reset, data-RAM writes, attack reset)
+  /// happen exactly as in process_packet; only the counters are deferred.
+  /// The parallel engine executes speculatively on worker threads and
+  /// commits results in serial packet order at the batch barrier, which
+  /// keeps CoreStats bit-identical to the serial engine even when a batch
+  /// is partially rolled back. Requires installed().
+  PacketResult execute_packet(std::span<const std::uint8_t> packet);
+
+  /// Fold one execute_packet() result into the cumulative CoreStats,
+  /// updating exactly the counters process_packet would have.
+  void commit_result(const PacketResult& result);
 
   const CoreStats& stats() const { return stats_; }
   Core& core() { return core_; }

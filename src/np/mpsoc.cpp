@@ -9,13 +9,9 @@ Mpsoc::Mpsoc(std::size_t num_cores, DispatchPolicy policy,
       policy_(policy),
       recovery_(num_cores, recovery) {}
 
-void Mpsoc::validate_config(const isa::Program& program,
-                            const monitor::MonitoringGraph& graph,
-                            const monitor::InstructionHash& hash) {
-  // Stage on a scratch core/monitor: load_program throws when the binary
-  // does not fit the memory map, and the monitor constructor rejects
-  // graph/hash pairings it cannot run. Cores are identical, so success
-  // here guarantees success on every real core (commit cannot fail).
+void validate_install_config(const isa::Program& program,
+                             const monitor::MonitoringGraph& graph,
+                             const monitor::InstructionHash& hash) {
   Core scratch;
   scratch.load_program(program);
   monitor::HardwareMonitor probe(graph, hash.clone());
@@ -24,18 +20,18 @@ void Mpsoc::validate_config(const isa::Program& program,
 void Mpsoc::install_all(const isa::Program& program,
                         const monitor::MonitoringGraph& graph,
                         const monitor::InstructionHash& hash) {
-  validate_config(program, graph, hash);
+  validate_install_config(program, graph, hash);
   for (std::size_t c = 0; c < cores_.size(); ++c) {
     cores_[c].install(program, graph, hash.clone());
-    last_good_[c] = LastGood{program, graph, hash.clone()};
+    last_good_[c] = LastGoodConfig{program, graph, hash.clone()};
   }
 }
 
 void Mpsoc::install(std::size_t core_index, const isa::Program& program,
                     monitor::MonitoringGraph graph,
                     std::unique_ptr<monitor::InstructionHash> hash) {
-  validate_config(program, graph, *hash);
-  last_good_.at(core_index) = LastGood{program, graph, hash->clone()};
+  validate_install_config(program, graph, *hash);
+  last_good_.at(core_index) = LastGoodConfig{program, graph, hash->clone()};
   cores_.at(core_index).install(program, std::move(graph), std::move(hash));
 }
 
@@ -50,30 +46,14 @@ std::vector<std::size_t> Mpsoc::active_cores() const {
 
 std::size_t Mpsoc::pick_core(const std::vector<std::size_t>& active,
                              std::uint32_t flow_key) {
-  switch (policy_) {
-    case DispatchPolicy::FlowHash:
-      // Fibonacci hashing spreads sequential flow keys. Hashing over the
-      // *active* list remaps flows off quarantined cores while flows on
-      // surviving cores stay put as long as the active set is stable.
-      return active[(flow_key * 2654435761u) % active.size()];
-    case DispatchPolicy::LeastLoaded: {
-      std::size_t best = active[0];
-      for (std::size_t i = 1; i < active.size(); ++i) {
-        if (cores_[active[i]].stats().instructions <
-            cores_[best].stats().instructions) {
-          best = active[i];
-        }
-      }
-      return best;
-    }
-    case DispatchPolicy::RoundRobin:
-      break;
-  }
-  return active[next_++ % active.size()];
+  return pick_dispatch_core(policy_, active, flow_key, next_,
+                            [this](std::size_t core) {
+                              return cores_[core].stats().instructions;
+                            });
 }
 
 void Mpsoc::reinstall_core(std::size_t index) {
-  const std::optional<LastGood>& good = last_good_[index];
+  const std::optional<LastGoodConfig>& good = last_good_[index];
   if (!good) return;  // nothing to re-image from; policy degrades to reset
   cores_[index].install(good->program, good->graph, good->hash->clone());
   recovery_.note_reinstall(index);

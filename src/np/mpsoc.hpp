@@ -14,16 +14,30 @@
 #include <optional>
 #include <vector>
 
+#include "np/dispatch.hpp"
 #include "np/monitored_core.hpp"
 #include "np/recovery.hpp"
 
 namespace sdmmon::np {
 
-enum class DispatchPolicy : std::uint8_t {
-  RoundRobin,
-  FlowHash,     // same flow key -> same core (stable per-flow ordering)
-  LeastLoaded,  // core with the fewest instructions retired so far
+/// The core configuration captured at the last successful install, used
+/// by RecoveryPolicy::ReinstallLastGood to re-image a misbehaving core.
+/// Shared by the serial and parallel engines.
+struct LastGoodConfig {
+  isa::Program program;
+  monitor::MonitoringGraph graph;
+  std::unique_ptr<monitor::InstructionHash> hash;
 };
+
+/// Throws if (program, graph, hash) cannot be installed; leaves all real
+/// cores untouched. Staged on a scratch core/monitor: load_program throws
+/// when the binary does not fit the memory map, and the monitor
+/// constructor rejects graph/hash pairings it cannot run. Cores are
+/// identical, so success here guarantees success on every real core
+/// (commit cannot fail).
+void validate_install_config(const isa::Program& program,
+                             const monitor::MonitoringGraph& graph,
+                             const monitor::InstructionHash& hash);
 
 /// Aggregate counters plus MPSoC-level health. Inherits the summed
 /// per-core counters so existing readers of `.forwarded` etc. keep
@@ -93,20 +107,6 @@ class Mpsoc {
   }
 
  private:
-  /// The core configuration captured at the last successful install, used
-  /// by RecoveryPolicy::ReinstallLastGood to re-image a misbehaving core.
-  struct LastGood {
-    isa::Program program;
-    monitor::MonitoringGraph graph;
-    std::unique_ptr<monitor::InstructionHash> hash;
-  };
-
-  /// Throws if (program, graph, hash) cannot be installed; leaves all
-  /// real cores untouched.
-  static void validate_config(const isa::Program& program,
-                              const monitor::MonitoringGraph& graph,
-                              const monitor::InstructionHash& hash);
-
   /// Dispatchable core indices in ascending order (empty = degraded out).
   std::vector<std::size_t> active_cores() const;
   std::size_t pick_core(const std::vector<std::size_t>& active,
@@ -114,7 +114,7 @@ class Mpsoc {
   void reinstall_core(std::size_t index);
 
   std::vector<MonitoredCore> cores_;
-  std::vector<std::optional<LastGood>> last_good_;
+  std::vector<std::optional<LastGoodConfig>> last_good_;
   DispatchPolicy policy_;
   RecoveryController recovery_;
   std::size_t next_ = 0;

@@ -1,0 +1,342 @@
+#include "np/parallel_mpsoc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sdmmon::np {
+
+ParallelMpsoc::ParallelMpsoc(std::size_t num_cores, DispatchPolicy policy,
+                             RecoveryConfig recovery, ParallelConfig parallel)
+    : cores_(num_cores),
+      last_good_(num_cores),
+      policy_(policy),
+      recovery_(num_cores, recovery),
+      config_(parallel),
+      ingest_(std::max<std::size_t>(parallel.ingest_depth, 2)) {
+  config_.batch_size = std::max<std::size_t>(config_.batch_size, 1);
+  std::size_t workers = config_.workers == 0 ? num_cores : config_.workers;
+  workers = std::min(std::max<std::size_t>(workers, num_cores > 0 ? 1 : 0),
+                     num_cores);
+  queues_.reserve(workers);
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    // A worker can be handed every slot of a batch, so batch_size bounds
+    // the queue depth; push never blocks.
+    queues_.push_back(
+        std::make_unique<util::SpscQueue<WorkMsg>>(config_.batch_size + 1));
+  }
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+ParallelMpsoc::~ParallelMpsoc() {
+  flush();
+  auto poison = std::make_unique<Batch>();
+  poison->stop = true;
+  ingest_.push(std::move(poison));
+  dispatcher_.join();  // dispatcher stops every worker before exiting
+  for (std::thread& w : workers_) w.join();
+}
+
+void ParallelMpsoc::worker_main(std::size_t worker) {
+  util::SpscQueue<WorkMsg>& queue = *queues_[worker];
+  for (;;) {
+    WorkMsg msg = queue.pop();
+    if (msg.kind == WorkMsg::Kind::Stop) return;
+    const Packet& packet = batch_items_[msg.slot];
+    batch_results_[msg.slot] = cores_[msg.core].execute_packet(packet.data);
+    gate_.done();
+  }
+}
+
+void ParallelMpsoc::dispatcher_main() {
+  std::vector<PacketResult> scratch;
+  for (;;) {
+    std::unique_ptr<Batch> batch = ingest_.pop();
+    if (batch->stop) {
+      for (auto& queue : queues_) {
+        queue->push(WorkMsg{WorkMsg::Kind::Stop, 0, 0});
+      }
+      return;
+    }
+    if (batch->count > 0) {
+      PacketResult* results = batch->results_out;
+      if (results == nullptr) {
+        scratch.assign(batch->count, PacketResult{});
+        results = scratch.data();
+      }
+      run_batch(batch->items, batch->count, results);
+    }
+    if (batch->done != nullptr) batch->done->done();
+  }
+}
+
+std::vector<std::size_t> ParallelMpsoc::active_cores() const {
+  std::vector<std::size_t> active;
+  active.reserve(cores_.size());
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    if (core_dispatchable(c)) active.push_back(c);
+  }
+  return active;
+}
+
+void ParallelMpsoc::reinstall_core(std::size_t index) {
+  const std::optional<LastGoodConfig>& good = last_good_[index];
+  if (!good) return;  // nothing to re-image from; policy degrades to reset
+  cores_[index].install(good->program, good->graph, good->hash->clone());
+  recovery_.note_reinstall(index);
+  ++reinstalls_;
+}
+
+void ParallelMpsoc::rollback_speculation(
+    const std::vector<PlanSlot>& plan, std::size_t attempt_start,
+    std::size_t acted_slot, const Packet* items,
+    std::vector<std::optional<Core>>& snapshots) {
+  // A core is polluted iff it speculatively executed a slot the commit
+  // scan did not reach (slots > acted_slot get re-planned, and their
+  // memory side effects never happened in the serial order).
+  std::vector<bool> polluted(cores_.size(), false);
+  bool any = false;
+  for (std::size_t i = acted_slot + 1; i < plan.size(); ++i) {
+    if (plan[i].core != kUndispatched && !polluted[plan[i].core]) {
+      polluted[plan[i].core] = true;
+      any = true;
+    }
+  }
+  if (!any) return;
+  ++rollbacks_;
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    if (!polluted[c]) continue;
+    assert(snapshots[c].has_value());
+    // Rewind to the batch-attempt snapshot, then replay the packets this
+    // commit pass accepted (deterministic: same config, same memory, same
+    // bytes), leaving the core exactly where the serial engine would be
+    // after the acted-upon packet.
+    cores_[c].core() = *snapshots[c];
+    for (std::size_t i = attempt_start; i <= acted_slot; ++i) {
+      if (plan[i].core == c) (void)cores_[c].execute_packet(items[i].data);
+    }
+  }
+}
+
+void ParallelMpsoc::run_batch(const Packet* items, std::size_t count,
+                              PacketResult* results) {
+  std::vector<PlanSlot> plan(count);
+  std::vector<std::optional<Core>> snapshots(cores_.size());
+  std::vector<std::uint64_t> planned_extra(cores_.size(), 0);
+  // Snapshots are only needed when the recovery policy can act mid-batch;
+  // the paper-baseline ResetAndContinue never does, so it runs copy-free.
+  const bool may_act =
+      recovery_.config().policy != RecoveryPolicy::ResetAndContinue;
+
+  std::size_t start = 0;
+  while (start < count) {
+    // ---- plan: serial dispatch decisions against committed state ----
+    const std::vector<std::size_t> active = active_cores();
+    std::size_t rr = next_;
+    std::fill(planned_extra.begin(), planned_extra.end(), 0);
+    const std::uint64_t est_instr =
+        committed_packets_ == 0
+            ? 1
+            : std::max<std::uint64_t>(
+                  1, committed_instructions_ / committed_packets_);
+    std::size_t dispatched = 0;
+    for (std::size_t i = start; i < count; ++i) {
+      if (active.empty()) {
+        plan[i] = PlanSlot{kUndispatched, rr};
+        continue;
+      }
+      const std::size_t core = pick_dispatch_core(
+          policy_, active, items[i].flow_key, rr, [&](std::size_t c) {
+            // LeastLoaded sees committed load plus an estimate for the
+            // packets already planned onto c this batch (the relaxed
+            // contract: feedback at batch granularity, not per packet).
+            return cores_[c].stats().instructions + planned_extra[c];
+          });
+      planned_extra[core] += est_instr;
+      plan[i] = PlanSlot{core, rr};
+      ++dispatched;
+    }
+
+    // ---- snapshot: bound the speculation this attempt can commit ----
+    if (may_act) {
+      for (std::size_t i = start; i < count; ++i) {
+        const std::size_t c = plan[i].core;
+        if (c != kUndispatched && !snapshots[c].has_value()) {
+          snapshots[c] = cores_[c].core();
+        }
+      }
+    }
+
+    // ---- execute: fan the per-core streams out to the workers ----
+    gate_.arm(dispatched);
+    batch_items_ = items;
+    batch_results_ = results;
+    for (std::size_t i = start; i < count; ++i) {
+      if (plan[i].core == kUndispatched) continue;
+      queues_[worker_of(plan[i].core)]->push(
+          WorkMsg{WorkMsg::Kind::Execute, i, plan[i].core});
+    }
+    gate_.wait();
+
+    // ---- commit: replay outcomes in serial packet order ----
+    std::size_t resume = count;
+    bool acted = false;
+    for (std::size_t i = start; i < count; ++i) {
+      if (plan[i].core == kUndispatched) {
+        ++undispatched_;
+        results[i] = PacketResult{};  // Dropped, no output
+        continue;
+      }
+      const std::size_t c = plan[i].core;
+      cores_[c].commit_result(results[i]);
+      ++committed_packets_;
+      committed_instructions_ += results[i].instructions;
+      const RecoveryAction action =
+          recovery_.on_outcome(c, results[i].outcome);
+      if (action == RecoveryAction::None) continue;
+      // Batch barrier: workers are idle, so the health transition and any
+      // re-image are race-free, exactly like the serial per-packet path.
+      next_ = plan[i].rr_after;
+      rollback_speculation(plan, start, i, items, snapshots);
+      if (action == RecoveryAction::Reinstall) reinstall_core(c);
+      resume = i + 1;
+      acted = true;
+      break;
+    }
+    if (!acted) next_ = rr;
+    // Snapshots reflect pre-attempt state; invalidate so the next attempt
+    // re-captures post-commit memory.
+    if (may_act && resume < count) {
+      for (auto& snap : snapshots) snap.reset();
+    }
+    start = resume;
+  }
+}
+
+void ParallelMpsoc::submit(util::Bytes packet, std::uint32_t flow_key) {
+  pending_.push_back(Packet{std::move(packet), flow_key});
+  if (pending_.size() < config_.batch_size) return;
+  auto batch = std::make_unique<Batch>();
+  batch->owned = std::move(pending_);
+  pending_.clear();
+  batch->items = batch->owned.data();
+  batch->count = batch->owned.size();
+  ingest_.push(std::move(batch));
+}
+
+void ParallelMpsoc::drain() {
+  util::CompletionGate done;
+  done.arm(1);
+  auto fence = std::make_unique<Batch>();
+  fence->done = &done;
+  ingest_.push(std::move(fence));
+  done.wait();
+}
+
+void ParallelMpsoc::flush() {
+  if (!pending_.empty()) {
+    auto batch = std::make_unique<Batch>();
+    batch->owned = std::move(pending_);
+    pending_.clear();
+    batch->items = batch->owned.data();
+    batch->count = batch->owned.size();
+    ingest_.push(std::move(batch));
+  }
+  drain();
+}
+
+std::vector<PacketResult> ParallelMpsoc::process_packets(
+    const std::vector<Packet>& packets) {
+  flush();
+  std::vector<PacketResult> results(packets.size());
+  util::CompletionGate done;
+  std::size_t batches = 0;
+  for (std::size_t off = 0; off < packets.size();
+       off += config_.batch_size) {
+    ++batches;
+  }
+  done.arm(batches);
+  for (std::size_t off = 0; off < packets.size();
+       off += config_.batch_size) {
+    const std::size_t n =
+        std::min(config_.batch_size, packets.size() - off);
+    auto batch = std::make_unique<Batch>();
+    batch->items = packets.data() + off;
+    batch->count = n;
+    batch->results_out = results.data() + off;
+    batch->done = &done;
+    ingest_.push(std::move(batch));
+  }
+  if (batches > 0) done.wait();
+  return results;
+}
+
+void ParallelMpsoc::install_all(const isa::Program& program,
+                                const monitor::MonitoringGraph& graph,
+                                const monitor::InstructionHash& hash) {
+  flush();
+  validate_install_config(program, graph, hash);
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    cores_[c].install(program, graph, hash.clone());
+    last_good_[c] = LastGoodConfig{program, graph, hash.clone()};
+  }
+}
+
+void ParallelMpsoc::install(std::size_t core_index,
+                            const isa::Program& program,
+                            monitor::MonitoringGraph graph,
+                            std::unique_ptr<monitor::InstructionHash> hash) {
+  flush();
+  validate_install_config(program, graph, *hash);
+  last_good_.at(core_index) = LastGoodConfig{program, graph, hash->clone()};
+  cores_.at(core_index).install(program, std::move(graph), std::move(hash));
+}
+
+void ParallelMpsoc::set_core_offline(std::size_t index, bool offline) {
+  flush();
+  recovery_.set_offline(index, offline);
+}
+
+void ParallelMpsoc::release_core(std::size_t index) {
+  flush();
+  recovery_.release(index);
+}
+
+MpsocStats ParallelMpsoc::aggregate_stats() const {
+  MpsocStats sum;
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    const CoreStats& s = cores_[c].stats();
+    sum.packets += s.packets;
+    sum.forwarded += s.forwarded;
+    sum.dropped += s.dropped;
+    sum.attacks_detected += s.attacks_detected;
+    sum.traps += s.traps;
+    sum.instructions += s.instructions;
+    switch (recovery_.health(c)) {
+      case CoreHealth::Healthy:
+        if (cores_[c].installed()) {
+          ++sum.healthy_cores;
+        } else {
+          ++sum.uninstalled_cores;
+        }
+        break;
+      case CoreHealth::Quarantined:
+        ++sum.quarantined_cores;
+        break;
+      case CoreHealth::Offline:
+        ++sum.offline_cores;
+        break;
+    }
+  }
+  sum.total_cores = cores_.size();
+  sum.undispatched = undispatched_;
+  sum.violations = recovery_.total_violations();
+  sum.quarantine_events = recovery_.quarantine_events();
+  sum.reinstalls = reinstalls_;
+  return sum;
+}
+
+}  // namespace sdmmon::np

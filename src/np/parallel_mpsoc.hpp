@@ -1,0 +1,215 @@
+// Parallel MPSoC execution engine: the same monitored-core array, dispatch
+// policies, and recovery pipeline as the serial `Mpsoc`, but with packet
+// execution spread across one worker thread per core (or fewer -- cores
+// are sharded over workers), fed by bounded SPSC queues from a dispatcher
+// thread that also owns every piece of engine state.
+//
+// Equivalence contract (enforced by tests/mpsoc_parallel_diff_test.cpp):
+//
+//  * RoundRobin and FlowHash: per-packet outcomes, per-core CoreStats,
+//    aggregate_stats(), and every RecoveryController decision are
+//    BIT-IDENTICAL to the serial engine on the same packet sequence.
+//  * LeastLoaded: dispatch feedback (instructions retired) is only known
+//    at batch granularity, so packet->core placement may differ from the
+//    serial engine. What is preserved: per-packet outcomes under a
+//    homogeneous installation, conservation of every packet (dispatched +
+//    undispatched == submitted), and all recovery-safety invariants.
+//
+// How equivalence survives parallelism: the dispatcher plans a whole
+// batch against the current health/config state, workers execute their
+// per-core streams speculatively (MonitoredCore::execute_packet defers
+// stats), and a commit step replays outcomes in serial packet order
+// through the RecoveryController. When a packet triggers a recovery
+// action (quarantine / reinstall-last-good), the action is applied at
+// that barrier exactly as the serial engine would have, cores polluted by
+// speculatively-executed later packets are restored from their batch
+// snapshot and replayed, and the remainder of the batch is re-planned
+// against the post-action dispatch set. ResetAndContinue never acts, so
+// that policy runs snapshot-free at full speed.
+//
+// Caveat: Core cycle counters, instruction-mix telemetry, and
+// MonitorStats can overcount after a rollback (speculated packets are
+// re-executed); CoreStats/MpsocStats are exact.
+//
+// Threading contract: submit()/flush()/process_packets()/install*() and
+// every accessor must be called from ONE external thread. Accessors
+// observe engine state only when the engine is quiescent (after flush()
+// or a synchronous process_packets() call).
+#ifndef SDMMON_NP_PARALLEL_MPSOC_HPP
+#define SDMMON_NP_PARALLEL_MPSOC_HPP
+
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "np/mpsoc.hpp"
+#include "util/spsc_queue.hpp"
+#include "util/sync.hpp"
+
+namespace sdmmon::np {
+
+struct ParallelConfig {
+  /// Worker threads; 0 = one per core. Clamped to [1, num_cores]. Cores
+  /// are sharded over workers (core c is owned by worker c % workers), so
+  /// per-core packet order is preserved for any worker count.
+  std::size_t workers = 0;
+  /// Packets per dispatch epoch. Larger batches amortize the barrier;
+  /// smaller ones bound rollback replay cost.
+  std::size_t batch_size = 256;
+  /// Batches buffered between the submitting thread and the dispatcher
+  /// (ingest backpressure bound).
+  std::size_t ingest_depth = 4;
+};
+
+class ParallelMpsoc {
+ public:
+  /// A packet handed to the engine. `data` is owned so asynchronously
+  /// submitted packets survive until their batch executes.
+  struct Packet {
+    util::Bytes data;
+    std::uint32_t flow_key = 0;
+  };
+
+  explicit ParallelMpsoc(std::size_t num_cores,
+                         DispatchPolicy policy = DispatchPolicy::RoundRobin,
+                         RecoveryConfig recovery = {},
+                         ParallelConfig parallel = {});
+  ~ParallelMpsoc();
+
+  ParallelMpsoc(const ParallelMpsoc&) = delete;
+  ParallelMpsoc& operator=(const ParallelMpsoc&) = delete;
+
+  std::size_t num_cores() const { return cores_.size(); }
+  std::size_t num_workers() const { return workers_.size(); }
+  DispatchPolicy policy() const { return policy_; }
+
+  /// Install the same configuration on every core. Drains in-flight
+  /// batches first, so the reprogram lands on a packet boundary -- the
+  /// same transactional validation as the serial engine.
+  void install_all(const isa::Program& program,
+                   const monitor::MonitoringGraph& graph,
+                   const monitor::InstructionHash& hash);
+
+  /// Install on one core only (heterogeneous workload mapping).
+  void install(std::size_t core_index, const isa::Program& program,
+               monitor::MonitoringGraph graph,
+               std::unique_ptr<monitor::InstructionHash> hash);
+
+  /// Batched ingest: enqueue one packet; a full batch is handed to the
+  /// dispatcher thread automatically. Results are folded into stats only.
+  void submit(util::Bytes packet, std::uint32_t flow_key = 0);
+
+  /// Block until every submitted packet has been processed and committed.
+  void flush();
+
+  /// Synchronous convenience path: process `packets` (chunked into
+  /// batches internally) and return per-packet results in input order.
+  /// Flushes previously submitted packets first.
+  std::vector<PacketResult> process_packets(
+      const std::vector<Packet>& packets);
+
+  /// Aggregate counters + health over all cores (quiescent only).
+  MpsocStats aggregate_stats() const;
+
+  MonitoredCore& core(std::size_t index) { return cores_[index]; }
+  const MonitoredCore& core(std::size_t index) const { return cores_[index]; }
+
+  RecoveryController& recovery() { return recovery_; }
+  const RecoveryController& recovery() const { return recovery_; }
+  CoreHealth core_health(std::size_t index) const {
+    return recovery_.health(index);
+  }
+  /// Administrative drain / restore of one core (drains in-flight work).
+  void set_core_offline(std::size_t index, bool offline);
+  /// Operator releases a quarantined core back into the dispatch set.
+  void release_core(std::size_t index);
+
+  bool core_dispatchable(std::size_t index) const {
+    return recovery_.dispatchable(index) && cores_[index].installed();
+  }
+
+  /// Rollback replays performed so far (telemetry for the batch-barrier
+  /// recovery path; 0 under RecoveryPolicy::ResetAndContinue).
+  std::uint64_t speculation_rollbacks() const { return rollbacks_; }
+
+ private:
+  static constexpr std::size_t kUndispatched =
+      static_cast<std::size_t>(-1);
+
+  struct PlanSlot {
+    std::size_t core = kUndispatched;
+    std::size_t rr_after = 0;  // RoundRobin cursor after planning this slot
+  };
+
+  /// One unit of dispatcher->worker work. `slot` indexes the live batch's
+  /// packet/result arrays.
+  struct WorkMsg {
+    enum class Kind : std::uint8_t { Execute, Stop };
+    Kind kind = Kind::Execute;
+    std::size_t slot = 0;
+    std::size_t core = 0;
+  };
+
+  /// One ingest unit. Either owns its packets (async submit) or borrows
+  /// the caller's (synchronous process_packets, which keeps them alive).
+  struct Batch {
+    std::vector<Packet> owned;
+    const Packet* items = nullptr;
+    std::size_t count = 0;
+    PacketResult* results_out = nullptr;  // non-null for synchronous calls
+    util::CompletionGate* done = nullptr;  // signaled after commit
+    bool stop = false;
+  };
+
+  void dispatcher_main();
+  void worker_main(std::size_t worker);
+  void run_batch(const Packet* items, std::size_t count,
+                 PacketResult* results);
+  /// Restore cores whose speculative executions beyond `acted_slot` must
+  /// be undone, then replay their committed packets of this attempt.
+  void rollback_speculation(const std::vector<PlanSlot>& plan,
+                            std::size_t attempt_start,
+                            std::size_t acted_slot, const Packet* items,
+                            std::vector<std::optional<Core>>& snapshots);
+  void reinstall_core(std::size_t index);
+  std::vector<std::size_t> active_cores() const;
+  std::size_t worker_of(std::size_t core) const {
+    return core % workers_.size();
+  }
+  void drain();  // flush without touching caller-side pending buffer
+
+  // ---- engine state (owned by the dispatcher thread while batches are
+  // in flight; the ingest queue's release/acquire pairs hand it back and
+  // forth with the external thread) ----
+  std::vector<MonitoredCore> cores_;
+  std::vector<std::optional<LastGoodConfig>> last_good_;
+  DispatchPolicy policy_;
+  RecoveryController recovery_;
+  std::size_t next_ = 0;
+  std::uint64_t undispatched_ = 0;
+  std::uint64_t reinstalls_ = 0;
+  std::uint64_t rollbacks_ = 0;
+  // LeastLoaded in-batch load estimation (committed averages).
+  std::uint64_t committed_packets_ = 0;
+  std::uint64_t committed_instructions_ = 0;
+
+  ParallelConfig config_;
+  std::vector<Packet> pending_;  // caller-side partial batch
+
+  // ---- live-batch shared context (written by dispatcher before posting
+  // work, read by workers; synchronized through the SPSC queues and the
+  // completion gate) ----
+  const Packet* batch_items_ = nullptr;
+  PacketResult* batch_results_ = nullptr;
+  util::CompletionGate gate_;
+
+  util::SpscQueue<std::unique_ptr<Batch>> ingest_;
+  std::vector<std::unique_ptr<util::SpscQueue<WorkMsg>>> queues_;
+  std::vector<std::thread> workers_;
+  std::thread dispatcher_;
+};
+
+}  // namespace sdmmon::np
+
+#endif  // SDMMON_NP_PARALLEL_MPSOC_HPP

@@ -1,10 +1,75 @@
 #include "sdmmon/workload.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "net/packet.hpp"
+#include "util/rng.hpp"
 
 namespace sdmmon::protocol {
+
+MixedWorkload::MixedWorkload(MixedWorkloadConfig config)
+    : config_(std::move(config)) {}
+
+WorkItem MixedWorkload::item(std::uint64_t index) const {
+  // Per-index stream: Rng seeds through splitmix64, which decorrelates
+  // consecutive (seed ^ f(index)) values, so every packet draws from an
+  // independent-looking stream regardless of generation order.
+  util::Rng rng(config_.seed ^ (index * 0x9E3779B97F4A7C15ull + 1));
+
+  WorkItem out;
+  if (config_.attack_rate > 0.0 && rng.chance(config_.attack_rate)) {
+    out.attack = true;
+    out.packet = config_.attack_packet;
+    out.flow_key = rng.next_u32();
+    return out;
+  }
+
+  const std::uint32_t flow =
+      static_cast<std::uint32_t>(index % std::max<std::size_t>(1, config_.flows));
+  const std::size_t payload_len =
+      config_.min_payload +
+      rng.below(config_.max_payload - config_.min_payload + 1);
+  util::Bytes payload(payload_len);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next());
+
+  out.flow_key = flow;
+  out.packet = net::make_udp_packet(
+      net::ip(10, 0, static_cast<std::uint8_t>(flow >> 8),
+              static_cast<std::uint8_t>(flow)),
+      net::ip(192, 168, 1, static_cast<std::uint8_t>(flow)),
+      static_cast<std::uint16_t>(1024 + flow),
+      static_cast<std::uint16_t>(8000 + flow % 100), payload);
+  return out;
+}
+
+std::vector<WorkItem> MixedWorkload::generate(std::uint64_t begin,
+                                              std::uint64_t count) const {
+  std::vector<WorkItem> items(count);
+  for (std::uint64_t i = 0; i < count; ++i) items[i] = item(begin + i);
+  return items;
+}
+
+std::vector<WorkItem> MixedWorkload::generate_parallel(
+    std::uint64_t begin, std::uint64_t count, std::size_t threads) const {
+  threads = std::max<std::size_t>(1, std::min(threads, count ? count : 1));
+  if (threads == 1) return generate(begin, count);
+
+  std::vector<WorkItem> items(count);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const std::uint64_t shard = (count + threads - 1) / threads;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::uint64_t lo = t * shard;
+    const std::uint64_t hi = std::min<std::uint64_t>(count, lo + shard);
+    if (lo >= hi) break;
+    pool.emplace_back([this, &items, begin, lo, hi] {
+      for (std::uint64_t i = lo; i < hi; ++i) items[i] = item(begin + i);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  return items;
+}
 
 WorkloadManager::WorkloadManager(NetworkProcessorDevice& device)
     : device_(device), assignment_(device.mpsoc().num_cores()) {}

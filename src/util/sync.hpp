@@ -1,0 +1,47 @@
+// Small thread-coordination primitives for the parallel execution engine.
+#ifndef SDMMON_UTIL_SYNC_HPP
+#define SDMMON_UTIL_SYNC_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace sdmmon::util {
+
+/// A reusable countdown gate: the coordinator arms it with the number of
+/// outstanding work items, workers call done() as they finish, and the
+/// coordinator blocks in wait() until the count reaches zero. The mutex
+/// makes every write a worker performed before done() visible to the
+/// coordinator after wait() -- the barrier the batch-commit step relies
+/// on -- and, because the final done() broadcasts while still holding it,
+/// a waiter can only return (and possibly destroy a stack-local gate)
+/// once the signaler is fully out of the condition variable. Per-call
+/// cost is one uncontended lock, negligible next to packet execution.
+class CompletionGate {
+ public:
+  /// Must only be called while no worker can still call done() (i.e.
+  /// after the previous wait() returned).
+  void arm(std::size_t count) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    remaining_ = count;
+  }
+
+  void done() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::size_t remaining_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace sdmmon::util
+
+#endif  // SDMMON_UTIL_SYNC_HPP

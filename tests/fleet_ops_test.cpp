@@ -6,12 +6,14 @@
 
 #include "net/apps.hpp"
 #include "net/packet.hpp"
+#include "support/test_params.hpp"
 
 namespace sdmmon::protocol {
 namespace {
 
-constexpr std::size_t kKeyBits = 1024;
-constexpr std::uint64_t kNow = 1'760'000'000;
+// Canonical key size / clock shared with the other protocol suites.
+constexpr std::size_t kKeyBits = testsupport::kTestKeyBits;
+constexpr std::uint64_t kNow = testsupport::kTestNow;
 
 struct FleetFixture {
   Manufacturer manufacturer{"m", kKeyBits, crypto::Drbg("fo-man")};

@@ -6,7 +6,9 @@
 // traces in monitor_test.cpp.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "isa/assembler.hpp"
 #include "monitor/analysis.hpp"
@@ -141,6 +143,86 @@ TEST_P(MonitorSoundness, GeneratedProgramsNeverFalsePositive) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MonitorSoundness, ::testing::Range(0, 12));
+
+// Batch-partitioning independence: the parallel engine's split of
+// process_packet() into execute_packet() + commit_result() -- including
+// snapshot/restore rollback of speculatively executed packets -- must be
+// invisible. For any random partitioning of a packet stream into batches,
+// and any interleaving of discarded speculative executions, the per-packet
+// results and cumulative CoreStats must equal the plain serial stream.
+TEST_P(MonitorSoundness, BatchPartitioningAndRollbackIndependence) {
+  util::Rng rng(0xBA7C + static_cast<std::uint64_t>(GetParam()) * 777767);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::string src = generate_program(rng);
+    isa::Program program = isa::assemble(src);
+    monitor::MerkleTreeHash hash(rng.next_u32());
+
+    np::MonitoredCore serial, batched, speculated;
+    for (np::MonitoredCore* core : {&serial, &batched, &speculated}) {
+      core->install(program, monitor::extract_graph(program, hash),
+                    std::make_unique<monitor::MerkleTreeHash>(hash));
+    }
+
+    const std::size_t n = 24;
+    std::vector<util::Bytes> packets(n);
+    for (auto& packet : packets) {
+      packet.resize(1 + rng.below(48));
+      for (auto& b : packet) b = static_cast<std::uint8_t>(rng.next());
+    }
+
+    // Reference: the serial engine's per-packet path.
+    std::vector<np::PacketResult> expected;
+    for (const auto& packet : packets) {
+      expected.push_back(serial.process_packet(packet));
+    }
+
+    // Random partitioning: execute a whole batch, then commit it in order.
+    for (std::size_t i = 0; i < n;) {
+      const std::size_t batch = std::min(n - i, 1 + rng.below(5));
+      std::vector<np::PacketResult> results;
+      for (std::size_t k = 0; k < batch; ++k) {
+        results.push_back(batched.execute_packet(packets[i + k]));
+      }
+      for (std::size_t k = 0; k < batch; ++k) {
+        batched.commit_result(results[k]);
+        EXPECT_EQ(results[k].outcome, expected[i + k].outcome) << i + k;
+        EXPECT_EQ(results[k].instructions, expected[i + k].instructions)
+            << i + k;
+        EXPECT_EQ(results[k].output, expected[i + k].output) << i + k;
+      }
+      i += batch;
+    }
+
+    // Misspeculation: before some packets, snapshot the core, execute a
+    // few future packets WITHOUT committing, and restore -- exactly the
+    // parallel engine's rollback. The committed stream must be unchanged.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.5)) {
+        np::Core snapshot = speculated.core();
+        const std::size_t ahead = std::min(n - i, 1 + rng.below(3));
+        for (std::size_t k = 0; k < ahead; ++k) {
+          (void)speculated.execute_packet(packets[i + k]);
+        }
+        speculated.core() = snapshot;
+      }
+      np::PacketResult r = speculated.execute_packet(packets[i]);
+      speculated.commit_result(r);
+      EXPECT_EQ(r.outcome, expected[i].outcome) << "packet " << i;
+      EXPECT_EQ(r.instructions, expected[i].instructions) << "packet " << i;
+      EXPECT_EQ(r.output, expected[i].output) << "packet " << i;
+    }
+
+    for (const np::MonitoredCore* core : {&batched, &speculated}) {
+      EXPECT_EQ(core->stats().packets, serial.stats().packets);
+      EXPECT_EQ(core->stats().forwarded, serial.stats().forwarded);
+      EXPECT_EQ(core->stats().dropped, serial.stats().dropped);
+      EXPECT_EQ(core->stats().attacks_detected,
+                serial.stats().attacks_detected);
+      EXPECT_EQ(core->stats().traps, serial.stats().traps);
+      EXPECT_EQ(core->stats().instructions, serial.stats().instructions);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace sdmmon

@@ -16,6 +16,8 @@
 #include "np/mpsoc.hpp"
 #include "sdmmon/channel.hpp"
 #include "sdmmon/fleet_ops.hpp"
+#include "support/test_apps.hpp"
+#include "support/test_params.hpp"
 #include "util/fault.hpp"
 
 namespace sdmmon {
@@ -23,72 +25,15 @@ namespace {
 
 using monitor::MerkleTreeHash;
 using monitor::extract_graph;
+using testsupport::attack_packet;
+using testsupport::install_all;
+using testsupport::install_one;
+using testsupport::kEchoApp;
+using testsupport::kVulnApp;
 
-constexpr std::uint64_t kNow = 1'750'000'000;
-constexpr std::size_t kKeyBits = 1024;  // tests use 1024 for speed
-
-// Echo app: copy the packet to the output buffer and commit.
-constexpr const char* kEchoApp = R"(
-main:
-    li $t0, 0xFFFF0000
-    lw $t1, 0($t0)        # len
-    beqz $t1, drop
-    li $t2, 0x30000       # src
-    li $t3, 0x40000       # dst
-    move $t4, $zero       # i
-copy:
-    addu $t5, $t2, $t4
-    lbu $t6, 0($t5)
-    addu $t5, $t3, $t4
-    sb $t6, 0($t5)
-    addiu $t4, $t4, 1
-    bne $t4, $t1, copy
-    li $t0, 0xFFFF0004    # commit
-    sw $t1, 0($t0)
-drop:
-    jr $ra
-)";
-
-// An app that jumps into the packet buffer: packet-carried instructions
-// execute and the monitor flags the first foreign one with P=15/16.
-constexpr const char* kVulnApp = R"(
-main:
-    li $t0, 0x30000
-    jr $t0
-)";
-
-void install_all(np::Mpsoc& soc, const char* src, std::uint32_t param) {
-  isa::Program p = isa::assemble(src);
-  MerkleTreeHash hash(param);
-  soc.install_all(p, extract_graph(p, hash), hash);
-}
-
-void install_one(np::Mpsoc& soc, std::size_t core, const char* src,
-                 std::uint32_t param) {
-  isa::Program p = isa::assemble(src);
-  MerkleTreeHash hash(param);
-  soc.install(core, p, extract_graph(p, hash),
-              std::make_unique<MerkleTreeHash>(hash));
-}
-
-// A packet carrying foreign instructions; on kVulnApp they execute and
-// trip the monitor, on kEchoApp they are just payload bytes.
-util::Bytes attack_packet() {
-  isa::Program payload = isa::assemble(R"(
-    addiu $t0, $t0, 1
-    addiu $t0, $t0, 2
-    addiu $t0, $t0, 3
-    addiu $t0, $t0, 4
-    addiu $t0, $t0, 5
-    addiu $t0, $t0, 6
-    jr $ra
-  )");
-  util::Bytes pkt(payload.text.size() * 4);
-  for (std::size_t i = 0; i < payload.text.size(); ++i) {
-    util::store_le32(payload.text[i], pkt.data() + 4 * i);
-  }
-  return pkt;
-}
+// Canonical key size / clock shared with the other protocol suites.
+constexpr std::uint64_t kNow = testsupport::kTestNow;
+constexpr std::size_t kKeyBits = testsupport::kTestKeyBits;
 
 // ---------------------------------------------------------------------
 // RecoveryController state machine
@@ -97,7 +42,7 @@ util::Bytes attack_packet() {
 TEST(RecoveryController, QuarantineAfterKInWindow) {
   np::RecoveryConfig config;
   config.policy = np::RecoveryPolicy::QuarantineAfterK;
-  config.violation_threshold = 3;
+  config.violation_threshold = testsupport::kViolationThreshold;
   config.window_packets = 8;
   np::RecoveryController rc(2, config);
 
@@ -117,7 +62,7 @@ TEST(RecoveryController, QuarantineAfterKInWindow) {
 TEST(RecoveryController, WindowSlidesViolationsOut) {
   np::RecoveryConfig config;
   config.policy = np::RecoveryPolicy::QuarantineAfterK;
-  config.violation_threshold = 3;
+  config.violation_threshold = testsupport::kViolationThreshold;
   config.window_packets = 4;
   np::RecoveryController rc(1, config);
 
@@ -213,7 +158,7 @@ TEST(RecoveryController, ReleaseAndOfflineTransitions) {
 TEST(MpsocRecovery, SustainedAttackQuarantinesCore) {
   np::RecoveryConfig config;
   config.policy = np::RecoveryPolicy::QuarantineAfterK;
-  config.violation_threshold = 3;
+  config.violation_threshold = testsupport::kViolationThreshold;
   config.window_packets = 16;
   np::Mpsoc soc(1, np::DispatchPolicy::RoundRobin, config);
   install_all(soc, kVulnApp, 0x5EC0DE);
@@ -336,7 +281,7 @@ TEST(MpsocRecovery, OrganicQuarantineShedsLoadToHealthyCores) {
   // served by the healthy six.
   np::RecoveryConfig config;
   config.policy = np::RecoveryPolicy::QuarantineAfterK;
-  config.violation_threshold = 3;
+  config.violation_threshold = testsupport::kViolationThreshold;
   config.window_packets = 32;
   np::Mpsoc soc(8, np::DispatchPolicy::FlowHash, config);
   for (std::size_t c = 0; c < 8; ++c) {

@@ -1,0 +1,48 @@
+// Canonical parameter constants shared across the recovery, fleet-ops,
+// differential, and stress test suites. The recovery-math assertions
+// (quarantine counts, reinstall escalation, window arithmetic) are all
+// derived from these named values, and RecoveryMathDriftGuard in
+// mpsoc_stress_test.cpp pins them to the RecoveryConfig defaults -- so a
+// default change breaks ONE obvious test instead of silently skewing the
+// inline numbers scattered through the suites.
+#ifndef SDMMON_TESTS_SUPPORT_TEST_PARAMS_HPP
+#define SDMMON_TESTS_SUPPORT_TEST_PARAMS_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "np/recovery.hpp"
+
+namespace sdmmon::testsupport {
+
+// ---- recovery-policy parameters (mirror RecoveryConfig{} defaults) ----
+inline constexpr std::size_t kViolationThreshold = 3;   // K
+inline constexpr std::size_t kWindowPackets = 64;       // sliding window
+inline constexpr std::size_t kMaxReinstalls = 2;        // before quarantine
+
+/// Packets a core absorbs before quarantine under ReinstallLastGood when
+/// every packet it receives is a violation: K violations per escalation
+/// epoch, one epoch per allowed re-image plus the final one.
+inline constexpr std::size_t kPacketsToQuarantine =
+    (kMaxReinstalls + 1) * kViolationThreshold;
+
+inline np::RecoveryConfig make_recovery_config(
+    np::RecoveryPolicy policy,
+    std::size_t threshold = kViolationThreshold,
+    std::size_t window = kWindowPackets,
+    std::size_t max_reinstalls = kMaxReinstalls) {
+  np::RecoveryConfig config;
+  config.policy = policy;
+  config.violation_threshold = threshold;
+  config.window_packets = window;
+  config.max_reinstalls = max_reinstalls;
+  return config;
+}
+
+// ---- shared crypto/world parameters ----
+inline constexpr std::size_t kTestKeyBits = 1024;  // tests use 1024 for speed
+inline constexpr std::uint64_t kTestNow = 1'750'000'000;
+
+}  // namespace sdmmon::testsupport
+
+#endif  // SDMMON_TESTS_SUPPORT_TEST_PARAMS_HPP
