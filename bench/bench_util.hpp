@@ -1,11 +1,19 @@
-// Shared table-printing helpers for the reproduction benches. Each bench
-// binary regenerates one table or figure from the paper and prints the
-// paper's published values next to the reproduction's numbers.
+// Shared helpers for the reproduction benches. Each bench binary
+// regenerates one table or figure from the paper, prints the paper's
+// published values next to the reproduction's numbers, and (via
+// BenchReport) emits the same rows as machine-readable JSON so CI and
+// docs tooling can consume them (schema: docs/BENCHMARKS.md).
 #ifndef SDMMON_BENCH_BENCH_UTIL_HPP
 #define SDMMON_BENCH_BENCH_UTIL_HPP
 
 #include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
 
 namespace sdmmon::bench {
 
@@ -21,6 +29,79 @@ inline void rule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+/// Machine-readable companion to the printed tables. Usage:
+///   BenchReport report("monitor_throughput");
+///   report.set_meta("packets", packets);
+///   report.add_row({{"app", "ipv4-cm"}, {"kpps", 123.4}});
+///   ...
+///   report.write();  // BENCH_monitor_throughput.json
+///
+/// The file lands in $SDMMON_BENCH_JSON_DIR (if set) or the working
+/// directory. Shape (validated by tools/check_docs.sh):
+///   {"bench": <name>, "schema": 1, "meta": {...}, "rows": [{...}, ...]}
+class BenchReport {
+ public:
+  using Field = std::pair<const char*, obs::JsonScalar>;
+
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void set_meta(const char* key, obs::JsonScalar value) {
+    meta_.emplace_back(key, std::move(value));
+  }
+
+  void add_row(std::initializer_list<Field> fields) {
+    rows_.emplace_back(fields.begin(), fields.end());
+  }
+
+  std::string to_json() const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value(name_);
+    w.key("schema").value(1);
+    w.key("meta").begin_object();
+    for (const Field& field : meta_) write_field(w, field);
+    w.end_object();
+    w.key("rows").begin_array();
+    for (const std::vector<Field>& row : rows_) {
+      w.begin_object();
+      for (const Field& field : row) write_field(w, field);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+  }
+
+  /// Write BENCH_<name>.json; returns the path ("" on I/O failure, with
+  /// a diagnostic on stderr -- benches keep printing either way).
+  std::string write() const {
+    std::string dir;
+    if (const char* env = std::getenv("SDMMON_BENCH_JSON_DIR")) dir = env;
+    std::string path =
+        (dir.empty() ? "" : dir + "/") + "BENCH_" + name_ + ".json";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return "";
+    }
+    const std::string text = to_json();
+    std::fwrite(text.data(), 1, text.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::printf("\n  [json: %s]\n", path.c_str());
+    return path;
+  }
+
+ private:
+  static void write_field(obs::JsonWriter& w, const Field& field) {
+    w.key(field.first).value(field.second);
+  }
+
+  std::string name_;
+  std::vector<Field> meta_;
+  std::vector<std::vector<Field>> rows_;
+};
 
 }  // namespace sdmmon::bench
 

@@ -39,6 +39,9 @@ int main() {
   constexpr int kPackets = 2000;
   np::CycleModel cycle_model;  // 100 MHz PLASMA-like profile
 
+  bench::BenchReport report("monitor_throughput");
+  report.set_meta("packets", kPackets);
+
   std::printf("%-20s %9s %11s %6s %12s %11s %10s\n", "app", "fwd rate",
               "instrs/pkt", "CPI", "model kpps", "sim kpps", "ambiguity");
   bench::rule(84);
@@ -74,6 +77,14 @@ int main() {
                 cycle_model.cpi(mix), modeled_pps / 1000.0,
                 kPackets / sim_seconds / 1000.0,
                 core.monitor().stats().average_ambiguity());
+    report.add_row({{"app", app.name},
+                    {"forwarded_pct", forwarded_frac * 100.0},
+                    {"instr_per_packet", instr_per_pkt},
+                    {"cpi", cycle_model.cpi(mix)},
+                    {"model_kpps", modeled_pps / 1000.0},
+                    {"sim_kpps", kPackets / sim_seconds / 1000.0},
+                    {"ambiguity",
+                     core.monitor().stats().average_ambiguity()}});
   }
   bench::rule(84);
   bench::note("model kpps: packets/s of the 100 MHz PLASMA-like core under");
@@ -82,5 +93,6 @@ int main() {
   bench::note("fwd rate: packets committed to output (rest legitimately");
   bench::note("dropped). ambiguity: mean tracked-state-set size -- the NFA");
   bench::note("width the monitor's comparators must support.");
+  report.write();
   return 0;
 }

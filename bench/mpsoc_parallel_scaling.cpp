@@ -113,10 +113,18 @@ int main() {
               " UDP packets, udp-echo on all 8 cores, RoundRobin");
   bench::note("host hardware threads: " + std::to_string(hw));
 
+  bench::BenchReport report("mpsoc_parallel_scaling");
+  report.set_meta("cores", kCores);
+  report.set_meta("packets", kPackets);
+  report.set_meta("hardware_threads", hw);
+
   const double serial_pps = run_serial(items);
   std::printf("\n%-16s %14s %10s\n", "engine", "packets/sec", "speedup");
   bench::rule(44);
   std::printf("%-16s %14.0f %9.2fx\n", "serial", serial_pps, 1.0);
+  report.add_row(
+      {{"engine", "serial"}, {"workers", 0}, {"pps", serial_pps},
+       {"speedup", 1.0}});
 
   double pps8 = 0.0;
   for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4},
@@ -125,8 +133,13 @@ int main() {
     if (workers == 8) pps8 = pps;
     std::printf("parallel x%-5zu %15.0f %9.2fx\n", workers, pps,
                 pps / serial_pps);
+    report.add_row({{"engine", "parallel"},
+                    {"workers", workers},
+                    {"pps", pps},
+                    {"speedup", pps / serial_pps}});
   }
   bench::rule(44);
+  report.write();
 
   const double speedup = pps8 / serial_pps;
   if (hw >= 8) {

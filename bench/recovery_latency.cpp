@@ -116,6 +116,10 @@ int main() {
       np::RecoveryPolicy::ReinstallLastGood,
   };
 
+  bench::BenchReport report("recovery_latency");
+  report.set_meta("cores", kCores);
+  report.set_meta("packets", kPackets);
+
   std::printf("%-20s %6s %8s %10s %8s %6s %6s %9s\n", "policy", "atk%",
               "fwd%", "benign-fwd%", "undisp%", "det", "quar", "pkts/rec");
   bench::rule(84);
@@ -128,6 +132,15 @@ int main() {
                   r.undispatched_frac * 100.0,
                   static_cast<unsigned long long>(r.detected), r.quarantined,
                   r.pkts_to_recover);
+      report.add_row({{"policy", np::recovery_policy_name(policy)},
+                      {"attack_rate_pct", rate * 100.0},
+                      {"forwarded_pct", r.forwarded_frac * 100.0},
+                      {"benign_forwarded_pct", r.benign_forwarded * 100.0},
+                      {"undispatched_pct", r.undispatched_frac * 100.0},
+                      {"detected", r.detected},
+                      {"quarantined_cores", r.quarantined},
+                      {"reinstalls", r.reinstalls},
+                      {"packets_to_recover", r.pkts_to_recover}});
     }
     bench::rule(84);
   }
@@ -139,5 +152,6 @@ int main() {
   bench::note("continue). benign-fwd%: goodput -- benign packets that still");
   bench::note("made it out; under quarantine it shows capacity traded for");
   bench::note("containment (undisp% = packets with no dispatchable core).");
+  report.write();
   return 0;
 }

@@ -15,6 +15,22 @@ int main() {
   auto bc = bitcount_hash_cost(32, 4);
   auto mk = merkle_hash_cost(4);
 
+  bench::BenchReport report("table3_hash_cost");
+  report.add_row({{"hash", "bitcount"},
+                  {"luts", bc.luts},
+                  {"ffs", bc.ffs},
+                  {"mem_bits", bc.mem_bits},
+                  {"paper_luts", kPaperBitcountHash.luts},
+                  {"paper_ffs", kPaperBitcountHash.ffs},
+                  {"paper_mem_bits", kPaperBitcountHash.mem_bits}});
+  report.add_row({{"hash", "merkle"},
+                  {"luts", mk.luts},
+                  {"ffs", mk.ffs},
+                  {"mem_bits", mk.mem_bits},
+                  {"paper_luts", kPaperMerkleHash.luts},
+                  {"paper_ffs", kPaperMerkleHash.ffs},
+                  {"paper_mem_bits", kPaperMerkleHash.mem_bits}});
+
   std::printf("%-14s %18s %18s\n", "", "Bitcount hash", "Merkle tree hash");
   bench::rule(56);
   std::printf("%-14s %9llu (%5llu) %9llu (%5llu)\n", "LUTs",
@@ -48,6 +64,13 @@ int main() {
     std::printf("%-8d %8llu %6llu %10llu %12d\n", w,
                 (unsigned long long)cost.luts, (unsigned long long)cost.ffs,
                 (unsigned long long)cost.mem_bits, hash.node_count());
+    report.add_row({{"hash", "merkle-width-sweep"},
+                    {"width", w},
+                    {"luts", cost.luts},
+                    {"ffs", cost.ffs},
+                    {"mem_bits", cost.mem_bits},
+                    {"tree_nodes", hash.node_count()}});
   }
+  report.write();
   return 0;
 }

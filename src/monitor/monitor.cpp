@@ -15,6 +15,7 @@ void HardwareMonitor::reset() {
   if (!graph_.nodes().empty()) state_.push_back(graph_.entry_index());
   exit_allowed_ = true;
   attack_flagged_ = false;
+  peak_state_size_ = state_.size();
   ++stats_.packets_monitored;
 }
 
@@ -32,6 +33,7 @@ Verdict HardwareMonitor::on_instruction(std::uint32_t word) {
 Verdict HardwareMonitor::on_hashed(std::uint8_t hashed) {
   ++stats_.instructions_checked;
   stats_.state_size_accum += state_.size();
+  peak_state_size_ = std::max(peak_state_size_, state_.size());
 
   if (attack_flagged_) return Verdict::Mismatch;
 

@@ -66,6 +66,10 @@ class HardwareMonitor {
   bool attack_flagged() const { return attack_flagged_; }
 
   std::size_t state_size() const { return state_.size(); }
+  /// Largest tracked-state-set size observed since the last reset() --
+  /// the per-packet peak NFA width (comparator pressure); feeds the
+  /// observability layer's np.core.ndfa_width histogram.
+  std::size_t peak_state_size() const { return peak_state_size_; }
   const MonitorStats& stats() const { return stats_; }
   const MonitoringGraph& graph() const { return graph_; }
   const InstructionHash& hash() const { return *hash_; }
@@ -77,6 +81,7 @@ class HardwareMonitor {
   std::vector<std::uint32_t> scratch_;     // reused successor buffer
   bool exit_allowed_ = true;
   bool attack_flagged_ = false;
+  std::size_t peak_state_size_ = 0;
   MonitorStats stats_;
 };
 

@@ -1,5 +1,7 @@
 #include "np/monitored_core.hpp"
 
+#include <string>
+
 namespace sdmmon::np {
 
 const char* packet_outcome_name(PacketOutcome outcome) {
@@ -26,7 +28,52 @@ void MonitoredCore::install(const isa::Program& program,
   }
 }
 
+CoreObs CoreObs::create(obs::Registry& registry, std::uint32_t core_id,
+                        std::uint32_t sample_period) {
+  const std::string suffix = "." + std::to_string(core_id);
+  CoreObs handles;
+  handles.packets = &registry.counter(obs::names::kCorePackets + suffix);
+  handles.forwarded =
+      &registry.counter(obs::names::kCoreForwarded + suffix);
+  handles.dropped = &registry.counter(obs::names::kCoreDropped + suffix);
+  handles.attacks = &registry.counter(obs::names::kCoreAttacks + suffix);
+  handles.traps = &registry.counter(obs::names::kCoreTraps + suffix);
+  handles.instructions =
+      &registry.counter(obs::names::kCoreInstructions + suffix);
+  handles.instr_per_packet =
+      &registry.histogram(obs::names::kCoreInstrPerPacket + suffix,
+                          obs::instruction_buckets());
+  handles.ndfa_width = &registry.histogram(
+      obs::names::kCoreNdfaWidth + suffix, obs::width_buckets());
+  handles.core_id = core_id;
+  handles.sample_period = sample_period == 0 ? 1 : sample_period;
+  return handles;
+}
+
+void CoreObs::on_commit(const PacketResult& result) {
+  packets->add(1);
+  instructions->add(result.instructions);
+  switch (result.outcome) {
+    case PacketOutcome::Forwarded: forwarded->add(1); break;
+    case PacketOutcome::Dropped: dropped->add(1); break;
+    case PacketOutcome::AttackDetected: attacks->add(1); break;
+    case PacketOutcome::Trapped: traps->add(1); break;
+  }
+  if (++tick % sample_period == 0) {
+    instr_per_packet->record(result.instructions);
+    ndfa_width->record(result.monitor_width);
+  }
+}
+
 PacketResult MonitoredCore::execute_packet(
+    std::span<const std::uint8_t> packet) {
+  PacketResult result = run_packet(packet);
+  result.monitor_width =
+      static_cast<std::uint32_t>(monitor_->peak_state_size());
+  return result;
+}
+
+PacketResult MonitoredCore::run_packet(
     std::span<const std::uint8_t> packet) {
   PacketResult result;
 
@@ -101,6 +148,9 @@ void MonitoredCore::commit_result(const PacketResult& result) {
       break;
   }
   stats_.instructions += result.instructions;
+#if SDMMON_OBS_ENABLED
+  if (obs_ != nullptr) obs_->on_commit(result);
+#endif
 }
 
 PacketResult MonitoredCore::process_packet(
@@ -111,8 +161,7 @@ PacketResult MonitoredCore::process_packet(
     // than a core that appears idle.
     PacketResult result;
     result.outcome = PacketOutcome::Dropped;
-    ++stats_.packets;
-    ++stats_.dropped;
+    commit_result(result);
     return result;
   }
   PacketResult result = execute_packet(packet);

@@ -11,6 +11,7 @@
 
 #include "monitor/monitor.hpp"
 #include "np/core.hpp"
+#include "obs/obs.hpp"
 
 namespace sdmmon::np {
 
@@ -29,6 +30,10 @@ struct PacketResult {
   std::uint32_t output_port = 0;    // egress port chosen by the app
   std::uint64_t instructions = 0;   // instructions retired for this packet
   Trap trap = Trap::None;           // valid when outcome == Trapped
+  /// Peak NFA tracked-state width while this packet executed. Captured
+  /// at execute time so the observability layer can histogram it on the
+  /// deterministic commit path (exact even across speculative rollback).
+  std::uint32_t monitor_width = 0;
 };
 
 /// Cumulative per-core counters.
@@ -39,6 +44,33 @@ struct CoreStats {
   std::uint64_t attacks_detected = 0;
   std::uint64_t traps = 0;
   std::uint64_t instructions = 0;
+};
+
+/// Cached observability handles for one core (metric names in
+/// obs/names.hpp, per-core ".<i>" suffix). Created by the owning engine
+/// (or a tool) via CoreObs::create; the MonitoredCore keeps a non-owning
+/// pointer and updates the handles on its commit path only, so counters
+/// and histograms stay exact and deterministic even when the parallel
+/// engine executes speculatively. Single-writer: only the thread that
+/// commits this core's packets touches `ticks`.
+struct CoreObs {
+  obs::Counter* packets = nullptr;
+  obs::Counter* forwarded = nullptr;
+  obs::Counter* dropped = nullptr;
+  obs::Counter* attacks = nullptr;
+  obs::Counter* traps = nullptr;
+  obs::Counter* instructions = nullptr;
+  obs::Histogram* instr_per_packet = nullptr;
+  obs::Histogram* ndfa_width = nullptr;
+  std::uint32_t core_id = 0;
+  /// Record histograms every Nth committed packet (counters are never
+  /// sampled). Deterministic: the tick advances with committed packets.
+  std::uint32_t sample_period = 1;
+  std::uint64_t tick = 0;
+
+  static CoreObs create(obs::Registry& registry, std::uint32_t core_id,
+                        std::uint32_t sample_period = 1);
+  void on_commit(const PacketResult& result);
 };
 
 class MonitoredCore {
@@ -78,11 +110,19 @@ class MonitoredCore {
   /// lets benchmarks measure the unmonitored baseline on identical inputs.
   void set_enforcement(bool on) { enforce_ = on; }
 
+  /// Attach (or detach with nullptr) cached metric handles; `obs` must
+  /// outlive the core or the next attach. No-op cost when detached; the
+  /// whole site compiles out with SDMMON_OBS=OFF.
+  void attach_obs(CoreObs* obs) { obs_ = obs; }
+
  private:
+  PacketResult run_packet(std::span<const std::uint8_t> packet);
+
   Core core_;
   std::unique_ptr<monitor::HardwareMonitor> monitor_;
   CoreStats stats_;
   bool enforce_ = true;
+  CoreObs* obs_ = nullptr;
 };
 
 }  // namespace sdmmon::np

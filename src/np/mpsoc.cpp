@@ -2,6 +2,69 @@
 
 namespace sdmmon::np {
 
+std::unique_ptr<EngineObs> EngineObs::create(obs::Registry& registry,
+                                             std::size_t num_cores,
+                                             std::uint32_t device_id,
+                                             bool parallel) {
+  auto obs = std::make_unique<EngineObs>();
+  obs->registry = &registry;
+  obs->journal = &registry.journal();
+  obs->dispatched = &registry.counter(obs::names::kEngineDispatched);
+  obs->undispatched = &registry.counter(obs::names::kEngineUndispatched);
+  obs->installs = &registry.counter(obs::names::kEngineInstalls);
+  obs->quarantines = &registry.counter(obs::names::kEngineQuarantines);
+  obs->reinstalls = &registry.counter(obs::names::kEngineReinstalls);
+  obs->healthy_cores = &registry.gauge(obs::names::kEngineHealthyCores);
+  obs->window_occupancy = &registry.histogram(
+      obs::names::kRecoveryWindowOccupancy, obs::width_buckets());
+  obs->reinstall_ns = &registry.histogram(obs::names::kRecoveryReinstallNs,
+                                          obs::latency_ns_buckets());
+  if (parallel) {
+    obs->batch_fill = &registry.histogram(obs::names::kParallelBatchFill,
+                                          obs::depth_buckets());
+    obs->ingest_depth = &registry.histogram(
+        obs::names::kParallelIngestDepth, obs::depth_buckets());
+    obs->barrier_wait_ns = &registry.histogram(
+        obs::names::kParallelBarrierWaitNs, obs::latency_ns_buckets());
+    obs->rollbacks = &registry.counter(obs::names::kParallelRollbacks);
+    obs->replayed_packets =
+        &registry.counter(obs::names::kParallelReplayedPackets);
+  }
+  obs->device_id = device_id;
+  obs->cores.reserve(num_cores);
+  const std::uint32_t period = registry.sample_period();
+  for (std::size_t c = 0; c < num_cores; ++c) {
+    obs->cores.push_back(
+        CoreObs::create(registry, static_cast<std::uint32_t>(c), period));
+  }
+  return obs;
+}
+
+void EngineObs::record_outcome(std::uint64_t cycle, std::size_t core,
+                               const PacketResult& result,
+                               RecoveryAction action,
+                               std::size_t window_violations,
+                               const RecoveryController& recovery) {
+  const std::uint32_t core32 = static_cast<std::uint32_t>(core);
+  if (result.outcome == PacketOutcome::AttackDetected) {
+    journal->record({obs::EventKind::AttackDetected, cycle, core32,
+                     device_id, result.monitor_width});
+  } else if (result.outcome == PacketOutcome::Trapped) {
+    journal->record({obs::EventKind::Trap, cycle, core32, device_id,
+                     static_cast<std::uint64_t>(result.trap)});
+  }
+  window_occupancy->record(window_violations);
+  if (action == RecoveryAction::Quarantine) {
+    quarantines->add(1);
+    journal->record({obs::EventKind::Quarantine, cycle, core32, device_id,
+                     window_violations});
+    healthy_cores->set(
+        static_cast<std::int64_t>(recovery.healthy_cores()));
+  }
+  // Reinstall bookkeeping happens in reinstall_core (shared with the
+  // re-image path), where the wall-clock cost is also measured.
+}
+
 Mpsoc::Mpsoc(std::size_t num_cores, DispatchPolicy policy,
              RecoveryConfig recovery)
     : cores_(num_cores),
@@ -17,6 +80,24 @@ void validate_install_config(const isa::Program& program,
   monitor::HardwareMonitor probe(graph, hash.clone());
 }
 
+void Mpsoc::enable_obs(obs::Registry& registry, std::uint32_t device_id,
+                       std::uint32_t sample_period) {
+#if SDMMON_OBS_ENABLED
+  registry.set_sample_period(sample_period);
+  obs_ = EngineObs::create(registry, cores_.size(), device_id,
+                           /*parallel=*/false);
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    cores_[c].attach_obs(&obs_->cores[c]);
+  }
+  obs_->healthy_cores->set(
+      static_cast<std::int64_t>(recovery_.healthy_cores()));
+#else
+  (void)registry;
+  (void)device_id;
+  (void)sample_period;
+#endif
+}
+
 void Mpsoc::install_all(const isa::Program& program,
                         const monitor::MonitoringGraph& graph,
                         const monitor::InstructionHash& hash) {
@@ -25,6 +106,14 @@ void Mpsoc::install_all(const isa::Program& program,
     cores_[c].install(program, graph, hash.clone());
     last_good_[c] = LastGoodConfig{program, graph, hash.clone()};
   }
+#if SDMMON_OBS_ENABLED
+  if (obs_) {
+    obs_->installs->add(1);
+    obs_->journal->record({obs::EventKind::Install,
+                           obs_->dispatched->value(), obs::kAllCores,
+                           obs_->device_id, program.text.size()});
+  }
+#endif
 }
 
 void Mpsoc::install(std::size_t core_index, const isa::Program& program,
@@ -33,6 +122,30 @@ void Mpsoc::install(std::size_t core_index, const isa::Program& program,
   validate_install_config(program, graph, *hash);
   last_good_.at(core_index) = LastGoodConfig{program, graph, hash->clone()};
   cores_.at(core_index).install(program, std::move(graph), std::move(hash));
+#if SDMMON_OBS_ENABLED
+  if (obs_) {
+    obs_->installs->add(1);
+    obs_->journal->record({obs::EventKind::Install,
+                           obs_->dispatched->value(),
+                           static_cast<std::uint32_t>(core_index),
+                           obs_->device_id, program.text.size()});
+  }
+#endif
+}
+
+void Mpsoc::note_admin_transition(std::size_t index, obs::EventKind kind) {
+#if SDMMON_OBS_ENABLED
+  if (obs_) {
+    obs_->journal->record({kind, obs_->dispatched->value(),
+                           static_cast<std::uint32_t>(index),
+                           obs_->device_id, 0});
+    obs_->healthy_cores->set(
+        static_cast<std::int64_t>(recovery_.healthy_cores()));
+  }
+#else
+  (void)index;
+  (void)kind;
+#endif
 }
 
 std::vector<std::size_t> Mpsoc::active_cores() const {
@@ -55,9 +168,23 @@ std::size_t Mpsoc::pick_core(const std::vector<std::size_t>& active,
 void Mpsoc::reinstall_core(std::size_t index) {
   const std::optional<LastGoodConfig>& good = last_good_[index];
   if (!good) return;  // nothing to re-image from; policy degrades to reset
-  cores_[index].install(good->program, good->graph, good->hash->clone());
+  {
+#if SDMMON_OBS_ENABLED
+    obs::ScopedTimerNs timer(obs_ ? obs_->reinstall_ns : nullptr);
+#endif
+    cores_[index].install(good->program, good->graph, good->hash->clone());
+  }
   recovery_.note_reinstall(index);
   ++reinstalls_;
+#if SDMMON_OBS_ENABLED
+  if (obs_) {
+    obs_->reinstalls->add(1);
+    obs_->journal->record({obs::EventKind::Reinstall,
+                           obs_->dispatched->value(),
+                           static_cast<std::uint32_t>(index),
+                           obs_->device_id, 0});
+  }
+#endif
 }
 
 PacketResult Mpsoc::process_packet(std::span<const std::uint8_t> packet,
@@ -66,13 +193,24 @@ PacketResult Mpsoc::process_packet(std::span<const std::uint8_t> packet,
   if (active.empty()) {
     // Fully degraded (or nothing installed yet): drop, never crash.
     ++undispatched_;
+#if SDMMON_OBS_ENABLED
+    if (obs_) obs_->undispatched->add(1);
+#endif
     PacketResult result;
     result.outcome = PacketOutcome::Dropped;
     return result;
   }
   std::size_t index = pick_core(active, flow_key);
   PacketResult result = cores_[index].process_packet(packet);
-  switch (recovery_.on_outcome(index, result.outcome)) {
+  const RecoveryAction action = recovery_.on_outcome(index, result.outcome);
+#if SDMMON_OBS_ENABLED
+  if (obs_) {
+    obs_->dispatched->add(1);
+    obs_->record_outcome(obs_->dispatched->value(), index, result, action,
+                         recovery_.window_violations(index), recovery_);
+  }
+#endif
+  switch (action) {
     case RecoveryAction::None:
       break;
     case RecoveryAction::Reinstall:

@@ -11,6 +11,7 @@
 #ifndef SDMMON_NP_MPSOC_HPP
 #define SDMMON_NP_MPSOC_HPP
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -55,6 +56,44 @@ struct MpsocStats : CoreStats {
   std::uint64_t reinstalls = 0;        // last-good re-images performed
 };
 
+/// Cached observability handles for one execution engine (serial or
+/// parallel): engine counters, recovery telemetry, the event journal,
+/// and one CoreObs per core. Created by enable_obs(); owned by the
+/// engine so the MonitoredCores' cached pointers stay valid. The
+/// parallel-only fields are null on the serial engine.
+struct EngineObs {
+  obs::Registry* registry = nullptr;
+  obs::EventJournal* journal = nullptr;
+  obs::Counter* dispatched = nullptr;    // packets committed to a core
+  obs::Counter* undispatched = nullptr;  // dropped: no dispatchable core
+  obs::Counter* installs = nullptr;
+  obs::Counter* quarantines = nullptr;
+  obs::Counter* reinstalls = nullptr;
+  obs::Gauge* healthy_cores = nullptr;
+  obs::Histogram* window_occupancy = nullptr;  // violations at decision
+  obs::Histogram* reinstall_ns = nullptr;      // wall-clock (cold path)
+  // Parallel engine only:
+  obs::Histogram* batch_fill = nullptr;
+  obs::Histogram* ingest_depth = nullptr;
+  obs::Histogram* barrier_wait_ns = nullptr;
+  obs::Counter* rollbacks = nullptr;
+  obs::Counter* replayed_packets = nullptr;
+  std::uint32_t device_id = 0;
+  std::vector<CoreObs> cores;
+
+  static std::unique_ptr<EngineObs> create(obs::Registry& registry,
+                                           std::size_t num_cores,
+                                           std::uint32_t device_id,
+                                           bool parallel);
+  /// Journal + histogram updates for one committed outcome, in serial
+  /// commit order (deterministic across engines). `cycle` is the number
+  /// of packets the engine has committed so far.
+  void record_outcome(std::uint64_t cycle, std::size_t core,
+                      const PacketResult& result, RecoveryAction action,
+                      std::size_t window_violations,
+                      const RecoveryController& recovery);
+};
+
 class Mpsoc {
  public:
   explicit Mpsoc(std::size_t num_cores,
@@ -97,16 +136,32 @@ class Mpsoc {
   /// Administrative drain / restore of one core.
   void set_core_offline(std::size_t index, bool offline) {
     recovery_.set_offline(index, offline);
+    note_admin_transition(index,
+                          offline ? obs::EventKind::Offline
+                                  : obs::EventKind::Online);
   }
   /// Operator releases a quarantined core back into the dispatch set.
-  void release_core(std::size_t index) { recovery_.release(index); }
+  void release_core(std::size_t index) {
+    recovery_.release(index);
+    note_admin_transition(index, obs::EventKind::Release);
+  }
 
   /// True if `index` would currently receive traffic.
   bool core_dispatchable(std::size_t index) const {
     return recovery_.dispatchable(index) && cores_[index].installed();
   }
 
+  /// Attach the observability layer: register this engine's metrics in
+  /// `registry` and start journaling recovery events. `device_id` tags
+  /// journal events when several engines share one registry;
+  /// `sample_period` thins per-core histograms (counters stay exact).
+  /// No-op (and near-zero packet-path cost) when SDMMON_OBS=OFF.
+  void enable_obs(obs::Registry& registry, std::uint32_t device_id = 0,
+                  std::uint32_t sample_period = 1);
+
  private:
+  void note_admin_transition(std::size_t index, obs::EventKind kind);
+
   /// Dispatchable core indices in ascending order (empty = degraded out).
   std::vector<std::size_t> active_cores() const;
   std::size_t pick_core(const std::vector<std::size_t>& active,
@@ -120,6 +175,7 @@ class Mpsoc {
   std::size_t next_ = 0;
   std::uint64_t undispatched_ = 0;
   std::uint64_t reinstalls_ = 0;
+  std::unique_ptr<EngineObs> obs_;
 };
 
 }  // namespace sdmmon::np

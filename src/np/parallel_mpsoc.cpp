@@ -82,12 +82,46 @@ std::vector<std::size_t> ParallelMpsoc::active_cores() const {
   return active;
 }
 
+void ParallelMpsoc::enable_obs(obs::Registry& registry,
+                               std::uint32_t device_id,
+                               std::uint32_t sample_period) {
+#if SDMMON_OBS_ENABLED
+  flush();  // quiesce: the dispatcher must not be touching core state
+  registry.set_sample_period(sample_period);
+  obs_ = EngineObs::create(registry, cores_.size(), device_id,
+                           /*parallel=*/true);
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    cores_[c].attach_obs(&obs_->cores[c]);
+  }
+  obs_->healthy_cores->set(
+      static_cast<std::int64_t>(recovery_.healthy_cores()));
+#else
+  (void)registry;
+  (void)device_id;
+  (void)sample_period;
+#endif
+}
+
 void ParallelMpsoc::reinstall_core(std::size_t index) {
   const std::optional<LastGoodConfig>& good = last_good_[index];
   if (!good) return;  // nothing to re-image from; policy degrades to reset
-  cores_[index].install(good->program, good->graph, good->hash->clone());
+  {
+#if SDMMON_OBS_ENABLED
+    obs::ScopedTimerNs timer(obs_ ? obs_->reinstall_ns : nullptr);
+#endif
+    cores_[index].install(good->program, good->graph, good->hash->clone());
+  }
   recovery_.note_reinstall(index);
   ++reinstalls_;
+#if SDMMON_OBS_ENABLED
+  if (obs_) {
+    obs_->reinstalls->add(1);
+    obs_->journal->record({obs::EventKind::Reinstall,
+                           obs_->dispatched->value(),
+                           static_cast<std::uint32_t>(index),
+                           obs_->device_id, 0});
+  }
+#endif
 }
 
 void ParallelMpsoc::rollback_speculation(
@@ -107,6 +141,7 @@ void ParallelMpsoc::rollback_speculation(
   }
   if (!any) return;
   ++rollbacks_;
+  std::uint64_t replayed = 0;
   for (std::size_t c = 0; c < cores_.size(); ++c) {
     if (!polluted[c]) continue;
     assert(snapshots[c].has_value());
@@ -116,9 +151,23 @@ void ParallelMpsoc::rollback_speculation(
     // after the acted-upon packet.
     cores_[c].core() = *snapshots[c];
     for (std::size_t i = attempt_start; i <= acted_slot; ++i) {
-      if (plan[i].core == c) (void)cores_[c].execute_packet(items[i].data);
+      if (plan[i].core == c) {
+        (void)cores_[c].execute_packet(items[i].data);
+        ++replayed;
+      }
     }
   }
+#if SDMMON_OBS_ENABLED
+  if (obs_) {
+    obs_->rollbacks->add(1);
+    obs_->replayed_packets->add(replayed);
+    obs_->journal->record({obs::EventKind::Rollback,
+                           obs_->dispatched->value(), obs::kAllCores,
+                           obs_->device_id, replayed});
+  }
+#else
+  (void)replayed;
+#endif
 }
 
 void ParallelMpsoc::run_batch(const Packet* items, std::size_t count,
@@ -130,6 +179,10 @@ void ParallelMpsoc::run_batch(const Packet* items, std::size_t count,
   // the paper-baseline ResetAndContinue never does, so it runs copy-free.
   const bool may_act =
       recovery_.config().policy != RecoveryPolicy::ResetAndContinue;
+
+#if SDMMON_OBS_ENABLED
+  if (obs_) obs_->batch_fill->record(count);
+#endif
 
   std::size_t start = 0;
   while (start < count) {
@@ -179,7 +232,12 @@ void ParallelMpsoc::run_batch(const Packet* items, std::size_t count,
       queues_[worker_of(plan[i].core)]->push(
           WorkMsg{WorkMsg::Kind::Execute, i, plan[i].core});
     }
-    gate_.wait();
+    {
+#if SDMMON_OBS_ENABLED
+      obs::ScopedTimerNs timer(obs_ ? obs_->barrier_wait_ns : nullptr);
+#endif
+      gate_.wait();
+    }
 
     // ---- commit: replay outcomes in serial packet order ----
     std::size_t resume = count;
@@ -187,6 +245,9 @@ void ParallelMpsoc::run_batch(const Packet* items, std::size_t count,
     for (std::size_t i = start; i < count; ++i) {
       if (plan[i].core == kUndispatched) {
         ++undispatched_;
+#if SDMMON_OBS_ENABLED
+        if (obs_) obs_->undispatched->add(1);
+#endif
         results[i] = PacketResult{};  // Dropped, no output
         continue;
       }
@@ -196,6 +257,16 @@ void ParallelMpsoc::run_batch(const Packet* items, std::size_t count,
       committed_instructions_ += results[i].instructions;
       const RecoveryAction action =
           recovery_.on_outcome(c, results[i].outcome);
+#if SDMMON_OBS_ENABLED
+      // Same call order as the serial engine's process_packet, so the
+      // deterministic journal prefix and counters match bit-for-bit.
+      if (obs_) {
+        obs_->dispatched->add(1);
+        obs_->record_outcome(obs_->dispatched->value(), c, results[i],
+                             action, recovery_.window_violations(c),
+                             recovery_);
+      }
+#endif
       if (action == RecoveryAction::None) continue;
       // Batch barrier: workers are idle, so the health transition and any
       // re-image are race-free, exactly like the serial per-packet path.
@@ -225,6 +296,11 @@ void ParallelMpsoc::submit(util::Bytes packet, std::uint32_t flow_key) {
   batch->items = batch->owned.data();
   batch->count = batch->owned.size();
   ingest_.push(std::move(batch));
+#if SDMMON_OBS_ENABLED
+  // Queue depth as seen by the submitter right after handing off a batch
+  // (backpressure signal; nondeterministic, excluded from engine diffs).
+  if (obs_) obs_->ingest_depth->record(ingest_.size_approx());
+#endif
 }
 
 void ParallelMpsoc::drain() {
@@ -283,6 +359,14 @@ void ParallelMpsoc::install_all(const isa::Program& program,
     cores_[c].install(program, graph, hash.clone());
     last_good_[c] = LastGoodConfig{program, graph, hash.clone()};
   }
+#if SDMMON_OBS_ENABLED
+  if (obs_) {
+    obs_->installs->add(1);
+    obs_->journal->record({obs::EventKind::Install,
+                           obs_->dispatched->value(), obs::kAllCores,
+                           obs_->device_id, program.text.size()});
+  }
+#endif
 }
 
 void ParallelMpsoc::install(std::size_t core_index,
@@ -293,16 +377,44 @@ void ParallelMpsoc::install(std::size_t core_index,
   validate_install_config(program, graph, *hash);
   last_good_.at(core_index) = LastGoodConfig{program, graph, hash->clone()};
   cores_.at(core_index).install(program, std::move(graph), std::move(hash));
+#if SDMMON_OBS_ENABLED
+  if (obs_) {
+    obs_->installs->add(1);
+    obs_->journal->record({obs::EventKind::Install,
+                           obs_->dispatched->value(),
+                           static_cast<std::uint32_t>(core_index),
+                           obs_->device_id, program.text.size()});
+  }
+#endif
+}
+
+void ParallelMpsoc::note_admin_transition(std::size_t index,
+                                          obs::EventKind kind) {
+#if SDMMON_OBS_ENABLED
+  if (obs_) {
+    obs_->journal->record({kind, obs_->dispatched->value(),
+                           static_cast<std::uint32_t>(index),
+                           obs_->device_id, 0});
+    obs_->healthy_cores->set(
+        static_cast<std::int64_t>(recovery_.healthy_cores()));
+  }
+#else
+  (void)index;
+  (void)kind;
+#endif
 }
 
 void ParallelMpsoc::set_core_offline(std::size_t index, bool offline) {
   flush();
   recovery_.set_offline(index, offline);
+  note_admin_transition(index, offline ? obs::EventKind::Offline
+                                       : obs::EventKind::Online);
 }
 
 void ParallelMpsoc::release_core(std::size_t index) {
   flush();
   recovery_.release(index);
+  note_admin_transition(index, obs::EventKind::Release);
 }
 
 MpsocStats ParallelMpsoc::aggregate_stats() const {

@@ -133,6 +133,13 @@ class ParallelMpsoc {
   /// recovery path; 0 under RecoveryPolicy::ResetAndContinue).
   std::uint64_t speculation_rollbacks() const { return rollbacks_; }
 
+  /// Attach the observability layer (same contract as Mpsoc::enable_obs,
+  /// plus the parallel-only metrics: batch fill, ingest queue depth,
+  /// barrier wait, rollback/replay counts). Drains in-flight batches
+  /// first so the attach lands on a batch boundary.
+  void enable_obs(obs::Registry& registry, std::uint32_t device_id = 0,
+                  std::uint32_t sample_period = 1);
+
  private:
   static constexpr std::size_t kUndispatched =
       static_cast<std::size_t>(-1);
@@ -173,6 +180,7 @@ class ParallelMpsoc {
                             std::size_t acted_slot, const Packet* items,
                             std::vector<std::optional<Core>>& snapshots);
   void reinstall_core(std::size_t index);
+  void note_admin_transition(std::size_t index, obs::EventKind kind);
   std::vector<std::size_t> active_cores() const;
   std::size_t worker_of(std::size_t core) const {
     return core % workers_.size();
@@ -190,6 +198,7 @@ class ParallelMpsoc {
   std::uint64_t undispatched_ = 0;
   std::uint64_t reinstalls_ = 0;
   std::uint64_t rollbacks_ = 0;
+  std::unique_ptr<EngineObs> obs_;
   // LeastLoaded in-batch load estimation (committed averages).
   std::uint64_t committed_packets_ = 0;
   std::uint64_t committed_instructions_ = 0;

@@ -1,0 +1,65 @@
+// Canonical metric names. Every instrumented subsystem registers its
+// metrics under a constant from this header, and tools/check_docs.sh
+// fails CI when a name listed here is missing from the catalog in
+// docs/OBSERVABILITY.md -- the catalog cannot silently drift.
+//
+// Naming scheme: <subsystem>.<object>.<quantity>[.<core-index>]. Per-core
+// metrics append ".<i>" at registration time (e.g. "np.core.packets.3").
+#ifndef SDMMON_OBS_NAMES_HPP
+#define SDMMON_OBS_NAMES_HPP
+
+namespace sdmmon::obs::names {
+
+// ---- per monitored core (suffix ".<core>" appended by the engine) ----
+inline constexpr const char* kCorePackets = "np.core.packets";
+inline constexpr const char* kCoreForwarded = "np.core.forwarded";
+inline constexpr const char* kCoreDropped = "np.core.dropped";
+inline constexpr const char* kCoreAttacks = "np.core.attacks";
+inline constexpr const char* kCoreTraps = "np.core.traps";
+inline constexpr const char* kCoreInstructions = "np.core.instructions";
+inline constexpr const char* kCoreInstrPerPacket =
+    "np.core.instr_per_packet";
+inline constexpr const char* kCoreNdfaWidth = "np.core.ndfa_width";
+
+// ---- execution engines (serial Mpsoc and ParallelMpsoc) ----
+inline constexpr const char* kEngineDispatched = "np.engine.dispatched";
+inline constexpr const char* kEngineUndispatched = "np.engine.undispatched";
+inline constexpr const char* kEngineInstalls = "np.engine.installs";
+inline constexpr const char* kEngineQuarantines = "np.engine.quarantines";
+inline constexpr const char* kEngineReinstalls = "np.engine.reinstalls";
+inline constexpr const char* kEngineHealthyCores =
+    "np.engine.healthy_cores";
+
+// ---- recovery controller decisions ----
+inline constexpr const char* kRecoveryWindowOccupancy =
+    "np.recovery.window_occupancy";
+inline constexpr const char* kRecoveryReinstallNs =
+    "np.recovery.reinstall_ns";
+
+// ---- parallel engine internals ----
+inline constexpr const char* kParallelBatchFill = "np.parallel.batch_fill";
+inline constexpr const char* kParallelIngestDepth =
+    "np.parallel.ingest_depth";
+inline constexpr const char* kParallelBarrierWaitNs =
+    "np.parallel.barrier_wait_ns";
+inline constexpr const char* kParallelRollbacks = "np.parallel.rollbacks";
+inline constexpr const char* kParallelReplayedPackets =
+    "np.parallel.replayed_packets";
+
+// ---- fleet campaigns (operator side) ----
+inline constexpr const char* kFleetAttempts = "fleet.attempts";
+inline constexpr const char* kFleetRetries = "fleet.retries";
+inline constexpr const char* kFleetInstalled = "fleet.installed";
+inline constexpr const char* kFleetRejected = "fleet.rejected";
+inline constexpr const char* kFleetChannelLost = "fleet.channel_lost";
+inline constexpr const char* kFleetBudgetExhausted =
+    "fleet.budget_exhausted";
+inline constexpr const char* kFleetSkippedUnhealthy =
+    "fleet.skipped_unhealthy";
+inline constexpr const char* kFleetAttemptsPerDevice =
+    "fleet.attempts_per_device";
+inline constexpr const char* kFleetBackoffMs = "fleet.backoff_ms";
+
+}  // namespace sdmmon::obs::names
+
+#endif  // SDMMON_OBS_NAMES_HPP

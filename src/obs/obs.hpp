@@ -1,0 +1,58 @@
+// Umbrella header for the observability layer, plus the compile-time
+// switch. Build with -DSDMMON_OBS=OFF (CMake option) to compile every
+// hot-path instrumentation site out of np/sdmmon; the registry, journal
+// and JSON machinery remain available either way so tools and benches
+// link identically in both configurations.
+//
+// Instrumented code follows one pattern:
+//
+//   #if SDMMON_OBS_ENABLED
+//     if (obs_ != nullptr) obs_->on_commit(result);   // cached handles
+//   #endif
+//
+// i.e. a compile-time gate around a single null check around atomics on
+// cached pointers -- no strings, no locks, no registry lookups on the
+// packet path. docs/OBSERVABILITY.md measures the cost of each layer.
+#ifndef SDMMON_OBS_OBS_HPP
+#define SDMMON_OBS_OBS_HPP
+
+// CMake normally supplies this (PUBLIC on sdmmon_obs); default ON so
+// out-of-build-system consumers get instrumentation.
+#ifndef SDMMON_OBS_ENABLED
+#define SDMMON_OBS_ENABLED 1
+#endif
+
+#include <chrono>
+
+#include "obs/journal.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
+namespace sdmmon::obs {
+
+/// Records elapsed wall-clock nanoseconds into a histogram on
+/// destruction. Pass nullptr to make it a no-op (the start timestamp is
+/// still taken; only use on cold paths like reinstalls).
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(Histogram* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimerNs() {
+    if (sink_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    sink_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sdmmon::obs
+
+#endif  // SDMMON_OBS_OBS_HPP

@@ -19,6 +19,65 @@ const char* device_outcome_name(DeviceOutcome outcome) {
   return "?";
 }
 
+std::unique_ptr<FleetObs> FleetObs::create(obs::Registry& registry) {
+  auto obs = std::make_unique<FleetObs>();
+  obs->registry = &registry;
+  obs->journal = &registry.journal();
+  obs->attempts = &registry.counter(obs::names::kFleetAttempts);
+  obs->retries = &registry.counter(obs::names::kFleetRetries);
+  obs->installed = &registry.counter(obs::names::kFleetInstalled);
+  obs->rejected = &registry.counter(obs::names::kFleetRejected);
+  obs->channel_lost = &registry.counter(obs::names::kFleetChannelLost);
+  obs->budget_exhausted =
+      &registry.counter(obs::names::kFleetBudgetExhausted);
+  obs->skipped_unhealthy =
+      &registry.counter(obs::names::kFleetSkippedUnhealthy);
+  obs->attempts_per_device = &registry.histogram(
+      obs::names::kFleetAttemptsPerDevice, obs::width_buckets());
+  // Modeled backoff per device, milliseconds: spans the default schedule
+  // (0.5 s first retry) up past the default 30 s budget.
+  static constexpr std::uint64_t kBackoffBoundsMs[] = {
+      100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000};
+  obs->backoff_ms =
+      &registry.histogram(obs::names::kFleetBackoffMs, kBackoffBoundsMs);
+  return obs;
+}
+
+void FleetObs::record_report(const DeviceReport& report,
+                             std::uint32_t device_index) {
+  attempts->add(report.attempts);
+  if (report.attempts > 1) retries->add(report.attempts - 1);
+  switch (report.outcome) {
+    case DeviceOutcome::Installed: installed->add(1); break;
+    case DeviceOutcome::Rejected: rejected->add(1); break;
+    case DeviceOutcome::ChannelLost: channel_lost->add(1); break;
+    case DeviceOutcome::BudgetExhausted: budget_exhausted->add(1); break;
+    case DeviceOutcome::SkippedUnhealthy: skipped_unhealthy->add(1); break;
+  }
+  if (report.attempts > 0) attempts_per_device->record(report.attempts);
+  backoff_ms->record(static_cast<std::uint64_t>(report.backoff_s * 1000.0));
+  if (!report.ok()) {
+    journal->record({obs::EventKind::CampaignFailure, attempts->value(),
+                     obs::kAllCores, device_index,
+                     static_cast<std::uint64_t>(report.outcome)});
+  }
+}
+
+void FleetOperator::enable_obs(obs::Registry& registry) {
+#if SDMMON_OBS_ENABLED
+  obs_ = FleetObs::create(registry);
+#else
+  (void)registry;
+#endif
+}
+
+std::uint32_t FleetOperator::device_index(const std::string& name) const {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i]->name() == name) return static_cast<std::uint32_t>(i);
+  }
+  return obs::kAllCores;  // not enrolled (should not happen)
+}
+
 const DeviceReport* FleetOperator::CampaignResult::report_for(
     const std::string& device) const {
   for (const DeviceReport& report : reports) {
@@ -98,6 +157,9 @@ FleetOperator::CampaignResult FleetOperator::run_campaign(
       measured = timed.ok;
     }
     DeviceReport report = deploy_one(*device, binary, now, link, retry);
+#if SDMMON_OBS_ENABLED
+    if (obs_) obs_->record_report(report, device_index(report.device));
+#endif
     result.modeled_seconds_sequential +=
         per_install_s * static_cast<double>(report.attempts) +
         report.backoff_s;
@@ -147,6 +209,9 @@ FleetOperator::CampaignResult FleetOperator::rotate_parameters(
       report.device = device->name();
       report.outcome = DeviceOutcome::SkippedUnhealthy;
       report.last_status = device->last_install_status();
+#if SDMMON_OBS_ENABLED
+      if (obs_) obs_->record_report(report, device_index(report.device));
+#endif
       skipped.push_back(std::move(report));
     } else {
       healthy.push_back(device);

@@ -15,9 +15,11 @@
 #ifndef SDMMON_SDMMON_FLEET_OPS_HPP
 #define SDMMON_SDMMON_FLEET_OPS_HPP
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sdmmon/channel.hpp"
 #include "sdmmon/entities.hpp"
 #include "sdmmon/timing.hpp"
@@ -60,6 +62,30 @@ struct DeviceReport {
   double backoff_s = 0;  // modeled seconds spent waiting between attempts
 
   bool ok() const { return outcome == DeviceOutcome::Installed; }
+};
+
+/// Cached observability handles for fleet campaigns: attempt/retry
+/// counters, one counter per DeviceOutcome, and per-device attempt /
+/// backoff distributions. Campaign paths are cold (operator actions, not
+/// packets), so every report is recorded without sampling.
+struct FleetObs {
+  obs::Registry* registry = nullptr;
+  obs::EventJournal* journal = nullptr;
+  obs::Counter* attempts = nullptr;       // install attempts sent
+  obs::Counter* retries = nullptr;        // attempts beyond the first
+  obs::Counter* installed = nullptr;
+  obs::Counter* rejected = nullptr;
+  obs::Counter* channel_lost = nullptr;
+  obs::Counter* budget_exhausted = nullptr;
+  obs::Counter* skipped_unhealthy = nullptr;
+  obs::Histogram* attempts_per_device = nullptr;
+  obs::Histogram* backoff_ms = nullptr;
+
+  static std::unique_ptr<FleetObs> create(obs::Registry& registry);
+  /// Fold one finished per-device report into the metrics; journals a
+  /// CampaignFailure event (device = enrollment index, arg = outcome)
+  /// when the device did not converge.
+  void record_report(const DeviceReport& report, std::uint32_t device_index);
 };
 
 class FleetOperator {
@@ -125,6 +151,11 @@ class FleetOperator {
   /// (inspects the installed monitors; used by tests and health checks).
   bool parameters_all_distinct() const;
 
+  /// Attach the observability layer: campaign counters/histograms go to
+  /// `registry`, failed devices are journaled as CampaignFailure events.
+  /// No-op when SDMMON_OBS=OFF.
+  void enable_obs(obs::Registry& registry);
+
  private:
   DeviceReport deploy_one(NetworkProcessorDevice& device,
                           const isa::Program& binary, std::uint64_t now,
@@ -134,12 +165,15 @@ class FleetOperator {
                               const NiosTimingModel& model, Channel* channel,
                               const RetryPolicy& retry);
 
+  std::uint32_t device_index(const std::string& name) const;
+
   NetworkOperator& op_;
   crypto::RsaPublicKey manufacturer_root_;
   std::vector<NetworkProcessorDevice*> devices_;
   std::vector<NetworkProcessorDevice*> pending_;  // unconverged last time
   isa::Program last_binary_;
   bool has_binary_ = false;
+  std::unique_ptr<FleetObs> obs_;
 };
 
 }  // namespace sdmmon::protocol

@@ -335,6 +335,145 @@ TEST(ParallelDiff, MixedWorkloadShardingIsBitIdentical) {
   }
 }
 
+#if SDMMON_OBS_ENABLED
+// ---------------------------------------------------------------------
+// Observability equivalence: the deterministic subset of the metrics
+// snapshot (commit-path counters, value histograms, and the recovery
+// journal) must be identical serial-vs-parallel under the strict
+// dispatch contract. Excluded as documented in docs/OBSERVABILITY.md:
+// wall-clock *_ns histograms, the parallel-only np.parallel.* metrics,
+// and Rollback journal events (speculation is invisible to the serial
+// engine).
+// ---------------------------------------------------------------------
+
+bool deterministic_metric(const std::string& name) {
+  if (name.rfind("np.parallel.", 0) == 0) return false;
+  if (name.size() >= 3 && name.compare(name.size() - 3, 3, "_ns") == 0) {
+    return false;
+  }
+  // Per-core histogram names embed the core index after the unit suffix
+  // ("np.recovery.reinstall_ns" has no index; core histograms look like
+  // "np.core.instr_per_packet.3"), so also drop "_ns." infixes.
+  if (name.find("_ns.") != std::string::npos) return false;
+  return true;
+}
+
+template <typename Map>
+Map filter_deterministic(const Map& in) {
+  Map out;
+  for (const auto& [name, value] : in) {
+    if (deterministic_metric(name)) out.emplace(name, value);
+  }
+  return out;
+}
+
+std::vector<obs::Event> deterministic_events(
+    const std::vector<obs::Event>& in) {
+  std::vector<obs::Event> out;
+  for (const obs::Event& e : in) {
+    if (e.kind != obs::EventKind::Rollback) out.push_back(e);
+  }
+  return out;
+}
+
+void expect_histograms_equal(const obs::HistogramSnapshot& a,
+                             const obs::HistogramSnapshot& b,
+                             const std::string& name) {
+  EXPECT_EQ(a.bounds, b.bounds) << name;
+  EXPECT_EQ(a.counts, b.counts) << name;
+  EXPECT_EQ(a.count, b.count) << name;
+  EXPECT_EQ(a.sum, b.sum) << name;
+  if (a.count > 0 && b.count > 0) {
+    EXPECT_EQ(a.min, b.min) << name;
+    EXPECT_EQ(a.max, b.max) << name;
+  }
+}
+
+TEST(ParallelDiff, MetricsIdenticalForDeterministicSubset) {
+  for (np::RecoveryPolicy recovery :
+       {np::RecoveryPolicy::ResetAndContinue,
+        np::RecoveryPolicy::QuarantineAfterK,
+        np::RecoveryPolicy::ReinstallLastGood}) {
+    SCOPED_TRACE(np::recovery_policy_name(recovery));
+    np::RecoveryConfig config = make_recovery_config(recovery);
+    np::Mpsoc serial(kCores, np::DispatchPolicy::RoundRobin, config);
+    np::ParallelMpsoc par(kCores, np::DispatchPolicy::RoundRobin, config,
+                          {});
+    obs::Registry serial_reg;
+    obs::Registry par_reg;
+    serial.enable_obs(serial_reg, /*device_id=*/7);
+    par.enable_obs(par_reg, /*device_id=*/7);
+    install_mixed_fleet(serial, /*vuln_cores=*/2);
+    install_mixed_fleet(par, /*vuln_cores=*/2);
+
+    std::vector<WorkItem> items = mixed_items(1200, 0.15);
+    EngineTrace st = run_serial(serial, items);
+    EngineTrace pt = run_parallel(par, items, /*chunk=*/111);
+    expect_traces_identical(st, pt);
+
+    obs::Snapshot ss = serial_reg.snapshot();
+    obs::Snapshot ps = par_reg.snapshot();
+
+    EXPECT_EQ(filter_deterministic(ss.counters),
+              filter_deterministic(ps.counters));
+    EXPECT_EQ(ss.gauges, ps.gauges);
+
+    auto sh = filter_deterministic(ss.histograms);
+    auto ph = filter_deterministic(ps.histograms);
+    ASSERT_EQ(sh.size(), ph.size());
+    for (const auto& [name, hist] : sh) {
+      ASSERT_TRUE(ph.count(name)) << name;
+      expect_histograms_equal(hist, ph.at(name), name);
+    }
+
+    // Identical journal streams (minus speculation internals), down to
+    // the commit-cycle timestamps.
+    EXPECT_EQ(deterministic_events(ss.events),
+              deterministic_events(ps.events));
+
+    // Sanity: the workload actually exercised detection + recovery.
+    EXPECT_GT(ss.counters.at(std::string(obs::names::kEngineDispatched)),
+              0u);
+    if (recovery != np::RecoveryPolicy::ResetAndContinue) {
+      EXPECT_FALSE(deterministic_events(ss.events).empty());
+    }
+  }
+}
+
+TEST(ParallelDiff, SampledHistogramsStayDeterministic) {
+  // sample_period > 1 must thin histograms identically on both engines
+  // (the tick is per-core and commit-ordered), while counters stay
+  // exact.
+  np::RecoveryConfig config =
+      make_recovery_config(np::RecoveryPolicy::QuarantineAfterK);
+  np::Mpsoc serial(kCores, np::DispatchPolicy::RoundRobin, config);
+  np::ParallelMpsoc par(kCores, np::DispatchPolicy::RoundRobin, config, {});
+  obs::Registry serial_reg;
+  obs::Registry par_reg;
+  serial.enable_obs(serial_reg, 0, /*sample_period=*/16);
+  par.enable_obs(par_reg, 0, /*sample_period=*/16);
+  install_mixed_fleet(serial, 2);
+  install_mixed_fleet(par, 2);
+
+  std::vector<WorkItem> items = mixed_items(800, 0.1);
+  (void)run_serial(serial, items);
+  (void)run_parallel(par, items);
+
+  obs::Snapshot ss = serial_reg.snapshot();
+  obs::Snapshot ps = par_reg.snapshot();
+  EXPECT_EQ(filter_deterministic(ss.counters),
+            filter_deterministic(ps.counters));
+  for (const auto& [name, hist] : filter_deterministic(ss.histograms)) {
+    expect_histograms_equal(hist, ps.histograms.at(name), name);
+    // Sampling really thinned the distributions: fewer samples than
+    // commits.
+    if (name.find("instr_per_packet") != std::string::npos) {
+      EXPECT_LT(hist.count, 800u);
+    }
+  }
+}
+#endif  // SDMMON_OBS_ENABLED
+
 TEST(ParallelDiff, RollbackTelemetryOnlyWhenPolicyCanAct) {
   // ResetAndContinue never triggers a recovery action, so the snapshot-
   // free fast path must report zero rollbacks even under pure attack;

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Documentation consistency checker (the CI "docs" job). Grep-based on
+# purpose: no dependencies beyond coreutils + grep, so it runs anywhere
+# the repo checks out.
+#
+# Checks
+#   1. Intra-repo markdown links. Every [text](relative/path) in a
+#      tracked *.md file must resolve to an existing file or directory
+#      (anchors and external http(s)/mailto links are skipped).
+#   2. Observability catalog. Every metric-name constant in
+#      src/obs/names.hpp and every public class/struct declared in a
+#      src/obs header must be mentioned in docs/OBSERVABILITY.md -- the
+#      catalog cannot silently drift from the code.
+#   3. Bench JSON schema (optional). With `--bench-json DIR [MIN]`,
+#      every BENCH_*.json in DIR must have the shape documented in
+#      docs/BENCHMARKS.md ({"bench":...,"schema":1,...,"rows":[...]})
+#      and at least MIN (default 3) such files must be present.
+#
+# Usage:  tools/check_docs.sh [--bench-json DIR [MIN]]
+# Exit:   0 when every check passes, 1 otherwise (all failures listed).
+set -u
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+err() { printf 'check_docs: %s\n' "$*" >&2; fail=1; }
+
+bench_dir=""
+bench_min=3
+if [ "${1:-}" = "--bench-json" ]; then
+  bench_dir="${2:?--bench-json needs a directory}"
+  bench_min="${3:-3}"
+fi
+
+# ---- 1. intra-repo markdown links -----------------------------------
+# Source docs only; generated/build trees and external references are
+# out of scope.
+md_files=$(find "$repo" -name '*.md' \
+  -not -path '*/build*' -not -path '*/.git/*' -not -path '*/related/*')
+
+link_failures="$(mktemp)"
+trap 'rm -f "$link_failures"' EXIT
+for md in $md_files; do
+  dir="$(dirname "$md")"
+  # Extract every ](target) occurrence; tolerate several links per line.
+  grep -o '](\([^)]*\))' "$md" 2>/dev/null | sed 's/^](\(.*\))$/\1/' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*|'') continue ;;
+    esac
+    path="${target%%#*}"            # strip in-page anchor
+    [ -z "$path" ] && continue
+    case "$path" in
+      /*) resolved="$repo$path" ;;  # repo-absolute
+      *)  resolved="$dir/$path" ;;  # relative to the doc
+    esac
+    if [ ! -e "$resolved" ]; then
+      printf 'check_docs: broken link in %s: (%s)\n' \
+        "${md#"$repo"/}" "$target" >&2
+      echo broken >> "$link_failures"
+    fi
+  done
+done
+if [ -s "$link_failures" ]; then
+  fail=1
+fi
+
+# ---- 2. observability catalog covers src/obs ------------------------
+catalog="$repo/docs/OBSERVABILITY.md"
+if [ ! -f "$catalog" ]; then
+  err "missing docs/OBSERVABILITY.md"
+else
+  # Metric names: every quoted string constant in names.hpp.
+  for name in $(grep -o '"[a-z0-9_.]*"' "$repo/src/obs/names.hpp" |
+                tr -d '"'); do
+    grep -qF "$name" "$catalog" ||
+      err "metric '$name' (src/obs/names.hpp) missing from OBSERVABILITY.md"
+  done
+  # Public types: top-level class/struct declarations in obs headers.
+  for sym in $(grep -hE '^(class|struct) [A-Za-z_]+' "$repo"/src/obs/*.hpp |
+               awk '{print $2}' | sort -u); do
+    grep -qE "\\b$sym\\b" "$catalog" ||
+      err "public symbol '$sym' (src/obs) missing from OBSERVABILITY.md"
+  done
+  # Event kinds: every enumerator journaled must be documented.
+  for kind in $(sed -n '/enum class EventKind/,/};/p' \
+                  "$repo/src/obs/journal.hpp" |
+                grep -oE '^  [A-Za-z]+' | tr -d ' '); do
+    grep -qE "\\b$kind\\b" "$catalog" ||
+      err "EventKind::$kind missing from OBSERVABILITY.md"
+  done
+fi
+
+# ---- 3. bench JSON schema --------------------------------------------
+if [ -n "$bench_dir" ]; then
+  count=0
+  for json in "$bench_dir"/BENCH_*.json; do
+    [ -e "$json" ] || break
+    count=$((count + 1))
+    base="$(basename "$json")"
+    name="${base#BENCH_}"; name="${name%.json}"
+    grep -qF "\"bench\":\"$name\"" "$json" ||
+      err "$base: missing or mismatched \"bench\" field"
+    grep -qF '"schema":1' "$json" ||
+      err "$base: missing \"schema\":1"
+    grep -qF '"meta":{' "$json" ||
+      err "$base: missing \"meta\" object"
+    grep -qF '"rows":[{' "$json" ||
+      err "$base: missing or empty \"rows\" array"
+    # Well-formedness, when a JSON parser is on hand (CI images have
+    # python3; the check degrades to the greps above without it).
+    if command -v python3 >/dev/null 2>&1; then
+      python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$json" \
+        2>/dev/null || err "$base: not valid JSON"
+    fi
+  done
+  if [ "$count" -lt "$bench_min" ]; then
+    err "only $count BENCH_*.json files in $bench_dir (need >= $bench_min)"
+  fi
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_docs: all checks passed"
+fi
+exit "$fail"

@@ -4,12 +4,19 @@
 //   sdmmon-run prog.img --trace t.bin [--param 0xC0FFEE]
 //   sdmmon-run prog.img --hex 45000014...
 //   sdmmon-run prog.img --gen 100          # 100 generated UDP packets
+//   sdmmon-run prog.img --gen 100 --metrics-out metrics.json
+//
+// --metrics-out dumps the obs-layer snapshot (counters, histograms,
+// event journal) as JSON after the replay; schema in
+// docs/OBSERVABILITY.md. Requires a -DSDMMON_OBS=ON build (the default);
+// on an OFF build the file is still written but only ever shows zeros.
 #include <cstdio>
 #include <memory>
 
 #include "monitor/analysis.hpp"
 #include "net/trace.hpp"
 #include "np/monitored_core.hpp"
+#include "obs/obs.hpp"
 #include "tool_util.hpp"
 
 int main(int argc, char** argv) {
@@ -31,6 +38,13 @@ int main(int argc, char** argv) {
     np::MonitoredCore core;
     core.install(program, monitor::extract_graph(program, hash),
                  std::make_unique<monitor::MerkleTreeHash>(hash));
+
+    obs::Registry registry;
+    np::CoreObs core_obs;
+    if (args.has("metrics-out")) {
+      core_obs = np::CoreObs::create(registry, /*core_id=*/0);
+      core.attach_obs(&core_obs);
+    }
     std::printf("installed '%s' (%zu instrs) with hash %s\n",
                 program.name.c_str(), program.text.size(),
                 hash.name().c_str());
@@ -65,6 +79,19 @@ int main(int argc, char** argv) {
       std::printf("output: %s (port %u)\n",
                   util::to_hex(core.core().output()).c_str(),
                   core.core().output_port());
+    }
+    if (args.has("metrics-out")) {
+      const std::string path = args.get("metrics-out");
+      std::FILE* file = std::fopen(path.c_str(), "w");
+      if (file == nullptr) {
+        std::fprintf(stderr, "sdmmon-run: cannot write %s\n", path.c_str());
+        return 1;
+      }
+      const std::string json = registry.snapshot_json();
+      std::fwrite(json.data(), 1, json.size(), file);
+      std::fputc('\n', file);
+      std::fclose(file);
+      std::printf("metrics: %s\n", path.c_str());
     }
     return 0;
   } catch (const std::exception& e) {
