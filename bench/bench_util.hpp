@@ -17,6 +17,18 @@
 
 namespace sdmmon::bench {
 
+/// True when SDMMON_BENCH_QUICK is set (non-empty, not "0"). CI's
+/// bench-smoke job runs every bench this way: tiny iteration budgets
+/// that validate wiring and the BENCH_*.json schema, not performance.
+inline bool quick_mode() {
+  const char* env = std::getenv("SDMMON_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+/// `full` iterations normally, `quick` under SDMMON_BENCH_QUICK.
+inline int scaled(int full, int quick) { return quick_mode() ? quick : full; }
+
 inline void heading(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
 }

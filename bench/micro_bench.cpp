@@ -2,6 +2,9 @@
 // SHA-256, AES, RSA ops, monitor stepping, and core simulation rate.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "bench_util.hpp"
 #include "crypto/aes.hpp"
 #include "crypto/bignum.hpp"
 #include "crypto/drbg.hpp"
@@ -160,4 +163,22 @@ BENCHMARK(BM_ProcessPacket);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): under SDMMON_BENCH_QUICK
+// (bench-smoke CI) cap google-benchmark's self-calibration by injecting
+// --benchmark_min_time before the user's args (so an explicit flag still
+// wins). The bare-double spelling is the one every library version
+// parses; the "0.01s" form only exists in newer releases.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  char quick_flag[] = "--benchmark_min_time=0.01";
+  if (sdmmon::bench::quick_mode()) args.push_back(quick_flag);
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -27,7 +27,8 @@ using namespace sdmmon;
 using Clock = std::chrono::steady_clock;
 
 constexpr std::size_t kCores = 8;
-constexpr std::uint64_t kPackets = 200'000;
+const std::uint64_t kPackets =
+    static_cast<std::uint64_t>(bench::scaled(200'000, 2'000));
 
 // Echo app: copy the packet to the output buffer and commit. Heavy
 // enough (a few hundred instructions per packet) that worker threads,
@@ -151,7 +152,9 @@ int main() {
     bench::note("tests/mpsoc_parallel_diff_test.cpp for the differential");
     bench::note("proof and docs/ARCHITECTURE.md for the batch-barrier "
                 "design.");
-    return speedup >= 3.0 ? 0 : 1;
+    // Quick mode (bench-smoke CI) validates wiring and JSON schema on a
+    // tiny budget; the perf criterion only gates full runs.
+    return (speedup >= 3.0 || bench::quick_mode()) ? 0 : 1;
   }
   // Fewer hardware threads than workers: speedup is capped at ~hw/1, so
   // the >= 3x criterion is not measurable. What IS measurable -- and what
@@ -169,5 +172,5 @@ int main() {
   bench::note("identical per-packet results to the serial engine; see");
   bench::note("tests/mpsoc_parallel_diff_test.cpp for the differential");
   bench::note("proof and docs/ARCHITECTURE.md for the batch-barrier design.");
-  return overhead_ok ? 0 : 1;
+  return (overhead_ok || bench::quick_mode()) ? 0 : 1;
 }

@@ -29,8 +29,8 @@ using namespace sdmmon;
 using Clock = std::chrono::steady_clock;
 
 constexpr std::size_t kCores = 4;
-constexpr int kPackets = 20000;
-constexpr int kReps = 3;
+const int kPackets = bench::scaled(20000, 500);
+const int kReps = bench::scaled(3, 1);
 
 struct Workload {
   std::vector<util::Bytes> packets;

@@ -6,6 +6,7 @@
 // the injected attack rate rises: how much throughput survives, how many
 // packets a core needs to recover after a detection, and how quickly
 // quarantine trades residual capacity for containment.
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -21,7 +22,7 @@ namespace {
 using namespace sdmmon;
 
 constexpr std::size_t kCores = 8;
-constexpr int kPackets = 4000;
+const int kPackets = bench::scaled(4000, 200);
 
 struct RunResult {
   double forwarded_frac = 0;     // of all offered packets
@@ -152,6 +153,62 @@ int main() {
   bench::note("continue). benign-fwd%: goodput -- benign packets that still");
   bench::note("made it out; under quarantine it shows capacity traded for");
   bench::note("containment (undisp% = packets with no dispatchable core).");
+
+  // ---- X2b: re-image cost, shared artifact vs per-reinstall recompile --
+  // reinstall_core re-images a core from LastGoodConfig. Before the
+  // compiled-graph pipeline that meant deep-copying the wire-format
+  // graph and rebuilding the monitor's tables on every quarantine
+  // recovery; now it swaps the shared immutable artifact back in. Both
+  // paths are timed here on a bare core so the before/after lives in
+  // the BENCH JSON next to the policy sweeps above.
+  bench::heading("X2b: core re-image latency (last-good reinstall path)");
+  {
+    using BClock = std::chrono::steady_clock;
+    isa::Program app = net::build_ipv4_cm();
+    monitor::MerkleTreeHash hash(0xBEEFCAFE);
+    monitor::MonitoringGraph graph = monitor::extract_graph(app, hash);
+    std::shared_ptr<const monitor::CompiledGraph> artifact =
+        monitor::CompiledGraph::compile(graph);
+    const int reps = bench::scaled(2000, 20);
+
+    np::MonitoredCore core;
+    // Warm both paths once (first install sizes core memory etc.).
+    core.install(app, artifact, std::make_unique<monitor::MerkleTreeHash>(hash));
+
+    auto start = BClock::now();
+    for (int i = 0; i < reps; ++i) {
+      core.install(app, artifact,
+                   std::make_unique<monitor::MerkleTreeHash>(hash));
+    }
+    const double shared_ns =
+        std::chrono::duration<double, std::nano>(BClock::now() - start)
+            .count() / reps;
+
+    start = BClock::now();
+    for (int i = 0; i < reps; ++i) {
+      // The pre-refactor reinstall: copy the wire graph, recompile it.
+      monitor::MonitoringGraph copy = graph;
+      core.install(app, std::move(copy),
+                   std::make_unique<monitor::MerkleTreeHash>(hash));
+    }
+    const double recompile_ns =
+        std::chrono::duration<double, std::nano>(BClock::now() - start)
+            .count() / reps;
+
+    std::printf("%-34s %12.0f ns/reinstall\n",
+                "shared compiled artifact (now)", shared_ns);
+    std::printf("%-34s %12.0f ns/reinstall\n",
+                "graph copy + recompile (before)", recompile_ns);
+    std::printf("%-34s %11.2fx\n", "reinstall speedup", recompile_ns / shared_ns);
+    report.add_row({{"reinstall_path", "shared_artifact"},
+                    {"reinstall_ns", shared_ns}});
+    report.add_row({{"reinstall_path", "recompile_copy"},
+                    {"reinstall_ns", recompile_ns}});
+    report.set_meta("reinstall_speedup", recompile_ns / shared_ns);
+    bench::note("ipv4-cm config; shared path is what reinstall_core now");
+    bench::note("does (pointer swap into the core's monitor), recompile");
+    bench::note("path replays the old per-reinstall deep copy + compile.");
+  }
   report.write();
   return 0;
 }

@@ -1,0 +1,120 @@
+#include "monitor/compiled_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace sdmmon::monitor {
+
+namespace {
+
+[[noreturn]] void bad_graph(const std::string& what) {
+  throw std::invalid_argument("CompiledGraph: " + what);
+}
+
+}  // namespace
+
+CompiledGraph::CompiledGraph(MonitoringGraph graph)
+    : source_(std::move(graph)) {
+  const auto& nodes = source_.nodes();
+  const std::size_t n = nodes.size();
+
+  if (source_.hash_width() < 1 || source_.hash_width() > 8) {
+    bad_graph("hash width " + std::to_string(source_.hash_width()) +
+              " outside [1,8]");
+  }
+  if (n > 0 && source_.entry_index() >= n) {
+    bad_graph("entry index " + std::to_string(source_.entry_index()) +
+              " out of range for " + std::to_string(n) + " nodes");
+  }
+  hash_buckets_ = 1u << source_.hash_width();
+
+  // Pass 1: validate and pack the per-node records (successor bucketing
+  // in pass 2 needs every node's hash up front).
+  node_hash_.resize(n);
+  node_exit_.resize(n);
+  bucket_population_.assign(kNumBuckets, 0);
+  std::size_t total_edges = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const GraphNode& node = nodes[i];
+    if (node.hash >= hash_buckets_) {
+      bad_graph("node " + std::to_string(i) + " hash " +
+                std::to_string(node.hash) + " exceeds width " +
+                std::to_string(source_.hash_width()));
+    }
+    for (std::uint32_t succ : node.successors) {
+      if (succ >= n) {
+        bad_graph("node " + std::to_string(i) + " successor " +
+                  std::to_string(succ) + " out of range");
+      }
+    }
+    node_hash_[i] = node.hash;
+    node_exit_[i] = node.can_exit ? 1 : 0;
+    ++bucket_population_[node.hash];
+    total_edges += node.successors.size();
+  }
+
+  // Pass 2: dedup each successor list, then scatter it into per-hash
+  // groups via a counting sort, recording CSR bucket offsets as we go.
+  // The grouping is what lets the monitor answer "which successors of u
+  // match report h?" with a single precomputed slice.
+  bucket_off_.resize(n * hash_buckets_ + 1);
+  edges_.reserve(total_edges);
+  std::vector<std::uint32_t> dedup;
+  std::vector<std::uint32_t> cursor(hash_buckets_);
+  for (std::size_t i = 0; i < n; ++i) {
+    dedup.assign(nodes[i].successors.begin(), nodes[i].successors.end());
+    std::sort(dedup.begin(), dedup.end());
+    dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+
+    std::fill(cursor.begin(), cursor.end(), 0);
+    for (std::uint32_t succ : dedup) ++cursor[node_hash_[succ]];
+    std::uint32_t running = static_cast<std::uint32_t>(edges_.size());
+    for (std::uint32_t h = 0; h < hash_buckets_; ++h) {
+      bucket_off_[i * hash_buckets_ + h] = running;
+      running += cursor[h];
+      cursor[h] = bucket_off_[i * hash_buckets_ + h];
+    }
+    edges_.resize(running);
+    // dedup is ascending, so the stable scatter keeps every bucket
+    // ascending too.
+    for (std::uint32_t succ : dedup) edges_[cursor[node_hash_[succ]]++] = succ;
+  }
+  bucket_off_[n * hash_buckets_] = static_cast<std::uint32_t>(edges_.size());
+
+  // Pass 3: the fast transition table. For every (node, hash) pair the
+  // monitor's dominant step -- "exactly one tracked successor matches
+  // the report" -- is answered by a single load; empty and multi-match
+  // buckets carry sentinels that route to the generic slice paths.
+  succ_count_.resize(n);
+  fast_next_.resize(n * hash_buckets_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t base = i * hash_buckets_;
+    succ_count_[i] = bucket_off_[base + hash_buckets_] - bucket_off_[base];
+    for (std::uint32_t h = 0; h < hash_buckets_; ++h) {
+      const std::uint32_t lo = bucket_off_[base + h];
+      const std::uint32_t hi = bucket_off_[base + h + 1];
+      fast_next_[base + h] = (hi == lo)       ? kFastEmpty
+                             : (hi - lo == 1) ? edges_[lo]
+                                              : kFastMulti;
+    }
+  }
+}
+
+std::shared_ptr<const CompiledGraph> CompiledGraph::compile(
+    MonitoringGraph graph) {
+  return std::shared_ptr<const CompiledGraph>(
+      new CompiledGraph(std::move(graph)));
+}
+
+std::size_t CompiledGraph::footprint_bytes() const {
+  return node_hash_.size() * sizeof(std::uint8_t) +
+         node_exit_.size() * sizeof(std::uint8_t) +
+         bucket_off_.size() * sizeof(std::uint32_t) +
+         edges_.size() * sizeof(std::uint32_t) +
+         succ_count_.size() * sizeof(std::uint32_t) +
+         fast_next_.size() * sizeof(std::uint32_t) +
+         bucket_population_.size() * sizeof(std::uint32_t);
+}
+
+}  // namespace sdmmon::monitor

@@ -1,0 +1,137 @@
+// Install-time compilation of a MonitoringGraph into the flat, immutable
+// artifact the hot loop actually walks. The wire-format MonitoringGraph
+// (one heap vector of successors per node) is what offline analysis
+// emits and what install packages sign; it is the wrong shape for the
+// per-retired-instruction match loop. CompiledGraph lowers it once into
+// CSR arrays -- packed per-node {hash, can_exit} records and one
+// contiguous edge array in which every node's successor slice is
+// pre-bucketed by the 2^w hash values -- so the monitor's match+advance
+// phase is a single bucket lookup: the successors of node u that would
+// match report h are the contiguous slice bucket(u, h), computed at
+// compile time, never filtered at run time.
+//
+// A CompiledGraph is immutable after compile() and is shared as
+// std::shared_ptr<const CompiledGraph> by every core of an MPSoC, by the
+// LastGoodConfig recovery snapshot, and by the device application store:
+// installing, fast-switching, and quarantine re-imaging are pointer
+// swaps, never graph copies. (This mirrors how co-processor behavior
+// monitors precompute their detection tables out of the enforcement
+// path.)
+#ifndef SDMMON_MONITOR_COMPILED_GRAPH_HPP
+#define SDMMON_MONITOR_COMPILED_GRAPH_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "monitor/graph.hpp"
+
+namespace sdmmon::monitor {
+
+class CompiledGraph {
+ public:
+  /// Hash values are at most 8 bits wide, so the per-hash population
+  /// table is sized for 256 values regardless of the graph's width;
+  /// entries above 2^w simply stay zero.
+  static constexpr std::size_t kNumBuckets = 256;
+
+  /// Sentinels in the fast transition table (fast_next_data()). Real
+  /// node indices are always below both: a graph cannot have 2^32-2
+  /// nodes.
+  static constexpr std::uint32_t kFastEmpty = 0xFFFFFFFFu;  // mismatch
+  static constexpr std::uint32_t kFastMulti = 0xFFFFFFFEu;  // >1 match
+
+  /// Lower `graph` into the flat form. Validates structure -- entry index
+  /// and every successor in range, node hashes within 2^hash_width --
+  /// and throws std::invalid_argument on a malformed graph (this is the
+  /// rejection point validate_install_config relies on). The source
+  /// graph is retained for wire-format accessors and re-verification.
+  static std::shared_ptr<const CompiledGraph> compile(MonitoringGraph graph);
+
+  std::size_t num_nodes() const { return node_hash_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+  int hash_width() const { return source_.hash_width(); }
+  std::uint32_t entry_index() const { return source_.entry_index(); }
+  /// 2^w: the number of per-node hash buckets actually materialized.
+  std::uint32_t num_hash_buckets() const { return hash_buckets_; }
+
+  std::uint8_t node_hash(std::uint32_t node) const {
+    return node_hash_[node];
+  }
+  bool node_can_exit(std::uint32_t node) const {
+    return node_exit_[node] != 0;
+  }
+
+  /// Duplicate-free successor slice of `node` (deduplication happens at
+  /// compile time), grouped by successor hash value, ascending within
+  /// each group. num_edges() counts the deduped edges.
+  std::span<const std::uint32_t> successors(std::uint32_t node) const {
+    const std::size_t base = static_cast<std::size_t>(node) * hash_buckets_;
+    return {edges_.data() + bucket_off_[base],
+            edges_.data() + bucket_off_[base + hash_buckets_]};
+  }
+  std::uint32_t successor_count(std::uint32_t node) const {
+    return succ_count_[node];
+  }
+
+  /// Flat single-successor transition table, indexed
+  /// [(node << hash_width) | hash]: the node index v when bucket(node,
+  /// hash) == {v}, kFastEmpty when the bucket is empty (the report would
+  /// mismatch), kFastMulti when several successors match (take the
+  /// bucket() slice). This is the whole per-instruction hot path of the
+  /// monitor: one shift-or index, one load.
+  const std::uint32_t* fast_next_data() const { return fast_next_.data(); }
+  const std::uint32_t* succ_count_data() const { return succ_count_.data(); }
+  const std::uint8_t* node_exit_data() const { return node_exit_.data(); }
+
+  /// The successors of `node` whose stored hash equals `hash` -- i.e.
+  /// exactly the tracked positions that match report `hash` one step
+  /// after `node` matched. Contiguous, duplicate-free, precomputed.
+  /// Reports outside [0, 2^w) can never match and yield an empty slice.
+  std::span<const std::uint32_t> bucket(std::uint32_t node,
+                                        std::uint8_t hash) const {
+    if (hash >= hash_buckets_) return {};
+    const std::size_t at =
+        static_cast<std::size_t>(node) * hash_buckets_ + hash;
+    return {edges_.data() + bucket_off_[at],
+            edges_.data() + bucket_off_[at + 1]};
+  }
+
+  /// Number of graph nodes whose hash equals `hash` -- the hard upper
+  /// bound on how many tracked positions can simultaneously match one
+  /// report (comparator pressure for a hardware sizing estimate).
+  std::uint32_t bucket_population(std::size_t hash) const {
+    return bucket_population_[hash];
+  }
+
+  /// Bytes of flat compiled state (CSR arrays + per-node records); the
+  /// np.engine.compiled_graph_bytes gauge. Excludes the retained source
+  /// graph, which is cold.
+  std::size_t footprint_bytes() const;
+
+  /// The wire-format graph this artifact was compiled from (what gets
+  /// signed, serialized, and re-verified against the binary).
+  const MonitoringGraph& source() const { return source_; }
+
+ private:
+  explicit CompiledGraph(MonitoringGraph graph);
+
+  MonitoringGraph source_;
+  std::uint32_t hash_buckets_ = 0;        // 2^hash_width
+  std::vector<std::uint8_t> node_hash_;   // [num_nodes]
+  std::vector<std::uint8_t> node_exit_;   // [num_nodes] 0/1
+  // CSR offsets into edges_: entry [node * 2^w + h] opens the slice of
+  // node's successors whose hash is h; [num_nodes * 2^w] closes the
+  // last slice. Adjacent buckets (and adjacent nodes) share offsets, so
+  // one flat array serves both bucket() and successors().
+  std::vector<std::uint32_t> bucket_off_;  // [num_nodes * 2^w + 1]
+  std::vector<std::uint32_t> edges_;       // successor node indices
+  std::vector<std::uint32_t> succ_count_;  // [num_nodes] deduped degree
+  std::vector<std::uint32_t> fast_next_;   // [num_nodes * 2^w]
+  std::vector<std::uint32_t> bucket_population_;  // [kNumBuckets]
+};
+
+}  // namespace sdmmon::monitor
+
+#endif  // SDMMON_MONITOR_COMPILED_GRAPH_HPP

@@ -17,7 +17,7 @@ const char* packet_outcome_name(PacketOutcome outcome) {
 MonitoredCore::MonitoredCore() = default;
 
 void MonitoredCore::install(const isa::Program& program,
-                            monitor::MonitoringGraph graph,
+                            std::shared_ptr<const monitor::CompiledGraph> graph,
                             std::unique_ptr<monitor::InstructionHash> hash) {
   core_.load_program(program);
   if (monitor_) {
@@ -26,6 +26,13 @@ void MonitoredCore::install(const isa::Program& program,
     monitor_ = std::make_unique<monitor::HardwareMonitor>(std::move(graph),
                                                           std::move(hash));
   }
+}
+
+void MonitoredCore::install(const isa::Program& program,
+                            monitor::MonitoringGraph graph,
+                            std::unique_ptr<monitor::InstructionHash> hash) {
+  install(program, monitor::CompiledGraph::compile(std::move(graph)),
+          std::move(hash));
 }
 
 CoreObs CoreObs::create(obs::Registry& registry, std::uint32_t core_id,

@@ -78,8 +78,16 @@ class MonitoredCore {
   /// Construct with monitoring disabled (no program installed yet).
   MonitoredCore();
 
-  /// Install a (binary, monitoring graph, hash) configuration -- the step
-  /// SDMMon authenticates. The hash unit's parameter is part of `hash`.
+  /// Install a (binary, compiled monitoring graph, hash) configuration --
+  /// the step SDMMon authenticates. The artifact is shared, not copied:
+  /// every core of an MPSoC holds the same pointer, and a quarantine
+  /// re-image from LastGoodConfig is a pointer swap. The hash unit's
+  /// parameter is part of `hash`.
+  void install(const isa::Program& program,
+               std::shared_ptr<const monitor::CompiledGraph> graph,
+               std::unique_ptr<monitor::InstructionHash> hash);
+
+  /// Convenience: compile a wire-format graph privately, then install.
   void install(const isa::Program& program, monitor::MonitoringGraph graph,
                std::unique_ptr<monitor::InstructionHash> hash);
 

@@ -19,6 +19,14 @@ std::unique_ptr<EngineObs> EngineObs::create(obs::Registry& registry,
       obs::names::kRecoveryWindowOccupancy, obs::width_buckets());
   obs->reinstall_ns = &registry.histogram(obs::names::kRecoveryReinstallNs,
                                           obs::latency_ns_buckets());
+  obs->graph_compile_ns = &registry.histogram(
+      obs::names::kEngineGraphCompileNs, obs::latency_ns_buckets());
+  obs->compiled_nodes =
+      &registry.gauge(obs::names::kEngineCompiledGraphNodes);
+  obs->compiled_edges =
+      &registry.gauge(obs::names::kEngineCompiledGraphEdges);
+  obs->compiled_bytes =
+      &registry.gauge(obs::names::kEngineCompiledGraphBytes);
   if (parallel) {
     obs->batch_fill = &registry.histogram(obs::names::kParallelBatchFill,
                                           obs::depth_buckets());
@@ -65,6 +73,12 @@ void EngineObs::record_outcome(std::uint64_t cycle, std::size_t core,
   // re-image path), where the wall-clock cost is also measured.
 }
 
+void EngineObs::note_compiled(const monitor::CompiledGraph& graph) {
+  compiled_nodes->set(static_cast<std::int64_t>(graph.num_nodes()));
+  compiled_edges->set(static_cast<std::int64_t>(graph.num_edges()));
+  compiled_bytes->set(static_cast<std::int64_t>(graph.footprint_bytes()));
+}
+
 Mpsoc::Mpsoc(std::size_t num_cores, DispatchPolicy policy,
              RecoveryConfig recovery)
     : cores_(num_cores),
@@ -72,9 +86,21 @@ Mpsoc::Mpsoc(std::size_t num_cores, DispatchPolicy policy,
       policy_(policy),
       recovery_(num_cores, recovery) {}
 
-void validate_install_config(const isa::Program& program,
-                             const monitor::MonitoringGraph& graph,
-                             const monitor::InstructionHash& hash) {
+std::shared_ptr<const monitor::CompiledGraph> validate_install_config(
+    const isa::Program& program, const monitor::MonitoringGraph& graph,
+    const monitor::InstructionHash& hash) {
+  // Compilation is itself the graph-validation step: the compiler throws
+  // on structurally malformed graphs before any real core is touched.
+  std::shared_ptr<const monitor::CompiledGraph> compiled =
+      monitor::CompiledGraph::compile(graph);
+  validate_install_config(program, compiled, hash);
+  return compiled;
+}
+
+void validate_install_config(
+    const isa::Program& program,
+    const std::shared_ptr<const monitor::CompiledGraph>& graph,
+    const monitor::InstructionHash& hash) {
   Core scratch;
   scratch.load_program(program);
   monitor::HardwareMonitor probe(graph, hash.clone());
@@ -101,6 +127,19 @@ void Mpsoc::enable_obs(obs::Registry& registry, std::uint32_t device_id,
 void Mpsoc::install_all(const isa::Program& program,
                         const monitor::MonitoringGraph& graph,
                         const monitor::InstructionHash& hash) {
+  std::shared_ptr<const monitor::CompiledGraph> compiled;
+  {
+#if SDMMON_OBS_ENABLED
+    obs::ScopedTimerNs timer(obs_ ? obs_->graph_compile_ns : nullptr);
+#endif
+    compiled = validate_install_config(program, graph, hash);
+  }
+  install_all(program, std::move(compiled), hash);
+}
+
+void Mpsoc::install_all(const isa::Program& program,
+                        std::shared_ptr<const monitor::CompiledGraph> graph,
+                        const monitor::InstructionHash& hash) {
   validate_install_config(program, graph, hash);
   for (std::size_t c = 0; c < cores_.size(); ++c) {
     cores_[c].install(program, graph, hash.clone());
@@ -109,6 +148,7 @@ void Mpsoc::install_all(const isa::Program& program,
 #if SDMMON_OBS_ENABLED
   if (obs_) {
     obs_->installs->add(1);
+    obs_->note_compiled(*graph);
     obs_->journal->record({obs::EventKind::Install,
                            obs_->dispatched->value(), obs::kAllCores,
                            obs_->device_id, program.text.size()});
@@ -119,12 +159,26 @@ void Mpsoc::install_all(const isa::Program& program,
 void Mpsoc::install(std::size_t core_index, const isa::Program& program,
                     monitor::MonitoringGraph graph,
                     std::unique_ptr<monitor::InstructionHash> hash) {
+  std::shared_ptr<const monitor::CompiledGraph> compiled;
+  {
+#if SDMMON_OBS_ENABLED
+    obs::ScopedTimerNs timer(obs_ ? obs_->graph_compile_ns : nullptr);
+#endif
+    compiled = validate_install_config(program, graph, *hash);
+  }
+  install(core_index, program, std::move(compiled), std::move(hash));
+}
+
+void Mpsoc::install(std::size_t core_index, const isa::Program& program,
+                    std::shared_ptr<const monitor::CompiledGraph> graph,
+                    std::unique_ptr<monitor::InstructionHash> hash) {
   validate_install_config(program, graph, *hash);
   last_good_.at(core_index) = LastGoodConfig{program, graph, hash->clone()};
   cores_.at(core_index).install(program, std::move(graph), std::move(hash));
 #if SDMMON_OBS_ENABLED
   if (obs_) {
     obs_->installs->add(1);
+    obs_->note_compiled(*cores_[core_index].monitor().compiled());
     obs_->journal->record({obs::EventKind::Install,
                            obs_->dispatched->value(),
                            static_cast<std::uint32_t>(core_index),

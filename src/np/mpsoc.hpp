@@ -23,22 +23,34 @@ namespace sdmmon::np {
 
 /// The core configuration captured at the last successful install, used
 /// by RecoveryPolicy::ReinstallLastGood to re-image a misbehaving core.
-/// Shared by the serial and parallel engines.
+/// Holds the shared compiled artifact, not a graph copy: a quarantine
+/// re-image swaps a pointer back into the core instead of deep-copying
+/// and recompiling the graph, which is what makes recovery latency
+/// independent of graph size. Shared by the serial and parallel engines.
 struct LastGoodConfig {
   isa::Program program;
-  monitor::MonitoringGraph graph;
+  std::shared_ptr<const monitor::CompiledGraph> graph;
   std::unique_ptr<monitor::InstructionHash> hash;
 };
 
 /// Throws if (program, graph, hash) cannot be installed; leaves all real
-/// cores untouched. Staged on a scratch core/monitor: load_program throws
-/// when the binary does not fit the memory map, and the monitor
-/// constructor rejects graph/hash pairings it cannot run. Cores are
+/// cores untouched. Compiles the wire-format graph (the compiler rejects
+/// malformed graphs: out-of-range entry/successors, hashes wider than
+/// the declared width) and stages the binary on a scratch core
+/// (load_program throws when it does not fit the memory map). Cores are
 /// identical, so success here guarantees success on every real core
-/// (commit cannot fail).
-void validate_install_config(const isa::Program& program,
-                             const monitor::MonitoringGraph& graph,
-                             const monitor::InstructionHash& hash);
+/// (commit cannot fail). Returns the compiled artifact so install paths
+/// compile exactly once and share the result everywhere.
+std::shared_ptr<const monitor::CompiledGraph> validate_install_config(
+    const isa::Program& program, const monitor::MonitoringGraph& graph,
+    const monitor::InstructionHash& hash);
+
+/// Same staging checks against an already-compiled artifact (fast
+/// switches and re-installs of authenticated applications).
+void validate_install_config(
+    const isa::Program& program,
+    const std::shared_ptr<const monitor::CompiledGraph>& graph,
+    const monitor::InstructionHash& hash);
 
 /// Aggregate counters plus MPSoC-level health. Inherits the summed
 /// per-core counters so existing readers of `.forwarded` etc. keep
@@ -72,6 +84,13 @@ struct EngineObs {
   obs::Gauge* healthy_cores = nullptr;
   obs::Histogram* window_occupancy = nullptr;  // violations at decision
   obs::Histogram* reinstall_ns = nullptr;      // wall-clock (cold path)
+  /// Install-time graph-compilation cost and compiled-artifact size --
+  /// the pipeline stage the compiled-monitor refactor moved out of the
+  /// per-instruction hot path.
+  obs::Histogram* graph_compile_ns = nullptr;  // wall-clock (install path)
+  obs::Gauge* compiled_nodes = nullptr;
+  obs::Gauge* compiled_edges = nullptr;
+  obs::Gauge* compiled_bytes = nullptr;
   // Parallel engine only:
   obs::Histogram* batch_fill = nullptr;
   obs::Histogram* ingest_depth = nullptr;
@@ -92,6 +111,8 @@ struct EngineObs {
                       const PacketResult& result, RecoveryAction action,
                       std::size_t window_violations,
                       const RecoveryController& recovery);
+  /// Update the compiled-artifact size gauges after an install.
+  void note_compiled(const monitor::CompiledGraph& graph);
 };
 
 class Mpsoc {
@@ -108,14 +129,29 @@ class Mpsoc {
   /// Transactional: the configuration is validated on a scratch core
   /// first, so a bad program/graph throws *before* any real core is
   /// touched and the previous configuration keeps running everywhere.
+  /// The wire-format graph is compiled exactly once; all cores (and the
+  /// LastGoodConfig recovery snapshots) share the one immutable artifact.
   void install_all(const isa::Program& program,
                    const monitor::MonitoringGraph& graph,
+                   const monitor::InstructionHash& hash);
+
+  /// Install an already-compiled artifact on every core -- the fast
+  /// switch path for applications authenticated and compiled earlier
+  /// (device application store): no graph copy, no recompilation.
+  void install_all(const isa::Program& program,
+                   std::shared_ptr<const monitor::CompiledGraph> graph,
                    const monitor::InstructionHash& hash);
 
   /// Install on one core only (heterogeneous workload mapping). Validated
   /// on a scratch core first, like install_all.
   void install(std::size_t core_index, const isa::Program& program,
                monitor::MonitoringGraph graph,
+               std::unique_ptr<monitor::InstructionHash> hash);
+
+  /// Per-core install of an already-compiled artifact (per-core fast
+  /// switch).
+  void install(std::size_t core_index, const isa::Program& program,
+               std::shared_ptr<const monitor::CompiledGraph> graph,
                std::unique_ptr<monitor::InstructionHash> hash);
 
   /// Dispatch a packet to a core per the policy; `flow_key` feeds the

@@ -354,6 +354,21 @@ void ParallelMpsoc::install_all(const isa::Program& program,
                                 const monitor::MonitoringGraph& graph,
                                 const monitor::InstructionHash& hash) {
   flush();
+  std::shared_ptr<const monitor::CompiledGraph> compiled;
+  {
+#if SDMMON_OBS_ENABLED
+    obs::ScopedTimerNs timer(obs_ ? obs_->graph_compile_ns : nullptr);
+#endif
+    compiled = validate_install_config(program, graph, hash);
+  }
+  install_all(program, std::move(compiled), hash);
+}
+
+void ParallelMpsoc::install_all(
+    const isa::Program& program,
+    std::shared_ptr<const monitor::CompiledGraph> graph,
+    const monitor::InstructionHash& hash) {
+  flush();
   validate_install_config(program, graph, hash);
   for (std::size_t c = 0; c < cores_.size(); ++c) {
     cores_[c].install(program, graph, hash.clone());
@@ -362,6 +377,7 @@ void ParallelMpsoc::install_all(const isa::Program& program,
 #if SDMMON_OBS_ENABLED
   if (obs_) {
     obs_->installs->add(1);
+    obs_->note_compiled(*graph);
     obs_->journal->record({obs::EventKind::Install,
                            obs_->dispatched->value(), obs::kAllCores,
                            obs_->device_id, program.text.size()});
@@ -374,12 +390,28 @@ void ParallelMpsoc::install(std::size_t core_index,
                             monitor::MonitoringGraph graph,
                             std::unique_ptr<monitor::InstructionHash> hash) {
   flush();
+  std::shared_ptr<const monitor::CompiledGraph> compiled;
+  {
+#if SDMMON_OBS_ENABLED
+    obs::ScopedTimerNs timer(obs_ ? obs_->graph_compile_ns : nullptr);
+#endif
+    compiled = validate_install_config(program, graph, *hash);
+  }
+  install(core_index, program, std::move(compiled), std::move(hash));
+}
+
+void ParallelMpsoc::install(std::size_t core_index,
+                            const isa::Program& program,
+                            std::shared_ptr<const monitor::CompiledGraph> graph,
+                            std::unique_ptr<monitor::InstructionHash> hash) {
+  flush();
   validate_install_config(program, graph, *hash);
   last_good_.at(core_index) = LastGoodConfig{program, graph, hash->clone()};
   cores_.at(core_index).install(program, std::move(graph), std::move(hash));
 #if SDMMON_OBS_ENABLED
   if (obs_) {
     obs_->installs->add(1);
+    obs_->note_compiled(*cores_[core_index].monitor().compiled());
     obs_->journal->record({obs::EventKind::Install,
                            obs_->dispatched->value(),
                            static_cast<std::uint32_t>(core_index),

@@ -86,14 +86,26 @@ class ParallelMpsoc {
 
   /// Install the same configuration on every core. Drains in-flight
   /// batches first, so the reprogram lands on a packet boundary -- the
-  /// same transactional validation as the serial engine.
+  /// same transactional validation as the serial engine. The graph is
+  /// compiled once; every core shares the immutable artifact.
   void install_all(const isa::Program& program,
                    const monitor::MonitoringGraph& graph,
+                   const monitor::InstructionHash& hash);
+
+  /// Install an already-compiled artifact on every core (fast switch;
+  /// no graph copy or recompilation).
+  void install_all(const isa::Program& program,
+                   std::shared_ptr<const monitor::CompiledGraph> graph,
                    const monitor::InstructionHash& hash);
 
   /// Install on one core only (heterogeneous workload mapping).
   void install(std::size_t core_index, const isa::Program& program,
                monitor::MonitoringGraph graph,
+               std::unique_ptr<monitor::InstructionHash> hash);
+
+  /// Per-core install of an already-compiled artifact.
+  void install(std::size_t core_index, const isa::Program& program,
+               std::shared_ptr<const monitor::CompiledGraph> graph,
                std::unique_ptr<monitor::InstructionHash> hash);
 
   /// Batched ingest: enqueue one packet; a full batch is handed to the

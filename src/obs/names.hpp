@@ -29,6 +29,14 @@ inline constexpr const char* kEngineQuarantines = "np.engine.quarantines";
 inline constexpr const char* kEngineReinstalls = "np.engine.reinstalls";
 inline constexpr const char* kEngineHealthyCores =
     "np.engine.healthy_cores";
+inline constexpr const char* kEngineGraphCompileNs =
+    "np.engine.graph_compile_ns";
+inline constexpr const char* kEngineCompiledGraphNodes =
+    "np.engine.compiled_graph_nodes";
+inline constexpr const char* kEngineCompiledGraphEdges =
+    "np.engine.compiled_graph_edges";
+inline constexpr const char* kEngineCompiledGraphBytes =
+    "np.engine.compiled_graph_bytes";
 
 // ---- recovery controller decisions ----
 inline constexpr const char* kRecoveryWindowOccupancy =

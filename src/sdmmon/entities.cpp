@@ -177,7 +177,12 @@ InstallStatus NetworkProcessorDevice::install_impl(const WirePackage& wire,
     }
   }
 
-  StoredApp app{std::move(payload.binary), std::move(payload.graph),
+  // The wire format carries the graph uncompiled (it is what the operator
+  // signed); compile it exactly once, now that every cryptographic check
+  // has passed. The store and all cores share the immutable artifact.
+  std::shared_ptr<const monitor::CompiledGraph> compiled =
+      np::validate_install_config(payload.binary, payload.graph, hash);
+  StoredApp app{std::move(payload.binary), std::move(compiled),
                 payload.hash_param};
   activate(app);
   last_sequence_ = payload.sequence;
@@ -188,7 +193,7 @@ InstallStatus NetworkProcessorDevice::install_impl(const WirePackage& wire,
 }
 
 void NetworkProcessorDevice::activate(const StoredApp& app) {
-  soc_.install_all(app.binary, app.graph,
+  soc_.install_all(app.binary, app.compiled,
                    monitor::MerkleTreeHash(app.hash_param));
   installed_ = true;
   app_name_ = app.binary.name;
@@ -209,7 +214,7 @@ bool NetworkProcessorDevice::switch_core_to(std::size_t core_index,
   auto it = store_.find(app_name);
   if (it == store_.end() || core_index >= soc_.num_cores()) return false;
   const StoredApp& app = it->second;
-  soc_.install(core_index, app.binary, app.graph,
+  soc_.install(core_index, app.binary, app.compiled,
                std::make_unique<monitor::MerkleTreeHash>(app.hash_param));
   audit_.push_back({AuditEvent::Kind::FastSwitch, last_time_,
                     app_name + " (core " + std::to_string(core_index) + ")",
@@ -228,7 +233,7 @@ std::size_t NetworkProcessorDevice::store_bytes() const {
   std::size_t total = 0;
   for (const auto& [name, app] : store_) {
     total += app.binary.text_bytes() + app.binary.data.size() +
-             (app.graph.size_bits() + 7) / 8;
+             (app.compiled->source().size_bits() + 7) / 8;
   }
   return total;
 }

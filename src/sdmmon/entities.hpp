@@ -196,10 +196,14 @@ class NetworkProcessorDevice {
   }
 
  private:
-  /// An authenticated application retained for fast switching.
+  /// An authenticated application retained for fast switching. The
+  /// monitoring graph is kept in compiled form: it was verified against
+  /// the binary at install time, compiled exactly once, and the immutable
+  /// artifact is shared by the store and every core it is activated on --
+  /// a fast switch is a pointer swap, never a recompilation.
   struct StoredApp {
     isa::Program binary;
-    monitor::MonitoringGraph graph;
+    std::shared_ptr<const monitor::CompiledGraph> compiled;
     std::uint32_t hash_param = 0;
   };
 

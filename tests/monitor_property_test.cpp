@@ -12,6 +12,7 @@
 
 #include "isa/assembler.hpp"
 #include "monitor/analysis.hpp"
+#include "monitor/reference_monitor.hpp"
 #include "np/monitored_core.hpp"
 #include "util/rng.hpp"
 
@@ -223,6 +224,129 @@ TEST_P(MonitorSoundness, BatchPartitioningAndRollbackIndependence) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: the compiled HardwareMonitor vs the original
+// vector-filter walker (ReferenceMonitor) on random synthetic graphs and
+// random hashed-report streams. The two implementations must agree on
+// EVERY observable at EVERY step -- verdict, exit_allowed, state_size,
+// attack_flagged -- and on the per-packet peak width, the exact tracked
+// node set, and the cumulative MonitorStats, across packet resets and
+// mid-stream re-installs.
+
+// A random graph exercising every structural feature the compiler packs:
+// shared hash values (bucket collisions), indirect-jump fan-out, nodes
+// with can_exit, and trap terminals (no successors).
+monitor::MonitoringGraph random_graph(util::Rng& rng) {
+  const int width = 1 + static_cast<int>(rng.below(8));  // 1..8 bits
+  const std::uint32_t n = 1 + rng.below(40);
+  std::vector<monitor::GraphNode> nodes(n);
+  for (auto& node : nodes) {
+    node.hash = static_cast<std::uint8_t>(rng.below(1u << width));
+    node.can_exit = rng.chance(0.3);
+    if (rng.chance(0.12)) continue;  // trap terminal: no successors
+    // 1..2 successors normally; occasional indirect-jump fan-out.
+    std::size_t degree = 1 + rng.below(2);
+    if (rng.chance(0.15)) degree = 2 + rng.below(6);
+    for (std::size_t s = 0; s < degree; ++s) {
+      node.successors.push_back(rng.below(n));
+    }
+  }
+  return monitor::MonitoringGraph(width, 0x1000, rng.below(n),
+                                  std::move(nodes));
+}
+
+// One random hashed-report stream over `graph`. Three flavors: a valid
+// random walk from the entry node, a valid walk with corrupted reports
+// injected, and uniform random bytes (including values >= 2^w, which the
+// bucketed matcher must treat as a plain mismatch).
+std::vector<std::uint8_t> random_stream(util::Rng& rng,
+                                        const monitor::MonitoringGraph& graph) {
+  const std::size_t len = 1 + rng.below(32);
+  std::vector<std::uint8_t> stream;
+  stream.reserve(len);
+  const std::uint32_t flavor = rng.below(3);
+  if (flavor == 2) {
+    for (std::size_t i = 0; i < len; ++i) {
+      stream.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+    return stream;
+  }
+  std::uint32_t at = graph.entry_index();
+  for (std::size_t i = 0; i < len; ++i) {
+    std::uint8_t report = graph.node(at).hash;
+    if (flavor == 1 && rng.chance(0.2)) {
+      report = static_cast<std::uint8_t>(rng.below(256));  // corruption
+    }
+    stream.push_back(report);
+    const auto& succ = graph.node(at).successors;
+    if (succ.empty()) break;  // trap terminal: next report would mismatch
+    at = succ[rng.below(static_cast<std::uint32_t>(succ.size()))];
+  }
+  return stream;
+}
+
+void expect_monitors_agree(const monitor::HardwareMonitor& compiled,
+                           const monitor::ReferenceMonitor& reference,
+                           const char* where) {
+  ASSERT_EQ(compiled.state_size(), reference.state_size()) << where;
+  ASSERT_EQ(compiled.exit_allowed(), reference.exit_allowed()) << where;
+  ASSERT_EQ(compiled.attack_flagged(), reference.attack_flagged()) << where;
+  ASSERT_EQ(compiled.peak_state_size(), reference.peak_state_size()) << where;
+  ASSERT_EQ(compiled.state_nodes(), reference.state_nodes()) << where;
+  ASSERT_EQ(compiled.stats().instructions_checked,
+            reference.stats().instructions_checked) << where;
+  ASSERT_EQ(compiled.stats().mismatches, reference.stats().mismatches)
+      << where;
+  ASSERT_EQ(compiled.stats().packets_monitored,
+            reference.stats().packets_monitored) << where;
+  ASSERT_EQ(compiled.stats().state_size_accum,
+            reference.stats().state_size_accum) << where;
+}
+
+class MonitorDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonitorDifferential, CompiledMatchesReferenceOnRandomStreams) {
+  util::Rng rng(0xD1FF + static_cast<std::uint64_t>(GetParam()) * 2654435761u);
+  // 50 graphs x 25 streams x 10 seeds = 12,500 fuzzed streams.
+  for (int g = 0; g < 50; ++g) {
+    monitor::MonitoringGraph graph = random_graph(rng);
+    // The streams below feed on_hashed() directly, so the hash unit is
+    // never consulted; a fixed 8-bit unit keeps construction valid for
+    // every graph hash width (MerkleTreeHash supports 1/2/4/8 only).
+    monitor::HardwareMonitor compiled(
+        graph, std::make_unique<monitor::MerkleTreeHash>(rng.next_u32(), 8));
+    monitor::ReferenceMonitor reference(
+        graph, std::make_unique<monitor::MerkleTreeHash>(rng.next_u32(), 8));
+    for (int s = 0; s < 25; ++s) {
+      // Occasionally hot-swap a fresh graph mid-sequence: both walkers
+      // must re-arm identically and keep accumulating the same stats.
+      if (rng.chance(0.04)) {
+        graph = random_graph(rng);
+        compiled.install(
+            monitor::CompiledGraph::compile(graph),
+            std::make_unique<monitor::MerkleTreeHash>(rng.next_u32(), 8));
+        reference.install(graph, std::make_unique<monitor::MerkleTreeHash>(
+                                     rng.next_u32(), 8));
+        ASSERT_NO_FATAL_FAILURE(
+            expect_monitors_agree(compiled, reference, "post-install"));
+      }
+      compiled.reset();
+      reference.reset();
+      ASSERT_NO_FATAL_FAILURE(
+          expect_monitors_agree(compiled, reference, "post-reset"));
+      for (std::uint8_t report : random_stream(rng, graph)) {
+        const monitor::Verdict vc = compiled.on_hashed(report);
+        const monitor::Verdict vr = reference.on_hashed(report);
+        ASSERT_EQ(vc, vr) << "graph " << g << " stream " << s;
+        ASSERT_NO_FATAL_FAILURE(
+            expect_monitors_agree(compiled, reference, "mid-stream"));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorDifferential, ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace sdmmon

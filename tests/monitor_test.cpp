@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "isa/assembler.hpp"
 #include "monitor/analysis.hpp"
+#include "monitor/reference_monitor.hpp"
 #include "util/rng.hpp"
 
 namespace sdmmon::monitor {
@@ -204,6 +207,133 @@ TEST_P(NoFalsePositiveTest, ValidTracesAlwaysAccepted) {
 
 INSTANTIATE_TEST_SUITE_P(Widths, NoFalsePositiveTest,
                          ::testing::Values(2, 4, 8));
+
+// ---- stats semantics -------------------------------------------------------
+
+// Regression: packets_monitored counts reset() (one per packet armed) and
+// nothing else. Construction and install() re-arm the state machine but
+// are not packets; historically both paths routed through reset() and the
+// counter ran ahead of the real packet count.
+TEST(Monitor, PacketsMonitoredCountsOnlyPacketResets) {
+  auto s = make("main:\n addiu $t0, $t0, 1\n jr $ra\n");
+  EXPECT_EQ(s.monitor.stats().packets_monitored, 0u);  // construction
+  s.monitor.reset();
+  s.monitor.reset();
+  EXPECT_EQ(s.monitor.stats().packets_monitored, 2u);
+
+  isa::Program p2 = isa::assemble("main:\n xori $t5, $t5, 0x7\n jr $ra\n");
+  MerkleTreeHash h2(0x33333333);
+  s.monitor.install(extract_graph(p2, h2),
+                    std::make_unique<MerkleTreeHash>(h2));
+  EXPECT_EQ(s.monitor.stats().packets_monitored, 2u);  // install: no packet
+  s.monitor.reset();
+  EXPECT_EQ(s.monitor.stats().packets_monitored, 3u);
+
+  ReferenceMonitor ref(extract_graph(p2, h2),
+                       std::make_unique<MerkleTreeHash>(h2));
+  EXPECT_EQ(ref.stats().packets_monitored, 0u);
+  ref.reset();
+  ref.install(extract_graph(p2, h2), std::make_unique<MerkleTreeHash>(h2));
+  EXPECT_EQ(ref.stats().packets_monitored, 1u);
+}
+
+// ---- compiled matcher edge cases -------------------------------------------
+
+HardwareMonitor make_synthetic(MonitoringGraph graph) {
+  return HardwareMonitor(std::move(graph),
+                         std::make_unique<MerkleTreeHash>(0xABCD, 4));
+}
+
+// A trap terminal (node with no successors) must match in the same pass
+// that detects mismatches: the match itself is Ok (and carries the node's
+// exit capability), the state set then runs empty, and the NEXT report is
+// the mismatch. No second rescan decides this.
+TEST(Monitor, TrapTerminalMatchThenMismatch) {
+  // entry(hash 3) -> trap(hash 5, no successors, cannot exit)
+  MonitoringGraph graph(4, 0x1000, 0,
+                        {{3, false, {1}}, {5, false, {}}});
+  HardwareMonitor m = make_synthetic(graph);
+  ReferenceMonitor ref(graph, std::make_unique<MerkleTreeHash>(0xABCD, 4));
+  auto feed = [&](std::uint8_t h) {
+    Verdict v = m.on_hashed(h);
+    EXPECT_EQ(v, ref.on_hashed(h));
+    return v;
+  };
+  EXPECT_EQ(feed(3), Verdict::Ok);
+  EXPECT_EQ(m.state_size(), 1u);           // {trap}
+  EXPECT_EQ(feed(5), Verdict::Ok);         // trap terminal matches...
+  EXPECT_FALSE(m.exit_allowed());
+  EXPECT_EQ(m.state_size(), 0u);           // ...and strands the NFA
+  EXPECT_FALSE(m.attack_flagged());
+  EXPECT_EQ(feed(3), Verdict::Mismatch);   // anything after it: attack
+  EXPECT_TRUE(m.attack_flagged());
+}
+
+// An exit-capable trap terminal still reports exit_allowed from the same
+// single matching pass.
+TEST(Monitor, ExitCapableTrapTerminalAllowsExit) {
+  MonitoringGraph graph(4, 0x1000, 0, {{7, true, {}}});
+  HardwareMonitor m = make_synthetic(graph);
+  EXPECT_EQ(m.on_hashed(7), Verdict::Ok);
+  EXPECT_TRUE(m.exit_allowed());
+  EXPECT_EQ(m.state_size(), 0u);
+}
+
+// Hashed reports outside [0, 2^w) cannot match any node; the bucketed
+// matcher must treat them as a plain mismatch, not an out-of-bounds read.
+TEST(Monitor, OutOfRangeHashedReportIsMismatch) {
+  MonitoringGraph graph(4, 0x1000, 0, {{3, true, {0}}});
+  HardwareMonitor m = make_synthetic(graph);
+  EXPECT_EQ(m.on_hashed(0xF3), Verdict::Mismatch);  // >= 2^4
+  EXPECT_TRUE(m.attack_flagged());
+  m.reset();
+  EXPECT_EQ(m.on_hashed(3), Verdict::Ok);
+}
+
+// ---- CompiledGraph artifact ------------------------------------------------
+
+TEST(CompiledGraph, FlattensSourceIntoCsrForm) {
+  MonitoringGraph graph(4, 0x2000, 1,
+                        {{3, false, {1, 2}}, {9, true, {0}}, {9, false, {}}});
+  auto compiled = CompiledGraph::compile(graph);
+  ASSERT_EQ(compiled->num_nodes(), 3u);
+  EXPECT_EQ(compiled->num_edges(), 3u);
+  EXPECT_EQ(compiled->hash_width(), 4);
+  EXPECT_EQ(compiled->entry_index(), 1u);
+  EXPECT_EQ(compiled->node_hash(0), 3u);
+  EXPECT_TRUE(compiled->node_can_exit(1));
+  EXPECT_FALSE(compiled->node_can_exit(2));
+  ASSERT_EQ(compiled->successors(0).size(), 2u);
+  EXPECT_EQ(compiled->successors(0)[1], 2u);
+  EXPECT_TRUE(compiled->successors(2).empty());
+  // Two nodes share hash 9: the per-bucket population reflects it.
+  EXPECT_EQ(compiled->bucket_population(9), 2u);
+  EXPECT_EQ(compiled->bucket_population(3), 1u);
+  EXPECT_GT(compiled->footprint_bytes(), 0u);
+  EXPECT_EQ(compiled->source(), graph);
+}
+
+TEST(CompiledGraph, RejectsMalformedGraphs) {
+  // Successor index out of range.
+  EXPECT_THROW(CompiledGraph::compile(MonitoringGraph(
+                   4, 0, 0, {{1, false, {7}}})),
+               std::invalid_argument);
+  // Entry index out of range.
+  EXPECT_THROW(CompiledGraph::compile(MonitoringGraph(
+                   4, 0, 5, {{1, false, {}}})),
+               std::invalid_argument);
+  // Node hash wider than the declared width.
+  EXPECT_THROW(CompiledGraph::compile(MonitoringGraph(
+                   2, 0, 0, {{9, false, {}}})),
+               std::invalid_argument);
+  // Hash width outside [1, 8].
+  EXPECT_THROW(CompiledGraph::compile(MonitoringGraph(
+                   0, 0, 0, {{0, false, {}}})),
+               std::invalid_argument);
+  EXPECT_THROW(CompiledGraph::compile(MonitoringGraph(
+                   9, 0, 0, {{1, false, {}}})),
+               std::invalid_argument);
+}
 
 }  // namespace
 }  // namespace sdmmon::monitor

@@ -222,6 +222,40 @@ TEST(MpsocRecovery, ReinstallLastGoodReimagesThenQuarantines) {
   EXPECT_TRUE(soc.core(0).installed());  // re-image kept a valid config
 }
 
+// The install-sharing invariant of the compiled-monitor pipeline: one
+// install_all compiles the graph exactly once and every core's monitor
+// holds the SAME artifact (pointer identity, not equal copies), and a
+// last-good re-image swaps that same pointer back in -- recovery never
+// copies or recompiles the graph.
+TEST(MpsocRecovery, InstallAllSharesOneCompiledGraphAcrossReinstall) {
+  np::RecoveryConfig config;
+  config.policy = np::RecoveryPolicy::ReinstallLastGood;
+  config.violation_threshold = 2;
+  config.window_packets = 8;
+  np::Mpsoc soc(4, np::DispatchPolicy::RoundRobin, config);
+  install_all(soc, kVulnApp, 0x1A57);
+
+  const monitor::CompiledGraph* shared = soc.core(0).monitor().compiled().get();
+  ASSERT_NE(shared, nullptr);
+  for (std::size_t c = 1; c < soc.num_cores(); ++c) {
+    EXPECT_EQ(soc.core(c).monitor().compiled().get(), shared) << "core " << c;
+  }
+
+  // Drive core 0 into a last-good re-image.
+  util::Bytes attack = attack_packet();
+  np::MpsocStats stats;
+  for (int i = 0; i < 64; ++i) {
+    (void)soc.process_packet(attack);
+    stats = soc.aggregate_stats();
+    if (stats.reinstalls > 0) break;
+  }
+  ASSERT_GT(stats.reinstalls, 0u);
+  for (std::size_t c = 0; c < soc.num_cores(); ++c) {
+    EXPECT_EQ(soc.core(c).monitor().compiled().get(), shared)
+        << "re-image must reuse the shared artifact, core " << c;
+  }
+}
+
 TEST(MpsocRecovery, TwoOfEightQuarantinedKeepsForwardingAllPolicies) {
   for (np::DispatchPolicy policy :
        {np::DispatchPolicy::RoundRobin, np::DispatchPolicy::FlowHash,
