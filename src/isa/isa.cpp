@@ -129,6 +129,44 @@ std::uint32_t encode(const Instr& instr) {
          (static_cast<std::uint32_t>(instr.imm) & 0xFFFFu);
 }
 
+namespace {
+
+// Canonical-form check: fields an instruction does not use must be zero.
+// A lenient decoder would accept e.g. `srl` with junk in the rs bits --
+// an encoding no assembler emits, whose disassembly is lossy (the
+// syntax has no slot for the dead field) and which would alias a valid
+// instruction under the monitor's per-word hash. Rejecting it keeps
+// decode exactly the inverse of encode over encode's image, so every
+// decodable word round-trips through encode AND disassemble/assemble.
+bool canonical_fields(const Instr& in) {
+  switch (in.op) {
+    case Op::Sll: case Op::Srl: case Op::Sra:
+      return in.rs == 0;
+    case Op::Sllv: case Op::Srlv: case Op::Srav:
+      return in.shamt == 0;
+    case Op::Jr:
+      return in.rt == 0 && in.rd == 0 && in.shamt == 0;
+    case Op::Jalr:
+      return in.rt == 0 && in.shamt == 0;
+    case Op::Syscall: case Op::Break:
+      return in.rs == 0 && in.rt == 0 && in.rd == 0 && in.shamt == 0;
+    case Op::Mfhi: case Op::Mflo:
+      return in.rs == 0 && in.rt == 0 && in.shamt == 0;
+    case Op::Mult: case Op::Multu: case Op::Div: case Op::Divu:
+      return in.rd == 0 && in.shamt == 0;
+    case Op::Lui:
+      return in.rs == 0;
+    case Op::Blez: case Op::Bgtz:
+      return in.rt == 0;
+    default:
+      // Three-register ALU forms use rs/rt/rd; shamt must be clear.
+      // I-type and J-type forms use every bit of their formats.
+      return info(in.op).primary != 0 || in.shamt == 0;
+  }
+}
+
+}  // namespace
+
 std::optional<Instr> try_decode(std::uint32_t word) {
   const int primary = static_cast<int>(word >> 26);
   Instr out;
@@ -141,6 +179,7 @@ std::optional<Instr> try_decode(std::uint32_t word) {
         out.rt = static_cast<std::uint8_t>((word >> 16) & 31);
         out.rd = static_cast<std::uint8_t>((word >> 11) & 31);
         out.shamt = static_cast<std::uint8_t>((word >> 6) & 31);
+        if (!canonical_fields(out)) return std::nullopt;
         return out;
       }
     }
@@ -156,6 +195,7 @@ std::optional<Instr> try_decode(std::uint32_t word) {
     out.rs = static_cast<std::uint8_t>((word >> 21) & 31);
     out.rt = static_cast<std::uint8_t>((word >> 16) & 31);
     out.imm = static_cast<std::int32_t>(static_cast<std::int16_t>(word & 0xFFFF));
+    if (!canonical_fields(out)) return std::nullopt;
     return out;
   }
   return std::nullopt;

@@ -49,7 +49,15 @@ BasicBlocks find_basic_blocks(const isa::Program& program) {
   if (n == 0) return {};
   add_unique(leaders, 0);
   for (std::uint32_t i = 0; i < n; ++i) {
-    Instr instr = isa::decode(program.text[i]);
+    // Total over arbitrary text: an undecodable word traps at runtime,
+    // so like syscall/break it ends its block (predecode relies on this
+    // -- see np::CompiledProgram).
+    std::optional<Instr> decoded = isa::try_decode(program.text[i]);
+    if (!decoded) {
+      if (i + 1 < n) add_unique(leaders, i + 1);
+      continue;
+    }
+    const Instr& instr = *decoded;
     switch (isa::op_class(instr.op)) {
       case OpClass::Branch: {
         const std::int64_t target =

@@ -25,12 +25,15 @@
 
 namespace sdmmon::monitor {
 
-/// Basic-block boundaries of the program text (for reports and tests).
+/// Basic-block boundaries of the program text (for reports, tests, and
+/// the core's predecoded superblock extents -- np::CompiledProgram).
 struct BasicBlocks {
   /// Sorted instruction indices that start a basic block.
   std::vector<std::uint32_t> leaders;
 };
 
+/// Total over arbitrary text: undecodable words trap at runtime, so they
+/// terminate a block like syscall/break instead of throwing.
 BasicBlocks find_basic_blocks(const isa::Program& program);
 
 /// Build the monitoring graph for `program` using `hash`. Throws

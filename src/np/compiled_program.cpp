@@ -1,0 +1,63 @@
+#include "np/compiled_program.hpp"
+
+#include "monitor/analysis.hpp"
+
+namespace sdmmon::np {
+
+std::shared_ptr<const CompiledProgram> CompiledProgram::compile(
+    const isa::Program& program, const monitor::InstructionHash& hash) {
+  auto compiled = std::shared_ptr<CompiledProgram>(new CompiledProgram());
+  compiled->source_ = program;
+  compiled->text_base_ = program.text_base;
+  compiled->text_bytes_ =
+      static_cast<std::uint32_t>(program.text.size() * 4);
+  compiled->hash_width_ = hash.width();
+  compiled->hash_name_ = hash.name();
+
+  // Block leaders from the same analysis that shapes the monitoring
+  // graph (find_basic_blocks is total: undecodable words end a block).
+  const monitor::BasicBlocks blocks = monitor::find_basic_blocks(program);
+  compiled->num_blocks_ = blocks.leaders.size();
+
+  const std::size_t n = program.text.size();
+  compiled->ops_.resize(n);
+  std::size_t next_leader = 1;  // leaders[0] == 0 whenever n > 0
+  for (std::size_t i = 0; i < n; ++i) {
+    PreOp& op = compiled->ops_[i];
+    op.word = program.text[i];
+    op.mhash = hash.hash(op.word);
+
+    bool block_end = i + 1 == n;
+    if (next_leader < blocks.leaders.size() &&
+        blocks.leaders[next_leader] == i + 1) {
+      block_end = true;
+      ++next_leader;
+    }
+
+    if (auto decoded = isa::try_decode(op.word)) {
+      op.instr = *decoded;
+      op.flags = kDecoded;
+      // Belt and braces: any op that can redirect or end control flow
+      // ends its block even if the leader list ever disagreed -- the
+      // superblock stepper's fall-through invariant must never break.
+      switch (isa::op_class(op.instr.op)) {
+        case isa::OpClass::Branch:
+        case isa::OpClass::Jump:
+        case isa::OpClass::JumpLink:
+        case isa::OpClass::JumpReg:
+        case isa::OpClass::Trap:
+          block_end = true;
+          break;
+        default:
+          break;
+      }
+    } else {
+      op.flags = 0;  // trapping op: executing it raises DecodeFault
+      block_end = true;
+    }
+    if (block_end) op.flags |= kBlockEnd;
+  }
+  return compiled;
+}
+
+}  // namespace sdmmon::np

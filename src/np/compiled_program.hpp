@@ -1,0 +1,118 @@
+// Install-time predecoding of a program's text segment into the flat,
+// immutable artifact the core's hot loop actually executes. The wire
+// format ships raw 32-bit instruction words (what gets signed and what
+// the monitor hashes); re-decoding the same word and re-evaluating the
+// Merkle hash tree on every execution of every instruction is pure
+// redundancy -- both are functions of (word, hash parameter) fixed at
+// install time. CompiledProgram lowers the text once into an array of
+// predecoded micro-ops, each carrying the decoded isa::Instr, the raw
+// word, the precomputed w-bit monitor hash under the installed
+// InstructionHash, and basic-block-boundary flags, so Core::step()
+// becomes an indexed fetch plus the execute switch and the monitor check
+// becomes a byte load fed straight into HardwareMonitor::on_hashed().
+//
+// Like monitor::CompiledGraph (the PR-4 precedent this mirrors), a
+// CompiledProgram is immutable after compile() and is shared as
+// std::shared_ptr<const CompiledProgram> by every core of an MPSoC, by
+// the LastGoodConfig recovery snapshot, and by the device application
+// store: installing, fast-switching, and quarantine re-imaging swap a
+// pointer, never re-decode.
+//
+// Unified memory has no execute protection, so programs can overwrite
+// their own text (and code-injection attacks do). The artifact is a
+// pure cache of the *installed image*: the core watches stores into the
+// predecoded text range, marks the artifact stale, and falls back to the
+// word-at-a-time interpreter until the next full reset() re-images the
+// text. Undecodable words predecode to a trapping op (kDecoded clear),
+// never undefined behavior -- executing one raises Trap::DecodeFault
+// exactly as the interpreter would.
+#ifndef SDMMON_NP_COMPILED_PROGRAM_HPP
+#define SDMMON_NP_COMPILED_PROGRAM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "isa/isa.hpp"
+#include "isa/program.hpp"
+#include "monitor/hash.hpp"
+
+namespace sdmmon::np {
+
+class CompiledProgram {
+ public:
+  /// One predecoded text word. 16 bytes; the superblock stepper walks
+  /// these sequentially, so one cache line holds four ops.
+  struct PreOp {
+    isa::Instr instr;        // valid iff flags & kDecoded
+    std::uint32_t word = 0;  // raw encoding (what the monitor hashes)
+    std::uint8_t mhash = 0;  // precomputed monitor hash of `word`
+    std::uint8_t flags = 0;
+  };
+
+  /// PreOp::flags bits.
+  static constexpr std::uint8_t kDecoded = 0x01;   // instr is valid
+  static constexpr std::uint8_t kBlockEnd = 0x02;  // last op of a basic block
+
+  /// Decode every text word once and precompute its monitor hash under
+  /// `hash` (the parameterized unit installed with the program). Block
+  /// boundaries come from monitor::analysis::find_basic_blocks, so the
+  /// superblock stepper and the monitoring graph agree on extents.
+  /// Undecodable words become trapping ops (kDecoded clear) that also
+  /// end their block. Never throws on strange text -- the artifact is
+  /// total over the installed image.
+  static std::shared_ptr<const CompiledProgram> compile(
+      const isa::Program& program, const monitor::InstructionHash& hash);
+
+  std::uint32_t text_base() const { return text_base_; }
+  /// Bytes of predecoded text ([text_base, text_base + text_bytes)).
+  std::uint32_t text_bytes() const { return text_bytes_; }
+  std::size_t num_ops() const { return ops_.size(); }
+  /// Basic blocks in the predecoded text (np.engine gauge).
+  std::size_t num_blocks() const { return num_blocks_; }
+
+  /// Width/name of the hash the mhash table was computed under. The
+  /// parameter itself is secret (it never leaves the InstructionHash),
+  /// so install paths verify consistency by spot-checking mhash values
+  /// against the installed unit instead of comparing names.
+  int hash_width() const { return hash_width_; }
+  const std::string& hash_name() const { return hash_name_; }
+
+  /// Raw op array for the core's cached-pointer hot path.
+  const PreOp* ops_data() const { return ops_.data(); }
+
+  /// Precomputed monitor hash of the instruction at `pc`. Returns false
+  /// when `pc` is outside (or misaligned within) the predecoded text --
+  /// the caller falls back to hashing the fetched word.
+  bool monitor_hash(std::uint32_t pc, std::uint8_t& out) const {
+    const std::uint32_t off = pc - text_base_;
+    if (off >= text_bytes_ || (off & 3u) != 0) return false;
+    out = ops_[off >> 2].mhash;
+    return true;
+  }
+
+  /// Bytes of flat predecoded state (the np.engine.compiled_program_bytes
+  /// gauge). Excludes the retained source program, which is cold.
+  std::size_t footprint_bytes() const {
+    return ops_.size() * sizeof(PreOp);
+  }
+
+  /// The program this artifact was predecoded from (what gets signed,
+  /// re-imaged at reset, and re-verified by install staging).
+  const isa::Program& source() const { return source_; }
+
+ private:
+  CompiledProgram() = default;
+
+  isa::Program source_;
+  std::uint32_t text_base_ = 0;
+  std::uint32_t text_bytes_ = 0;
+  std::size_t num_blocks_ = 0;
+  int hash_width_ = 0;
+  std::string hash_name_;
+  std::vector<PreOp> ops_;
+};
+
+}  // namespace sdmmon::np
+
+#endif  // SDMMON_NP_COMPILED_PROGRAM_HPP

@@ -26,7 +26,35 @@ Core::Core() = default;
 void Core::load_program(const isa::Program& program) {
   program_ = program;
   program_loaded_ = true;
+  compiled_ = nullptr;
   reset();
+}
+
+void Core::load_program(const isa::Program& program,
+                        std::shared_ptr<const CompiledProgram> compiled) {
+  if (compiled != nullptr &&
+      (compiled->text_base() != program.text_base ||
+       compiled->num_ops() != program.text.size())) {
+    throw std::invalid_argument(
+        "CompiledProgram does not match the program being loaded");
+  }
+  program_ = program;
+  program_loaded_ = true;
+  compiled_ = std::move(compiled);
+  reset();
+}
+
+void Core::update_predecode_live() {
+  if (compiled_ != nullptr) {
+    pre_base_ = compiled_->text_base();
+    pre_text_bytes_ = compiled_->text_bytes();
+    pre_ops_ = (predecode_enabled_ && !text_dirty_) ? compiled_->ops_data()
+                                                    : nullptr;
+  } else {
+    pre_ops_ = nullptr;
+    pre_base_ = 0;
+    pre_text_bytes_ = 0;
+  }
 }
 
 void Core::reset() {
@@ -42,6 +70,11 @@ void Core::reset() {
       mem_.write_block(program_.data_base, program_.data);
     }
   }
+  // Text just got re-imaged from the installed program: the predecoded
+  // artifact matches memory again. (soft_reset() deliberately does NOT
+  // clear the dirty flag -- it never restores text.)
+  text_dirty_ = false;
+  update_predecode_live();
   reset_architectural_state();
 }
 
@@ -134,6 +167,22 @@ StepInfo Core::step() {
     return finish(info, StepEvent::PacketDone);
   }
 
+  if (pre_ops_ != nullptr) {
+    // Fast path: the installed text image is clean, so the fetch is an
+    // indexed read of a predecoded op -- no memory-region walk, no
+    // decode-table scan. pcs outside the artifact (runtime-materialized
+    // code, data-region jumps) fall through to the interpreter below.
+    const std::uint32_t off = pc_ - pre_base_;
+    if (off < pre_text_bytes_ && (off & 3u) == 0) {
+      const CompiledProgram::PreOp& op = pre_ops_[off >> 2];
+      info.word = op.word;
+      if (!(op.flags & CompiledProgram::kDecoded)) {
+        return finish(info, StepEvent::Trapped, Trap::DecodeFault);
+      }
+      return exec(op.instr, info);
+    }
+  }
+
   auto word = mem_.load32(pc_);
   if (!word) {
     return finish(info, StepEvent::Trapped, Trap::FetchFault);
@@ -144,8 +193,10 @@ StepInfo Core::step() {
   if (!decoded) {
     return finish(info, StepEvent::Trapped, Trap::DecodeFault);
   }
-  const Instr& in = *decoded;
+  return exec(*decoded, info);
+}
 
+StepInfo Core::exec(const Instr& in, StepInfo info) {
   ++cycles_;
   ++packet_cycles_;
   std::uint32_t next_pc = pc_ + 4;
@@ -345,6 +396,7 @@ StepInfo Core::step() {
           MemFault::None) {
         return finish(info, StepEvent::Trapped, Trap::MemFault);
       }
+      note_store(addr);
       break;
     }
     case Op::Sh: {
@@ -354,6 +406,7 @@ StepInfo Core::step() {
           MemFault::None) {
         return finish(info, StepEvent::Trapped, Trap::MemFault);
       }
+      note_store(addr);
       break;
     }
     case Op::Sw: {
@@ -362,6 +415,7 @@ StepInfo Core::step() {
       if (mem_.store32(addr, rt()) != MemFault::None) {
         return finish(info, StepEvent::Trapped, Trap::MemFault);
       }
+      note_store(addr);
       break;
     }
 
@@ -386,9 +440,42 @@ StepInfo Core::step() {
 
 StepInfo Core::run(std::uint64_t max_steps) {
   StepInfo last;
-  for (std::uint64_t i = 0; i < max_steps; ++i) {
+  std::uint64_t steps = 0;
+  while (steps < max_steps) {
+    // Dispatch: one full step() resolves every edge case (not runnable,
+    // watchdog, sentinel return, fetch outside the artifact, dirty text).
+    // When the predecoded fast path is live and the dispatched op did not
+    // end its basic block, the tight loop below executes the rest of the
+    // straight-line block without re-entering any of those checks: a
+    // non-block-end op is by construction a falling-through, in-range,
+    // decodable op, so only the watchdog and the self-modifying-store
+    // flag need re-testing per op.
+    const CompiledProgram::PreOp* ops = pre_ops_;
+    std::uint32_t off = pc_ - pre_base_;
+    const bool superblock =
+        ops != nullptr && runnable_ && pc_ != kReturnSentinel &&
+        off < pre_text_bytes_ && (off & 3u) == 0;
     last = step();
+    ++steps;
     if (last.event != StepEvent::Executed) return last;
+    if (!superblock) continue;
+    while (steps < max_steps &&
+           (ops[off >> 2].flags & CompiledProgram::kBlockEnd) == 0 &&
+           !text_dirty_ && packet_cycles_ < watchdog_budget_) {
+      off += 4;  // non-block-end ops always fall through
+      const CompiledProgram::PreOp& op = ops[off >> 2];
+      StepInfo info;
+      info.pc = pc_;
+      info.word = op.word;
+      if ((op.flags & CompiledProgram::kDecoded) == 0) {
+        // Fell through into an undecodable word (it ends its own block
+        // but can still be entered): trap exactly as step() would.
+        return finish(info, StepEvent::Trapped, Trap::DecodeFault);
+      }
+      last = exec(op.instr, info);
+      ++steps;
+      if (last.event != StepEvent::Executed) return last;
+    }
   }
   return last;
 }

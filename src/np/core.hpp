@@ -12,8 +12,10 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 
 #include "isa/program.hpp"
+#include "np/compiled_program.hpp"
 #include "np/cycle_model.hpp"
 #include "np/memory.hpp"
 
@@ -55,8 +57,18 @@ class Core {
  public:
   Core();
 
-  /// Load program text+data into memory and prime entry state.
+  /// Load program text+data into memory and prime entry state. Drops any
+  /// previously attached predecoded artifact (word-at-a-time interpreter).
   void load_program(const isa::Program& program);
+
+  /// Load a program together with its install-time predecoded artifact.
+  /// The core caches raw pointers into the shared immutable artifact and
+  /// step()/run() take the decode-free fast path while the in-memory text
+  /// still matches the installed image. Throws std::invalid_argument if
+  /// the artifact was not compiled from `program` (base/size mismatch) --
+  /// staging validation upstream makes this unreachable on install paths.
+  void load_program(const isa::Program& program,
+                    std::shared_ptr<const CompiledProgram> compiled);
 
   /// Full reset: architectural state AND memory re-imaged from the loaded
   /// program (text, data, zeroed stack/buffers). Used at install time and
@@ -101,15 +113,62 @@ class Core {
   Memory& memory() { return mem_; }
   const Memory& memory() const { return mem_; }
 
+  /// The shared predecoded artifact (nullptr when interpreting). Pointer
+  /// identity across cores is the install-sharing invariant tests assert.
+  const std::shared_ptr<const CompiledProgram>& compiled_program() const {
+    return compiled_;
+  }
+
+  /// Toggle the predecoded fast path at runtime (differential oracles and
+  /// head-to-head benches run the same core interpreted). Sticky across
+  /// load_program/reset -- it is a property of the core, not the program.
+  void set_predecode_enabled(bool on) {
+    predecode_enabled_ = on;
+    update_predecode_live();
+  }
+  bool predecode_enabled() const { return predecode_enabled_; }
+
+  /// True while step()/run() actually execute predecoded ops: an artifact
+  /// is attached, the fast path is enabled, and no store has dirtied the
+  /// text image since the last full reset()/load_program().
+  bool predecode_live() const { return pre_ops_ != nullptr; }
+
+  /// True once a store landed in the predecoded text range (self-modifying
+  /// code or injection). Cleared only by the re-imaging reset paths --
+  /// soft_reset() keeps it, because soft reset does not restore text.
+  bool text_dirty() const { return text_dirty_; }
+
  private:
   void reset_architectural_state();
+  /// Recompute the cached fast-path pointers from (artifact, enabled,
+  /// dirty); called whenever any of the three inputs changes.
+  void update_predecode_live();
+  StepInfo exec(const isa::Instr& in, StepInfo info);
   StepInfo finish(StepInfo info, StepEvent event, Trap trap = Trap::None);
   StepInfo mmio_store(StepInfo info, std::uint32_t addr, std::uint32_t value);
   bool mmio_load(std::uint32_t addr, std::uint32_t& value) const;
+  /// Store landed at `addr`: dirty the artifact if it hit predecoded text.
+  void note_store(std::uint32_t addr) {
+    if (addr - pre_base_ < pre_text_bytes_) {
+      text_dirty_ = true;
+      update_predecode_live();
+    }
+  }
 
   Memory mem_;
   isa::Program program_;
   bool program_loaded_ = false;
+  // Shared immutable predecode artifact plus cached raw views of it (the
+  // per-step path dereferences no smart pointer). pre_ops_ is non-null
+  // only while the fast path is live; pre_base_/pre_text_bytes_ describe
+  // the predecoded range whenever an artifact is attached (store-dirty
+  // tracking stays armed even when the fast path is toggled off).
+  std::shared_ptr<const CompiledProgram> compiled_;
+  const CompiledProgram::PreOp* pre_ops_ = nullptr;
+  std::uint32_t pre_base_ = 0;
+  std::uint32_t pre_text_bytes_ = 0;
+  bool predecode_enabled_ = true;
+  bool text_dirty_ = false;
   std::array<std::uint32_t, 32> regs_{};
   std::uint32_t pc_ = 0;
   std::uint32_t hi_ = 0;

@@ -1,5 +1,7 @@
 #include "np/monitored_core.hpp"
 
+#include <algorithm>
+#include <stdexcept>
 #include <string>
 
 namespace sdmmon::np {
@@ -18,14 +20,40 @@ MonitoredCore::MonitoredCore() = default;
 
 void MonitoredCore::install(const isa::Program& program,
                             std::shared_ptr<const monitor::CompiledGraph> graph,
+                            std::shared_ptr<const CompiledProgram> code,
                             std::unique_ptr<monitor::InstructionHash> hash) {
-  core_.load_program(program);
+  if (code != nullptr) {
+    // The hash parameter is secret (it never leaves the unit), so artifact
+    // provenance cannot be checked by name: spot-check sampled precomputed
+    // hashes against the unit being installed instead. Bounded at 16
+    // samples to keep the quarantine re-image path a cheap pointer swap.
+    const std::size_t n = code->num_ops();
+    const std::size_t samples = std::min<std::size_t>(n, 16);
+    for (std::size_t s = 0; s < samples; ++s) {
+      const CompiledProgram::PreOp& op = code->ops_data()[s * n / samples];
+      if (op.mhash != hash->hash(op.word)) {
+        throw std::invalid_argument(
+            "CompiledProgram hashes were not computed under the installed "
+            "hash unit");
+      }
+    }
+  }
+  core_.load_program(program, std::move(code));
+  pre_ = core_.compiled_program().get();
   if (monitor_) {
     monitor_->install(std::move(graph), std::move(hash));
   } else {
     monitor_ = std::make_unique<monitor::HardwareMonitor>(std::move(graph),
                                                           std::move(hash));
   }
+}
+
+void MonitoredCore::install(const isa::Program& program,
+                            std::shared_ptr<const monitor::CompiledGraph> graph,
+                            std::unique_ptr<monitor::InstructionHash> hash) {
+  std::shared_ptr<const CompiledProgram> code =
+      CompiledProgram::compile(program, *hash);
+  install(program, std::move(graph), std::move(code), std::move(hash));
 }
 
 void MonitoredCore::install(const isa::Program& program,
@@ -100,7 +128,20 @@ PacketResult MonitoredCore::run_packet(
                           info.pc != kReturnSentinel);
     if (retired) {
       ++result.instructions;
-      monitor::Verdict verdict = monitor_->on_instruction(info.word);
+      // While the predecoded image is clean, info.word for any pc inside
+      // the artifact IS the installed word, so the precomputed hash can
+      // feed the monitor directly -- no Merkle-tree evaluation. Retired
+      // instructions outside the artifact (runtime-materialized code,
+      // data-region jumps) and any execution after a self-modifying
+      // store go through the real hash unit.
+      monitor::Verdict verdict;
+      std::uint8_t hashed;
+      if (pre_ != nullptr && core_.predecode_live() &&
+          pre_->monitor_hash(info.pc, hashed)) {
+        verdict = monitor_->on_hashed(hashed);
+      } else {
+        verdict = monitor_->on_instruction(info.word);
+      }
       if (verdict == monitor::Verdict::Mismatch && enforce_) {
         result.outcome = PacketOutcome::AttackDetected;
         core_.reset();  // paper's recovery: reset stack, next packet

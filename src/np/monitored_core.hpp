@@ -78,11 +78,20 @@ class MonitoredCore {
   /// Construct with monitoring disabled (no program installed yet).
   MonitoredCore();
 
-  /// Install a (binary, compiled monitoring graph, hash) configuration --
-  /// the step SDMMon authenticates. The artifact is shared, not copied:
-  /// every core of an MPSoC holds the same pointer, and a quarantine
-  /// re-image from LastGoodConfig is a pointer swap. The hash unit's
-  /// parameter is part of `hash`.
+  /// Preferred: install a (binary, compiled graph, predecoded program,
+  /// hash) configuration -- the step SDMMon authenticates. Both artifacts
+  /// are shared, not copied: every core of an MPSoC holds the same
+  /// pointers, and a quarantine re-image from LastGoodConfig is a pair of
+  /// pointer swaps. The hash unit's parameter is part of `hash`; `code`
+  /// carries that hash's precomputed per-instruction values, so the
+  /// monitor check becomes on_hashed(byte load). `code` may be null
+  /// (word-at-a-time interpretation, no precomputed hashes).
+  void install(const isa::Program& program,
+               std::shared_ptr<const monitor::CompiledGraph> graph,
+               std::shared_ptr<const CompiledProgram> code,
+               std::unique_ptr<monitor::InstructionHash> hash);
+
+  /// Convenience: predecode the program privately, then install.
   void install(const isa::Program& program,
                std::shared_ptr<const monitor::CompiledGraph> graph,
                std::unique_ptr<monitor::InstructionHash> hash);
@@ -127,6 +136,9 @@ class MonitoredCore {
   PacketResult run_packet(std::span<const std::uint8_t> packet);
 
   Core core_;
+  // Raw view of the core's predecoded artifact, cached at install so the
+  // per-retired-instruction monitor feed dereferences no smart pointer.
+  const CompiledProgram* pre_ = nullptr;
   std::unique_ptr<monitor::HardwareMonitor> monitor_;
   CoreStats stats_;
   bool enforce_ = true;

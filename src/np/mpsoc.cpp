@@ -27,6 +27,14 @@ std::unique_ptr<EngineObs> EngineObs::create(obs::Registry& registry,
       &registry.gauge(obs::names::kEngineCompiledGraphEdges);
   obs->compiled_bytes =
       &registry.gauge(obs::names::kEngineCompiledGraphBytes);
+  obs->predecode_ns = &registry.histogram(obs::names::kCorePredecodeNs,
+                                          obs::latency_ns_buckets());
+  obs->compiled_ops =
+      &registry.gauge(obs::names::kEngineCompiledProgramOps);
+  obs->compiled_blocks =
+      &registry.gauge(obs::names::kEngineCompiledProgramBlocks);
+  obs->compiled_program_bytes =
+      &registry.gauge(obs::names::kEngineCompiledProgramBytes);
   if (parallel) {
     obs->batch_fill = &registry.histogram(obs::names::kParallelBatchFill,
                                           obs::depth_buckets());
@@ -79,6 +87,13 @@ void EngineObs::note_compiled(const monitor::CompiledGraph& graph) {
   compiled_bytes->set(static_cast<std::int64_t>(graph.footprint_bytes()));
 }
 
+void EngineObs::note_predecoded(const CompiledProgram& code) {
+  compiled_ops->set(static_cast<std::int64_t>(code.num_ops()));
+  compiled_blocks->set(static_cast<std::int64_t>(code.num_blocks()));
+  compiled_program_bytes->set(
+      static_cast<std::int64_t>(code.footprint_bytes()));
+}
+
 Mpsoc::Mpsoc(std::size_t num_cores, DispatchPolicy policy,
              RecoveryConfig recovery)
     : cores_(num_cores),
@@ -86,24 +101,28 @@ Mpsoc::Mpsoc(std::size_t num_cores, DispatchPolicy policy,
       policy_(policy),
       recovery_(num_cores, recovery) {}
 
-std::shared_ptr<const monitor::CompiledGraph> validate_install_config(
-    const isa::Program& program, const monitor::MonitoringGraph& graph,
-    const monitor::InstructionHash& hash) {
+InstallArtifacts validate_install_config(const isa::Program& program,
+                                         const monitor::MonitoringGraph& graph,
+                                         const monitor::InstructionHash& hash) {
   // Compilation is itself the graph-validation step: the compiler throws
   // on structurally malformed graphs before any real core is touched.
-  std::shared_ptr<const monitor::CompiledGraph> compiled =
-      monitor::CompiledGraph::compile(graph);
-  validate_install_config(program, compiled, hash);
-  return compiled;
+  // Predecoding is total (undecodable words become trapping ops), so it
+  // can never fail on text the staging core accepted.
+  InstallArtifacts artifacts;
+  artifacts.graph = monitor::CompiledGraph::compile(graph);
+  artifacts.code = CompiledProgram::compile(program, hash);
+  validate_install_config(program, artifacts, hash);
+  return artifacts;
 }
 
-void validate_install_config(
-    const isa::Program& program,
-    const std::shared_ptr<const monitor::CompiledGraph>& graph,
-    const monitor::InstructionHash& hash) {
-  Core scratch;
-  scratch.load_program(program);
-  monitor::HardwareMonitor probe(graph, hash.clone());
+void validate_install_config(const isa::Program& program,
+                             const InstallArtifacts& artifacts,
+                             const monitor::InstructionHash& hash) {
+  // The scratch install exercises exactly what the real one will:
+  // load_program's memory-map fit and artifact/program match checks plus
+  // the artifact/hash spot-check in MonitoredCore::install.
+  MonitoredCore probe;
+  probe.install(program, artifacts.graph, artifacts.code, hash.clone());
 }
 
 void Mpsoc::enable_obs(obs::Registry& registry, std::uint32_t device_id,
@@ -127,28 +146,50 @@ void Mpsoc::enable_obs(obs::Registry& registry, std::uint32_t device_id,
 void Mpsoc::install_all(const isa::Program& program,
                         const monitor::MonitoringGraph& graph,
                         const monitor::InstructionHash& hash) {
-  std::shared_ptr<const monitor::CompiledGraph> compiled;
+  InstallArtifacts artifacts;
   {
 #if SDMMON_OBS_ENABLED
     obs::ScopedTimerNs timer(obs_ ? obs_->graph_compile_ns : nullptr);
 #endif
-    compiled = validate_install_config(program, graph, hash);
+    artifacts.graph = monitor::CompiledGraph::compile(graph);
   }
-  install_all(program, std::move(compiled), hash);
+  {
+#if SDMMON_OBS_ENABLED
+    obs::ScopedTimerNs timer(obs_ ? obs_->predecode_ns : nullptr);
+#endif
+    artifacts.code = CompiledProgram::compile(program, hash);
+  }
+  validate_install_config(program, artifacts, hash);
+  install_all(program, std::move(artifacts), hash);
 }
 
 void Mpsoc::install_all(const isa::Program& program,
                         std::shared_ptr<const monitor::CompiledGraph> graph,
                         const monitor::InstructionHash& hash) {
-  validate_install_config(program, graph, hash);
+  InstallArtifacts artifacts{std::move(graph), nullptr};
+  {
+#if SDMMON_OBS_ENABLED
+    obs::ScopedTimerNs timer(obs_ ? obs_->predecode_ns : nullptr);
+#endif
+    artifacts.code = CompiledProgram::compile(program, hash);
+  }
+  install_all(program, std::move(artifacts), hash);
+}
+
+void Mpsoc::install_all(const isa::Program& program,
+                        InstallArtifacts artifacts,
+                        const monitor::InstructionHash& hash) {
+  validate_install_config(program, artifacts, hash);
   for (std::size_t c = 0; c < cores_.size(); ++c) {
-    cores_[c].install(program, graph, hash.clone());
-    last_good_[c] = LastGoodConfig{program, graph, hash.clone()};
+    cores_[c].install(program, artifacts.graph, artifacts.code,
+                      hash.clone());
+    last_good_[c] = LastGoodConfig{program, artifacts, hash.clone()};
   }
 #if SDMMON_OBS_ENABLED
   if (obs_) {
     obs_->installs->add(1);
-    obs_->note_compiled(*graph);
+    obs_->note_compiled(*artifacts.graph);
+    if (artifacts.code) obs_->note_predecoded(*artifacts.code);
     obs_->journal->record({obs::EventKind::Install,
                            obs_->dispatched->value(), obs::kAllCores,
                            obs_->device_id, program.text.size()});
@@ -159,26 +200,50 @@ void Mpsoc::install_all(const isa::Program& program,
 void Mpsoc::install(std::size_t core_index, const isa::Program& program,
                     monitor::MonitoringGraph graph,
                     std::unique_ptr<monitor::InstructionHash> hash) {
-  std::shared_ptr<const monitor::CompiledGraph> compiled;
+  InstallArtifacts artifacts;
   {
 #if SDMMON_OBS_ENABLED
     obs::ScopedTimerNs timer(obs_ ? obs_->graph_compile_ns : nullptr);
 #endif
-    compiled = validate_install_config(program, graph, *hash);
+    artifacts.graph = monitor::CompiledGraph::compile(std::move(graph));
   }
-  install(core_index, program, std::move(compiled), std::move(hash));
+  {
+#if SDMMON_OBS_ENABLED
+    obs::ScopedTimerNs timer(obs_ ? obs_->predecode_ns : nullptr);
+#endif
+    artifacts.code = CompiledProgram::compile(program, *hash);
+  }
+  install(core_index, program, std::move(artifacts), std::move(hash));
 }
 
 void Mpsoc::install(std::size_t core_index, const isa::Program& program,
                     std::shared_ptr<const monitor::CompiledGraph> graph,
                     std::unique_ptr<monitor::InstructionHash> hash) {
-  validate_install_config(program, graph, *hash);
-  last_good_.at(core_index) = LastGoodConfig{program, graph, hash->clone()};
-  cores_.at(core_index).install(program, std::move(graph), std::move(hash));
+  InstallArtifacts artifacts{std::move(graph), nullptr};
+  {
+#if SDMMON_OBS_ENABLED
+    obs::ScopedTimerNs timer(obs_ ? obs_->predecode_ns : nullptr);
+#endif
+    artifacts.code = CompiledProgram::compile(program, *hash);
+  }
+  install(core_index, program, std::move(artifacts), std::move(hash));
+}
+
+void Mpsoc::install(std::size_t core_index, const isa::Program& program,
+                    InstallArtifacts artifacts,
+                    std::unique_ptr<monitor::InstructionHash> hash) {
+  validate_install_config(program, artifacts, *hash);
+  last_good_.at(core_index) =
+      LastGoodConfig{program, artifacts, hash->clone()};
+  cores_.at(core_index).install(program, std::move(artifacts.graph),
+                                std::move(artifacts.code), std::move(hash));
 #if SDMMON_OBS_ENABLED
   if (obs_) {
     obs_->installs->add(1);
     obs_->note_compiled(*cores_[core_index].monitor().compiled());
+    if (const auto& code = cores_[core_index].core().compiled_program()) {
+      obs_->note_predecoded(*code);
+    }
     obs_->journal->record({obs::EventKind::Install,
                            obs_->dispatched->value(),
                            static_cast<std::uint32_t>(core_index),
@@ -226,7 +291,8 @@ void Mpsoc::reinstall_core(std::size_t index) {
 #if SDMMON_OBS_ENABLED
     obs::ScopedTimerNs timer(obs_ ? obs_->reinstall_ns : nullptr);
 #endif
-    cores_[index].install(good->program, good->graph, good->hash->clone());
+    cores_[index].install(good->program, good->artifacts.graph,
+                          good->artifacts.code, good->hash->clone());
   }
   recovery_.note_reinstall(index);
   ++reinstalls_;

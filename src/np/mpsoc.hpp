@@ -15,42 +15,56 @@
 #include <optional>
 #include <vector>
 
+#include "np/compiled_program.hpp"
 #include "np/dispatch.hpp"
 #include "np/monitored_core.hpp"
 #include "np/recovery.hpp"
 
 namespace sdmmon::np {
 
+/// The pair of immutable install-time artifacts derived from one signed
+/// (binary, graph, hash-parameter) package: the compiled monitoring
+/// graph and the predecoded program. Compiled exactly once per install
+/// and shared as pointers through every layer (cores, recovery
+/// snapshots, the device application store). `code` may be null for
+/// callers that deliberately interpret word-at-a-time.
+struct InstallArtifacts {
+  std::shared_ptr<const monitor::CompiledGraph> graph;
+  std::shared_ptr<const CompiledProgram> code;
+};
+
 /// The core configuration captured at the last successful install, used
 /// by RecoveryPolicy::ReinstallLastGood to re-image a misbehaving core.
-/// Holds the shared compiled artifact, not a graph copy: a quarantine
-/// re-image swaps a pointer back into the core instead of deep-copying
-/// and recompiling the graph, which is what makes recovery latency
-/// independent of graph size. Shared by the serial and parallel engines.
+/// Holds the shared compiled artifacts, not copies: a quarantine
+/// re-image swaps pointers back into the core instead of deep-copying,
+/// recompiling the graph, or re-decoding the text, which is what makes
+/// recovery latency independent of program and graph size. Shared by the
+/// serial and parallel engines.
 struct LastGoodConfig {
   isa::Program program;
-  std::shared_ptr<const monitor::CompiledGraph> graph;
+  InstallArtifacts artifacts;
   std::unique_ptr<monitor::InstructionHash> hash;
 };
 
 /// Throws if (program, graph, hash) cannot be installed; leaves all real
 /// cores untouched. Compiles the wire-format graph (the compiler rejects
 /// malformed graphs: out-of-range entry/successors, hashes wider than
-/// the declared width) and stages the binary on a scratch core
-/// (load_program throws when it does not fit the memory map). Cores are
-/// identical, so success here guarantees success on every real core
-/// (commit cannot fail). Returns the compiled artifact so install paths
-/// compile exactly once and share the result everywhere.
-std::shared_ptr<const monitor::CompiledGraph> validate_install_config(
-    const isa::Program& program, const monitor::MonitoringGraph& graph,
-    const monitor::InstructionHash& hash);
+/// the declared width), predecodes the text under `hash`, and stages the
+/// binary on a scratch core (load_program throws when it does not fit
+/// the memory map). Cores are identical, so success here guarantees
+/// success on every real core (commit cannot fail). Returns both
+/// compiled artifacts so install paths compile exactly once and share
+/// the results everywhere.
+InstallArtifacts validate_install_config(const isa::Program& program,
+                                         const monitor::MonitoringGraph& graph,
+                                         const monitor::InstructionHash& hash);
 
-/// Same staging checks against an already-compiled artifact (fast
-/// switches and re-installs of authenticated applications).
-void validate_install_config(
-    const isa::Program& program,
-    const std::shared_ptr<const monitor::CompiledGraph>& graph,
-    const monitor::InstructionHash& hash);
+/// Same staging checks against already-compiled artifacts (fast switches
+/// and re-installs of authenticated applications). Also spot-checks that
+/// the predecoded hashes match `hash` (see MonitoredCore::install).
+void validate_install_config(const isa::Program& program,
+                             const InstallArtifacts& artifacts,
+                             const monitor::InstructionHash& hash);
 
 /// Aggregate counters plus MPSoC-level health. Inherits the summed
 /// per-core counters so existing readers of `.forwarded` etc. keep
@@ -91,6 +105,13 @@ struct EngineObs {
   obs::Gauge* compiled_nodes = nullptr;
   obs::Gauge* compiled_edges = nullptr;
   obs::Gauge* compiled_bytes = nullptr;
+  /// Install-time text predecoding cost and predecoded-artifact size --
+  /// the pipeline stage the compiled-program refactor moved out of the
+  /// per-instruction hot path (decode + Merkle hash, paid once).
+  obs::Histogram* predecode_ns = nullptr;  // wall-clock (install path)
+  obs::Gauge* compiled_ops = nullptr;
+  obs::Gauge* compiled_blocks = nullptr;
+  obs::Gauge* compiled_program_bytes = nullptr;
   // Parallel engine only:
   obs::Histogram* batch_fill = nullptr;
   obs::Histogram* ingest_depth = nullptr;
@@ -113,6 +134,8 @@ struct EngineObs {
                       const RecoveryController& recovery);
   /// Update the compiled-artifact size gauges after an install.
   void note_compiled(const monitor::CompiledGraph& graph);
+  /// Update the predecoded-program size gauges after an install.
+  void note_predecoded(const CompiledProgram& code);
 };
 
 class Mpsoc {
@@ -135,9 +158,14 @@ class Mpsoc {
                    const monitor::MonitoringGraph& graph,
                    const monitor::InstructionHash& hash);
 
-  /// Install an already-compiled artifact on every core -- the fast
-  /// switch path for applications authenticated and compiled earlier
-  /// (device application store): no graph copy, no recompilation.
+  /// Install already-compiled artifacts on every core -- the fast switch
+  /// path for applications authenticated and compiled earlier (device
+  /// application store): no graph copy, no recompilation, no re-decode.
+  void install_all(const isa::Program& program, InstallArtifacts artifacts,
+                   const monitor::InstructionHash& hash);
+
+  /// Back-compat fast path holding only the compiled graph: the program
+  /// is predecoded here (once, shared across all cores).
   void install_all(const isa::Program& program,
                    std::shared_ptr<const monitor::CompiledGraph> graph,
                    const monitor::InstructionHash& hash);
@@ -148,8 +176,13 @@ class Mpsoc {
                monitor::MonitoringGraph graph,
                std::unique_ptr<monitor::InstructionHash> hash);
 
-  /// Per-core install of an already-compiled artifact (per-core fast
+  /// Per-core install of already-compiled artifacts (per-core fast
   /// switch).
+  void install(std::size_t core_index, const isa::Program& program,
+               InstallArtifacts artifacts,
+               std::unique_ptr<monitor::InstructionHash> hash);
+
+  /// Back-compat per-core fast switch (predecodes here).
   void install(std::size_t core_index, const isa::Program& program,
                std::shared_ptr<const monitor::CompiledGraph> graph,
                std::unique_ptr<monitor::InstructionHash> hash);

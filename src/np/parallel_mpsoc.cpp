@@ -109,7 +109,8 @@ void ParallelMpsoc::reinstall_core(std::size_t index) {
 #if SDMMON_OBS_ENABLED
     obs::ScopedTimerNs timer(obs_ ? obs_->reinstall_ns : nullptr);
 #endif
-    cores_[index].install(good->program, good->graph, good->hash->clone());
+    cores_[index].install(good->program, good->artifacts.graph,
+                          good->artifacts.code, good->hash->clone());
   }
   recovery_.note_reinstall(index);
   ++reinstalls_;
@@ -354,30 +355,52 @@ void ParallelMpsoc::install_all(const isa::Program& program,
                                 const monitor::MonitoringGraph& graph,
                                 const monitor::InstructionHash& hash) {
   flush();
-  std::shared_ptr<const monitor::CompiledGraph> compiled;
+  InstallArtifacts artifacts;
   {
 #if SDMMON_OBS_ENABLED
     obs::ScopedTimerNs timer(obs_ ? obs_->graph_compile_ns : nullptr);
 #endif
-    compiled = validate_install_config(program, graph, hash);
+    artifacts.graph = monitor::CompiledGraph::compile(graph);
   }
-  install_all(program, std::move(compiled), hash);
+  {
+#if SDMMON_OBS_ENABLED
+    obs::ScopedTimerNs timer(obs_ ? obs_->predecode_ns : nullptr);
+#endif
+    artifacts.code = CompiledProgram::compile(program, hash);
+  }
+  validate_install_config(program, artifacts, hash);
+  install_all(program, std::move(artifacts), hash);
 }
 
 void ParallelMpsoc::install_all(
     const isa::Program& program,
     std::shared_ptr<const monitor::CompiledGraph> graph,
     const monitor::InstructionHash& hash) {
+  InstallArtifacts artifacts{std::move(graph), nullptr};
+  {
+#if SDMMON_OBS_ENABLED
+    obs::ScopedTimerNs timer(obs_ ? obs_->predecode_ns : nullptr);
+#endif
+    artifacts.code = CompiledProgram::compile(program, hash);
+  }
+  install_all(program, std::move(artifacts), hash);
+}
+
+void ParallelMpsoc::install_all(const isa::Program& program,
+                                InstallArtifacts artifacts,
+                                const monitor::InstructionHash& hash) {
   flush();
-  validate_install_config(program, graph, hash);
+  validate_install_config(program, artifacts, hash);
   for (std::size_t c = 0; c < cores_.size(); ++c) {
-    cores_[c].install(program, graph, hash.clone());
-    last_good_[c] = LastGoodConfig{program, graph, hash.clone()};
+    cores_[c].install(program, artifacts.graph, artifacts.code,
+                      hash.clone());
+    last_good_[c] = LastGoodConfig{program, artifacts, hash.clone()};
   }
 #if SDMMON_OBS_ENABLED
   if (obs_) {
     obs_->installs->add(1);
-    obs_->note_compiled(*graph);
+    obs_->note_compiled(*artifacts.graph);
+    if (artifacts.code) obs_->note_predecoded(*artifacts.code);
     obs_->journal->record({obs::EventKind::Install,
                            obs_->dispatched->value(), obs::kAllCores,
                            obs_->device_id, program.text.size()});
@@ -390,28 +413,53 @@ void ParallelMpsoc::install(std::size_t core_index,
                             monitor::MonitoringGraph graph,
                             std::unique_ptr<monitor::InstructionHash> hash) {
   flush();
-  std::shared_ptr<const monitor::CompiledGraph> compiled;
+  InstallArtifacts artifacts;
   {
 #if SDMMON_OBS_ENABLED
     obs::ScopedTimerNs timer(obs_ ? obs_->graph_compile_ns : nullptr);
 #endif
-    compiled = validate_install_config(program, graph, *hash);
+    artifacts.graph = monitor::CompiledGraph::compile(std::move(graph));
   }
-  install(core_index, program, std::move(compiled), std::move(hash));
+  {
+#if SDMMON_OBS_ENABLED
+    obs::ScopedTimerNs timer(obs_ ? obs_->predecode_ns : nullptr);
+#endif
+    artifacts.code = CompiledProgram::compile(program, *hash);
+  }
+  install(core_index, program, std::move(artifacts), std::move(hash));
 }
 
 void ParallelMpsoc::install(std::size_t core_index,
                             const isa::Program& program,
                             std::shared_ptr<const monitor::CompiledGraph> graph,
                             std::unique_ptr<monitor::InstructionHash> hash) {
+  InstallArtifacts artifacts{std::move(graph), nullptr};
+  {
+#if SDMMON_OBS_ENABLED
+    obs::ScopedTimerNs timer(obs_ ? obs_->predecode_ns : nullptr);
+#endif
+    artifacts.code = CompiledProgram::compile(program, *hash);
+  }
+  install(core_index, program, std::move(artifacts), std::move(hash));
+}
+
+void ParallelMpsoc::install(std::size_t core_index,
+                            const isa::Program& program,
+                            InstallArtifacts artifacts,
+                            std::unique_ptr<monitor::InstructionHash> hash) {
   flush();
-  validate_install_config(program, graph, *hash);
-  last_good_.at(core_index) = LastGoodConfig{program, graph, hash->clone()};
-  cores_.at(core_index).install(program, std::move(graph), std::move(hash));
+  validate_install_config(program, artifacts, *hash);
+  last_good_.at(core_index) =
+      LastGoodConfig{program, artifacts, hash->clone()};
+  cores_.at(core_index).install(program, std::move(artifacts.graph),
+                                std::move(artifacts.code), std::move(hash));
 #if SDMMON_OBS_ENABLED
   if (obs_) {
     obs_->installs->add(1);
     obs_->note_compiled(*cores_[core_index].monitor().compiled());
+    if (const auto& code = cores_[core_index].core().compiled_program()) {
+      obs_->note_predecoded(*code);
+    }
     obs_->journal->record({obs::EventKind::Install,
                            obs_->dispatched->value(),
                            static_cast<std::uint32_t>(core_index),

@@ -92,8 +92,13 @@ class ParallelMpsoc {
                    const monitor::MonitoringGraph& graph,
                    const monitor::InstructionHash& hash);
 
-  /// Install an already-compiled artifact on every core (fast switch;
-  /// no graph copy or recompilation).
+  /// Install already-compiled artifacts on every core (fast switch; no
+  /// graph copy, recompilation, or re-decode).
+  void install_all(const isa::Program& program, InstallArtifacts artifacts,
+                   const monitor::InstructionHash& hash);
+
+  /// Back-compat fast path holding only the compiled graph (predecodes
+  /// here, once, shared across all cores).
   void install_all(const isa::Program& program,
                    std::shared_ptr<const monitor::CompiledGraph> graph,
                    const monitor::InstructionHash& hash);
@@ -103,7 +108,12 @@ class ParallelMpsoc {
                monitor::MonitoringGraph graph,
                std::unique_ptr<monitor::InstructionHash> hash);
 
-  /// Per-core install of an already-compiled artifact.
+  /// Per-core install of already-compiled artifacts.
+  void install(std::size_t core_index, const isa::Program& program,
+               InstallArtifacts artifacts,
+               std::unique_ptr<monitor::InstructionHash> hash);
+
+  /// Back-compat per-core fast switch (predecodes here).
   void install(std::size_t core_index, const isa::Program& program,
                std::shared_ptr<const monitor::CompiledGraph> graph,
                std::unique_ptr<monitor::InstructionHash> hash);

@@ -20,6 +20,7 @@ inline constexpr const char* kCoreInstructions = "np.core.instructions";
 inline constexpr const char* kCoreInstrPerPacket =
     "np.core.instr_per_packet";
 inline constexpr const char* kCoreNdfaWidth = "np.core.ndfa_width";
+inline constexpr const char* kCorePredecodeNs = "np.core.predecode_ns";
 
 // ---- execution engines (serial Mpsoc and ParallelMpsoc) ----
 inline constexpr const char* kEngineDispatched = "np.engine.dispatched";
@@ -37,6 +38,12 @@ inline constexpr const char* kEngineCompiledGraphEdges =
     "np.engine.compiled_graph_edges";
 inline constexpr const char* kEngineCompiledGraphBytes =
     "np.engine.compiled_graph_bytes";
+inline constexpr const char* kEngineCompiledProgramOps =
+    "np.engine.compiled_program_ops";
+inline constexpr const char* kEngineCompiledProgramBlocks =
+    "np.engine.compiled_program_blocks";
+inline constexpr const char* kEngineCompiledProgramBytes =
+    "np.engine.compiled_program_bytes";
 
 // ---- recovery controller decisions ----
 inline constexpr const char* kRecoveryWindowOccupancy =

@@ -177,12 +177,13 @@ InstallStatus NetworkProcessorDevice::install_impl(const WirePackage& wire,
     }
   }
 
-  // The wire format carries the graph uncompiled (it is what the operator
-  // signed); compile it exactly once, now that every cryptographic check
-  // has passed. The store and all cores share the immutable artifact.
-  std::shared_ptr<const monitor::CompiledGraph> compiled =
+  // The wire format carries the graph uncompiled and the text raw (they
+  // are what the operator signed); compile the graph and predecode the
+  // text exactly once, now that every cryptographic check has passed.
+  // The store and all cores share the immutable artifacts.
+  np::InstallArtifacts artifacts =
       np::validate_install_config(payload.binary, payload.graph, hash);
-  StoredApp app{std::move(payload.binary), std::move(compiled),
+  StoredApp app{std::move(payload.binary), std::move(artifacts),
                 payload.hash_param};
   activate(app);
   last_sequence_ = payload.sequence;
@@ -193,7 +194,7 @@ InstallStatus NetworkProcessorDevice::install_impl(const WirePackage& wire,
 }
 
 void NetworkProcessorDevice::activate(const StoredApp& app) {
-  soc_.install_all(app.binary, app.compiled,
+  soc_.install_all(app.binary, app.artifacts,
                    monitor::MerkleTreeHash(app.hash_param));
   installed_ = true;
   app_name_ = app.binary.name;
@@ -214,7 +215,7 @@ bool NetworkProcessorDevice::switch_core_to(std::size_t core_index,
   auto it = store_.find(app_name);
   if (it == store_.end() || core_index >= soc_.num_cores()) return false;
   const StoredApp& app = it->second;
-  soc_.install(core_index, app.binary, app.compiled,
+  soc_.install(core_index, app.binary, app.artifacts,
                std::make_unique<monitor::MerkleTreeHash>(app.hash_param));
   audit_.push_back({AuditEvent::Kind::FastSwitch, last_time_,
                     app_name + " (core " + std::to_string(core_index) + ")",
@@ -233,7 +234,8 @@ std::size_t NetworkProcessorDevice::store_bytes() const {
   std::size_t total = 0;
   for (const auto& [name, app] : store_) {
     total += app.binary.text_bytes() + app.binary.data.size() +
-             (app.compiled->source().size_bits() + 7) / 8;
+             (app.artifacts.graph->source().size_bits() + 7) / 8 +
+             app.artifacts.code->footprint_bytes();
   }
   return total;
 }

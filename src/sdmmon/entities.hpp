@@ -197,13 +197,15 @@ class NetworkProcessorDevice {
 
  private:
   /// An authenticated application retained for fast switching. The
-  /// monitoring graph is kept in compiled form: it was verified against
-  /// the binary at install time, compiled exactly once, and the immutable
-  /// artifact is shared by the store and every core it is activated on --
-  /// a fast switch is a pointer swap, never a recompilation.
+  /// monitoring graph is kept in compiled form and the binary's text in
+  /// predecoded form: both were verified against the package at install
+  /// time, compiled exactly once, and the immutable artifacts are shared
+  /// by the store and every core the app is activated on -- a fast
+  /// switch is a pair of pointer swaps, never a recompilation or a
+  /// re-decode.
   struct StoredApp {
     isa::Program binary;
-    std::shared_ptr<const monitor::CompiledGraph> compiled;
+    np::InstallArtifacts artifacts;
     std::uint32_t hash_param = 0;
   };
 

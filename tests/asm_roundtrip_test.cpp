@@ -12,6 +12,9 @@
 
 #include "isa/assembler.hpp"
 #include "isa/disassembler.hpp"
+#include "monitor/hash.hpp"
+#include "np/compiled_program.hpp"
+#include "np/core.hpp"
 #include "net/apps.hpp"
 #include "net/packet.hpp"
 #include "net/routing.hpp"
@@ -88,7 +91,11 @@ TEST(AsmRoundTrip, BranchesReassembleAtTheirOwnAddress) {
 }
 
 TEST(AsmRoundTrip, RandomEncodingsFuzzedThroughDecoder) {
-  // Any 32-bit word either fails to decode or round-trips exactly.
+  // Any 32-bit word either fails to decode or round-trips EXACTLY:
+  // decode captures every field bit of its format, so encode(decode(w))
+  // reproduces w bit-for-bit. (This is what lets the predecoded
+  // CompiledProgram store the decoded Instr and the raw word side by
+  // side as interchangeable views of the same instruction.)
   util::Rng rng(0xF422);
   int decodable = 0;
   for (int i = 0; i < 200'000; ++i) {
@@ -96,17 +103,116 @@ TEST(AsmRoundTrip, RandomEncodingsFuzzedThroughDecoder) {
     auto decoded = try_decode(word);
     if (!decoded) continue;
     ++decodable;
-    Instr instr = *decoded;
-    // Encoding drops bits the format ignores, so re-decode instead.
-    std::uint32_t re = encode(instr);
-    auto again = try_decode(re);
-    ASSERT_TRUE(again.has_value());
-    EXPECT_EQ(encode(*again), re);
-    EXPECT_EQ(again->op, instr.op);
+    ASSERT_EQ(encode(*decoded), word)
+        << std::hex << word << " decoded lossily";
   }
   // Roughly a third of random words decode (the subset covers ~22 of 64
   // primary opcodes plus R-type functs).
   EXPECT_GT(decodable, 50'000);
+}
+
+TEST(AsmRoundTrip, SweptOpcodeSpaceRoundTripsExactly) {
+  // Directed sweep of the whole encoding space rather than uniform
+  // fuzz: every primary opcode 0..63 with random field bits, plus the
+  // full funct space 0..63 for primary 0 (R-type). Every word that
+  // decodes must survive encode() unchanged; every word that does not
+  // must throw from decode() (and nothing else).
+  util::Rng rng(0x09C0DE5);
+  int decodable = 0;
+  for (unsigned primary = 0; primary < 64; ++primary) {
+    for (int trial = 0; trial < 2'000; ++trial) {
+      const std::uint32_t word =
+          (primary << 26) | (rng.next_u32() & 0x03FF'FFFF);
+      auto decoded = try_decode(word);
+      if (decoded) {
+        ++decodable;
+        ASSERT_EQ(encode(*decoded), word)
+            << "primary " << primary << " word " << std::hex << word;
+      } else {
+        EXPECT_THROW((void)decode(word), IsaError);
+      }
+    }
+  }
+  for (unsigned funct = 0; funct < 64; ++funct) {
+    for (int trial = 0; trial < 500; ++trial) {
+      const std::uint32_t word = (rng.next_u32() & 0x03FF'FFC0) | funct;
+      auto decoded = try_decode(word);
+      if (decoded) {
+        ASSERT_EQ(encode(*decoded), word)
+            << "funct " << funct << " word " << std::hex << word;
+      } else {
+        EXPECT_THROW((void)decode(word), IsaError);
+      }
+    }
+  }
+  EXPECT_GT(decodable, 20'000);
+}
+
+TEST(AsmRoundTrip, RandomDecodableWordsDisassembleAndReassemble) {
+  // disassemble() output for position-free formats is valid assembler
+  // input reproducing the identical word -- over the whole decodable
+  // space, not just the instruction forms the app binaries happen to
+  // use.
+  util::Rng rng(0xD15A53);
+  int checked = 0;
+  for (int i = 0; i < 60'000 && checked < 8'000; ++i) {
+    const std::uint32_t word = rng.next_u32();
+    auto decoded = try_decode(word);
+    if (!decoded) continue;
+    const OpClass cls = op_class(decoded->op);
+    if (cls == OpClass::Branch || cls == OpClass::Jump ||
+        cls == OpClass::JumpLink) {
+      continue;  // position-dependent: covered at fixed pcs above
+    }
+    const std::string line = disassemble(word, 0);
+    Program re = assemble(line + "\n");
+    ASSERT_EQ(re.text.size(), 1u) << line;
+    ASSERT_EQ(re.text[0], word) << std::hex << word << ": " << line;
+    ++checked;
+  }
+  EXPECT_GE(checked, 8'000);
+}
+
+TEST(AsmRoundTrip, UndecodableWordsPredecodeToTrappingOps) {
+  // The install-time predecoder must map every undecodable word to a
+  // non-executable (trapping) PreOp -- executing one raises DecodeFault
+  // exactly like the interpreter, never undefined behavior from a
+  // default-constructed instruction.
+  util::Rng rng(0xBAD09);
+  int undecodable = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    isa::Program p;
+    p.name = "undecodable";
+    p.text_base = 0;
+    p.entry = 0;
+    for (int i = 0; i < 16; ++i) p.text.push_back(rng.next_u32());
+    auto compiled =
+        np::CompiledProgram::compile(p, monitor::MerkleTreeHash(0xBAD));
+    ASSERT_EQ(compiled->num_ops(), p.text.size());
+    for (std::size_t i = 0; i < p.text.size(); ++i) {
+      const auto& op = compiled->ops_data()[i];
+      EXPECT_EQ(op.word, p.text[i]);
+      const bool decodes = try_decode(p.text[i]).has_value();
+      EXPECT_EQ((op.flags & np::CompiledProgram::kDecoded) != 0, decodes)
+          << "word " << i;
+      if (!decodes) ++undecodable;
+    }
+    // Executing the program must trap identically on both paths the
+    // moment an undecodable word is reached (if one is reachable).
+    np::Core fast, oracle;
+    oracle.set_predecode_enabled(false);
+    fast.load_program(p, compiled);
+    oracle.load_program(p, compiled);
+    for (int s = 0; s < 32 && oracle.runnable(); ++s) {
+      const np::StepInfo a = fast.step();
+      const np::StepInfo b = oracle.step();
+      ASSERT_EQ(static_cast<int>(a.event), static_cast<int>(b.event));
+      ASSERT_EQ(static_cast<int>(a.trap), static_cast<int>(b.trap));
+      ASSERT_EQ(a.pc, b.pc);
+      ASSERT_EQ(a.word, b.word);
+    }
+  }
+  EXPECT_GT(undecodable, 1'000);  // random words are mostly undecodable
 }
 
 }  // namespace

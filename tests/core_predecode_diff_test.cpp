@@ -1,0 +1,412 @@
+// Differential testing of the predecoded fast path: the word-at-a-time
+// interpreter is the oracle, and a core running the install-time
+// CompiledProgram artifact (indexed fetch, table lookup, superblock
+// stepping, precomputed monitor hashes) must be bit-identical to it --
+// StepInfo sequences, cycle counts, register files, monitor verdicts,
+// cumulative stats -- across >10k random programs and packets, through
+// mid-stream reinstalls, self-modifying stores, and MPSoC recovery.
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "monitor/analysis.hpp"
+#include "net/apps.hpp"
+#include "net/traffic.hpp"
+#include "np/mpsoc.hpp"
+#include "support/test_apps.hpp"
+#include "util/rng.hpp"
+
+namespace sdmmon::np {
+namespace {
+
+// ---------------------------------------------------------------------
+// Random-program lockstep: fast core vs interpreter oracle
+// ---------------------------------------------------------------------
+
+// A random text segment exercising every predecode flag combination:
+// straight-line ALU runs (superblock bodies), branches/jumps (block
+// ends), loads/stores (note_store path), jr $ra (sentinel return),
+// traps, and raw undecodable words (trapping PreOps, reachable both as
+// branch targets and by fall-through from a decodable neighbour).
+isa::Program random_program(util::Rng& rng) {
+  const std::size_t n = 16 + rng.below(48);
+  isa::Program p;
+  p.name = "fuzz";
+  p.text_base = 0;
+  p.entry = 0;
+  p.text.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t pick = rng.below(100);
+    const int rd = static_cast<int>(8 + rng.below(16));  // $t0..$s7
+    const int rs = static_cast<int>(8 + rng.below(16));
+    const int rt = static_cast<int>(8 + rng.below(16));
+    if (pick < 8) {
+      static constexpr isa::Op kBranch[] = {isa::Op::Beq, isa::Op::Bne,
+                                            isa::Op::Blez, isa::Op::Bgtz};
+      const std::int32_t off =
+          static_cast<std::int32_t>(rng.below(12)) - 4;  // [-4, 8) words
+      p.text.push_back(isa::encode(
+          isa::make_branch(kBranch[rng.below(4)], rs, rt, off)));
+    } else if (pick < 12) {
+      p.text.push_back(isa::encode(isa::make_jump(
+          isa::Op::J, static_cast<std::uint32_t>(rng.below(n)))));
+    } else if (pick < 15) {
+      p.text.push_back(isa::encode(isa::make_rtype(isa::Op::Jr, 0, 31, 0)));
+    } else if (pick < 25) {
+      static constexpr isa::Op kMem[] = {isa::Op::Lw,  isa::Op::Lb,
+                                         isa::Op::Lbu, isa::Op::Sw,
+                                         isa::Op::Sb,  isa::Op::Sh};
+      const std::int32_t imm =
+          static_cast<std::int32_t>(rng.below(0x100)) - 0x80;
+      p.text.push_back(
+          isa::encode(isa::make_itype(kMem[rng.below(6)], rt, rs, imm)));
+    } else if (pick < 40) {
+      static constexpr isa::Op kImm[] = {isa::Op::Addiu, isa::Op::Ori,
+                                         isa::Op::Andi,  isa::Op::Xori,
+                                         isa::Op::Slti,  isa::Op::Lui};
+      const std::int32_t imm =
+          static_cast<std::int32_t>(rng.below(0x10000)) - 0x8000;
+      p.text.push_back(
+          isa::encode(isa::make_itype(kImm[rng.below(6)], rt, rs, imm)));
+    } else if (pick < 85) {
+      static constexpr isa::Op kAlu[] = {
+          isa::Op::Addu, isa::Op::Subu, isa::Op::And,  isa::Op::Or,
+          isa::Op::Xor,  isa::Op::Nor,  isa::Op::Slt,  isa::Op::Sltu,
+          isa::Op::Add,  isa::Op::Sub,  isa::Op::Mult, isa::Op::Multu};
+      p.text.push_back(
+          isa::encode(isa::make_rtype(kAlu[rng.below(12)], rd, rs, rt)));
+    } else if (pick < 90) {
+      p.text.push_back(isa::encode(
+          isa::make_shift(isa::Op::Sll, rd, rt,
+                          static_cast<int>(rng.below(32)))));
+    } else {
+      // Raw word: often undecodable, sometimes accidentally valid.
+      p.text.push_back(rng.next_u32());
+    }
+  }
+  return p;
+}
+
+// Load the same program into a predecoding core and an interpreting
+// oracle, seeding identical register files.
+void load_pair(Core& fast, Core& oracle, const isa::Program& p,
+               util::Rng& rng, std::uint64_t watchdog) {
+  auto compiled = CompiledProgram::compile(p, monitor::MerkleTreeHash(0xD1FF));
+  oracle.set_predecode_enabled(false);
+  fast.load_program(p, compiled);
+  oracle.load_program(p, compiled);
+  EXPECT_TRUE(fast.predecode_live());
+  EXPECT_FALSE(oracle.predecode_live());
+  fast.set_watchdog_budget(watchdog);
+  oracle.set_watchdog_budget(watchdog);
+  for (int r = 1; r < 32; ++r) {
+    if (r == 31) continue;  // keep the return sentinel
+    const std::uint32_t v = rng.next_u32();
+    fast.set_reg(r, v);
+    oracle.set_reg(r, v);
+  }
+}
+
+void expect_same_step(const StepInfo& a, const StepInfo& b,
+                      const isa::Program& p, std::uint64_t step) {
+  ASSERT_EQ(a.pc, b.pc) << "step " << step << " of " << p.text.size()
+                        << "-word program";
+  ASSERT_EQ(a.word, b.word) << "step " << step;
+  ASSERT_EQ(static_cast<int>(a.event), static_cast<int>(b.event))
+      << "step " << step << " pc=" << a.pc;
+  ASSERT_EQ(static_cast<int>(a.trap), static_cast<int>(b.trap))
+      << "step " << step << " pc=" << a.pc;
+}
+
+void expect_same_state(const Core& fast, const Core& oracle) {
+  ASSERT_EQ(fast.pc(), oracle.pc());
+  ASSERT_EQ(fast.cycles(), oracle.cycles());
+  ASSERT_EQ(fast.runnable(), oracle.runnable());
+  for (int r = 0; r < 32; ++r) {
+    ASSERT_EQ(fast.reg(r), oracle.reg(r)) << "register " << r;
+  }
+  ASSERT_EQ(fast.has_output(), oracle.has_output());
+  if (fast.has_output()) {
+    ASSERT_EQ(fast.output(), oracle.output());
+    ASSERT_EQ(fast.output_port(), oracle.output_port());
+  }
+}
+
+class PredecodeDifferentialTest : public ::testing::TestWithParam<int> {};
+
+// 8 seeds x 700 programs = 5600 random programs, each both stepped in
+// lockstep (step-by-step StepInfo equality) and re-run end-to-end
+// through the superblock stepper (final-state equality).
+TEST_P(PredecodeDifferentialTest, RandomProgramsLockstepAndRun) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x9E3779B9 + 7);
+  for (int trial = 0; trial < 700; ++trial) {
+    const isa::Program p = random_program(rng);
+    // Occasionally a tiny watchdog so the in-superblock budget check is
+    // exercised, not just the per-step one.
+    const std::uint64_t watchdog = rng.below(8) == 0 ? 1 + rng.below(40) : 512;
+
+    // Lockstep: one instruction at a time on both engines.
+    {
+      Core fast, oracle;
+      load_pair(fast, oracle, p, rng, watchdog);
+      for (std::uint64_t step = 0; step < 300 && oracle.runnable(); ++step) {
+        const StepInfo a = fast.step();
+        const StepInfo b = oracle.step();
+        expect_same_step(a, b, p, step);
+        ASSERT_EQ(fast.pc(), oracle.pc()) << "step " << step;
+        ASSERT_EQ(fast.cycles(), oracle.cycles()) << "step " << step;
+      }
+      expect_same_state(fast, oracle);
+    }
+
+    // Superblock: fast.run() takes the tight inner loop, the oracle
+    // interprets; they must land in identical final states.
+    {
+      Core fast, oracle;
+      util::Rng seed_copy = rng;  // identical register seeds for the pair
+      load_pair(fast, oracle, p, seed_copy, watchdog);
+      rng = seed_copy;
+      const StepInfo a = fast.run(300);
+      const StepInfo b = oracle.run(300);
+      expect_same_step(a, b, p, 300);
+      expect_same_state(fast, oracle);
+      ASSERT_EQ(fast.text_dirty(), oracle.text_dirty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredecodeDifferentialTest,
+                         ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------
+// Monitored packet processing: verdicts and stats
+// ---------------------------------------------------------------------
+
+void expect_same_result(const PacketResult& a, const PacketResult& b,
+                        std::size_t packet) {
+  ASSERT_EQ(static_cast<int>(a.outcome), static_cast<int>(b.outcome))
+      << "packet " << packet;
+  ASSERT_EQ(a.output, b.output) << "packet " << packet;
+  ASSERT_EQ(a.output_port, b.output_port) << "packet " << packet;
+  ASSERT_EQ(a.instructions, b.instructions) << "packet " << packet;
+  ASSERT_EQ(static_cast<int>(a.trap), static_cast<int>(b.trap))
+      << "packet " << packet;
+  ASSERT_EQ(a.monitor_width, b.monitor_width) << "packet " << packet;
+}
+
+void expect_same_stats(const CoreStats& a, const CoreStats& b) {
+  ASSERT_EQ(a.packets, b.packets);
+  ASSERT_EQ(a.forwarded, b.forwarded);
+  ASSERT_EQ(a.dropped, b.dropped);
+  ASSERT_EQ(a.attacks_detected, b.attacks_detected);
+  ASSERT_EQ(a.traps, b.traps);
+  ASSERT_EQ(a.instructions, b.instructions);
+}
+
+// 4 apps x (1000 generated + 400 random-garbage) = 5600 packets through
+// full monitored cores; per-packet results and cumulative stats must be
+// identical with the monitor fed precomputed hashes vs rehashing.
+TEST(PredecodeDifferential, MonitoredVerdictsAndStatsMatchInterpreter) {
+  const isa::Program apps[] = {
+      net::build_ipv4_forward(), net::build_ipv4_cm(), net::build_udp_echo(),
+      net::build_firewall({22, 53, 80, 443})};
+  util::Rng rng(0xC0DE5EED);
+  for (const isa::Program& app : apps) {
+    monitor::MerkleTreeHash hash(0x1234 + app.text.size());
+    auto graph = monitor::extract_graph(app, hash);
+
+    MonitoredCore fast, oracle;
+    oracle.core().set_predecode_enabled(false);
+    fast.install(app, graph, std::make_unique<monitor::MerkleTreeHash>(hash));
+    oracle.install(app, graph, std::make_unique<monitor::MerkleTreeHash>(hash));
+    ASSERT_TRUE(fast.core().predecode_live());
+    ASSERT_FALSE(oracle.core().predecode_live());
+
+    net::TrafficGenerator gen;
+    for (std::size_t i = 0; i < 1400; ++i) {
+      util::Bytes packet;
+      if (i % 7 == 2) {  // 400-ish garbage packets: traps and drops
+        packet.resize(rng.below(128));
+        for (auto& b : packet) b = static_cast<std::uint8_t>(rng.next());
+      } else {
+        packet = gen.next().packet;
+      }
+      expect_same_result(fast.process_packet(packet),
+                         oracle.process_packet(packet), i);
+    }
+    expect_same_stats(fast.stats(), oracle.stats());
+  }
+}
+
+// Mid-stream reinstall: new hash parameter, new artifacts, same binary;
+// then a different binary. Equivalence must hold across both swaps.
+TEST(PredecodeDifferential, MidStreamReinstallKeepsEquivalence) {
+  MonitoredCore fast, oracle;
+  oracle.core().set_predecode_enabled(false);
+  net::TrafficGenerator gen;
+
+  std::uint32_t params[] = {0xAAAA, 0xBBBB};
+  isa::Program binaries[] = {net::build_udp_echo(), net::build_ipv4_forward()};
+  std::size_t packet = 0;
+  for (const isa::Program& app : binaries) {
+    for (std::uint32_t param : params) {
+      monitor::MerkleTreeHash hash(param);
+      auto graph = monitor::extract_graph(app, hash);
+      fast.install(app, graph,
+                   std::make_unique<monitor::MerkleTreeHash>(hash));
+      oracle.install(app, graph,
+                     std::make_unique<monitor::MerkleTreeHash>(hash));
+      ASSERT_TRUE(fast.core().predecode_live());
+      for (int i = 0; i < 200; ++i, ++packet) {
+        const util::Bytes p = gen.next().packet;
+        expect_same_result(fast.process_packet(p), oracle.process_packet(p),
+                           packet);
+      }
+      expect_same_stats(fast.stats(), oracle.stats());
+    }
+  }
+}
+
+// A hash-mismatched artifact must be rejected before any core state is
+// touched (the install-time spot check).
+TEST(PredecodeDifferential, MismatchedArtifactHashRejectedAtInstall) {
+  const isa::Program app = net::build_udp_echo();
+  monitor::MerkleTreeHash installed(0x1111);
+  auto graph = monitor::extract_graph(app, installed);
+  // Artifact predecoded under a different parameter.
+  auto wrong = CompiledProgram::compile(app, monitor::MerkleTreeHash(0x2222));
+  MonitoredCore core;
+  EXPECT_THROW(
+      core.install(app, monitor::CompiledGraph::compile(graph), wrong,
+                   std::make_unique<monitor::MerkleTreeHash>(installed)),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Self-modifying stores: fall back to interpretation, stay equivalent
+// ---------------------------------------------------------------------
+
+TEST(PredecodeDifferential, SelfModifyingStoreFallsBackAndMatchesOracle) {
+  // Patch the `nop` at `target` with "addiu $v0, $zero, 42" and then
+  // execute it. The predecoded image is stale the moment the store
+  // lands; the core must drop to interpretation and execute the NEW
+  // word, exactly as the oracle does.
+  const std::uint32_t patch =
+      isa::encode(isa::make_itype(isa::Op::Addiu, 2, 0, 42));
+  isa::Program p = isa::assemble(R"(
+main:
+    la $t0, target
+    lui $t1, 0
+    ori $t1, $t1, 0
+    sw $t1, 0($t0)
+target:
+    nop
+    jr $ra
+)");
+  // The assembler has no word-valued immediates for a label patch, so
+  // the lui/ori pair is rewritten to materialize the patch word in $t1.
+  p.text[2] = isa::encode(isa::make_itype(
+      isa::Op::Lui, 9, 0, static_cast<std::int32_t>(patch >> 16)));
+  p.text[3] = isa::encode(isa::make_itype(
+      isa::Op::Ori, 9, 9, static_cast<std::int32_t>(patch & 0xFFFF)));
+
+  auto compiled = CompiledProgram::compile(p, monitor::MerkleTreeHash(0x5E1F));
+  Core fast, oracle;
+  oracle.set_predecode_enabled(false);
+  fast.load_program(p, compiled);
+  oracle.load_program(p, compiled);
+  ASSERT_TRUE(fast.predecode_live());
+
+  for (std::uint64_t step = 0; step < 64 && oracle.runnable(); ++step) {
+    const StepInfo a = fast.step();
+    const StepInfo b = oracle.step();
+    expect_same_step(a, b, p, step);
+  }
+  expect_same_state(fast, oracle);
+  EXPECT_EQ(fast.reg(2), 42u) << "patched instruction must have executed";
+  EXPECT_TRUE(fast.text_dirty());
+  EXPECT_FALSE(fast.predecode_live())
+      << "stale artifact must not serve predecoded ops";
+
+  // soft_reset keeps the corrupted text, so the fallback must persist...
+  fast.soft_reset();
+  EXPECT_TRUE(fast.text_dirty());
+  EXPECT_FALSE(fast.predecode_live());
+  // ...while the re-imaging reset() restores text and re-arms the
+  // fast path from the same shared artifact.
+  fast.reset();
+  EXPECT_FALSE(fast.text_dirty());
+  EXPECT_TRUE(fast.predecode_live());
+  const StepInfo done = fast.run(64);
+  EXPECT_EQ(static_cast<int>(done.event),
+            static_cast<int>(StepEvent::PacketDone));
+}
+
+// ---------------------------------------------------------------------
+// MPSoC: artifact sharing and recovery-path equivalence
+// ---------------------------------------------------------------------
+
+TEST(PredecodeDifferential, InstallAllSharesOneCompiledProgramAcrossCores) {
+  Mpsoc soc(4);
+  testsupport::install_all(soc, testsupport::kEchoApp, 0x1D1D);
+  const CompiledProgram* shared = soc.core(0).core().compiled_program().get();
+  ASSERT_NE(shared, nullptr);
+  for (std::size_t c = 1; c < soc.num_cores(); ++c) {
+    EXPECT_EQ(soc.core(c).core().compiled_program().get(), shared)
+        << "core " << c;
+  }
+  EXPECT_EQ(shared->num_ops(),
+            isa::assemble(testsupport::kEchoApp).text.size());
+}
+
+// Attack traffic under every recovery policy: engines with the fast
+// path on and off must agree packet-for-packet, including through
+// quarantines and last-good re-images (which re-share the artifact).
+TEST(PredecodeDifferential, AttackRecoveryPoliciesMatchAcrossEngines) {
+  for (RecoveryPolicy policy :
+       {RecoveryPolicy::ResetAndContinue, RecoveryPolicy::QuarantineAfterK,
+        RecoveryPolicy::ReinstallLastGood}) {
+    RecoveryConfig config;
+    config.policy = policy;
+    config.violation_threshold = 3;
+    config.window_packets = 8;
+    Mpsoc fast_soc(2, DispatchPolicy::RoundRobin, config);
+    Mpsoc oracle_soc(2, DispatchPolicy::RoundRobin, config);
+    for (std::size_t c = 0; c < oracle_soc.num_cores(); ++c) {
+      oracle_soc.core(c).core().set_predecode_enabled(false);
+    }
+    testsupport::install_all(fast_soc, testsupport::kVulnApp, 0x7E57);
+    testsupport::install_all(oracle_soc, testsupport::kVulnApp, 0x7E57);
+
+    const util::Bytes attack = testsupport::attack_packet();
+    util::Rng rng(0xA77AC4 + static_cast<std::uint64_t>(policy));
+    net::TrafficGenerator gen;
+    for (int i = 0; i < 120; ++i) {
+      util::Bytes packet =
+          rng.below(3) == 0 ? attack : gen.next().packet;
+      const PacketResult a = fast_soc.process_packet(packet);
+      const PacketResult b = oracle_soc.process_packet(packet);
+      expect_same_result(a, b, static_cast<std::size_t>(i));
+    }
+    const MpsocStats sa = fast_soc.aggregate_stats();
+    const MpsocStats sb = oracle_soc.aggregate_stats();
+    EXPECT_EQ(sa.forwarded, sb.forwarded) << recovery_policy_name(policy);
+    EXPECT_EQ(sa.attacks_detected, sb.attacks_detected)
+        << recovery_policy_name(policy);
+    EXPECT_EQ(sa.quarantined_cores, sb.quarantined_cores)
+        << recovery_policy_name(policy);
+    EXPECT_EQ(sa.quarantine_events, sb.quarantine_events)
+        << recovery_policy_name(policy);
+    EXPECT_EQ(sa.reinstalls, sb.reinstalls) << recovery_policy_name(policy);
+    // Oracle cores stay interpreted even after recovery reinstalls
+    // (the toggle is a core property, not a program property).
+    for (std::size_t c = 0; c < oracle_soc.num_cores(); ++c) {
+      EXPECT_FALSE(oracle_soc.core(c).core().predecode_live());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdmmon::np

@@ -43,29 +43,74 @@ TEST(Encode, NopIsAllZero) {
 }
 
 TEST(Decode, RoundTripEveryOpcode) {
+  // Canonical encodings only: decode rejects words with junk in fields
+  // an instruction does not use, so each form populates exactly the
+  // fields its format defines (what the builders and assembler emit).
   for (int opi = 0; opi < kNumOps; ++opi) {
     Op op = static_cast<Op>(opi);
     Instr i;
     i.op = op;
-    switch (op_class(op)) {
-      case OpClass::Jump:
-      case OpClass::JumpLink:
+    switch (op) {
+      case Op::J: case Op::Jal:
         i.target = 0x123456;
         break;
-      default:
+      case Op::Sll: case Op::Srl: case Op::Sra:
+        i.rt = 7; i.rd = 12; i.shamt = 5;
+        break;
+      case Op::Jr:
         i.rs = 3;
-        i.rt = 7;
+        break;
+      case Op::Jalr:
+        i.rs = 3; i.rd = 12;
+        break;
+      case Op::Syscall: case Op::Break:
+        break;
+      case Op::Mfhi: case Op::Mflo:
         i.rd = 12;
-        i.shamt = 5;
-        i.imm = -42;
+        break;
+      case Op::Mult: case Op::Multu: case Op::Div: case Op::Divu:
+        i.rs = 3; i.rt = 7;
+        break;
+      case Op::Lui:
+        i.rt = 7; i.imm = -42 & 0xFFFF;
+        break;
+      case Op::Blez: case Op::Bgtz:
+        i.rs = 3; i.imm = -42;
+        break;
+      default:
+        if (op <= Op::Sltu) {  // remaining R-type: sllv..srav, add..sltu
+          i.rs = 3; i.rt = 7; i.rd = 12;
+        } else {               // remaining I-type: alu-imm, branches, mem
+          i.rs = 3; i.rt = 7; i.imm = -42;
+        }
         break;
     }
-    // Zero out fields the encoding drops, per format.
     std::uint32_t word = encode(i);
     Instr back = decode(word);
     EXPECT_EQ(back.op, op) << op_name(op);
     EXPECT_EQ(encode(back), word) << op_name(op);
+    EXPECT_EQ(back.rs, i.rs) << op_name(op);
+    EXPECT_EQ(back.rt, i.rt) << op_name(op);
   }
+}
+
+TEST(Decode, NonCanonicalEncodingsRejected) {
+  // Junk in a dead field must fail to decode, not silently alias the
+  // canonical instruction (the monitor hashes raw words; two encodings
+  // of "the same" instruction would otherwise be distinct to the hash
+  // but identical to the core).
+  const std::uint32_t sll = encode(make_shift(Op::Sll, 4, 5, 6));
+  EXPECT_TRUE(try_decode(sll).has_value());
+  EXPECT_FALSE(try_decode(sll | (3u << 21)).has_value());  // rs junk
+  const std::uint32_t jr = encode(make_rtype(Op::Jr, 0, 31, 0));
+  EXPECT_TRUE(try_decode(jr).has_value());
+  EXPECT_FALSE(try_decode(jr | (9u << 11)).has_value());   // rd junk
+  const std::uint32_t addu = encode(make_rtype(Op::Addu, 1, 2, 3));
+  EXPECT_TRUE(try_decode(addu).has_value());
+  EXPECT_FALSE(try_decode(addu | (5u << 6)).has_value());  // shamt junk
+  const std::uint32_t lui = encode(make_itype(Op::Lui, 7, 0, 0x1234));
+  EXPECT_TRUE(try_decode(lui).has_value());
+  EXPECT_FALSE(try_decode(lui | (2u << 21)).has_value());  // rs junk
 }
 
 TEST(Decode, SignExtendsImmediates) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "np/mpsoc.hpp"
+#include "obs/names.hpp"
 #include "sdmmon/workload.hpp"
 #include "support/engine_diff.hpp"
 #include "support/test_apps.hpp"
@@ -417,6 +418,23 @@ TEST(ParallelDiff, MetricsIdenticalForDeterministicSubset) {
     EXPECT_EQ(filter_deterministic(ss.counters),
               filter_deterministic(ps.counters));
     EXPECT_EQ(ss.gauges, ps.gauges);
+
+    // The install-time artifact gauges (compiled monitoring graph AND
+    // predecoded program) must actually be present -- the blanket gauge
+    // equality above would also pass vacuously if a rename dropped them.
+    for (const char* name :
+         {obs::names::kEngineCompiledGraphNodes,
+          obs::names::kEngineCompiledProgramOps,
+          obs::names::kEngineCompiledProgramBlocks,
+          obs::names::kEngineCompiledProgramBytes}) {
+      ASSERT_TRUE(ss.gauges.count(name)) << name;
+      ASSERT_TRUE(ps.gauges.count(name)) << name;
+      EXPECT_GT(ss.gauges.at(name), 0) << name;
+    }
+    // Wall-clock install timings are excluded from value equality, but
+    // both engines must have recorded the predecode stage.
+    EXPECT_TRUE(ss.histograms.count(obs::names::kCorePredecodeNs));
+    EXPECT_TRUE(ps.histograms.count(obs::names::kCorePredecodeNs));
 
     auto sh = filter_deterministic(ss.histograms);
     auto ph = filter_deterministic(ps.histograms);
