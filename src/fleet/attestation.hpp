@@ -1,0 +1,84 @@
+// Per-device attestation reports and their fleet-level aggregation into
+// an HSI-style health score. A report is what a device would send up the
+// management plane after an install: what it runs (app hash, per-router
+// hash parameter -- the SR2 diversity evidence) and how its monitor and
+// recovery pipeline have been behaving. Concrete devices fill the stats
+// from the observability snapshot (`Registry::snapshot_json()`), i.e.
+// the same JSON document a real reporting agent would ship; modeled
+// devices fill them from their state machine.
+#ifndef SDMMON_FLEET_ATTESTATION_HPP
+#define SDMMON_FLEET_ATTESTATION_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/device_model.hpp"
+
+namespace sdmmon::obs {
+class Registry;
+}
+namespace sdmmon::protocol {
+class NetworkProcessorDevice;
+}
+
+namespace sdmmon::fleet {
+
+struct AttestationReport {
+  std::uint32_t device_id = 0;
+  bool concrete = false;
+  std::uint32_t version = 0;           // release the device reports running
+  DeviceState state = DeviceState::Enrolled;
+  std::string app_hash_hex;            // installed image digest
+  std::uint32_t hash_param = 0;        // per-router monitor parameter (SR2)
+  // Monitor / recovery stats.
+  std::uint64_t packets = 0;
+  std::uint64_t attacks = 0;
+  std::uint64_t traps = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t reinstalls = 0;
+};
+
+/// Fleet-level aggregate the health score is computed from.
+struct FleetHealth {
+  std::size_t devices = 0;
+  std::size_t healthy = 0;       // converged on the target release
+  std::size_t in_flight = 0;     // scheduled / backoff / installing / baking
+  std::size_t quarantined = 0;
+  std::size_t rejected = 0;
+  std::size_t unreachable = 0;
+  std::size_t rolled_back = 0;
+
+  double convergence() const {
+    return devices == 0
+               ? 1.0
+               : static_cast<double>(healthy) / static_cast<double>(devices);
+  }
+};
+
+/// 0..100 fleet security/health score. Convergence carries the score;
+/// quarantines are weighted hard (each one is a monitor saying the fleet
+/// is running something hostile) and delivery failures softly. The
+/// formula is deliberately simple and documented -- operators compare
+/// scores across rollouts, so stability beats cleverness.
+double fleet_health_score(const FleetHealth& health);
+
+/// Attest a concrete device. Stats come from `registry`'s
+/// snapshot_json() when it is non-null and observability is compiled in
+/// (the document a reporting agent ships; parsed back here exactly as a
+/// fleet backend would); otherwise from the engine's aggregate counters.
+/// The hash parameter is read from the installed monitor. `app_hash_hex`
+/// is left empty -- the caller knows which release image it shipped.
+AttestationReport attest_concrete(
+    const protocol::NetworkProcessorDevice& device,
+    const obs::Registry* registry);
+
+/// Attest a modeled device: stats reflect its state machine (a
+/// quarantined device reports the violation burst that tripped it); the
+/// hash parameter is the per-device parameter the modeled operator would
+/// have drawn for the running version.
+AttestationReport attest_modeled(const ModeledDevice& device);
+
+}  // namespace sdmmon::fleet
+
+#endif  // SDMMON_FLEET_ATTESTATION_HPP

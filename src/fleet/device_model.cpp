@@ -1,0 +1,62 @@
+#include "fleet/device_model.hpp"
+
+namespace sdmmon::fleet {
+
+const char* release_channel_name(ReleaseChannel channel) {
+  switch (channel) {
+    case ReleaseChannel::Canary: return "canary";
+    case ReleaseChannel::Beta: return "beta";
+    case ReleaseChannel::Stable: return "stable";
+  }
+  return "?";
+}
+
+const char* device_state_name(DeviceState state) {
+  switch (state) {
+    case DeviceState::Enrolled: return "enrolled";
+    case DeviceState::Scheduled: return "scheduled";
+    case DeviceState::Backoff: return "backoff";
+    case DeviceState::Installing: return "installing";
+    case DeviceState::Baking: return "baking";
+    case DeviceState::Healthy: return "healthy";
+    case DeviceState::Quarantined: return "quarantined";
+    case DeviceState::Rejected: return "rejected";
+    case DeviceState::Unreachable: return "unreachable";
+    case DeviceState::RolledBack: return "rolled-back";
+  }
+  return "?";
+}
+
+bool device_state_terminal(DeviceState state) {
+  switch (state) {
+    case DeviceState::Healthy:
+    case DeviceState::Quarantined:
+    case DeviceState::Rejected:
+    case DeviceState::Unreachable:
+    case DeviceState::RolledBack:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double ModeledDevice::uniform() {
+  // One splitmix step per draw: stateless apart from the counter, so a
+  // device's decision sequence depends only on (seed, draw index) -- not
+  // on event interleaving with other devices.
+  const std::uint64_t v = mix_seed(seed, ++draws);
+  return static_cast<double>(v >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t ModeledDevice::backoff_key() const {
+  return mix_seed(seed, 0xB0FFu);
+}
+
+void ModeledDevice::begin_campaign(std::uint16_t wave_index) {
+  wave = wave_index;
+  attempts = 0;
+  backoff_spent_s = 0;
+  state = DeviceState::Scheduled;
+}
+
+}  // namespace sdmmon::fleet

@@ -16,6 +16,9 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::AttackDetected: return "attack-detected";
     case EventKind::Trap: return "trap";
     case EventKind::CampaignFailure: return "campaign-failure";
+    case EventKind::RolloutWave: return "rollout-wave";
+    case EventKind::RolloutHalt: return "rollout-halt";
+    case EventKind::RolloutRollback: return "rollout-rollback";
   }
   return "?";
 }

@@ -27,6 +27,9 @@ enum class EventKind : std::uint8_t {
   AttackDetected,   // monitor mismatch on a packet
   Trap,             // core trap (fault/overflow/watchdog) on a packet
   CampaignFailure,  // fleet campaign gave up on a device
+  RolloutWave,      // staged rollout opened a wave (device = wave index)
+  RolloutHalt,      // halt controller froze a rollout (arg = HaltReason)
+  RolloutRollback,  // post-halt rollback finished (arg = devices rolled)
 };
 
 const char* event_kind_name(EventKind kind);

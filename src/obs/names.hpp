@@ -75,6 +75,20 @@ inline constexpr const char* kFleetAttemptsPerDevice =
     "fleet.attempts_per_device";
 inline constexpr const char* kFleetBackoffMs = "fleet.backoff_ms";
 
+// ---- fleet simulation (discrete-event rollout service) ----
+inline constexpr const char* kFleetSimDevices = "fleet.sim.devices";
+inline constexpr const char* kFleetSimConverged = "fleet.sim.converged";
+inline constexpr const char* kFleetSimInstalls = "fleet.sim.installs";
+inline constexpr const char* kFleetSimRejections = "fleet.sim.rejections";
+inline constexpr const char* kFleetSimQuarantines =
+    "fleet.sim.quarantines";
+inline constexpr const char* kFleetSimUnreachable =
+    "fleet.sim.unreachable";
+inline constexpr const char* kFleetSimRollbacks = "fleet.sim.rollbacks";
+inline constexpr const char* kFleetRolloutWave = "fleet.rollout.wave";
+inline constexpr const char* kFleetRolloutHalts = "fleet.rollout.halts";
+inline constexpr const char* kFleetHealthScore = "fleet.health.score";
+
 }  // namespace sdmmon::obs::names
 
 #endif  // SDMMON_OBS_NAMES_HPP

@@ -22,11 +22,13 @@ crypto::Certificate Manufacturer::certify_operator(
 }
 
 std::unique_ptr<NetworkProcessorDevice> Manufacturer::provision_device(
-    const std::string& device_name, std::size_t num_cores) {
+    const std::string& device_name, std::size_t num_cores,
+    np::RecoveryConfig recovery) {
   crypto::Drbg device_drbg = drbg_.fork("device/" + device_name);
   crypto::RsaKeyPair device_keys = crypto::rsa_generate(key_bits_, device_drbg);
   return std::make_unique<NetworkProcessorDevice>(device_name, device_keys,
-                                                  keys_.pub, num_cores);
+                                                  keys_.pub, num_cores,
+                                                  recovery);
 }
 
 NetworkOperator::NetworkOperator(const std::string& name, std::size_t key_bits,
@@ -81,11 +83,12 @@ bool install_status_permanent(InstallStatus status) {
 
 NetworkProcessorDevice::NetworkProcessorDevice(
     std::string name, crypto::RsaKeyPair device_keys,
-    crypto::RsaPublicKey manufacturer_key, std::size_t num_cores)
+    crypto::RsaPublicKey manufacturer_key, std::size_t num_cores,
+    np::RecoveryConfig recovery)
     : name_(std::move(name)),
       keys_(std::move(device_keys)),
       manufacturer_key_(std::move(manufacturer_key)),
-      soc_(num_cores) {}
+      soc_(num_cores, np::DispatchPolicy::RoundRobin, recovery) {}
 
 InstallStatus NetworkProcessorDevice::install(const WirePackage& wire,
                                               std::uint64_t now) {

@@ -40,8 +40,10 @@ class Manufacturer {
                                        std::uint64_t valid_to);
 
   /// Provision a new device: generate K_R, install K_M+ as root of trust.
+  /// `recovery` selects the device's attack-recovery policy.
   std::unique_ptr<NetworkProcessorDevice> provision_device(
-      const std::string& device_name, std::size_t num_cores);
+      const std::string& device_name, std::size_t num_cores,
+      np::RecoveryConfig recovery = {});
 
  private:
   std::string name_;
@@ -123,9 +125,13 @@ struct AuditEvent {
 /// A router's NP subsystem: control processor state (keys) + MPSoC.
 class NetworkProcessorDevice {
  public:
+  /// `recovery` configures the MPSoC's attack-recovery policy (default:
+  /// the paper-baseline ResetAndContinue); fleet deployments that want a
+  /// misbehaving device to quarantine itself pass QuarantineAfterK.
   NetworkProcessorDevice(std::string name, crypto::RsaKeyPair device_keys,
                          crypto::RsaPublicKey manufacturer_key,
-                         std::size_t num_cores);
+                         std::size_t num_cores,
+                         np::RecoveryConfig recovery = {});
 
   const std::string& name() const { return name_; }
   const crypto::RsaPublicKey& public_key() const { return keys_.pub; }

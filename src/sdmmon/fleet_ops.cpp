@@ -2,11 +2,38 @@
 
 #include <algorithm>
 #include <set>
+#include <stdexcept>
 
+#include "obs/json.hpp"
 #include "sdmmon/timed_install.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace sdmmon::protocol {
+
+std::uint64_t device_backoff_key(std::string_view device_name) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  for (char c : device_name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+double retry_backoff_s(const RetryPolicy& policy, std::uint64_t device_key,
+                       std::size_t gap) {
+  double base = policy.initial_backoff_s;
+  for (std::size_t i = 0; i < gap && base < policy.max_backoff_s; ++i) {
+    base *= policy.backoff_multiplier;
+  }
+  base = std::min(base, policy.max_backoff_s);
+  if (policy.jitter <= 0) return base;
+  // One deterministic draw per (device, gap): reseeding is cheap and
+  // keeps the draw independent of any other RNG use on this device.
+  util::Rng rng(device_key + 0x9E3779B97F4A7C15ULL * (gap + 1));
+  double factor = 1.0 + policy.jitter * (2.0 * rng.uniform() - 1.0);
+  return base * factor;
+}
 
 const char* device_outcome_name(DeviceOutcome outcome) {
   switch (outcome) {
@@ -89,12 +116,25 @@ const DeviceReport* FleetOperator::CampaignResult::report_for(
 DeviceReport FleetOperator::deploy_one(NetworkProcessorDevice& device,
                                        const isa::Program& binary,
                                        std::uint64_t now, Channel& channel,
-                                       const RetryPolicy& retry) {
+                                       const RetryPolicy& retry,
+                                       const DeviceResumeState& carry) {
   DeviceReport report;
   report.device = device.name();
-  double backoff = retry.initial_backoff_s;
+  // A restored campaign resumes the device mid-schedule: attempts and
+  // backoff are cumulative across the restart, so the retry budget is
+  // honored end to end, not re-granted. A fresh campaign carries zeros.
+  report.attempts = carry.attempts;
+  report.backoff_s = carry.backoff_s;
+  const std::uint64_t key = device_backoff_key(report.device);
 
-  for (std::size_t attempt = 0; attempt < retry.max_attempts; ++attempt) {
+  if (report.attempts >= retry.max_attempts) {
+    // The snapshot says the schedule was already spent.
+    report.outcome = DeviceOutcome::BudgetExhausted;
+    return report;
+  }
+
+  for (std::size_t attempt = report.attempts; attempt < retry.max_attempts;
+       ++attempt) {
     // Each attempt is a freshly sealed package: a new hash parameter and,
     // crucially, a new sequence number -- so a retry after a lost *reply*
     // (the device actually installed) is fresh, not a replay.
@@ -117,13 +157,12 @@ DeviceReport FleetOperator::deploy_one(NetworkProcessorDevice& device,
     }
 
     if (attempt + 1 == retry.max_attempts) break;
+    double backoff = retry_backoff_s(retry, key, attempt);
     if (report.backoff_s + backoff > retry.backoff_budget_s) {
       report.outcome = DeviceOutcome::BudgetExhausted;
       return report;
     }
     report.backoff_s += backoff;
-    backoff = std::min(backoff * retry.backoff_multiplier,
-                       retry.max_backoff_s);
   }
 
   report.outcome = report.saw_reply ? DeviceOutcome::Rejected
@@ -156,18 +195,30 @@ FleetOperator::CampaignResult FleetOperator::run_campaign(
       if (timed.ok) per_install_s = timed.timing(model).total();
       measured = timed.ok;
     }
-    DeviceReport report = deploy_one(*device, binary, now, link, retry);
+    // A schedule position restored from a snapshot is consumed exactly
+    // once; in-process retries keep their historical fresh schedule.
+    DeviceResumeState carry;
+    if (auto it = carry_.find(device->name()); it != carry_.end()) {
+      carry = it->second;
+      carry_.erase(it);
+    }
+    DeviceReport report = deploy_one(*device, binary, now, link, retry,
+                                     carry);
 #if SDMMON_OBS_ENABLED
     if (obs_) obs_->record_report(report, device_index(report.device));
 #endif
     result.modeled_seconds_sequential +=
-        per_install_s * static_cast<double>(report.attempts) +
-        report.backoff_s;
+        per_install_s * static_cast<double>(report.attempts -
+                                            carry.attempts) +
+        (report.backoff_s - carry.backoff_s);
     if (report.ok()) {
       ++result.succeeded;
+      progress_.erase(report.device);
     } else {
       ++result.failed;
       pending_.push_back(device);
+      progress_[report.device] =
+          DeviceResumeState{report.attempts, report.backoff_s};
       util::log_info("campaign: device ", report.device, " failed (",
                      device_outcome_name(report.outcome), ", last status ",
                      install_status_name(report.last_status), ", ",
@@ -232,6 +283,86 @@ FleetOperator::CampaignResult FleetOperator::rotate_parameters(
     result.reports.push_back(std::move(report));
   }
   return result;
+}
+
+std::string CampaignSnapshot::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(1);
+  w.key("has_binary").value(has_binary);
+  if (has_binary) {
+    w.key("binary_hex").value(util::to_hex(binary.serialize()));
+  }
+  w.key("pending").begin_array();
+  for (const auto& [name, state] : pending) {
+    w.begin_object();
+    w.key("device").value(name);
+    w.key("attempts").value(static_cast<std::uint64_t>(state.attempts));
+    w.key("backoff_s").value(state.backoff_s);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+CampaignSnapshot CampaignSnapshot::from_json(std::string_view text) {
+  const obs::JsonValue doc = obs::JsonValue::parse(text);
+  if (doc.kind() != obs::JsonValue::Kind::Object ||
+      !doc.has("schema") || doc.at("schema").as_int() != 1) {
+    throw std::runtime_error("campaign snapshot: unknown schema");
+  }
+  CampaignSnapshot snap;
+  snap.has_binary = doc.has("has_binary") && doc.at("has_binary").as_bool();
+  if (snap.has_binary) {
+    util::Bytes bytes = util::from_hex(doc.at("binary_hex").as_string());
+    snap.binary = isa::Program::deserialize(bytes);
+  }
+  if (doc.has("pending")) {
+    for (const obs::JsonValue& item : doc.at("pending").items()) {
+      DeviceResumeState state;
+      state.attempts =
+          static_cast<std::size_t>(item.at("attempts").as_int());
+      state.backoff_s = item.at("backoff_s").as_double();
+      snap.pending.emplace_back(item.at("device").as_string(), state);
+    }
+  }
+  return snap;
+}
+
+CampaignSnapshot FleetOperator::snapshot_campaign() const {
+  CampaignSnapshot snap;
+  snap.has_binary = has_binary_;
+  if (has_binary_) snap.binary = last_binary_;
+  for (const NetworkProcessorDevice* device : pending_) {
+    DeviceResumeState state;
+    if (auto it = progress_.find(device->name()); it != progress_.end()) {
+      state = it->second;
+    }
+    snap.pending.emplace_back(device->name(), state);
+  }
+  return snap;
+}
+
+std::size_t FleetOperator::restore_campaign(const CampaignSnapshot& snap) {
+  has_binary_ = snap.has_binary;
+  if (snap.has_binary) last_binary_ = snap.binary;
+  pending_.clear();
+  progress_.clear();
+  carry_.clear();
+  std::size_t matched = 0;
+  for (const auto& [name, state] : snap.pending) {
+    auto it = std::find_if(devices_.begin(), devices_.end(),
+                           [&name = name](NetworkProcessorDevice* d) {
+                             return d->name() == name;
+                           });
+    if (it == devices_.end()) continue;  // not enrolled here: dropped
+    pending_.push_back(*it);
+    progress_[name] = state;
+    carry_[name] = state;
+    ++matched;
+  }
+  return matched;
 }
 
 bool FleetOperator::parameters_all_distinct() const {

@@ -36,7 +36,25 @@ struct RetryPolicy {
   /// Cumulative backoff budget per device; exceeding it fails the device
   /// with BudgetExhausted rather than retrying forever.
   double backoff_budget_s = 30.0;
+  /// Deterministic per-device jitter: each backoff gap is scaled by a
+  /// factor drawn uniformly from [1 - jitter, 1 + jitter], seeded from
+  /// the device's key -- so a fleet-wide outage does not resynchronize
+  /// every device onto the same retry instants (a retry storm). 0 keeps
+  /// the exact geometric schedule.
+  double jitter = 0.0;
 };
+
+/// Stable 64-bit backoff-jitter key for a device (FNV-1a over the name);
+/// two fleets naming devices identically jitter identically on purpose --
+/// determinism beats uniqueness here.
+std::uint64_t device_backoff_key(std::string_view device_name);
+
+/// The backoff gap between attempt `gap` and attempt `gap + 1` (0-based).
+/// Pure in (policy, device_key, gap): with jitter == 0 this is exactly
+/// min(initial * multiplier^gap, max); with jitter > 0 the same value
+/// scaled by the device's deterministic jitter factor for that gap.
+double retry_backoff_s(const RetryPolicy& policy, std::uint64_t device_key,
+                       std::size_t gap);
 
 /// Why a device ended the campaign in the state it did.
 enum class DeviceOutcome : std::uint8_t {
@@ -62,6 +80,33 @@ struct DeviceReport {
   double backoff_s = 0;  // modeled seconds spent waiting between attempts
 
   bool ok() const { return outcome == DeviceOutcome::Installed; }
+};
+
+/// Where an unconverged device stands in its retry schedule: attempts
+/// already spent and modeled backoff already consumed. Carried across an
+/// operator restart so a restored campaign *continues* the schedule
+/// (budget arithmetic included) instead of granting every device a fresh
+/// retry allowance.
+struct DeviceResumeState {
+  std::size_t attempts = 0;
+  double backoff_s = 0;
+};
+
+/// Serializable campaign state: everything an operator console must
+/// persist to survive a restart mid-campaign -- the deployed binary, the
+/// unconverged device set, and each device's position in its retry
+/// schedule. JSON because the operator side already speaks it
+/// (snapshot_json, BENCH reports); the binary travels hex-encoded through
+/// its existing wire serialization.
+struct CampaignSnapshot {
+  bool has_binary = false;
+  isa::Program binary;
+  /// Unconverged devices in campaign order, with their schedule position.
+  std::vector<std::pair<std::string, DeviceResumeState>> pending;
+
+  std::string to_json() const;
+  /// Throws std::runtime_error / util::DecodeError on malformed input.
+  static CampaignSnapshot from_json(std::string_view text);
 };
 
 /// Cached observability handles for fleet campaigns: attempt/retry
@@ -135,6 +180,19 @@ class FleetOperator {
   /// Devices the last campaign failed to converge (targets of resume()).
   std::size_t pending_devices() const { return pending_.size(); }
 
+  /// Capture the resumable campaign state (deployed binary, unconverged
+  /// set, per-device schedule position). Meaningful after any campaign;
+  /// an empty snapshot (has_binary == false) when nothing was deployed.
+  CampaignSnapshot snapshot_campaign() const;
+
+  /// Restore a snapshot onto this operator view -- typically a freshly
+  /// constructed one after a console restart, with the same devices
+  /// enrolled. Pending devices are matched by name (unknown names are
+  /// dropped); their schedule positions are consumed by the next
+  /// resume(), which therefore *continues* each device's retry budget.
+  /// Returns the number of pending devices matched.
+  std::size_t restore_campaign(const CampaignSnapshot& snapshot);
+
   /// Re-key the fleet: re-seal the most recently deployed binary with new
   /// parameters for every *healthy* device. Devices whose last install
   /// failed are skipped and reported (SkippedUnhealthy) -- re-sealing for
@@ -159,7 +217,8 @@ class FleetOperator {
  private:
   DeviceReport deploy_one(NetworkProcessorDevice& device,
                           const isa::Program& binary, std::uint64_t now,
-                          Channel& channel, const RetryPolicy& retry);
+                          Channel& channel, const RetryPolicy& retry,
+                          const DeviceResumeState& carry);
   CampaignResult run_campaign(const std::vector<NetworkProcessorDevice*>& targets,
                               const isa::Program& binary, std::uint64_t now,
                               const NiosTimingModel& model, Channel* channel,
@@ -171,6 +230,12 @@ class FleetOperator {
   crypto::RsaPublicKey manufacturer_root_;
   std::vector<NetworkProcessorDevice*> devices_;
   std::vector<NetworkProcessorDevice*> pending_;  // unconverged last time
+  /// Schedule position of each unconverged device (snapshot payload).
+  std::map<std::string, DeviceResumeState> progress_;
+  /// Restored schedule positions, consumed by the next campaign touching
+  /// the device. Only populated by restore_campaign(): an in-process
+  /// resume() keeps its historical fresh-schedule semantics.
+  std::map<std::string, DeviceResumeState> carry_;
   isa::Program last_binary_;
   bool has_binary_ = false;
   std::unique_ptr<FleetObs> obs_;

@@ -161,6 +161,216 @@ TEST(FleetOps, ResumeWithoutFailuresIsNoop) {
   EXPECT_TRUE(result.reports.empty());
 }
 
+// ---------------------------------------------------------------------
+// Deterministic per-device retry jitter
+// ---------------------------------------------------------------------
+
+TEST(FleetOpsJitter, ZeroJitterKeepsExactGeometricSchedule) {
+  RetryPolicy policy;  // jitter defaults to 0
+  const std::uint64_t key = device_backoff_key("router-a");
+  EXPECT_DOUBLE_EQ(retry_backoff_s(policy, key, 0), 0.5);
+  EXPECT_DOUBLE_EQ(retry_backoff_s(policy, key, 1), 1.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_s(policy, key, 2), 2.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_s(policy, key, 3), 4.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_s(policy, key, 4), 8.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_s(policy, key, 5), 8.0);  // capped
+}
+
+TEST(FleetOpsJitter, JitterStaysInBandAndIsDeterministic) {
+  RetryPolicy policy;
+  policy.jitter = 0.25;
+  const std::uint64_t key = device_backoff_key("router-a");
+  for (std::size_t gap = 0; gap < 6; ++gap) {
+    RetryPolicy exact;  // same schedule, no jitter
+    const double base = retry_backoff_s(exact, key, gap);
+    const double jittered = retry_backoff_s(policy, key, gap);
+    EXPECT_GE(jittered, base * 0.75) << "gap " << gap;
+    EXPECT_LE(jittered, base * 1.25) << "gap " << gap;
+    // Pure in (policy, key, gap): replaying gives the same schedule.
+    EXPECT_DOUBLE_EQ(jittered, retry_backoff_s(policy, key, gap));
+  }
+}
+
+TEST(FleetOpsJitter, DevicesDesynchronize) {
+  // The point of per-device jitter: after a shared outage, devices must
+  // NOT retry on the same instants. Keys come from names; schedules for
+  // distinct devices differ at the first gap.
+  RetryPolicy policy;
+  policy.jitter = 0.25;
+  std::set<std::uint64_t> keys;
+  std::set<double> first_gaps;
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t key =
+        device_backoff_key("router-" + std::to_string(i));
+    keys.insert(key);
+    first_gaps.insert(retry_backoff_s(policy, key, 0));
+  }
+  EXPECT_EQ(keys.size(), 20u);
+  EXPECT_GE(first_gaps.size(), 19u);  // spread, not resynchronized
+}
+
+// ---------------------------------------------------------------------
+// Campaign snapshot / restore (operator restart survival)
+// ---------------------------------------------------------------------
+
+struct RestartFixture {
+  Manufacturer manufacturer{"rm", kKeyBits, crypto::Drbg("restart-man")};
+  NetworkOperator op{"ro", kKeyBits, crypto::Drbg("restart-op")};
+  std::vector<std::unique_ptr<NetworkProcessorDevice>> devices;
+
+  RestartFixture() {
+    op.accept_certificate(manufacturer.certify_operator(
+        op.name(), op.public_key(), kNow - 10, kNow + 1'000'000));
+    for (int i = 0; i < 3; ++i) {
+      devices.push_back(manufacturer.provision_device(
+          "restart-router-" + std::to_string(i), 1));
+    }
+  }
+
+  FleetOperator make_fleet() {
+    FleetOperator fleet(op, manufacturer.public_key());
+    for (auto& device : devices) fleet.enroll(device.get());
+    return fleet;
+  }
+};
+
+TEST(FleetOpsSnapshot, SurvivesOperatorRestartAndContinuesSchedule) {
+  RestartFixture f;
+  FleetOperator fleet = f.make_fleet();
+
+  // Campaign over a dead channel: every device burns its full retry
+  // allowance (4 attempts, 0.5+1+2 = 3.5s of backoff) and stays pending.
+  util::FaultInjector dead(util::FaultProfile{.drop_rate = 1.0});
+  LossyChannel dead_channel(dead);
+  RetryPolicy retry;
+  auto result = fleet.deploy(net::build_udp_echo(), kNow, NiosTimingModel(),
+                             &dead_channel, retry);
+  EXPECT_EQ(result.failed, 3u);
+  ASSERT_EQ(fleet.pending_devices(), 3u);
+
+  // Snapshot -> JSON -> restore onto a fresh operator console.
+  CampaignSnapshot snapshot = fleet.snapshot_campaign();
+  ASSERT_TRUE(snapshot.has_binary);
+  ASSERT_EQ(snapshot.pending.size(), 3u);
+  for (const auto& [name, state] : snapshot.pending) {
+    EXPECT_EQ(state.attempts, 4u) << name;
+    EXPECT_DOUBLE_EQ(state.backoff_s, 3.5) << name;
+  }
+  CampaignSnapshot restored = CampaignSnapshot::from_json(snapshot.to_json());
+  EXPECT_EQ(restored.pending.size(), 3u);
+  EXPECT_EQ(restored.binary.text, snapshot.binary.text);
+  EXPECT_EQ(restored.binary.name, snapshot.binary.name);
+
+  FleetOperator rebooted = f.make_fleet();
+  EXPECT_EQ(rebooted.restore_campaign(restored), 3u);
+  EXPECT_EQ(rebooted.pending_devices(), 3u);
+
+  // The restored console CONTINUES each device's schedule: with the same
+  // 4-attempt policy the allowance is already spent, so resume() fails
+  // fast without touching the channel.
+  auto exhausted = rebooted.resume(kNow + 100, NiosTimingModel(), nullptr,
+                                   retry);
+  EXPECT_EQ(exhausted.succeeded, 0u);
+  for (const auto& report : exhausted.reports) {
+    EXPECT_EQ(report.outcome, DeviceOutcome::BudgetExhausted);
+    EXPECT_EQ(report.attempts, 4u);  // carried, no new attempts
+  }
+
+  // With a raised allowance the carried position is continued, not reset:
+  // the first new attempt is attempt #5.
+  FleetOperator rebooted2 = f.make_fleet();
+  EXPECT_EQ(rebooted2.restore_campaign(restored), 3u);
+  RetryPolicy extended = retry;
+  extended.max_attempts = 6;
+  auto recovered = rebooted2.resume(kNow + 200, NiosTimingModel(), nullptr,
+                                    extended);
+  EXPECT_EQ(recovered.succeeded, 3u);
+  for (const auto& report : recovered.reports) {
+    EXPECT_EQ(report.attempts, 5u) << report.device;
+  }
+  EXPECT_EQ(rebooted2.pending_devices(), 0u);
+  for (auto& device : f.devices) {
+    EXPECT_TRUE(device->last_install_ok());
+    EXPECT_EQ(device->application_name(), "udp-echo");
+  }
+}
+
+TEST(FleetOpsSnapshot, InProcessResumeKeepsFreshSchedule) {
+  // Without a restore, resume() retains its historical semantics: the
+  // pending device gets a fresh retry allowance.
+  RestartFixture f;
+  FleetOperator fleet = f.make_fleet();
+  util::FaultInjector dead(util::FaultProfile{.drop_rate = 1.0});
+  LossyChannel dead_channel(dead);
+  (void)fleet.deploy(net::build_udp_echo(), kNow, NiosTimingModel(),
+                     &dead_channel, RetryPolicy());
+  ASSERT_EQ(fleet.pending_devices(), 3u);
+  auto resumed = fleet.resume(kNow + 100);
+  EXPECT_EQ(resumed.succeeded, 3u);
+  for (const auto& report : resumed.reports) {
+    EXPECT_EQ(report.attempts, 1u);  // fresh schedule, reliable channel
+  }
+}
+
+TEST(FleetOpsSnapshot, EmptySnapshotRoundTrips) {
+  RestartFixture f;
+  FleetOperator fleet = f.make_fleet();
+  CampaignSnapshot snapshot = fleet.snapshot_campaign();
+  EXPECT_FALSE(snapshot.has_binary);
+  EXPECT_TRUE(snapshot.pending.empty());
+  CampaignSnapshot restored = CampaignSnapshot::from_json(snapshot.to_json());
+  EXPECT_FALSE(restored.has_binary);
+  FleetOperator rebooted = f.make_fleet();
+  EXPECT_EQ(rebooted.restore_campaign(restored), 0u);
+}
+
+TEST(FleetOpsSnapshot, MalformedJsonIsRejected) {
+  EXPECT_THROW(CampaignSnapshot::from_json("{\"schema\":99}"),
+               std::runtime_error);
+  EXPECT_THROW(CampaignSnapshot::from_json("not json"),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Clock skew vs certificate validity during rotation
+// ---------------------------------------------------------------------
+
+TEST(FleetOpsClockSkew, SkewedDeviceRejectsRotationAsRejectedNotLost) {
+  // A device whose clock runs past the operator certificate's valid_to
+  // must reject the (perfectly good) package with BadCertificate -- and
+  // the operator must classify that as Rejected (a device-side verdict),
+  // not ChannelLost (a delivery failure): retrying cannot fix it.
+  RestartFixture f;
+  FleetOperator fleet = f.make_fleet();
+  auto deployed = fleet.deploy(net::build_udp_echo(), kNow);
+  ASSERT_TRUE(deployed.converged());
+
+  util::FaultProfile profile;
+  profile.clock_skew_rate = 1.0;   // every validity check is skewed
+  profile.clock_skew_s = 2'000'000;  // past the cert's valid_to window
+  util::FaultInjector skewed(profile);
+  LossyChannel channel(skewed);
+  auto rotated = fleet.rotate_parameters(kNow + 100, NiosTimingModel(),
+                                         &channel, RetryPolicy());
+  EXPECT_EQ(rotated.succeeded, 0u);
+  EXPECT_EQ(rotated.failed, 3u);
+  for (const auto& report : rotated.reports) {
+    EXPECT_EQ(report.outcome, DeviceOutcome::Rejected) << report.device;
+    EXPECT_NE(report.outcome, DeviceOutcome::ChannelLost);
+    EXPECT_TRUE(report.saw_reply);
+    EXPECT_EQ(report.last_status, InstallStatus::BadCertificate);
+    // Permanent rejection fails fast: no retry storm against a cert
+    // problem.
+    EXPECT_EQ(report.attempts, 1u);
+  }
+  EXPECT_GE(skewed.stats().clock_skews, 3u);
+
+  // The devices kept their previous configuration running.
+  for (auto& device : f.devices) {
+    EXPECT_EQ(device->application_name(), "udp-echo");
+  }
+}
+
 TEST(FleetOps, EmptyFleetDeploys) {
   FleetFixture& f = fixture();
   FleetOperator empty(f.op, f.manufacturer.public_key());
