@@ -1,0 +1,320 @@
+// Extension experiment X5: control-plane RPC latency under data-plane
+// load.
+//
+// The paper's install protocol is a one-operator, one-wire exchange;
+// the RPC server generalizes it to many concurrent operator sessions
+// multiplexed onto one device whose MPSoC is simultaneously serving
+// packets. This bench quantifies what that concurrency costs: eight
+// operator sessions hammer the served device with a fixed verb mix
+// (ping / metrics / journal / install) while a pump thread keeps
+// MixedWorkload traffic flowing through the monitored cores, and we
+// report per-verb p50/p95/p99 latency plus sustained request
+// throughput. The ops_per_s figures feed the bench regression gate;
+// the latency rows are informational (latency-class fields are
+// deliberately not gated).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "isa/assembler.hpp"
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
+#include "sdmmon/entities.hpp"
+#include "sdmmon/workload.hpp"
+
+namespace {
+
+using namespace sdmmon;
+using BClock = std::chrono::steady_clock;
+
+// Benign forwarding app so the pumped traffic exercises the monitored
+// cores (same echo handler the test suites use; bench binaries cannot
+// include tests/support).
+constexpr const char* kEchoApp = R"(
+main:
+    li $t0, 0xFFFF0000
+    lw $t1, 0($t0)        # len
+    beqz $t1, drop
+    li $t2, 0x30000       # src
+    li $t3, 0x40000       # dst
+    move $t4, $zero       # i
+copy:
+    addu $t5, $t2, $t4
+    lbu $t6, 0($t5)
+    addu $t5, $t3, $t4
+    sb $t6, 0($t5)
+    addiu $t4, $t4, 1
+    bne $t4, $t1, copy
+    li $t0, 0xFFFF0004    # commit
+    sw $t1, 0($t0)
+drop:
+    jr $ra
+)";
+
+constexpr std::size_t kSessions = 8;  // acceptance floor: >= 8 concurrent
+constexpr std::uint64_t kNow = 1'000'000;
+
+// Verb mix per session. Installs are sparse (they serialize on the
+// device lock and burn an RSA verify each); the polling verbs dominate,
+// matching how a fleet controller actually talks to a device.
+const int kPingsPerSession = bench::scaled(600, 20);
+const int kMetricsPerSession = bench::scaled(300, 10);
+const int kJournalPerSession = bench::scaled(300, 10);
+const int kInstallsPerSession = bench::scaled(12, 2);
+
+enum Verb { kPing = 0, kMetrics, kJournal, kInstall, kVerbCount };
+const char* kVerbNames[kVerbCount] = {"ping", "metrics", "journal",
+                                      "install"};
+
+struct SessionStats {
+  std::vector<std::uint64_t> latency_ns[kVerbCount];
+  std::uint64_t failures = 0;
+  std::uint64_t installs_delivered = 0;
+  std::uint64_t installs_rejected = 0;  // sequence races -> ReplayRejected
+};
+
+std::uint64_t percentile(std::vector<std::uint64_t>& sorted, int pct) {
+  if (sorted.empty()) return 0;
+  std::size_t index = sorted.size() * static_cast<std::size_t>(pct) / 100;
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+void run_session(rpc::RpcClient client, std::size_t worker,
+                 const std::vector<util::Bytes>& packages,
+                 SessionStats& stats) {
+  for (int verb = 0; verb < kVerbCount; ++verb) {
+    const int per_verb[] = {kPingsPerSession, kMetricsPerSession,
+                            kJournalPerSession, kInstallsPerSession};
+    stats.latency_ns[verb].reserve(static_cast<std::size_t>(per_verb[verb]));
+  }
+  // Interleave verbs instead of running them in phases, so every verb's
+  // percentiles are measured against concurrent mixed traffic.
+  const int total = kPingsPerSession + kMetricsPerSession +
+                    kJournalPerSession + kInstallsPerSession;
+  int issued[kVerbCount] = {0, 0, 0, 0};
+  std::uint64_t journal_cursor = 0;
+  std::size_t next_package = 0;
+  for (int op = 0; op < total; ++op) {
+    // Pick the verb furthest behind its quota; ties resolve in enum
+    // order. Deterministic, no RNG needed.
+    int verb = kPing;
+    double best = 2.0;
+    const int quota[kVerbCount] = {kPingsPerSession, kMetricsPerSession,
+                                   kJournalPerSession, kInstallsPerSession};
+    for (int v = 0; v < kVerbCount; ++v) {
+      if (issued[v] >= quota[v]) continue;
+      const double progress = static_cast<double>(issued[v]) / quota[v];
+      if (progress < best) {
+        best = progress;
+        verb = v;
+      }
+    }
+    ++issued[verb];
+
+    const auto start = BClock::now();
+    bool ok = false;
+    switch (verb) {
+      case kPing: {
+        auto pong = client.ping((worker << 20) | static_cast<unsigned>(op));
+        ok = pong.has_value();
+        break;
+      }
+      case kMetrics:
+        ok = client.metrics().has_value();
+        break;
+      case kJournal: {
+        auto page = client.journal(journal_cursor);
+        if (page) {
+          journal_cursor = page->next_cursor;
+          ok = true;
+        }
+        break;
+      }
+      case kInstall: {
+        const util::Bytes& package = packages[next_package++];
+        auto status =
+            client.install(rpc::InstallPurpose::Rotate, package, kNow);
+        if (status) {
+          ok = true;
+          if (*status ==
+              static_cast<std::uint8_t>(protocol::InstallStatus::Ok)) {
+            ++stats.installs_delivered;
+          } else {
+            ++stats.installs_rejected;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(BClock::now() -
+                                                             start)
+            .count());
+    if (ok) {
+      stats.latency_ns[verb].push_back(ns);
+    } else {
+      ++stats.failures;
+    }
+  }
+  client.goodbye();
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("X5: concurrent RPC control plane under packet load");
+  bench::BenchReport report("rpc_load");
+
+  // ---- World: one served device, operator certified by the root ------
+  protocol::Manufacturer mfg("manufacturer", 1024,
+                             crypto::Drbg("rpc-load-mfg"));
+  protocol::NetworkOperator op("operator", 1024,
+                               crypto::Drbg("rpc-load-op"));
+  op.accept_certificate(
+      mfg.certify_operator("operator", op.public_key(), 0, kNow * 4));
+  auto device = mfg.provision_device("np-bench", 4);
+
+  isa::Program binary = isa::assemble(kEchoApp);
+  if (device->install_bytes(
+          op.program_device(binary, device->public_key()).serialize(),
+          kNow) != protocol::InstallStatus::Ok) {
+    std::fprintf(stderr, "rpc_load: initial install failed\n");
+    return 1;
+  }
+
+  obs::Registry registry;
+  rpc::DeviceHost host(*device, registry);
+  rpc::ServerOptions options;
+  options.challenge_seed = "rpc-load-challenge";
+  rpc::RpcServer server(host, mfg.public_key(), options);
+  if (!server.start()) {
+    std::fprintf(stderr, "rpc_load: cannot bind loopback\n");
+    return 1;
+  }
+
+  // Packages minted up front on this thread: NetworkOperator is not
+  // thread-safe (sequence + parameter DRBG), workers only ship bytes.
+  std::vector<std::vector<util::Bytes>> packages(kSessions);
+  for (std::size_t w = 0; w < kSessions; ++w) {
+    for (int i = 0; i < kInstallsPerSession; ++i) {
+      packages[w].push_back(
+          op.program_device(binary, device->public_key()).serialize());
+    }
+  }
+
+  // Data-plane pump: keep the device lock contended for the whole run.
+  std::atomic<bool> stop{false};
+  std::thread pump([&] {
+    protocol::MixedWorkloadConfig config;
+    config.seed = 0x10AD;
+    protocol::MixedWorkload workload(config);
+    std::uint64_t index = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<protocol::WorkItem> batch = workload.generate(index, 128);
+      host.pump(batch);
+      index += batch.size();
+      std::this_thread::yield();
+    }
+  });
+
+  // ---- Drive kSessions concurrent authenticated operator sessions ----
+  std::vector<SessionStats> stats(kSessions);
+  std::vector<std::thread> workers;
+  const auto wall_start = BClock::now();
+  for (std::size_t w = 0; w < kSessions; ++w) {
+    auto client = rpc::RpcClient::connect(server.port());
+    if (!client || !client->authenticate(op.certificate().serialize(),
+                                         op.sign(client->auth_message()),
+                                         kNow)) {
+      std::fprintf(stderr, "rpc_load: session %zu failed to open\n", w);
+      stop.store(true, std::memory_order_release);
+      pump.join();
+      return 1;
+    }
+    workers.emplace_back(run_session, std::move(*client), w,
+                         std::cref(packages[w]), std::ref(stats[w]));
+  }
+  for (std::thread& t : workers) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(BClock::now() - wall_start).count();
+
+  stop.store(true, std::memory_order_release);
+  pump.join();
+  const std::uint64_t peak_sessions = server.sessions_served();
+  server.stop();
+
+  // ---- Aggregate ------------------------------------------------------
+  std::uint64_t failures = 0, delivered = 0, rejected = 0, total_ops = 0;
+  std::vector<std::uint64_t> merged[kVerbCount];
+  std::vector<std::uint64_t> all;
+  for (const SessionStats& s : stats) {
+    failures += s.failures;
+    delivered += s.installs_delivered;
+    rejected += s.installs_rejected;
+    for (int v = 0; v < kVerbCount; ++v) {
+      merged[v].insert(merged[v].end(), s.latency_ns[v].begin(),
+                       s.latency_ns[v].end());
+      all.insert(all.end(), s.latency_ns[v].begin(), s.latency_ns[v].end());
+      total_ops += s.latency_ns[v].size();
+    }
+  }
+
+  report.set_meta("sessions", static_cast<std::uint64_t>(kSessions));
+  report.set_meta("pump_packets", host.packets());
+  report.set_meta("wall_s", wall_s);
+  report.set_meta("failures", failures);
+  report.set_meta("installs_delivered", delivered);
+  report.set_meta("installs_rejected", rejected);
+  report.set_meta("quick", bench::quick_mode());
+
+  std::printf("  %zu sessions, %llu requests in %.2fs over %llu pumped"
+              " packets (installs: %llu ok, %llu sequence-raced)\n\n",
+              kSessions, (unsigned long long)total_ops, wall_s,
+              (unsigned long long)host.packets(),
+              (unsigned long long)delivered, (unsigned long long)rejected);
+  std::printf("  %-9s %8s %10s %10s %10s %12s\n", "verb", "ops",
+              "p50_us", "p95_us", "p99_us", "ops_per_s");
+  bench::rule();
+  auto emit = [&](const char* verb, std::vector<std::uint64_t>& ns) {
+    std::sort(ns.begin(), ns.end());
+    const double p50 = percentile(ns, 50) / 1e3;
+    const double p95 = percentile(ns, 95) / 1e3;
+    const double p99 = percentile(ns, 99) / 1e3;
+    const double rate = wall_s > 0 ? ns.size() / wall_s : 0;
+    std::printf("  %-9s %8zu %10.1f %10.1f %10.1f %12.1f\n", verb,
+                ns.size(), p50, p95, p99, rate);
+    report.add_row({{"verb", verb},
+                    {"ops", static_cast<std::uint64_t>(ns.size())},
+                    {"p50_us", p50},
+                    {"p95_us", p95},
+                    {"p99_us", p99},
+                    {"ops_per_s", rate}});
+  };
+  for (int v = 0; v < kVerbCount; ++v) emit(kVerbNames[v], merged[v]);
+  emit("all", all);
+
+  bool ok = true;
+  if (peak_sessions < kSessions) {
+    std::fprintf(stderr, "rpc_load: only %llu sessions served (< %zu)\n",
+                 (unsigned long long)peak_sessions, kSessions);
+    ok = false;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "rpc_load: %llu request failures\n",
+                 (unsigned long long)failures);
+    ok = false;
+  }
+  bench::note(ok ? "sustained " + std::to_string(kSessions) +
+                       " concurrent operator sessions, zero failures"
+                 : "FAILED acceptance checks");
+  report.write();
+  return ok ? 0 : 1;
+}

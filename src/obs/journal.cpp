@@ -19,6 +19,9 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::RolloutWave: return "rollout-wave";
     case EventKind::RolloutHalt: return "rollout-halt";
     case EventKind::RolloutRollback: return "rollout-rollback";
+    case EventKind::RpcSessionOpened: return "rpc-session-opened";
+    case EventKind::RpcSessionClosed: return "rpc-session-closed";
+    case EventKind::RpcRejected: return "rpc-rejected";
   }
   return "?";
 }
@@ -58,6 +61,18 @@ std::uint64_t EventJournal::evicted() const {
 
 std::vector<Event> EventJournal::events() const {
   std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  }
+  return out;
+}
+
+std::vector<Event> EventJournal::events_and_recorded(
+    std::uint64_t& recorded) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  recorded = recorded_;
   std::vector<Event> out;
   out.reserve(size_);
   for (std::size_t i = 0; i < size_; ++i) {

@@ -30,6 +30,11 @@ enum class EventKind : std::uint8_t {
   RolloutWave,      // staged rollout opened a wave (device = wave index)
   RolloutHalt,      // halt controller froze a rollout (arg = HaltReason)
   RolloutRollback,  // post-halt rollback finished (arg = devices rolled)
+  RpcSessionOpened, // control-plane server accepted a session (device =
+                    // session id)
+  RpcSessionClosed, // session ended (arg = requests served)
+  RpcRejected,      // server refused a request or frame (arg = reason:
+                    // RpcErrorCode, or 100 + FrameError for wire damage)
 };
 
 const char* event_kind_name(EventKind kind);
@@ -67,6 +72,11 @@ class EventJournal {
 
   /// Copy of the retained events, oldest first.
   std::vector<Event> events() const;
+
+  /// Atomic (single-lock) copy of the retained events plus the lifetime
+  /// recorded count, for cursor-based streaming readers: the index of
+  /// the first returned event is exactly `recorded - events.size()`.
+  std::vector<Event> events_and_recorded(std::uint64_t& recorded) const;
 
   void clear();
 

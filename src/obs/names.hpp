@@ -89,6 +89,21 @@ inline constexpr const char* kFleetRolloutWave = "fleet.rollout.wave";
 inline constexpr const char* kFleetRolloutHalts = "fleet.rollout.halts";
 inline constexpr const char* kFleetHealthScore = "fleet.health.score";
 
+// ---- RPC control-plane server (device side) ----
+inline constexpr const char* kRpcSessionsOpened = "rpc.sessions_opened";
+inline constexpr const char* kRpcSessionsActive = "rpc.sessions_active";
+inline constexpr const char* kRpcSessionsRefused = "rpc.sessions_refused";
+inline constexpr const char* kRpcAuthFailures = "rpc.auth_failures";
+inline constexpr const char* kRpcRequests = "rpc.requests";
+inline constexpr const char* kRpcErrors = "rpc.errors";
+inline constexpr const char* kRpcFramesRejected = "rpc.frames_rejected";
+inline constexpr const char* kRpcDedupReplays = "rpc.dedup_replays";
+inline constexpr const char* kRpcInstalls = "rpc.installs";
+inline constexpr const char* kRpcRotations = "rpc.rotations";
+inline constexpr const char* kRpcBytesIn = "rpc.bytes_in";
+inline constexpr const char* kRpcBytesOut = "rpc.bytes_out";
+inline constexpr const char* kRpcRequestNs = "rpc.request_ns";
+
 }  // namespace sdmmon::obs::names
 
 #endif  // SDMMON_OBS_NAMES_HPP

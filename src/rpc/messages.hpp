@@ -1,0 +1,160 @@
+// Typed payloads for the control-plane RPC verbs (rpc/wire.hpp carries
+// them as opaque frame payloads). Every struct round-trips through
+// encode()/decode() over util::ByteWriter/ByteReader; decode() throws
+// util::DecodeError on any malformation -- truncated fields, trailing
+// garbage, out-of-range enums, or a field exceeding its cap -- so a
+// server can treat "payload failed to decode" uniformly as a BadRequest
+// without crashing on adversarial bytes.
+#ifndef SDMMON_RPC_MESSAGES_HPP
+#define SDMMON_RPC_MESSAGES_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/journal.hpp"
+#include "util/bytes.hpp"
+
+namespace sdmmon::rpc {
+
+/// Per-field caps, below the frame-level payload cap, so one lying inner
+/// length cannot make the decoder buffer unbounded data.
+inline constexpr std::size_t kMaxNameBytes = 256;
+inline constexpr std::size_t kMaxCertBytes = 64u << 10;    // 64 KiB
+inline constexpr std::size_t kMaxSignatureBytes = 4u << 10;
+inline constexpr std::size_t kMaxChallengeBytes = 64;
+inline constexpr std::size_t kMaxDetailBytes = 1u << 10;
+inline constexpr std::size_t kMaxJournalEvents = 4096;
+
+/// Server -> client greeting, sent unsolicited on connect (request id 0).
+/// The challenge is a fresh per-session nonce; the client must sign
+/// (challenge || device_name) with the operator key to authenticate, so a
+/// captured Auth message cannot be replayed on another session or device.
+struct HelloPayload {
+  std::string device_name;
+  util::Bytes challenge;  // 32 bytes in practice; cap kMaxChallengeBytes
+
+  util::Bytes encode() const;
+  static HelloPayload decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Client -> server session authentication: the operator certificate
+/// (chains to the manufacturer root the device already trusts -- the same
+/// chain that authorizes install packages) plus an RSA signature over
+/// (challenge || device_name). `now` is the operator's campaign clock,
+/// used for the certificate validity window exactly like install time in
+/// the in-process protocol.
+struct AuthPayload {
+  util::Bytes cert;       // serialized crypto::Certificate
+  util::Bytes signature;  // rsa_sign(op_priv, challenge || device_name)
+  std::uint64_t now = 0;
+
+  util::Bytes encode() const;
+  static AuthPayload decode(std::span<const std::uint8_t> bytes);
+};
+
+struct AuthResultPayload {
+  bool ok = false;
+  std::string detail;  // cert/signature failure reason when !ok
+
+  util::Bytes encode() const;
+  static AuthResultPayload decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Why an install was requested; the device treats both identically (a
+/// rotation *is* a fresh sealed package), the tag only labels audit
+/// trails and metrics on the server side.
+enum class InstallPurpose : std::uint8_t { Deploy = 0, Rotate = 1 };
+
+/// Client -> server: one sealed WirePackage, as serialized bytes. The
+/// server hands them to NetworkProcessorDevice::install_bytes, which
+/// already treats damage as CorruptPackage -- the RPC layer adds no trust.
+struct InstallPayload {
+  InstallPurpose purpose = InstallPurpose::Deploy;
+  std::uint64_t now = 0;  // operator campaign time for cert validity
+  util::Bytes package;    // WirePackage::serialize() bytes
+
+  util::Bytes encode() const;
+  static InstallPayload decode(std::span<const std::uint8_t> bytes);
+};
+
+struct InstallResultPayload {
+  /// protocol::InstallStatus, carried as its wire value. Kept as a raw
+  /// byte here so rpc/messages stays decoupled from sdmmon/entities; the
+  /// client re-types it.
+  std::uint8_t install_status = 0;
+
+  util::Bytes encode() const;
+  static InstallResultPayload decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Client -> server: poll journal events at or after `cursor` (a value of
+/// EventJournal::recorded(); 0 = from the oldest retained event).
+struct GetJournalPayload {
+  std::uint64_t cursor = 0;
+
+  util::Bytes encode() const;
+  static GetJournalPayload decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Server -> client: the retained events from `cursor` on. `dropped`
+/// counts events the bounded ring evicted before the client polled --
+/// the client knows its stream has a gap instead of silently missing
+/// history. `next_cursor` feeds the next poll; polling in a loop streams
+/// the journal.
+struct JournalPayload {
+  std::uint64_t next_cursor = 0;
+  std::uint64_t dropped = 0;
+  std::vector<obs::Event> events;
+
+  util::Bytes encode() const;
+  static JournalPayload decode(std::span<const std::uint8_t> bytes);
+};
+
+struct MetricsPayload {
+  std::string json;  // Registry::snapshot_json()
+
+  util::Bytes encode() const;
+  static MetricsPayload decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Health probe; allowed before authentication (it leaks only liveness
+/// and the public packet counter, both observable from traffic anyway).
+struct PingPayload {
+  std::uint64_t nonce = 0;
+
+  util::Bytes encode() const;
+  static PingPayload decode(std::span<const std::uint8_t> bytes);
+};
+
+struct PongPayload {
+  std::uint64_t nonce = 0;          // echoed
+  std::uint64_t packets = 0;        // device packets processed so far
+  std::uint64_t sessions = 0;       // currently open RPC sessions
+
+  util::Bytes encode() const;
+  static PongPayload decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Typed refusal codes (ErrorPayload.code).
+enum class RpcErrorCode : std::uint16_t {
+  BadRequest = 1,       // payload failed to decode / wrong type sequence
+  NotAuthorized = 2,    // verb requires an authenticated session
+  TooManySessions = 3,  // server at its session cap
+  Draining = 4,         // server is shutting down; no new work accepted
+  Internal = 5,
+};
+
+const char* rpc_error_code_name(RpcErrorCode code);
+
+struct ErrorPayload {
+  RpcErrorCode code = RpcErrorCode::Internal;
+  std::string message;
+
+  util::Bytes encode() const;
+  static ErrorPayload decode(std::span<const std::uint8_t> bytes);
+};
+
+}  // namespace sdmmon::rpc
+
+#endif  // SDMMON_RPC_MESSAGES_HPP

@@ -1,0 +1,98 @@
+// Thin RAII wrappers over POSIX loopback TCP for the control-plane RPC
+// server. Deliberately minimal: IPv4 on 127.0.0.1 only (the server fronts
+// one device's control processor; production deployments would terminate
+// an authenticated tunnel in front of it), blocking I/O with an optional
+// receive timeout, and explicit shutdown() so another thread can wake a
+// blocked reader without racing the file descriptor's lifetime.
+#ifndef SDMMON_RPC_SOCKET_HPP
+#define SDMMON_RPC_SOCKET_HPP
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace sdmmon::rpc {
+
+/// One connected TCP stream. Movable, not copyable; the destructor
+/// closes. shutdown_read()/shutdown_both() may be called from another
+/// thread while this thread blocks in recv_some() -- they do not close
+/// the descriptor, so there is no fd-reuse race; only the owner's
+/// destructor (or close()) releases it.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream() { close(); }
+
+  TcpStream(TcpStream&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Connect to 127.0.0.1:port. nullopt on failure.
+  static std::optional<TcpStream> connect(std::uint16_t port);
+
+  /// Write the whole span (handles short writes). False on any error --
+  /// including EPIPE after the peer closed; callers treat it as a dead
+  /// session, never a crash (SIGPIPE is suppressed per send).
+  bool send_all(std::span<const std::uint8_t> bytes);
+
+  /// Read up to out.size() bytes. >0 bytes read; 0 orderly EOF (or the
+  /// read side was shut down); -1 error; -2 timeout (only with a receive
+  /// timeout set).
+  int recv_some(std::span<std::uint8_t> out);
+
+  /// 0 disables the timeout (blocking reads).
+  void set_recv_timeout_ms(std::uint32_t ms);
+
+  /// Wake a reader blocked in recv_some (it returns 0). Sends still work.
+  void shutdown_read();
+  /// Wake reader and writer both.
+  void shutdown_both();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket on 127.0.0.1. Port 0 asks the kernel for an ephemeral
+/// port; port() reports the bound one.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { close(); }
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Bind + listen. nullopt on failure (port in use, no loopback, ...).
+  static std::optional<TcpListener> listen(std::uint16_t port,
+                                           int backlog = 64);
+
+  bool valid() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+  /// Block until a connection arrives. nullopt when the listener was
+  /// closed/shut down (the accept loop's exit signal) or on error.
+  std::optional<TcpStream> accept();
+
+  /// Wake a blocked accept() from another thread; accept returns nullopt.
+  void shutdown();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace sdmmon::rpc
+
+#endif  // SDMMON_RPC_SOCKET_HPP

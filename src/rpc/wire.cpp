@@ -1,0 +1,136 @@
+#include "rpc/wire.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace sdmmon::rpc {
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::Hello: return "hello";
+    case MsgType::Auth: return "auth";
+    case MsgType::AuthResult: return "auth-result";
+    case MsgType::Install: return "install";
+    case MsgType::InstallResult: return "install-result";
+    case MsgType::GetMetrics: return "get-metrics";
+    case MsgType::Metrics: return "metrics";
+    case MsgType::GetJournal: return "get-journal";
+    case MsgType::Journal: return "journal";
+    case MsgType::Ping: return "ping";
+    case MsgType::Pong: return "pong";
+    case MsgType::Goodbye: return "goodbye";
+    case MsgType::GoodbyeAck: return "goodbye-ack";
+    case MsgType::Error: return "error";
+  }
+  return "?";
+}
+
+const char* frame_error_name(FrameError error) {
+  switch (error) {
+    case FrameError::None: return "none";
+    case FrameError::BadMagic: return "bad-magic";
+    case FrameError::BadVersion: return "bad-version";
+    case FrameError::BadReserved: return "bad-reserved";
+    case FrameError::BadType: return "bad-type";
+    case FrameError::Oversized: return "oversized";
+    case FrameError::BadCrc: return "bad-crc";
+    case FrameError::Truncated: return "truncated";
+  }
+  return "?";
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+util::Bytes encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxPayloadBytes) {
+    throw std::length_error("rpc frame payload exceeds kMaxPayloadBytes");
+  }
+  util::Bytes out(kHeaderBytes + frame.payload.size() + kTrailerBytes);
+  util::store_be32(kMagic, out.data());
+  out[4] = kWireVersion;
+  out[5] = static_cast<std::uint8_t>(frame.type);
+  out[6] = 0;
+  out[7] = 0;
+  util::store_be64(frame.request_id, out.data() + 8);
+  util::store_be32(static_cast<std::uint32_t>(frame.payload.size()),
+                   out.data() + 16);
+  std::copy(frame.payload.begin(), frame.payload.end(),
+            out.begin() + kHeaderBytes);
+  const std::uint32_t crc = crc32(
+      std::span<const std::uint8_t>(out.data(),
+                                    kHeaderBytes + frame.payload.size()));
+  util::store_be32(crc, out.data() + kHeaderBytes + frame.payload.size());
+  return out;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (failed()) return;  // latched: the stream is already condemned
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+FrameDecoder::Status FrameDecoder::poll(Frame& out) {
+  if (failed()) return Status::Failed;
+  if (buf_.size() < kHeaderBytes) {
+    if (finished_ && !buf_.empty()) return fail(FrameError::Truncated);
+    return Status::NeedMore;
+  }
+
+  // Validate the header before trusting its length field: a lying
+  // payload_len must never drive buffering or allocation.
+  if (util::load_be32(buf_.data()) != kMagic) {
+    return fail(FrameError::BadMagic);
+  }
+  if (buf_[4] != kWireVersion) return fail(FrameError::BadVersion);
+  if (buf_[6] != 0 || buf_[7] != 0) return fail(FrameError::BadReserved);
+  const std::uint8_t type = buf_[5];
+  if (type == 0 || type > kMaxMsgType) return fail(FrameError::BadType);
+  const std::uint32_t payload_len = util::load_be32(buf_.data() + 16);
+  if (payload_len > max_payload_) return fail(FrameError::Oversized);
+
+  const std::size_t total = kHeaderBytes + payload_len + kTrailerBytes;
+  if (buf_.size() < total) {
+    if (finished_) return fail(FrameError::Truncated);
+    return Status::NeedMore;
+  }
+
+  const std::uint32_t want =
+      util::load_be32(buf_.data() + kHeaderBytes + payload_len);
+  const std::uint32_t got = crc32(
+      std::span<const std::uint8_t>(buf_.data(), kHeaderBytes + payload_len));
+  if (want != got) return fail(FrameError::BadCrc);
+
+  out.type = static_cast<MsgType>(type);
+  out.request_id = util::load_be64(buf_.data() + 8);
+  out.payload.assign(buf_.begin() + kHeaderBytes,
+                     buf_.begin() + kHeaderBytes + payload_len);
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(total));
+  ++frames_;
+  return Status::Ready;
+}
+
+void FrameDecoder::finish() { finished_ = true; }
+
+}  // namespace sdmmon::rpc

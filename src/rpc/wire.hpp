@@ -1,0 +1,144 @@
+// Framed wire protocol for the control-plane RPC server. The in-process
+// protocol objects (WirePackage, metrics snapshots, journal events) never
+// had to survive a byte stream; this layer gives them one: every message
+// travels as a length-prefixed frame with a magic, a version, a type tag,
+// a request id, a hard payload cap, and a CRC32 over the whole frame --
+// so a flipped bit, a truncation, or a lying length field is a *typed
+// decode error* at the receiver, never a crash, a hang, or an over-read
+// (tests/rpc_codec_fuzz_test.cpp runs mutated frames under ASan/UBSan to
+// hold the line).
+//
+// Frame layout (big-endian, docs/PROTOCOL.md "RPC wire frames"):
+//
+//   offset  size  field
+//        0     4  magic       0x53444D31 ("SDM1")
+//        4     1  version     kWireVersion (1)
+//        5     1  type        MsgType
+//        6     2  reserved    must be 0
+//        8     8  request_id  echoed verbatim in the response frame
+//       16     4  payload_len <= kMaxPayloadBytes
+//       20     n  payload     message-specific (rpc/messages.hpp)
+//     20+n     4  crc32       IEEE CRC32 over bytes [0, 20+n)
+//
+// The decoder is incremental (feed() arbitrary chunks, poll() complete
+// frames) because TCP gives no message boundaries. Any violation latches
+// the decoder into a failed state: a framing error on a stream is not
+// recoverable -- the connection must be torn down.
+#ifndef SDMMON_RPC_WIRE_HPP
+#define SDMMON_RPC_WIRE_HPP
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace sdmmon::rpc {
+
+inline constexpr std::uint32_t kMagic = 0x53444D31u;  // "SDM1"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 20;
+inline constexpr std::size_t kTrailerBytes = 4;  // crc32
+/// Hard cap on one frame's payload. Install packages are tens of KB;
+/// metrics snapshots a few hundred KB on a long-running device. Anything
+/// claiming more is an attack or corruption, rejected before allocation.
+inline constexpr std::size_t kMaxPayloadBytes = 4u << 20;  // 4 MiB
+
+/// Every verb of the control-plane protocol. Request/response pairing is
+/// by convention (Install -> InstallResult, ...); the Error type answers
+/// any request the server refuses.
+enum class MsgType : std::uint8_t {
+  Hello = 1,        // server -> client greeting + auth challenge
+  Auth = 2,         // client -> server: operator cert + challenge signature
+  AuthResult = 3,
+  Install = 4,      // sealed package bytes (deploy or rotation)
+  InstallResult = 5,
+  GetMetrics = 6,   // fetch Registry::snapshot_json()
+  Metrics = 7,
+  GetJournal = 8,   // poll journal events from a cursor
+  Journal = 9,
+  Ping = 10,        // health probe (allowed pre-auth)
+  Pong = 11,
+  Goodbye = 12,     // orderly session close
+  GoodbyeAck = 13,
+  Error = 14,       // typed refusal (rpc/messages.hpp ErrorPayload)
+};
+inline constexpr std::uint8_t kMaxMsgType =
+    static_cast<std::uint8_t>(MsgType::Error);
+
+const char* msg_type_name(MsgType type);
+
+/// One decoded frame. The payload is still opaque bytes at this layer;
+/// rpc/messages.hpp gives it a typed shape.
+struct Frame {
+  MsgType type = MsgType::Error;
+  std::uint64_t request_id = 0;
+  util::Bytes payload;
+};
+
+/// Why a byte stream stopped being a frame stream.
+enum class FrameError : std::uint8_t {
+  None = 0,
+  BadMagic,     // stream desynchronized or not speaking this protocol
+  BadVersion,
+  BadReserved,  // reserved field nonzero (future flags must not be guessed)
+  BadType,      // type tag outside the MsgType range
+  Oversized,    // payload_len exceeds the cap (length-field lie)
+  BadCrc,       // header+payload checksum mismatch (bit damage)
+  Truncated,    // peer closed mid-frame (finish() with bytes buffered)
+};
+
+const char* frame_error_name(FrameError error);
+
+/// IEEE CRC32 (reflected, poly 0xEDB88320), the Ethernet/zlib polynomial.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Serialize one frame (header + payload + CRC). Throws std::length_error
+/// if the payload exceeds kMaxPayloadBytes -- senders must respect the
+/// cap they expect receivers to enforce.
+util::Bytes encode_frame(const Frame& frame);
+
+/// Incremental frame parser over an arbitrary chunking of the stream.
+/// feed() appends bytes; poll() yields at most one complete frame per
+/// call. Every validation failure latches the decoder (poll() keeps
+/// returning Failed with the same error) because the stream position can
+/// no longer be trusted.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  enum class Status : std::uint8_t {
+    NeedMore,  // no complete frame buffered yet
+    Ready,     // `out` holds the next frame
+    Failed,    // stream is broken; see error()
+  };
+
+  void feed(std::span<const std::uint8_t> bytes);
+
+  Status poll(Frame& out);
+
+  /// Declare end-of-stream: leftover bytes that never completed a frame
+  /// become a Truncated error. Idempotent.
+  void finish();
+
+  FrameError error() const { return error_; }
+  bool failed() const { return error_ != FrameError::None; }
+  std::size_t buffered() const { return buf_.size(); }
+  /// Frames successfully decoded so far.
+  std::uint64_t frames_decoded() const { return frames_; }
+
+ private:
+  Status fail(FrameError error) {
+    error_ = error;
+    return Status::Failed;
+  }
+
+  std::size_t max_payload_;
+  util::Bytes buf_;
+  FrameError error_ = FrameError::None;
+  bool finished_ = false;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace sdmmon::rpc
+
+#endif  // SDMMON_RPC_WIRE_HPP

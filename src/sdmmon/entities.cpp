@@ -51,6 +51,11 @@ WirePackage NetworkOperator::program_device(
   return seal_package(payload, keys_.priv, cert_, device_pub, drbg_);
 }
 
+util::Bytes NetworkOperator::sign(
+    std::span<const std::uint8_t> message) const {
+  return crypto::rsa_sign(keys_.priv, message);
+}
+
 const char* install_status_name(InstallStatus status) {
   switch (status) {
     case InstallStatus::Ok: return "ok";

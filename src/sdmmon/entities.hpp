@@ -80,6 +80,11 @@ class NetworkOperator {
   /// a real operator keeps this secret per SR3).
   std::uint32_t last_hash_param() const { return last_hash_param_; }
 
+  /// Sign an arbitrary message with the operator key -- used by the RPC
+  /// control-plane client to answer per-session auth challenges with the
+  /// same key the operator's certificate vouches for.
+  util::Bytes sign(std::span<const std::uint8_t> message) const;
+
  private:
   std::string name_;
   crypto::Drbg drbg_;

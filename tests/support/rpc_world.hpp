@@ -1,0 +1,70 @@
+// Shared fixture for the RPC control-plane suites: one seeded
+// three-entity world (manufacturer root, certified operator, provisioned
+// device) behind a running RpcServer on an ephemeral loopback port, with
+// helpers to mint sealed packages and authenticated client sessions.
+#ifndef SDMMON_TESTS_SUPPORT_RPC_WORLD_HPP
+#define SDMMON_TESTS_SUPPORT_RPC_WORLD_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "isa/assembler.hpp"
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
+#include "sdmmon/entities.hpp"
+#include "support/test_apps.hpp"
+#include "support/test_params.hpp"
+
+namespace sdmmon::testsupport {
+
+struct RpcWorld {
+  protocol::Manufacturer mfg;
+  protocol::NetworkOperator op;
+  std::unique_ptr<protocol::NetworkProcessorDevice> device;
+  obs::Registry registry;
+  rpc::DeviceHost host;
+  rpc::RpcServer server;
+  isa::Program binary;
+
+  explicit RpcWorld(const std::string& seed, std::size_t cores = 2,
+                    rpc::ServerOptions options = {})
+      : mfg("m-" + seed, kTestKeyBits, crypto::Drbg(seed + "-mfg")),
+        op("o-" + seed, kTestKeyBits, crypto::Drbg(seed + "-op")),
+        device(mfg.provision_device("np-" + seed, cores)),
+        host(*device, registry),
+        server(host, mfg.public_key(), std::move(options)),
+        binary(isa::assemble(kEchoApp)) {
+    op.accept_certificate(mfg.certify_operator(
+        op.name(), op.public_key(), kTestNow - 10, kTestNow + 1'000'000));
+  }
+
+  ~RpcWorld() { server.stop(); }
+
+  /// Seal a fresh package for the device (advances the operator's
+  /// sequence + parameter DRBG). NOT thread-safe -- mint packages on one
+  /// thread and hand the bytes to workers.
+  util::Bytes package_bytes() {
+    return op.program_device(binary, device->public_key()).serialize();
+  }
+
+  std::optional<rpc::RpcClient> connect() {
+    return rpc::RpcClient::connect(server.port());
+  }
+
+  /// Connect + authenticate with the operator's certificate and key.
+  std::optional<rpc::RpcClient> connect_authed(
+      std::uint64_t now = kTestNow) {
+    auto client = connect();
+    if (!client) return std::nullopt;
+    if (!client->authenticate(op.certificate().serialize(),
+                              op.sign(client->auth_message()), now)) {
+      return std::nullopt;
+    }
+    return client;
+  }
+};
+
+}  // namespace sdmmon::testsupport
+
+#endif  // SDMMON_TESTS_SUPPORT_RPC_WORLD_HPP

@@ -1,0 +1,208 @@
+// sdmmon-served: stand up one simulated NP device behind the RPC
+// control-plane server and keep its MPSoC under synthetic packet load
+// while operator sessions connect over TCP. A self-contained world --
+// manufacturer, operator certificate, device -- is derived from --seed,
+// so every run is reproducible.
+//
+//   sdmmon-served --port 4711 --cores 4 --duration-s 30
+//   sdmmon-served --selftest            # serve + exercise one client
+//
+// With --port 0 (default) an ephemeral port is chosen and printed.
+// Without --duration-s or --selftest the server runs until stdin closes.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "isa/assembler.hpp"
+#include "rpc/client.hpp"
+#include "rpc/server.hpp"
+#include "sdmmon/entities.hpp"
+#include "sdmmon/workload.hpp"
+#include "tool_util.hpp"
+
+namespace {
+
+using namespace sdmmon;
+using sdmmon::tools::Args;
+
+// Benign forwarding app so the pumped traffic exercises the monitored
+// cores (same echo handler the test suites use).
+constexpr const char* kEchoApp = R"(
+main:
+    li $t0, 0xFFFF0000
+    lw $t1, 0($t0)        # len
+    beqz $t1, drop
+    li $t2, 0x30000       # src
+    li $t3, 0x40000       # dst
+    move $t4, $zero       # i
+copy:
+    addu $t5, $t2, $t4
+    lbu $t6, 0($t5)
+    addu $t5, $t3, $t4
+    sb $t6, 0($t5)
+    addiu $t4, $t4, 1
+    bne $t4, $t1, copy
+    li $t0, 0xFFFF0004    # commit
+    sw $t1, 0($t0)
+drop:
+    jr $ra
+)";
+
+int run_selftest(std::uint16_t port, protocol::NetworkOperator& op,
+                 const isa::Program& binary,
+                 protocol::NetworkProcessorDevice& device,
+                 std::uint64_t now) {
+  auto client = rpc::RpcClient::connect(port);
+  if (!client) {
+    std::fprintf(stderr, "selftest: connect failed\n");
+    return 1;
+  }
+  std::printf("selftest: connected to device '%s'\n",
+              client->device_name().c_str());
+
+  auto pong = client->ping(42);
+  if (!pong || pong->nonce != 42) {
+    std::fprintf(stderr, "selftest: ping failed\n");
+    return 1;
+  }
+  std::printf("selftest: ping ok (packets=%llu sessions=%llu)\n",
+              (unsigned long long)pong->packets,
+              (unsigned long long)pong->sessions);
+
+  std::string detail;
+  if (!client->authenticate(op.certificate().serialize(),
+                            op.sign(client->auth_message()), now, &detail)) {
+    std::fprintf(stderr, "selftest: auth failed: %s\n", detail.c_str());
+    return 1;
+  }
+  std::printf("selftest: authenticated\n");
+
+  protocol::WirePackage wire = op.program_device(binary, device.public_key());
+  auto status = client->install(rpc::InstallPurpose::Rotate,
+                                wire.serialize(), now);
+  if (!status) {
+    std::fprintf(stderr, "selftest: install failed: %s\n",
+                 client->last_error().c_str());
+    return 1;
+  }
+  std::printf("selftest: install -> %s\n",
+              protocol::install_status_name(
+                  static_cast<protocol::InstallStatus>(*status)));
+
+  auto metrics = client->metrics();
+  if (!metrics || metrics->find("rpc.requests") == std::string::npos) {
+    std::fprintf(stderr, "selftest: metrics snapshot missing rpc.*\n");
+    return 1;
+  }
+  std::printf("selftest: metrics snapshot %zu bytes\n", metrics->size());
+
+  auto journal = client->journal(0);
+  if (!journal) {
+    std::fprintf(stderr, "selftest: journal poll failed\n");
+    return 1;
+  }
+  std::printf("selftest: journal %zu events (next cursor %llu)\n",
+              journal->events.size(),
+              (unsigned long long)journal->next_cursor);
+
+  client->goodbye();
+  std::printf("selftest: ok\n");
+  return 0;
+}
+
+int run(const Args& args) {
+  const std::string seed = args.get_or("seed", "served");
+  const std::size_t cores = std::stoul(args.get_or("cores", "4"));
+  const std::size_t bits = std::stoul(args.get_or("bits", "1024"));
+  const auto port =
+      static_cast<std::uint16_t>(std::stoul(args.get_or("port", "0")));
+  const std::uint64_t duration_s =
+      std::stoull(args.get_or("duration-s", "0"));
+  const bool selftest = args.has("selftest");
+  const std::uint64_t now = 1'000'000;
+
+  // The three-entity world, derived from the seed.
+  protocol::Manufacturer mfg("manufacturer", bits,
+                             crypto::Drbg(seed + "-mfg"));
+  protocol::NetworkOperator op("operator", bits, crypto::Drbg(seed + "-op"));
+  op.accept_certificate(
+      mfg.certify_operator("operator", op.public_key(), 0, now * 4));
+  auto device = mfg.provision_device("np0", cores);
+
+  // Pre-install the echo app so pumped traffic is meaningful from the
+  // first packet; later installs arrive over RPC.
+  isa::Program binary = isa::assemble(kEchoApp);
+  protocol::WirePackage first =
+      op.program_device(binary, device->public_key());
+  protocol::InstallStatus installed =
+      device->install_bytes(first.serialize(), now);
+  if (installed != protocol::InstallStatus::Ok) {
+    std::fprintf(stderr, "initial install failed: %s\n",
+                 protocol::install_status_name(installed));
+    return 1;
+  }
+
+  obs::Registry registry;
+  rpc::DeviceHost host(*device, registry);
+  rpc::ServerOptions options;
+  options.port = port;
+  options.challenge_seed = seed + "-challenge";
+  rpc::RpcServer server(host, mfg.public_key(), options);
+  if (!server.start()) {
+    std::fprintf(stderr, "cannot bind 127.0.0.1:%u\n", (unsigned)port);
+    return 1;
+  }
+  std::printf("serving device 'np0' (%zu cores) on 127.0.0.1:%u\n", cores,
+              (unsigned)server.port());
+  std::fflush(stdout);
+
+  // Data-plane load: pump deterministic mixed traffic in batches until
+  // asked to stop, yielding between batches so control requests never
+  // starve behind the device lock.
+  std::atomic<bool> stop{false};
+  std::thread pump([&] {
+    protocol::MixedWorkloadConfig config;
+    config.seed = 0x5EED;
+    protocol::MixedWorkload workload(config);
+    std::uint64_t index = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<protocol::WorkItem> batch = workload.generate(index, 256);
+      host.pump(batch);
+      index += batch.size();
+      std::this_thread::yield();
+    }
+  });
+
+  int rc = 0;
+  if (selftest) {
+    rc = run_selftest(server.port(), op, binary, *device, now);
+  } else if (duration_s > 0) {
+    std::this_thread::sleep_for(std::chrono::seconds(duration_s));
+  } else {
+    // Serve until stdin closes (Ctrl-D or the parent closing the pipe).
+    std::printf("serving until stdin closes...\n");
+    std::fflush(stdout);
+    for (int c = std::getchar(); c != EOF; c = std::getchar()) {
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  pump.join();
+  server.stop();
+  std::printf("served %llu sessions, pumped %llu packets\n",
+              (unsigned long long)server.sessions_served(),
+              (unsigned long long)host.packets());
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(Args::parse(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sdmmon-served: %s\n", e.what());
+    return 1;
+  }
+}
