@@ -1,11 +1,13 @@
-// Extension experiment X1c: install-time predecoded program artifact vs
-// the word-at-a-time interpreter, end to end. Same packets, same apps,
-// same monitor; the only difference is whether Core::step() re-decodes
-// (and the monitor re-hashes) every retired instruction or fetches the
-// predecoded op and its precomputed hash from the shared CompiledProgram.
-// The interpreter survives as the differential oracle, so this bench is
-// also a cheap behavioral-equivalence check: both configurations must
-// produce identical packet outcomes and instruction counts.
+// Extension experiment X1c: the three execution tiers of
+// docs/EXECUTION.md, end to end. Same packets, same apps, same monitor;
+// the only difference is the dispatch granularity -- word-at-a-time
+// interpretation, predecoded per-op dispatch (shared CompiledProgram
+// artifact, precomputed monitor hashes), or block-fused superop runs
+// (whole pure runs retired per dispatch, the monitor fed one
+// precomputed hash slice per run). The interpreter survives as the
+// differential oracle, so this bench is also a cheap
+// behavioral-equivalence check: all three configurations must produce
+// identical packet outcomes and instruction counts.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -56,11 +58,29 @@ double time_raw(np::Core& core, const std::vector<util::Bytes>& packets) {
   return static_cast<double>(core.cycles() - before) / seconds / 1e6;
 }
 
+// The three tiers, selected via the two sticky core toggles.
+enum class Tier { Interp, Predec, Fused };
+
+void select_tier(np::Core& core, Tier tier) {
+  core.set_predecode_enabled(tier != Tier::Interp);
+  core.set_block_fuse_enabled(tier == Tier::Fused);
+}
+
+bool same_delta(const np::CoreStats& before, const np::CoreStats& after,
+                const np::CoreStats& first) {
+  return after.forwarded - before.forwarded == first.forwarded &&
+         after.dropped - before.dropped == first.dropped &&
+         after.attacks_detected - before.attacks_detected ==
+             first.attacks_detected &&
+         after.traps - before.traps == first.traps &&
+         after.instructions - before.instructions == first.instructions;
+}
+
 }  // namespace
 
 int main() {
   bench::heading(
-      "X1c: predecoded program artifact vs word-at-a-time interpreter");
+      "X1c: block-fused / predecoded / interpreted execution tiers");
 
   AppCase apps[] = {
       {"ipv4-forward", net::build_ipv4_forward()},
@@ -77,13 +97,15 @@ int main() {
   report.set_meta("packets", kPackets);
   report.set_meta("reps", kReps);
 
-  std::printf("%-20s %12s %12s %9s %13s %13s\n", "app", "interp kpps",
-              "predec kpps", "speedup", "raw int M/s", "raw pre M/s");
-  bench::rule(84);
+  std::printf("%-18s %10s %10s %10s %8s %8s %9s %9s %9s\n", "app",
+              "int kpps", "pre kpps", "fus kpps", "pre/int", "fus/pre",
+              "raw int", "raw pre", "raw fus");
+  bench::rule(98);
 
   bool wired_ok = true;
   bool behavior_ok = true;
   double log_speedup_sum = 0.0;
+  double log_fused_sum = 0.0;
   for (auto& app : apps) {
     monitor::MerkleTreeHash hash(0xBEEFCAFE);
     auto graph = monitor::extract_graph(app.program, hash);
@@ -92,95 +114,120 @@ int main() {
     core.install(app.program, graph,
                  std::make_unique<monitor::MerkleTreeHash>(hash));
     wired_ok = wired_ok && core.core().compiled_program() != nullptr &&
-               core.core().predecode_live();
+               core.core().predecode_live() &&
+               core.core().block_fuse_live() &&
+               core.core().compiled_program()->num_fused_runs() > 0;
 
     net::TrafficGenerator gen;
     std::vector<util::Bytes> packets;
     packets.reserve(static_cast<std::size_t>(kPackets));
     for (int i = 0; i < kPackets; ++i) packets.push_back(gen.next().packet);
 
-    // Warm both configurations once, then interleave best-of-N reps:
+    // Warm each configuration once, then interleave best-of-N reps:
     // the windows are tens of milliseconds, so keeping each side's best
     // measures engine capability rather than scheduler interference.
-    core.core().set_predecode_enabled(false);
+    // Oracle check on the warm passes: all three tiers process identical
+    // packets -- outcome and instruction deltas must be identical.
+    select_tier(core.core(), Tier::Interp);
     (void)time_packets(core, packets);
     const np::CoreStats interp_stats = core.stats();
-    core.core().set_predecode_enabled(true);
+    select_tier(core.core(), Tier::Predec);
     (void)time_packets(core, packets);
     const np::CoreStats predec_stats = core.stats();
-    // Oracle check: the warm passes processed identical packets through
-    // both engines -- outcome and instruction deltas must be identical.
-    behavior_ok =
-        behavior_ok &&
-        interp_stats.forwarded * 2 == predec_stats.forwarded &&
-        interp_stats.dropped * 2 == predec_stats.dropped &&
-        interp_stats.attacks_detected * 2 == predec_stats.attacks_detected &&
-        interp_stats.traps * 2 == predec_stats.traps &&
-        interp_stats.instructions * 2 == predec_stats.instructions;
+    select_tier(core.core(), Tier::Fused);
+    (void)time_packets(core, packets);
+    const np::CoreStats fused_stats = core.stats();
+    behavior_ok = behavior_ok &&
+                  same_delta(interp_stats, predec_stats, interp_stats) &&
+                  same_delta(predec_stats, fused_stats, interp_stats);
 
-    double interp_kpps = 0.0, predec_kpps = 0.0;
+    double interp_kpps = 0.0, predec_kpps = 0.0, fused_kpps = 0.0;
     for (int rep = 0; rep < kReps; ++rep) {
-      core.core().set_predecode_enabled(false);
+      select_tier(core.core(), Tier::Interp);
       interp_kpps = std::max(interp_kpps, time_packets(core, packets));
-      core.core().set_predecode_enabled(true);
+      select_tier(core.core(), Tier::Predec);
       predec_kpps = std::max(predec_kpps, time_packets(core, packets));
+      select_tier(core.core(), Tier::Fused);
+      fused_kpps = std::max(fused_kpps, time_packets(core, packets));
     }
     const double speedup = predec_kpps / interp_kpps;
+    const double fused_speedup = fused_kpps / predec_kpps;
     log_speedup_sum += std::log(speedup);
+    log_fused_sum += std::log(fused_speedup);
 
-    // Raw core, no monitor: the superblock stepper's ceiling.
+    // Raw core, no monitor: each tier's unmonitored ceiling.
     np::Core raw;
     raw.load_program(app.program, core.core().compiled_program());
-    double raw_interp = 0.0, raw_predec = 0.0;
-    raw.set_predecode_enabled(false);
-    (void)time_raw(raw, packets);
-    raw.set_predecode_enabled(true);
-    (void)time_raw(raw, packets);
+    double raw_interp = 0.0, raw_predec = 0.0, raw_fused = 0.0;
+    for (Tier t : {Tier::Interp, Tier::Predec, Tier::Fused}) {
+      select_tier(raw, t);
+      (void)time_raw(raw, packets);
+    }
     for (int rep = 0; rep < kReps; ++rep) {
-      raw.set_predecode_enabled(false);
+      select_tier(raw, Tier::Interp);
       raw_interp = std::max(raw_interp, time_raw(raw, packets));
-      raw.set_predecode_enabled(true);
+      select_tier(raw, Tier::Predec);
       raw_predec = std::max(raw_predec, time_raw(raw, packets));
+      select_tier(raw, Tier::Fused);
+      raw_fused = std::max(raw_fused, time_raw(raw, packets));
     }
 
-    std::printf("%-20s %12.1f %12.1f %8.2fx %13.1f %13.1f\n", app.name,
-                interp_kpps, predec_kpps, speedup, raw_interp, raw_predec);
+    std::printf("%-18s %10.1f %10.1f %10.1f %7.2fx %7.2fx %9.1f %9.1f %9.1f\n",
+                app.name, interp_kpps, predec_kpps, fused_kpps, speedup,
+                fused_speedup, raw_interp, raw_predec, raw_fused);
     report.add_row({{"app", app.name},
                     {"interp_kpps", interp_kpps},
                     {"predecoded_kpps", predec_kpps},
+                    {"fused_kpps", fused_kpps},
                     {"speedup", speedup},
+                    {"fused_speedup", fused_speedup},
                     {"raw_interp_minstr_s", raw_interp},
                     {"raw_predecoded_minstr_s", raw_predec},
-                    {"raw_speedup", raw_predec / raw_interp}});
+                    {"raw_fused_minstr_s", raw_fused},
+                    {"raw_speedup", raw_predec / raw_interp},
+                    {"raw_fused_speedup", raw_fused / raw_predec}});
   }
-  bench::rule(84);
+  bench::rule(98);
   const double geo_speedup =
       std::exp(log_speedup_sum / static_cast<double>(std::size(apps)));
+  const double geo_fused =
+      std::exp(log_fused_sum / static_cast<double>(std::size(apps)));
   report.set_meta("speedup", geo_speedup);
-  std::printf("  geometric-mean monitored speedup: %.2fx\n", geo_speedup);
-  bench::note("interp/predec kpps: full monitored process_packet() path");
-  bench::note("(soft reset, MMIO, per-retired-instruction monitor check);");
-  bench::note("raw M/s: unmonitored Core::run() -- the superblock stepper");
-  bench::note("vs the interpreter, million executed instructions per second.");
+  report.set_meta("fused_speedup", geo_fused);
+  std::printf("  geometric-mean monitored speedup: predecode/interp %.2fx, "
+              "fused/predecode %.2fx\n",
+              geo_speedup, geo_fused);
+  bench::note("kpps columns: full monitored process_packet() path per tier");
+  bench::note("(soft reset, MMIO, monitor fed per-op or per-run slices);");
+  bench::note("raw M/s: unmonitored Core::run() per tier, million executed");
+  bench::note("instructions per second (fused = superop block dispatch).");
   report.write();
 
   if (!wired_ok) {
     std::fprintf(stderr,
-                 "FAIL: predecoded artifact not attached/live after install\n");
+                 "FAIL: predecoded/fused artifact not attached/live after "
+                 "install\n");
     return 1;
   }
   if (!behavior_ok) {
     std::fprintf(stderr,
-                 "FAIL: predecoded and interpreted runs diverged "
-                 "(outcome/instruction deltas differ)\n");
+                 "FAIL: execution tiers diverged (outcome/instruction "
+                 "deltas differ)\n");
     return 1;
   }
-  // Acceptance criterion (full budget only; quick mode is a wiring
+  // Acceptance criteria (full budget only; quick mode is a wiring
   // check on CI-class machines where timing is meaningless).
   if (!bench::quick_mode() && geo_speedup < 2.0) {
     std::fprintf(stderr,
                  "FAIL: predecoded speedup %.2fx below the 2x criterion\n",
                  geo_speedup);
+    return 1;
+  }
+  if (!bench::quick_mode() && geo_fused < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: fused speedup %.2fx over predecode below the 2x "
+                 "criterion\n",
+                 geo_fused);
     return 1;
   }
   return 0;

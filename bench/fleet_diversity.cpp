@@ -22,6 +22,9 @@ int main() {
   bench::note("1000 routers, brute-force attacker crafts against router 0,");
   bench::note("then replays fleet-wide. attack length = injected instrs.");
 
+  bench::BenchReport report("fleet_diversity");
+  report.set_meta("routers", 1000);
+
   struct Scenario {
     const char* name;
     bool diversified;
@@ -47,6 +50,13 @@ int main() {
       config.attack_len = attack_len;
       config.seed = 2014 + static_cast<std::uint64_t>(attack_len);
       FleetResult r = simulate_fleet(config);
+      report.add_row({{"section", "containment"},
+                      {"attack_len", attack_len},
+                      {"fleet", s.name},
+                      {"craft_succeeded", r.craft_succeeded},
+                      {"compromised", static_cast<std::uint64_t>(r.compromised)},
+                      {"craft_probes",
+                       static_cast<std::uint64_t>(r.probes_on_victim)}});
       if (!r.craft_succeeded) {
         std::printf("  %-44s %12s %14llu\n", s.name, "craft failed",
                     (unsigned long long)r.probes_on_victim);
@@ -85,6 +95,12 @@ int main() {
       ++idx;
     }
     double analytic = std::pow(16.0, attack_len);
+    report.add_row({{"section", "craft_cost"},
+                    {"attack_len", attack_len},
+                    {"per_instr_probes", probes[0]},
+                    {"whole_seq_probes", probes[1]},
+                    {"analytic_16_pow_l", analytic},
+                    {"all_crafts_succeeded", all_ok}});
     std::printf("  %-10d %18.0f %17.0f%s %14.3g\n", attack_len, probes[0],
                 probes[1], all_ok ? "" : "*", analytic);
   }
@@ -104,5 +120,6 @@ int main() {
       "  * realistic (whole-sequence) brute force costs ~16^L probes, so\n"
       "    longer meaningful attacks are infeasible to craft blindly\n"
       "    (paper Sec 2.1/3.2).\n");
+  report.write();
   return 0;
 }

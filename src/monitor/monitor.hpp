@@ -119,6 +119,60 @@ class HardwareMonitor {
     return step_list(hashed);
   }
 
+  /// Block-granular feed: consume `n` precomputed hashes (one fused
+  /// run's slice of CompiledProgram::hash_lane_data()) in order, with
+  /// cumulative stats, peak-width tracking, and verdicts bit-identical
+  /// to n successive on_hashed() calls. When `stop_on_mismatch` is set
+  /// the walk stops at the first Mismatch and returns its index (the
+  /// count of Ok hashes before it); otherwise every hash is consumed --
+  /// mismatches latch the attack flag exactly like on_hashed -- and n
+  /// is returned. The steady state (slice form, single-successor fast
+  /// table hits) runs as a tight register-resident loop with deferred
+  /// stat accumulation; anything else falls back to the per-hash path
+  /// mid-slice, so the two feeds can never diverge.
+  std::size_t advance(const std::uint8_t* hashes, std::size_t n,
+                      bool stop_on_mismatch) {
+    std::size_t i = 0;
+    if (!attack_flagged_) {
+      std::uint32_t node = slice_node_;
+      std::size_t live = live_count_;
+      std::size_t peak = peak_state_size_;
+      std::uint64_t consumed = 0;
+      std::uint64_t accum = 0;
+      while (i < n && node != kNoSlice) {
+        const std::uint8_t hashed = hashes[i];
+        if (hashed >= bucket_count_) break;
+        const std::uint32_t v = fast_next_[(node << hash_shift_) | hashed];
+        if (v >= CompiledGraph::kFastMulti) break;
+        // Stats mirror on_hashed: counted and width-sampled *before*
+        // the transition, using the pre-step tracked-set size.
+        ++consumed;
+        accum += live;
+        if (live > peak) peak = live;
+        node = v;
+        live = succ_count_[v];
+        ++i;
+      }
+      stats_.instructions_checked += consumed;
+      stats_.state_size_accum += accum;
+      peak_state_size_ = peak;
+      if (consumed != 0) {
+        slice_node_ = node;
+        live_count_ = live;
+        exit_allowed_ = node_exit_[node] != 0;
+      }
+    }
+    // Slow tail: mismatches, multi-match steps, list form, out-of-range
+    // reports, and the latched-attack case all replay through the exact
+    // per-hash reference path.
+    for (; i < n; ++i) {
+      if (on_hashed(hashes[i]) == Verdict::Mismatch && stop_on_mismatch) {
+        return i;
+      }
+    }
+    return n;
+  }
+
   /// True if the handler may legitimately finish now (the last matched
   /// instruction was exit-capable, or nothing executed yet).
   bool exit_allowed() const { return exit_allowed_; }

@@ -1,8 +1,27 @@
 #include "np/compiled_program.hpp"
 
+#include <chrono>
+
 #include "monitor/analysis.hpp"
 
 namespace sdmmon::np {
+
+bool CompiledProgram::fusible_op(isa::Op op) {
+  // Block-body ops: ALU (including overflow-trapping Add/Addi/Sub),
+  // loads, and stores. The execute-first fused schedule handles their
+  // trap and MMIO cases by stopping the batch before the offending op,
+  // so unlike the original pure-run fusion nothing here needs to be
+  // trap-free. Excluded: control flow (ends the block) and
+  // Syscall/Break (Trap class -- also ends the block).
+  switch (isa::op_class(op)) {
+    case isa::OpClass::Alu:
+    case isa::OpClass::Load:
+    case isa::OpClass::Store:
+      return true;
+    default:
+      return false;
+  }
+}
 
 std::shared_ptr<const CompiledProgram> CompiledProgram::compile(
     const isa::Program& program, const monitor::InstructionHash& hash) {
@@ -57,6 +76,46 @@ std::shared_ptr<const CompiledProgram> CompiledProgram::compile(
     }
     if (block_end) op.flags |= kBlockEnd;
   }
+
+  // Fusion pass: fold the per-op hashes into a contiguous lane and
+  // compute, per op, the length of the maximal fusible run (block body)
+  // starting there (suffix scan; a run never crosses a block end, so
+  // the superop executor retires at most one basic block per dispatch).
+  const auto fuse_start = std::chrono::steady_clock::now();
+  compiled->hash_lane_.resize(n);
+  compiled->fused_run_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    compiled->hash_lane_[i] = compiled->ops_[i].mhash;
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    const PreOp& op = compiled->ops_[i];
+    if (!(op.flags & kDecoded) || !fusible_op(op.instr.op)) {
+      compiled->fused_run_[i] = 0;
+      continue;
+    }
+    std::uint32_t run = 1;
+    if (!(op.flags & kBlockEnd) && i + 1 < n) {
+      run += compiled->fused_run_[i + 1];
+      if (run > 255) run = 255;
+    }
+    compiled->fused_run_[i] = static_cast<std::uint8_t>(run);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (compiled->fused_run_[i] == 0) continue;
+    // A maximal run starts at i when no run covers i from the left.
+    const bool covered =
+        i > 0 && compiled->fused_run_[i - 1] != 0 &&
+        !(compiled->ops_[i - 1].flags & kBlockEnd) &&
+        compiled->fused_run_[i - 1] != 255;
+    if (!covered) {
+      ++compiled->num_fused_runs_;
+    }
+    ++compiled->num_fused_ops_;
+  }
+  compiled->fuse_build_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - fuse_start)
+          .count());
   return compiled;
 }
 

@@ -26,6 +26,27 @@
 // text. Undecodable words predecode to a trapping op (kDecoded clear),
 // never undefined behavior -- executing one raises Trap::DecodeFault
 // exactly as the interpreter would.
+//
+// Block fusion (docs/EXECUTION.md): on top of the per-op tables the
+// compile pass folds each basic block's *body* -- the maximal
+// straight-line stretch of decoded non-control-flow ops (ALU, loads,
+// stores; everything that either retires to pc+4 or raises a trap) --
+// into two parallel install-time tables:
+//   * hash_lane_[i]: the precomputed monitor hash of op i, contiguous,
+//     so a whole block's hashes feed HardwareMonitor::advance() as one
+//     slice instead of one on_hashed() call per instruction;
+//   * fused_run_[i]: the length of the maximal fusible run starting at
+//     op i (0 when op i is not fusible), truncated at the block end, so
+//     the core's superop executor (Core::exec_fused_run) retires the
+//     block body in one computed-goto dispatch loop.
+// Fusible ops may trap (overflow, MemFault) and may touch memory, so
+// the fused schedule is execute-first: the executor stops *before* any
+// op that would trap or touch MMIO and stops *after* a store that
+// dirties the predecoded text, then reports exactly how many ops
+// retired; MonitoredCore feeds the monitor precisely that many hashes.
+// That makes the fused schedule bit-identical to the interpreted
+// interleaving (the equivalence argument lives in docs/EXECUTION.md
+// and is enforced by tests/core_fuse_diff_test).
 #ifndef SDMMON_NP_COMPILED_PROGRAM_HPP
 #define SDMMON_NP_COMPILED_PROGRAM_HPP
 
@@ -81,6 +102,36 @@ class CompiledProgram {
   /// Raw op array for the core's cached-pointer hot path.
   const PreOp* ops_data() const { return ops_.data(); }
 
+  /// True for ops the fused executor may attempt in a batch: decoded
+  /// block-body ops (ALU, load, store classes). Fusible ops either
+  /// retire to pc+4 or stop the batch (would-trap, MMIO access); only
+  /// control flow and syscall/break are excluded, and those end the
+  /// block anyway. The static contract Core::exec_fused_run relies on.
+  static bool fusible_op(isa::Op op);
+
+  /// Contiguous per-op monitor hashes (hash_lane_[i] == ops_[i].mhash):
+  /// the precomputed hash slice MonitoredCore feeds to
+  /// HardwareMonitor::advance() one fused run at a time.
+  const std::uint8_t* hash_lane_data() const { return hash_lane_.data(); }
+
+  /// fused_run_data()[i] = length of the maximal fusible run starting
+  /// at op i (see fusible_op), truncated at the basic-block end and
+  /// capped at 255; 0 when op i itself is not fusible. Indexed by
+  /// (pc - base)/4 exactly like ops_data(), so mid-block entry
+  /// (jr/jalr into a block interior) fuses the remaining suffix
+  /// naturally.
+  const std::uint8_t* fused_run_data() const { return fused_run_.data(); }
+
+  /// Maximal fused runs in the artifact / ops covered by them (the
+  /// np.engine.fused_runs / np.engine.fused_ops install gauges).
+  std::size_t num_fused_runs() const { return num_fused_runs_; }
+  std::size_t num_fused_ops() const { return num_fused_ops_; }
+
+  /// Wall-clock cost of building the fusion tables inside compile()
+  /// (the np.core.block_fuse_ns install histogram) -- the slice of
+  /// predecode_ns attributable to fusion.
+  std::uint64_t fuse_build_ns() const { return fuse_build_ns_; }
+
   /// Precomputed monitor hash of the instruction at `pc`. Returns false
   /// when `pc` is outside (or misaligned within) the predecoded text --
   /// the caller falls back to hashing the fetched word.
@@ -94,7 +145,8 @@ class CompiledProgram {
   /// Bytes of flat predecoded state (the np.engine.compiled_program_bytes
   /// gauge). Excludes the retained source program, which is cold.
   std::size_t footprint_bytes() const {
-    return ops_.size() * sizeof(PreOp);
+    return ops_.size() * sizeof(PreOp) + hash_lane_.size() +
+           fused_run_.size();
   }
 
   /// The program this artifact was predecoded from (what gets signed,
@@ -108,9 +160,14 @@ class CompiledProgram {
   std::uint32_t text_base_ = 0;
   std::uint32_t text_bytes_ = 0;
   std::size_t num_blocks_ = 0;
+  std::size_t num_fused_runs_ = 0;
+  std::size_t num_fused_ops_ = 0;
+  std::uint64_t fuse_build_ns_ = 0;
   int hash_width_ = 0;
   std::string hash_name_;
   std::vector<PreOp> ops_;
+  std::vector<std::uint8_t> hash_lane_;  // mhash per op, contiguous
+  std::vector<std::uint8_t> fused_run_;  // fused-run length per op
 };
 
 }  // namespace sdmmon::np

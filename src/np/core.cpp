@@ -55,6 +55,9 @@ void Core::update_predecode_live() {
     pre_base_ = 0;
     pre_text_bytes_ = 0;
   }
+  pre_run_ = (pre_ops_ != nullptr && fuse_enabled_)
+                 ? compiled_->fused_run_data()
+                 : nullptr;
 }
 
 void Core::reset() {
@@ -438,10 +441,611 @@ StepInfo Core::exec(const Instr& in, StepInfo info) {
   return info;
 }
 
+std::uint64_t Core::exec_fused_run(std::uint64_t n) {
+  // Preconditions (caller holds a length from fused_run_len()): the
+  // fused fast path is live, pc is aligned inside the artifact, every
+  // one of the n ops is decoded and fusible (block-body: ALU, load,
+  // store), and the watchdog budget has at least n cycles of slack.
+  // Execute-first batch: each op either retires or stops the batch --
+  //   * would-trap (signed overflow, MemFault) and MMIO-range accesses
+  //     stop BEFORE the op (it does not retire; pc lands on it and the
+  //     caller's per-op path re-derives the authoritative event);
+  //   * a store into the predecoded text stops AFTER the op (it
+  //     retires; everything later would execute stale predecode).
+  // All accounting (mix/cycles/pc, hi/lo) is deferred to the epilogue
+  // and covers exactly the retired prefix -- bit-identical to that many
+  // step() calls, because step() also counts at entry and a stopped op
+  // has not entered yet.
+  const CompiledProgram::PreOp* const begin =
+      pre_ops_ + ((pc_ - pre_base_) >> 2);
+  const CompiledProgram::PreOp* op = begin;
+  const CompiledProgram::PreOp* const end = begin + n;
+  std::uint32_t* const regs = regs_.data();
+  std::uint32_t hi = hi_;
+  std::uint32_t lo = lo_;
+  std::uint64_t alu = 0;
+  std::uint64_t muldiv = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  bool dirtied = false;
+
+#if defined(__GNUC__) || defined(__clang__)
+  // Direct-threaded dispatch (labels-as-values): each superop body jumps
+  // straight to the next op's body, no per-op loop branch or switch.
+  // Non-fusible ops map to &&bad -- unreachable when the precondition
+  // holds; hitting it retires only the ops executed so far.
+  static const void* const kDispatch[isa::kNumOps] = {
+      &&do_sll,  &&do_srl,   &&do_sra,  &&do_sllv,  // Sll Srl Sra Sllv
+      &&do_srlv, &&do_srav,  &&bad,     &&bad,      // Srlv Srav Jr Jalr
+      &&bad,     &&bad,      &&do_mfhi, &&do_mflo,  // Syscall Break Mfhi Mflo
+      &&do_mult, &&do_multu, &&do_div,  &&do_divu,  // Mult Multu Div Divu
+      &&do_add,  &&do_addu,  &&do_sub,  &&do_subu,  // Add Addu Sub Subu
+      &&do_and,  &&do_or,    &&do_xor,  &&do_nor,   // And Or Xor Nor
+      &&do_slt,  &&do_sltu,  &&bad,     &&bad,      // Slt Sltu Beq Bne
+      &&bad,     &&bad,      &&do_addi, &&do_addiu, // Blez Bgtz Addi Addiu
+      &&do_slti, &&do_sltiu, &&do_andi, &&do_ori,   // Slti Sltiu Andi Ori
+      &&do_xori, &&do_lui,   &&do_lb,   &&do_lh,    // Xori Lui Lb Lh
+      &&do_lw,   &&do_lbu,   &&do_lhu,  &&do_sb,    // Lw Lbu Lhu Sb
+      &&do_sh,   &&do_sw,    &&bad,     &&bad,      // Sh Sw J Jal
+  };
+  const isa::Instr* in = &op->instr;
+
+#define SDMMON_FUSE_NEXT()                                \
+  do {                                                    \
+    if (++op == end) goto done;                           \
+    in = &op->instr;                                      \
+    goto* kDispatch[static_cast<unsigned>(in->op)];       \
+  } while (0)
+
+  goto* kDispatch[static_cast<unsigned>(in->op)];
+
+do_sll:
+  if (in->rd) regs[in->rd] = regs[in->rt] << in->shamt;
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_srl:
+  if (in->rd) regs[in->rd] = regs[in->rt] >> in->shamt;
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_sra:
+  if (in->rd) {
+    regs[in->rd] = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(regs[in->rt]) >> in->shamt);
+  }
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_sllv:
+  if (in->rd) regs[in->rd] = regs[in->rt] << (regs[in->rs] & 31);
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_srlv:
+  if (in->rd) regs[in->rd] = regs[in->rt] >> (regs[in->rs] & 31);
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_srav:
+  if (in->rd) {
+    regs[in->rd] = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(regs[in->rt]) >> (regs[in->rs] & 31));
+  }
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_mfhi:
+  if (in->rd) regs[in->rd] = hi;
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_mflo:
+  if (in->rd) regs[in->rd] = lo;
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_mult: {
+  const std::int64_t prod =
+      static_cast<std::int64_t>(static_cast<std::int32_t>(regs[in->rs])) *
+      static_cast<std::int32_t>(regs[in->rt]);
+  lo = static_cast<std::uint32_t>(prod);
+  hi = static_cast<std::uint32_t>(static_cast<std::uint64_t>(prod) >> 32);
+  ++muldiv;
+  SDMMON_FUSE_NEXT();
+}
+do_multu: {
+  const std::uint64_t prod =
+      static_cast<std::uint64_t>(regs[in->rs]) * regs[in->rt];
+  lo = static_cast<std::uint32_t>(prod);
+  hi = static_cast<std::uint32_t>(prod >> 32);
+  ++muldiv;
+  SDMMON_FUSE_NEXT();
+}
+do_div: {
+  const std::int32_t a = static_cast<std::int32_t>(regs[in->rs]);
+  const std::int32_t b = static_cast<std::int32_t>(regs[in->rt]);
+  if (b != 0) {
+    lo = static_cast<std::uint32_t>(a / b);
+    hi = static_cast<std::uint32_t>(a % b);
+  }
+  ++muldiv;
+  SDMMON_FUSE_NEXT();
+}
+do_divu:
+  if (regs[in->rt] != 0) {
+    lo = regs[in->rs] / regs[in->rt];
+    hi = regs[in->rs] % regs[in->rt];
+  }
+  ++muldiv;
+  SDMMON_FUSE_NEXT();
+do_addu:
+  if (in->rd) regs[in->rd] = regs[in->rs] + regs[in->rt];
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_subu:
+  if (in->rd) regs[in->rd] = regs[in->rs] - regs[in->rt];
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_and:
+  if (in->rd) regs[in->rd] = regs[in->rs] & regs[in->rt];
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_or:
+  if (in->rd) regs[in->rd] = regs[in->rs] | regs[in->rt];
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_xor:
+  if (in->rd) regs[in->rd] = regs[in->rs] ^ regs[in->rt];
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_nor:
+  if (in->rd) regs[in->rd] = ~(regs[in->rs] | regs[in->rt]);
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_slt:
+  if (in->rd) {
+    regs[in->rd] = static_cast<std::int32_t>(regs[in->rs]) <
+                           static_cast<std::int32_t>(regs[in->rt])
+                       ? 1u
+                       : 0u;
+  }
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_sltu:
+  if (in->rd) regs[in->rd] = regs[in->rs] < regs[in->rt] ? 1u : 0u;
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_addiu:
+  if (in->rt) regs[in->rt] = regs[in->rs] + static_cast<std::uint32_t>(in->imm);
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_slti:
+  if (in->rt) {
+    regs[in->rt] = static_cast<std::int32_t>(regs[in->rs]) < in->imm ? 1u : 0u;
+  }
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_sltiu:
+  if (in->rt) {
+    regs[in->rt] =
+        regs[in->rs] < static_cast<std::uint32_t>(in->imm) ? 1u : 0u;
+  }
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_andi:
+  if (in->rt) {
+    regs[in->rt] = regs[in->rs] & (static_cast<std::uint32_t>(in->imm) & 0xFFFFu);
+  }
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_ori:
+  if (in->rt) {
+    regs[in->rt] = regs[in->rs] | (static_cast<std::uint32_t>(in->imm) & 0xFFFFu);
+  }
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_xori:
+  if (in->rt) {
+    regs[in->rt] = regs[in->rs] ^ (static_cast<std::uint32_t>(in->imm) & 0xFFFFu);
+  }
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_lui:
+  if (in->rt) {
+    regs[in->rt] = (static_cast<std::uint32_t>(in->imm) & 0xFFFFu) << 16;
+  }
+  ++alu;
+  SDMMON_FUSE_NEXT();
+do_add: {
+  const std::uint32_t a = regs[in->rs];
+  const std::uint32_t b = regs[in->rt];
+  const std::uint32_t sum = a + b;
+  if (~(a ^ b) & (a ^ sum) & 0x8000'0000u) goto done;  // would overflow
+  if (in->rd) regs[in->rd] = sum;
+  ++alu;
+  SDMMON_FUSE_NEXT();
+}
+do_sub: {
+  const std::uint32_t a = regs[in->rs];
+  const std::uint32_t b = regs[in->rt];
+  const std::uint32_t diff = a - b;
+  if ((a ^ b) & (a ^ diff) & 0x8000'0000u) goto done;  // would overflow
+  if (in->rd) regs[in->rd] = diff;
+  ++alu;
+  SDMMON_FUSE_NEXT();
+}
+do_addi: {
+  const std::uint32_t a = regs[in->rs];
+  const std::uint32_t simm = static_cast<std::uint32_t>(in->imm);
+  const std::uint32_t sum = a + simm;
+  if (~(a ^ simm) & (a ^ sum) & 0x8000'0000u) goto done;  // would overflow
+  if (in->rt) regs[in->rt] = sum;
+  ++alu;
+  SDMMON_FUSE_NEXT();
+}
+do_lb: {
+  const std::uint32_t addr =
+      regs[in->rs] + static_cast<std::uint32_t>(in->imm);
+  if (addr >= kMmioBase) goto done;  // MMIO read: per-op path
+  const auto v = mem_.load8(addr);
+  if (!v) goto done;  // would MemFault
+  if (in->rt) {
+    regs[in->rt] = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(static_cast<std::int8_t>(*v)));
+  }
+  ++loads;
+  SDMMON_FUSE_NEXT();
+}
+do_lbu: {
+  const std::uint32_t addr =
+      regs[in->rs] + static_cast<std::uint32_t>(in->imm);
+  if (addr >= kMmioBase) goto done;
+  const auto v = mem_.load8(addr);
+  if (!v) goto done;
+  if (in->rt) regs[in->rt] = *v;
+  ++loads;
+  SDMMON_FUSE_NEXT();
+}
+do_lh: {
+  const std::uint32_t addr =
+      regs[in->rs] + static_cast<std::uint32_t>(in->imm);
+  if (addr >= kMmioBase) goto done;
+  const auto v = mem_.load16(addr);
+  if (!v) goto done;
+  if (in->rt) {
+    regs[in->rt] = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(static_cast<std::int16_t>(*v)));
+  }
+  ++loads;
+  SDMMON_FUSE_NEXT();
+}
+do_lhu: {
+  const std::uint32_t addr =
+      regs[in->rs] + static_cast<std::uint32_t>(in->imm);
+  if (addr >= kMmioBase) goto done;
+  const auto v = mem_.load16(addr);
+  if (!v) goto done;
+  if (in->rt) regs[in->rt] = *v;
+  ++loads;
+  SDMMON_FUSE_NEXT();
+}
+do_lw: {
+  const std::uint32_t addr =
+      regs[in->rs] + static_cast<std::uint32_t>(in->imm);
+  if (addr >= kMmioBase) goto done;
+  const auto v = mem_.load32(addr);
+  if (!v) goto done;
+  if (in->rt) regs[in->rt] = *v;
+  ++loads;
+  SDMMON_FUSE_NEXT();
+}
+do_sb: {
+  const std::uint32_t addr =
+      regs[in->rs] + static_cast<std::uint32_t>(in->imm);
+  if (addr >= kMmioBase) goto done;  // MMIO store: terminal events
+  if (mem_.store8(addr, static_cast<std::uint8_t>(regs[in->rt])) !=
+      MemFault::None) {
+    goto done;
+  }
+  ++stores;
+  if (addr - pre_base_ < pre_text_bytes_) {
+    ++op;  // the dirtying store itself retires
+    dirtied = true;
+    goto done;
+  }
+  SDMMON_FUSE_NEXT();
+}
+do_sh: {
+  const std::uint32_t addr =
+      regs[in->rs] + static_cast<std::uint32_t>(in->imm);
+  if (addr >= kMmioBase) goto done;
+  if (mem_.store16(addr, static_cast<std::uint16_t>(regs[in->rt])) !=
+      MemFault::None) {
+    goto done;
+  }
+  ++stores;
+  if (addr - pre_base_ < pre_text_bytes_) {
+    ++op;
+    dirtied = true;
+    goto done;
+  }
+  SDMMON_FUSE_NEXT();
+}
+do_sw: {
+  const std::uint32_t addr =
+      regs[in->rs] + static_cast<std::uint32_t>(in->imm);
+  if (addr >= kMmioBase) goto done;
+  if (mem_.store32(addr, regs[in->rt]) != MemFault::None) goto done;
+  ++stores;
+  if (addr - pre_base_ < pre_text_bytes_) {
+    ++op;
+    dirtied = true;
+    goto done;
+  }
+  SDMMON_FUSE_NEXT();
+}
+bad:
+  goto done;  // precondition violated: retire only what already ran
+
+#undef SDMMON_FUSE_NEXT
+done:;
+
+#else   // portable fallback: switch dispatch in a tight loop
+  for (; op != end; ++op) {
+    const isa::Instr& in = op->instr;
+    const std::uint32_t rs = regs[in.rs];
+    const std::uint32_t rt = regs[in.rt];
+    std::uint32_t value = 0;
+    bool write_rd = in.rd != 0;
+    switch (in.op) {
+      case Op::Sll: value = rt << in.shamt; break;
+      case Op::Srl: value = rt >> in.shamt; break;
+      case Op::Sra:
+        value = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(rt) >> in.shamt);
+        break;
+      case Op::Sllv: value = rt << (rs & 31); break;
+      case Op::Srlv: value = rt >> (rs & 31); break;
+      case Op::Srav:
+        value = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(rt) >> (rs & 31));
+        break;
+      case Op::Mfhi: value = hi; break;
+      case Op::Mflo: value = lo; break;
+      case Op::Mult: {
+        const std::int64_t prod =
+            static_cast<std::int64_t>(static_cast<std::int32_t>(rs)) *
+            static_cast<std::int32_t>(rt);
+        lo = static_cast<std::uint32_t>(prod);
+        hi = static_cast<std::uint32_t>(static_cast<std::uint64_t>(prod) >>
+                                        32);
+        ++muldiv;
+        continue;
+      }
+      case Op::Multu: {
+        const std::uint64_t prod = static_cast<std::uint64_t>(rs) * rt;
+        lo = static_cast<std::uint32_t>(prod);
+        hi = static_cast<std::uint32_t>(prod >> 32);
+        ++muldiv;
+        continue;
+      }
+      case Op::Div: {
+        const std::int32_t a = static_cast<std::int32_t>(rs);
+        const std::int32_t b = static_cast<std::int32_t>(rt);
+        if (b != 0) {
+          lo = static_cast<std::uint32_t>(a / b);
+          hi = static_cast<std::uint32_t>(a % b);
+        }
+        ++muldiv;
+        continue;
+      }
+      case Op::Divu:
+        if (rt != 0) {
+          lo = rs / rt;
+          hi = rs % rt;
+        }
+        ++muldiv;
+        continue;
+      case Op::Addu: value = rs + rt; break;
+      case Op::Subu: value = rs - rt; break;
+      case Op::And: value = rs & rt; break;
+      case Op::Or: value = rs | rt; break;
+      case Op::Xor: value = rs ^ rt; break;
+      case Op::Nor: value = ~(rs | rt); break;
+      case Op::Slt:
+        value = static_cast<std::int32_t>(rs) < static_cast<std::int32_t>(rt)
+                    ? 1u
+                    : 0u;
+        break;
+      case Op::Sltu: value = rs < rt ? 1u : 0u; break;
+      case Op::Addiu:
+        value = rs + static_cast<std::uint32_t>(in.imm);
+        write_rd = false;
+        goto write_i;
+      case Op::Slti:
+        value = static_cast<std::int32_t>(rs) < in.imm ? 1u : 0u;
+        write_rd = false;
+        goto write_i;
+      case Op::Sltiu:
+        value = rs < static_cast<std::uint32_t>(in.imm) ? 1u : 0u;
+        write_rd = false;
+        goto write_i;
+      case Op::Andi:
+        value = rs & (static_cast<std::uint32_t>(in.imm) & 0xFFFFu);
+        write_rd = false;
+        goto write_i;
+      case Op::Ori:
+        value = rs | (static_cast<std::uint32_t>(in.imm) & 0xFFFFu);
+        write_rd = false;
+        goto write_i;
+      case Op::Xori:
+        value = rs ^ (static_cast<std::uint32_t>(in.imm) & 0xFFFFu);
+        write_rd = false;
+        goto write_i;
+      case Op::Lui:
+        value = (static_cast<std::uint32_t>(in.imm) & 0xFFFFu) << 16;
+        write_rd = false;
+        goto write_i;
+      case Op::Add: {
+        const std::uint32_t sum = rs + rt;
+        if (~(rs ^ rt) & (rs ^ sum) & 0x8000'0000u) goto fallback_done;
+        value = sum;
+        break;
+      }
+      case Op::Sub: {
+        const std::uint32_t diff = rs - rt;
+        if ((rs ^ rt) & (rs ^ diff) & 0x8000'0000u) goto fallback_done;
+        value = diff;
+        break;
+      }
+      case Op::Addi: {
+        const std::uint32_t simm = static_cast<std::uint32_t>(in.imm);
+        value = rs + simm;
+        if (~(rs ^ simm) & (rs ^ value) & 0x8000'0000u) goto fallback_done;
+        write_rd = false;
+        goto write_i;
+      }
+      case Op::Lb: case Op::Lbu: {
+        const std::uint32_t addr = rs + static_cast<std::uint32_t>(in.imm);
+        if (addr >= kMmioBase) goto fallback_done;
+        const auto v = mem_.load8(addr);
+        if (!v) goto fallback_done;
+        if (in.rt) {
+          regs[in.rt] =
+              in.op == Op::Lb
+                  ? static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                        static_cast<std::int8_t>(*v)))
+                  : *v;
+        }
+        ++loads;
+        continue;
+      }
+      case Op::Lh: case Op::Lhu: {
+        const std::uint32_t addr = rs + static_cast<std::uint32_t>(in.imm);
+        if (addr >= kMmioBase) goto fallback_done;
+        const auto v = mem_.load16(addr);
+        if (!v) goto fallback_done;
+        if (in.rt) {
+          regs[in.rt] =
+              in.op == Op::Lh
+                  ? static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                        static_cast<std::int16_t>(*v)))
+                  : *v;
+        }
+        ++loads;
+        continue;
+      }
+      case Op::Lw: {
+        const std::uint32_t addr = rs + static_cast<std::uint32_t>(in.imm);
+        if (addr >= kMmioBase) goto fallback_done;
+        const auto v = mem_.load32(addr);
+        if (!v) goto fallback_done;
+        if (in.rt) regs[in.rt] = *v;
+        ++loads;
+        continue;
+      }
+      case Op::Sb: case Op::Sh: case Op::Sw: {
+        const std::uint32_t addr = rs + static_cast<std::uint32_t>(in.imm);
+        if (addr >= kMmioBase) goto fallback_done;
+        MemFault fault;
+        if (in.op == Op::Sb) {
+          fault = mem_.store8(addr, static_cast<std::uint8_t>(rt));
+        } else if (in.op == Op::Sh) {
+          fault = mem_.store16(addr, static_cast<std::uint16_t>(rt));
+        } else {
+          fault = mem_.store32(addr, rt);
+        }
+        if (fault != MemFault::None) goto fallback_done;
+        ++stores;
+        if (addr - pre_base_ < pre_text_bytes_) {
+          ++op;  // the dirtying store itself retires
+          dirtied = true;
+          goto fallback_done;
+        }
+        continue;
+      }
+      default:
+        goto fallback_done;  // precondition violated
+    }
+    if (write_rd) regs[in.rd] = value;
+    ++alu;
+    continue;
+  write_i:
+    if (in.rt != 0) regs[in.rt] = value;
+    ++alu;
+  }
+fallback_done:;
+#endif  // computed goto vs switch
+
+  const std::uint64_t retired = static_cast<std::uint64_t>(op - begin);
+  hi_ = hi;
+  lo_ = lo;
+  mix_.alu += alu;
+  mix_.muldiv += muldiv;
+  mix_.load += loads;
+  mix_.store += stores;
+  cycles_ += retired;
+  packet_cycles_ += retired;
+  pc_ += static_cast<std::uint32_t>(retired * 4);
+  if (dirtied) {
+    // Deferred note_store(): drop the fast-path pointers only after the
+    // batch accounting is settled.
+    text_dirty_ = true;
+    update_predecode_live();
+  }
+  return retired;
+}
+
+void Core::retract_fused(const CompiledProgram::PreOp* ops, std::uint64_t n) {
+  // Inverse of the epilogue above for the last n ops of a fused batch:
+  // MonitoredCore calls this right before the recovery reset() when the
+  // monitor flagged a hash mid-batch, so the cumulative counters (which
+  // survive reset) match a reference core that stopped at the flagged
+  // op. Registers, hi/lo, memory, and output need no compensation --
+  // reset() re-images all of them.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const isa::Op o = ops[i].instr.op;
+    switch (isa::op_class(o)) {
+      case isa::OpClass::Load: --mix_.load; break;
+      case isa::OpClass::Store: --mix_.store; break;
+      default:
+        if (o == isa::Op::Mult || o == isa::Op::Multu || o == isa::Op::Div ||
+            o == isa::Op::Divu) {
+          --mix_.muldiv;
+        } else {
+          --mix_.alu;
+        }
+        break;
+    }
+  }
+  cycles_ -= n;
+  packet_cycles_ -= n;
+}
+
 StepInfo Core::run(std::uint64_t max_steps) {
   StepInfo last;
   std::uint64_t steps = 0;
   while (steps < max_steps) {
+    // Fused dispatch (the block-fused tier, docs/EXECUTION.md): when a
+    // fusible run starts at the current pc, retire the whole block body
+    // in a single exec_fused_run call. fused_run_len already folds in
+    // the batch-level preconditions (runnable, artifact range/alignment,
+    // watchdog slack); the executor itself stops early at would-trap
+    // ops, MMIO accesses, and text-dirtying stores, reporting the exact
+    // retired count.
+    std::uint64_t fused = fused_run_len();
+    if (fused > max_steps - steps) fused = max_steps - steps;
+    if (fused > 0) {
+      const std::size_t idx = (pc_ - pre_base_) >> 2;
+      const std::uint64_t retired = exec_fused_run(fused);
+      steps += retired;
+      if (retired > 0) {
+        // compiled_->ops_data(), not pre_ops_: a text-dirtying store at
+        // the end of the batch just nulled the fast-path pointers.
+        last.pc = pc_ - 4;
+        last.word = compiled_->ops_data()[idx + retired - 1].word;
+        last.event = StepEvent::Executed;
+        last.trap = Trap::None;
+      }
+      if (retired == fused) continue;
+      // Short batch: the op at pc needs full per-op dispatch (it traps,
+      // touches MMIO, or follows a text-dirtying store). Fall through
+      // to step() in this same iteration -- re-dispatching would spin
+      // on a zero-progress batch forever.
+    }
     // Dispatch: one full step() resolves every edge case (not runnable,
     // watchdog, sentinel return, fetch outside the artifact, dirty text).
     // When the predecoded fast path is live and the dispatched op did not
@@ -463,6 +1067,11 @@ StepInfo Core::run(std::uint64_t max_steps) {
            (ops[off >> 2].flags & CompiledProgram::kBlockEnd) == 0 &&
            !text_dirty_ && packet_cycles_ < watchdog_budget_) {
       off += 4;  // non-block-end ops always fall through
+      if (pre_run_ != nullptr && pre_run_[off >> 2] != 0) {
+        // A fusible run starts here: bounce to the fused dispatcher
+        // above instead of retiring its ops one exec() at a time.
+        break;
+      }
       const CompiledProgram::PreOp& op = ops[off >> 2];
       StepInfo info;
       info.pc = pc_;

@@ -122,6 +122,8 @@ class Core {
   /// Toggle the predecoded fast path at runtime (differential oracles and
   /// head-to-head benches run the same core interpreted). Sticky across
   /// load_program/reset -- it is a property of the core, not the program.
+  /// Disabling predecode also disables block fusion (the fused tables
+  /// live in the artifact the toggle turns off).
   void set_predecode_enabled(bool on) {
     predecode_enabled_ = on;
     update_predecode_live();
@@ -132,6 +134,70 @@ class Core {
   /// is attached, the fast path is enabled, and no store has dirtied the
   /// text image since the last full reset()/load_program().
   bool predecode_live() const { return pre_ops_ != nullptr; }
+
+  /// Toggle the block-fused tier independently of predecode (the middle
+  /// tier of the execution pipeline, docs/EXECUTION.md): when off, runs
+  /// are never fused but the predecoded per-op fast path stays live.
+  /// Sticky across load_program/reset, like set_predecode_enabled.
+  void set_block_fuse_enabled(bool on) {
+    fuse_enabled_ = on;
+    update_predecode_live();
+  }
+  bool block_fuse_enabled() const { return fuse_enabled_; }
+
+  /// True while run() may retire fused block bodies: predecode is live
+  /// AND fusion is enabled (dirty text or a detached artifact kills
+  /// both).
+  bool block_fuse_live() const { return pre_run_ != nullptr; }
+
+  /// Length of the fused block body dispatchable at the current pc: the
+  /// artifact's precomputed run length, clamped to the remaining
+  /// watchdog budget. 0 whenever fused execution is not currently
+  /// possible (fusion not live, core not runnable, pc outside or
+  /// misaligned in the artifact, current op not fusible, budget
+  /// exhausted) -- callers fall back to per-op dispatch, which
+  /// re-derives the authoritative event. Ops of a returned run are
+  /// *attemptable*, not guaranteed to retire: exec_fused_run() stops
+  /// early at would-trap ops, MMIO accesses, and text-dirtying stores
+  /// and reports the exact retired count. The clamp keeps the watchdog
+  /// from firing mid-run.
+  std::uint64_t fused_run_len() const {
+    if (pre_run_ == nullptr || !runnable_) return 0;
+    const std::uint32_t off = pc_ - pre_base_;
+    if (off >= pre_text_bytes_ || (off & 3u) != 0) return 0;
+    if (packet_cycles_ >= watchdog_budget_) return 0;
+    const std::uint64_t slack = watchdog_budget_ - packet_cycles_;
+    const std::uint64_t run = pre_run_[off >> 2];
+    return run < slack ? run : slack;
+  }
+
+  /// Retire up to `n` ops of the fused block body at the current pc in
+  /// one straight-line dispatch (computed-goto superop executor) and
+  /// return how many actually retired. The caller must hold a run
+  /// length from fused_run_len() with 0 < n <= that length. The batch
+  /// stops *before* (the offending op does not retire, pc points at it)
+  ///   - any op that would trap (overflow, MemFault), and
+  ///   - any load/store whose address reaches MMIO (>= kMmioBase):
+  ///     MMIO reads must observe up-to-date cycle counters and MMIO
+  ///     stores raise terminal packet events, so both take the per-op
+  ///     exec() path;
+  /// and stops *after* a store that dirties the predecoded text (the
+  /// store itself retires; every later op would execute a stale
+  /// predecode). Cycles, the retired mix, and pc advance exactly as
+  /// `retired` individual step() calls would. MonitoredCore executes
+  /// first, then feeds the monitor exactly `retired` precomputed
+  /// hashes -- see docs/EXECUTION.md for the equivalence argument.
+  std::uint64_t exec_fused_run(std::uint64_t n);
+
+  /// Un-retire the last `n` ops of a just-executed fused run: subtracts
+  /// their cycles and instruction-mix classes (`ops` points at the
+  /// PreOps of the overshoot, all body-class). Used only by
+  /// MonitoredCore's attack path: when the monitor flags hash m of a
+  /// fused batch, the reference interleaving executes exactly m+1 ops
+  /// before the recovery reset; the reset re-images registers and
+  /// memory anyway, so retracting the surviving cumulative counters
+  /// makes the fused batch bit-identical to it.
+  void retract_fused(const CompiledProgram::PreOp* ops, std::uint64_t n);
 
   /// True once a store landed in the predecoded text range (self-modifying
   /// code or injection). Cleared only by the re-imaging reset paths --
@@ -165,9 +231,14 @@ class Core {
   // tracking stays armed even when the fast path is toggled off).
   std::shared_ptr<const CompiledProgram> compiled_;
   const CompiledProgram::PreOp* pre_ops_ = nullptr;
+  // Fused-run length table, non-null only while pre_ops_ is live AND
+  // fusion is enabled (the block-fused tier rides on the predecoded
+  // artifact and dies with it).
+  const std::uint8_t* pre_run_ = nullptr;
   std::uint32_t pre_base_ = 0;
   std::uint32_t pre_text_bytes_ = 0;
   bool predecode_enabled_ = true;
+  bool fuse_enabled_ = true;
   bool text_dirty_ = false;
   std::array<std::uint32_t, 32> regs_{};
   std::uint32_t pc_ = 0;

@@ -119,6 +119,45 @@ PacketResult MonitoredCore::run_packet(
   core_.deliver_packet(packet);
 
   for (;;) {
+    // Block-fused tier (docs/EXECUTION.md): when a fusible run (basic
+    // block body) starts at the current pc, retire it in one superop
+    // dispatch FIRST, then feed the monitor the precomputed hash slice
+    // of exactly the ops that retired. Execute-first stays bit-identical
+    // to the per-op interleaving:
+    //   * fused body ops never read monitor state, so reordering the
+    //     hash checks after the batch is unobservable to the core;
+    //   * ops that would trap or touch MMIO stop the batch *before*
+    //     executing and feed no hash -- exactly like the reference,
+    //     where a trapped op does not retire;
+    //   * on a mismatch at slice index m, the reference executed ops
+    //     0..m and then reset: the batch overshoot (ops m+1..) touched
+    //     only state the recovery reset() re-images, so retracting its
+    //     surviving cumulative counters (Core::retract_fused) restores
+    //     bit-equality before the reset.
+    const std::uint64_t fused = core_.fused_run_len();
+    if (fused > 0) {
+      const std::size_t idx = (core_.pc() - pre_->text_base()) >> 2;
+      const std::uint64_t retired = core_.exec_fused_run(fused);
+      if (retired > 0) {
+        const std::size_t ok = monitor_->advance(
+            pre_->hash_lane_data() + idx, static_cast<std::size_t>(retired),
+            /*stop_on_mismatch=*/enforce_);
+        if (ok < retired) {
+          core_.retract_fused(pre_->ops_data() + idx + ok + 1,
+                              retired - (ok + 1));
+          result.instructions += ok + 1;
+          result.outcome = PacketOutcome::AttackDetected;
+          core_.reset();  // paper's recovery: reset stack, next packet
+          return result;
+        }
+        result.instructions += retired;
+      }
+      if (retired == fused) continue;
+      // Short batch: the op now at pc traps, touches MMIO, or follows a
+      // text-dirtying store -- it needs the per-op path below, which
+      // re-derives the authoritative event and hash source.
+    }
+
     StepInfo info = core_.step();
 
     const bool retired = info.event == StepEvent::Executed ||

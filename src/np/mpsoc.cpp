@@ -35,6 +35,10 @@ std::unique_ptr<EngineObs> EngineObs::create(obs::Registry& registry,
       &registry.gauge(obs::names::kEngineCompiledProgramBlocks);
   obs->compiled_program_bytes =
       &registry.gauge(obs::names::kEngineCompiledProgramBytes);
+  obs->block_fuse_ns = &registry.histogram(obs::names::kCoreBlockFuseNs,
+                                           obs::latency_ns_buckets());
+  obs->fused_runs = &registry.gauge(obs::names::kEngineFusedRuns);
+  obs->fused_ops = &registry.gauge(obs::names::kEngineFusedOps);
   if (parallel) {
     obs->batch_fill = &registry.histogram(obs::names::kParallelBatchFill,
                                           obs::depth_buckets());
@@ -92,6 +96,9 @@ void EngineObs::note_predecoded(const CompiledProgram& code) {
   compiled_blocks->set(static_cast<std::int64_t>(code.num_blocks()));
   compiled_program_bytes->set(
       static_cast<std::int64_t>(code.footprint_bytes()));
+  block_fuse_ns->record(code.fuse_build_ns());
+  fused_runs->set(static_cast<std::int64_t>(code.num_fused_runs()));
+  fused_ops->set(static_cast<std::int64_t>(code.num_fused_ops()));
 }
 
 Mpsoc::Mpsoc(std::size_t num_cores, DispatchPolicy policy,

@@ -112,6 +112,13 @@ struct EngineObs {
   obs::Gauge* compiled_ops = nullptr;
   obs::Gauge* compiled_blocks = nullptr;
   obs::Gauge* compiled_program_bytes = nullptr;
+  /// Install-time block-fusion cost (the slice of predecode_ns spent
+  /// building the fused-run tables) and fused coverage of the installed
+  /// artifact -- how much of the text the superop executor can retire
+  /// without per-instruction dispatch.
+  obs::Histogram* block_fuse_ns = nullptr;  // wall-clock (install path)
+  obs::Gauge* fused_runs = nullptr;
+  obs::Gauge* fused_ops = nullptr;
   // Parallel engine only:
   obs::Histogram* batch_fill = nullptr;
   obs::Histogram* ingest_depth = nullptr;

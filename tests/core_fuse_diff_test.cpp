@@ -1,0 +1,529 @@
+// Differential testing of the block-fused execution tier
+// (docs/EXECUTION.md): the word-at-a-time interpreter is the permanent
+// oracle, the predecode-only core is the middle tier, and the fused
+// core -- superop runs through Core::exec_fused_run, block-granular hash
+// slices through HardwareMonitor::advance -- must be bit-identical to
+// both: final core state, per-packet results, cumulative core stats,
+// AND cumulative monitor stats (instructions_checked /
+// state_size_accum catch over- or under-feeding the monitor even when
+// verdicts agree). Covers random programs, attack traffic that
+// mismatches *inside* a fused run, mid-stream reinstalls, all three
+// recovery policies, and the self-modifying-store fallback.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "monitor/analysis.hpp"
+#include "net/apps.hpp"
+#include "net/traffic.hpp"
+#include "np/mpsoc.hpp"
+#include "support/test_apps.hpp"
+#include "util/rng.hpp"
+
+namespace sdmmon::np {
+namespace {
+
+// The three execution tiers under test, applied to a Core (or the Core
+// inside a MonitoredCore) before running traffic.
+enum class Tier { Interpret, Predecode, Fused };
+
+constexpr Tier kTiers[] = {Tier::Interpret, Tier::Predecode, Tier::Fused};
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::Interpret: return "interpret";
+    case Tier::Predecode: return "predecode";
+    case Tier::Fused: return "fused";
+  }
+  return "?";
+}
+
+void select_tier(Core& core, Tier tier) {
+  core.set_predecode_enabled(tier != Tier::Interpret);
+  core.set_block_fuse_enabled(tier == Tier::Fused);
+}
+
+// Random text biased toward long pure runs (the fused tier's fast path)
+// but still containing every run-breaking construct: branches/jumps
+// (block ends), loads/stores (non-pure, note_store), overflow-trapping
+// Add/Sub/Addi, jr $ra, and raw undecodable words.
+isa::Program random_program(util::Rng& rng) {
+  const std::size_t n = 16 + rng.below(48);
+  isa::Program p;
+  p.name = "fuse-fuzz";
+  p.text_base = 0;
+  p.entry = 0;
+  p.text.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t pick = rng.below(100);
+    const int rd = static_cast<int>(8 + rng.below(16));  // $t0..$s7
+    const int rs = static_cast<int>(8 + rng.below(16));
+    const int rt = static_cast<int>(8 + rng.below(16));
+    if (pick < 7) {
+      static constexpr isa::Op kBranch[] = {isa::Op::Beq, isa::Op::Bne,
+                                            isa::Op::Blez, isa::Op::Bgtz};
+      const std::int32_t off =
+          static_cast<std::int32_t>(rng.below(12)) - 4;  // [-4, 8) words
+      p.text.push_back(isa::encode(
+          isa::make_branch(kBranch[rng.below(4)], rs, rt, off)));
+    } else if (pick < 10) {
+      p.text.push_back(isa::encode(isa::make_jump(
+          isa::Op::J, static_cast<std::uint32_t>(rng.below(n)))));
+    } else if (pick < 13) {
+      p.text.push_back(isa::encode(isa::make_rtype(isa::Op::Jr, 0, 31, 0)));
+    } else if (pick < 21) {
+      static constexpr isa::Op kMem[] = {isa::Op::Lw,  isa::Op::Lb,
+                                         isa::Op::Lbu, isa::Op::Sw,
+                                         isa::Op::Sb,  isa::Op::Sh};
+      const std::int32_t imm =
+          static_cast<std::int32_t>(rng.below(0x100)) - 0x80;
+      p.text.push_back(
+          isa::encode(isa::make_itype(kMem[rng.below(6)], rt, rs, imm)));
+    } else if (pick < 27) {
+      // Trapping arithmetic: pure-run breakers that are NOT block ends.
+      static constexpr isa::Op kTrapArith[] = {isa::Op::Add, isa::Op::Sub};
+      p.text.push_back(isa::encode(
+          isa::make_rtype(kTrapArith[rng.below(2)], rd, rs, rt)));
+    } else if (pick < 45) {
+      static constexpr isa::Op kImm[] = {isa::Op::Addiu, isa::Op::Ori,
+                                         isa::Op::Andi,  isa::Op::Xori,
+                                         isa::Op::Slti,  isa::Op::Lui};
+      const std::int32_t imm =
+          static_cast<std::int32_t>(rng.below(0x10000)) - 0x8000;
+      p.text.push_back(
+          isa::encode(isa::make_itype(kImm[rng.below(6)], rt, rs, imm)));
+    } else if (pick < 92) {
+      static constexpr isa::Op kPure[] = {
+          isa::Op::Addu, isa::Op::Subu, isa::Op::And,  isa::Op::Or,
+          isa::Op::Xor,  isa::Op::Nor,  isa::Op::Slt,  isa::Op::Sltu,
+          isa::Op::Mult, isa::Op::Multu, isa::Op::Div, isa::Op::Divu,
+          isa::Op::Mfhi, isa::Op::Mflo};
+      p.text.push_back(
+          isa::encode(isa::make_rtype(kPure[rng.below(14)], rd, rs, rt)));
+    } else if (pick < 96) {
+      p.text.push_back(isa::encode(
+          isa::make_shift(isa::Op::Sll, rd, rt,
+                          static_cast<int>(rng.below(32)))));
+    } else {
+      // Raw word: often undecodable, sometimes accidentally valid.
+      p.text.push_back(rng.next_u32());
+    }
+  }
+  return p;
+}
+
+void load_tier(Core& core, Tier tier, const isa::Program& p,
+               const std::shared_ptr<const CompiledProgram>& compiled,
+               const std::vector<std::uint32_t>& seeds,
+               std::uint64_t watchdog) {
+  select_tier(core, tier);
+  core.load_program(p, compiled);
+  core.set_watchdog_budget(watchdog);
+  for (int r = 1; r < 32; ++r) {
+    if (r == 31) continue;  // keep the return sentinel
+    core.set_reg(r, seeds[static_cast<std::size_t>(r)]);
+  }
+}
+
+void expect_same_state(const Core& a, const Core& b, Tier tier) {
+  ASSERT_EQ(a.pc(), b.pc()) << tier_name(tier);
+  ASSERT_EQ(a.cycles(), b.cycles()) << tier_name(tier);
+  ASSERT_EQ(a.runnable(), b.runnable()) << tier_name(tier);
+  for (int r = 0; r < 32; ++r) {
+    ASSERT_EQ(a.reg(r), b.reg(r)) << tier_name(tier) << " register " << r;
+  }
+  const InstrMix& ma = a.instr_mix();
+  const InstrMix& mb = b.instr_mix();
+  ASSERT_EQ(ma.alu, mb.alu) << tier_name(tier);
+  ASSERT_EQ(ma.muldiv, mb.muldiv) << tier_name(tier);
+  ASSERT_EQ(ma.load, mb.load) << tier_name(tier);
+  ASSERT_EQ(ma.store, mb.store) << tier_name(tier);
+  ASSERT_EQ(ma.branch_taken, mb.branch_taken) << tier_name(tier);
+  ASSERT_EQ(ma.branch_not_taken, mb.branch_not_taken) << tier_name(tier);
+  ASSERT_EQ(ma.jump, mb.jump) << tier_name(tier);
+  ASSERT_EQ(ma.trap, mb.trap) << tier_name(tier);
+  ASSERT_EQ(a.has_output(), b.has_output()) << tier_name(tier);
+  if (a.has_output()) {
+    ASSERT_EQ(a.output(), b.output()) << tier_name(tier);
+    ASSERT_EQ(a.output_port(), b.output_port()) << tier_name(tier);
+  }
+}
+
+class FuseDifferentialTest : public ::testing::TestWithParam<int> {};
+
+// 8 seeds x 600 programs, each run end-to-end on all three tiers: the
+// fused run() (superop dispatch) must land in exactly the interpreter's
+// final state -- registers, cycles, retired mix, last StepInfo.
+TEST_P(FuseDifferentialTest, RandomProgramsRunIdenticalAcrossTiers) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x51CAFE + 13);
+  for (int trial = 0; trial < 600; ++trial) {
+    const isa::Program p = random_program(rng);
+    auto compiled =
+        CompiledProgram::compile(p, monitor::MerkleTreeHash(0xF05E));
+    // Small watchdogs sometimes, so the fused-run budget clamp (a run
+    // truncated mid-block by remaining slack) gets exercised.
+    const std::uint64_t watchdog =
+        rng.below(8) == 0 ? 1 + rng.below(40) : 512;
+    std::vector<std::uint32_t> seeds(32);
+    for (auto& s : seeds) s = rng.next_u32();
+    // And sometimes a max_steps cap that lands inside a pure run.
+    const std::uint64_t max_steps = rng.below(4) == 0 ? 1 + rng.below(32)
+                                                      : 300;
+
+    Core interp, pre, fused;
+    load_tier(interp, Tier::Interpret, p, compiled, seeds, watchdog);
+    load_tier(pre, Tier::Predecode, p, compiled, seeds, watchdog);
+    load_tier(fused, Tier::Fused, p, compiled, seeds, watchdog);
+    ASSERT_FALSE(interp.predecode_live());
+    ASSERT_TRUE(pre.predecode_live());
+    ASSERT_FALSE(pre.block_fuse_live());
+    ASSERT_TRUE(fused.block_fuse_live());
+
+    const StepInfo a = interp.run(max_steps);
+    const StepInfo b = pre.run(max_steps);
+    const StepInfo c = fused.run(max_steps);
+    ASSERT_EQ(a.pc, b.pc) << "trial " << trial;
+    ASSERT_EQ(a.pc, c.pc) << "trial " << trial;
+    ASSERT_EQ(a.word, c.word) << "trial " << trial;
+    ASSERT_EQ(static_cast<int>(a.event), static_cast<int>(c.event))
+        << "trial " << trial;
+    ASSERT_EQ(static_cast<int>(a.trap), static_cast<int>(c.trap))
+        << "trial " << trial;
+    expect_same_state(interp, pre, Tier::Predecode);
+    expect_same_state(interp, fused, Tier::Fused);
+    ASSERT_EQ(interp.text_dirty(), fused.text_dirty()) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuseDifferentialTest, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------
+// Monitored packet processing across all three tiers
+// ---------------------------------------------------------------------
+
+void expect_same_result(const PacketResult& a, const PacketResult& b,
+                        Tier tier, std::size_t packet) {
+  ASSERT_EQ(static_cast<int>(a.outcome), static_cast<int>(b.outcome))
+      << tier_name(tier) << " packet " << packet;
+  ASSERT_EQ(a.output, b.output) << tier_name(tier) << " packet " << packet;
+  ASSERT_EQ(a.output_port, b.output_port)
+      << tier_name(tier) << " packet " << packet;
+  ASSERT_EQ(a.instructions, b.instructions)
+      << tier_name(tier) << " packet " << packet;
+  ASSERT_EQ(static_cast<int>(a.trap), static_cast<int>(b.trap))
+      << tier_name(tier) << " packet " << packet;
+  ASSERT_EQ(a.monitor_width, b.monitor_width)
+      << tier_name(tier) << " packet " << packet;
+}
+
+void expect_same_core_and_monitor_stats(const MonitoredCore& a,
+                                        const MonitoredCore& b, Tier tier) {
+  ASSERT_EQ(a.stats().packets, b.stats().packets) << tier_name(tier);
+  ASSERT_EQ(a.stats().forwarded, b.stats().forwarded) << tier_name(tier);
+  ASSERT_EQ(a.stats().dropped, b.stats().dropped) << tier_name(tier);
+  ASSERT_EQ(a.stats().attacks_detected, b.stats().attacks_detected)
+      << tier_name(tier);
+  ASSERT_EQ(a.stats().traps, b.stats().traps) << tier_name(tier);
+  ASSERT_EQ(a.stats().instructions, b.stats().instructions)
+      << tier_name(tier);
+  // Monitor stats are the sharpest oracle: advance() feeding one hash
+  // too many (or skipping the mismatching hash) diverges here even if
+  // every verdict happened to agree.
+  const monitor::MonitorStats& ma = a.monitor().stats();
+  const monitor::MonitorStats& mb = b.monitor().stats();
+  ASSERT_EQ(ma.instructions_checked, mb.instructions_checked)
+      << tier_name(tier);
+  ASSERT_EQ(ma.mismatches, mb.mismatches) << tier_name(tier);
+  ASSERT_EQ(ma.packets_monitored, mb.packets_monitored) << tier_name(tier);
+  ASSERT_EQ(ma.state_size_accum, mb.state_size_accum) << tier_name(tier);
+}
+
+// 4 apps x 1400 packets (generated + garbage) through full monitored
+// cores on each tier: per-packet results, core stats, and monitor stats
+// must match the interpreter exactly.
+TEST(FuseDifferential, MonitoredVerdictsAndStatsMatchAcrossTiers) {
+  const isa::Program apps[] = {
+      net::build_ipv4_forward(), net::build_ipv4_cm(), net::build_udp_echo(),
+      net::build_firewall({22, 53, 80, 443})};
+  util::Rng rng(0xF0E5EED);
+  for (const isa::Program& app : apps) {
+    monitor::MerkleTreeHash hash(0x4242 + app.text.size());
+    auto graph = monitor::extract_graph(app, hash);
+
+    MonitoredCore interp, pre, fused;
+    select_tier(interp.core(), Tier::Interpret);
+    select_tier(pre.core(), Tier::Predecode);
+    select_tier(fused.core(), Tier::Fused);
+    for (MonitoredCore* mc : {&interp, &pre, &fused}) {
+      mc->install(app, graph,
+                  std::make_unique<monitor::MerkleTreeHash>(hash));
+    }
+    ASSERT_TRUE(fused.core().block_fuse_live());
+    ASSERT_FALSE(pre.core().block_fuse_live());
+
+    net::TrafficGenerator gen;
+    for (std::size_t i = 0; i < 1400; ++i) {
+      util::Bytes packet;
+      if (i % 7 == 2) {  // garbage packets: traps and drops
+        packet.resize(rng.below(128));
+        for (auto& b : packet) b = static_cast<std::uint8_t>(rng.next());
+      } else {
+        packet = gen.next().packet;
+      }
+      const PacketResult want = interp.process_packet(packet);
+      expect_same_result(want, pre.process_packet(packet), Tier::Predecode,
+                         i);
+      expect_same_result(want, fused.process_packet(packet), Tier::Fused, i);
+    }
+    expect_same_core_and_monitor_stats(interp, pre, Tier::Predecode);
+    expect_same_core_and_monitor_stats(interp, fused, Tier::Fused);
+  }
+}
+
+// Attack traffic on the vulnerable app: the foreign packet payload is a
+// straight pure run (addiu sled), so the monitor mismatch fires INSIDE
+// what would be a fused run if the payload were installed text. The
+// diversion happens at jr (outside the artifact => per-op path), and
+// the per-packet instruction counts prove the fused core executed
+// exactly as many foreign ops before the recovery reset as the oracle.
+TEST(FuseDifferential, MismatchMidPureRunMatchesOracle) {
+  for (bool enforce : {true, false}) {
+    MonitoredCore interp, fused;
+    select_tier(interp.core(), Tier::Interpret);
+    select_tier(fused.core(), Tier::Fused);
+    isa::Program vuln = isa::assemble(testsupport::kVulnApp);
+    monitor::MerkleTreeHash hash(0x7E57);
+    auto graph = monitor::extract_graph(vuln, hash);
+    for (MonitoredCore* mc : {&interp, &fused}) {
+      mc->set_enforcement(enforce);
+      mc->install(vuln, graph,
+                  std::make_unique<monitor::MerkleTreeHash>(hash));
+    }
+    const util::Bytes attack = testsupport::attack_packet();
+    net::TrafficGenerator gen;
+    for (int i = 0; i < 100; ++i) {
+      const util::Bytes packet = i % 3 == 0 ? attack : gen.next().packet;
+      expect_same_result(interp.process_packet(packet),
+                         fused.process_packet(packet), Tier::Fused,
+                         static_cast<std::size_t>(i));
+    }
+    expect_same_core_and_monitor_stats(interp, fused, Tier::Fused);
+  }
+}
+
+// Attack text INSIDE the fused artifact: install an app whose installed
+// text ends in a pure sled that the monitoring graph does not expect
+// (graph extracted from a truncated program), so advance() mismatches
+// partway through a genuinely fused slice.
+TEST(FuseDifferential, MismatchInsideFusedInstalledRunMatchesOracle) {
+  // Full app: a 6-op pure sled then jr $ra. Graph: extracted from only
+  // the first two ops + jr, so the third sled op mismatches.
+  isa::Program full = isa::assemble(R"(
+main:
+    addiu $t0, $t0, 1
+    addiu $t0, $t0, 2
+    addiu $t0, $t0, 3
+    addiu $t0, $t0, 4
+    addiu $t0, $t0, 5
+    addiu $t0, $t0, 6
+    jr $ra
+)");
+  isa::Program truncated = full;
+  truncated.text.resize(2);
+  truncated.text.push_back(
+      isa::encode(isa::make_rtype(isa::Op::Jr, 0, 31, 0)));
+
+  monitor::MerkleTreeHash hash(0xBEEF);
+  auto graph = monitor::extract_graph(truncated, hash);
+
+  MonitoredCore interp, fused;
+  select_tier(interp.core(), Tier::Interpret);
+  select_tier(fused.core(), Tier::Fused);
+  for (MonitoredCore* mc : {&interp, &fused}) {
+    mc->install(full, monitor::CompiledGraph::compile(graph),
+                std::make_unique<monitor::MerkleTreeHash>(hash));
+  }
+  ASSERT_TRUE(fused.core().block_fuse_live());
+
+  const util::Bytes packet(16, 0xAB);
+  const PacketResult want = interp.process_packet(packet);
+  const PacketResult got = fused.process_packet(packet);
+  EXPECT_EQ(static_cast<int>(want.outcome),
+            static_cast<int>(PacketOutcome::AttackDetected));
+  expect_same_result(want, got, Tier::Fused, 0);
+  expect_same_core_and_monitor_stats(interp, fused, Tier::Fused);
+}
+
+// Mid-stream reinstall: new hash parameter, new artifacts, same binary;
+// then a different binary. The fused tables are rebuilt per install and
+// equivalence must hold across every swap.
+TEST(FuseDifferential, MidStreamReinstallKeepsEquivalence) {
+  MonitoredCore interp, fused;
+  select_tier(interp.core(), Tier::Interpret);
+  select_tier(fused.core(), Tier::Fused);
+  net::TrafficGenerator gen;
+
+  std::uint32_t params[] = {0xAAAA, 0xBBBB};
+  isa::Program binaries[] = {net::build_udp_echo(), net::build_ipv4_forward()};
+  std::size_t packet = 0;
+  for (const isa::Program& app : binaries) {
+    for (std::uint32_t param : params) {
+      monitor::MerkleTreeHash hash(param);
+      auto graph = monitor::extract_graph(app, hash);
+      for (MonitoredCore* mc : {&interp, &fused}) {
+        mc->install(app, graph,
+                    std::make_unique<monitor::MerkleTreeHash>(hash));
+      }
+      ASSERT_TRUE(fused.core().block_fuse_live());
+      for (int i = 0; i < 200; ++i, ++packet) {
+        const util::Bytes p = gen.next().packet;
+        expect_same_result(interp.process_packet(p),
+                           fused.process_packet(p), Tier::Fused, packet);
+      }
+      expect_same_core_and_monitor_stats(interp, fused, Tier::Fused);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Self-modifying stores: the fused tier must die with the artifact
+// ---------------------------------------------------------------------
+
+TEST(FuseDifferential, SelfModifyingStoreKillsFusionAndMatchesOracle) {
+  const std::uint32_t patch =
+      isa::encode(isa::make_itype(isa::Op::Addiu, 2, 0, 42));
+  isa::Program p = isa::assemble(R"(
+main:
+    la $t0, target
+    lui $t1, 0
+    ori $t1, $t1, 0
+    sw $t1, 0($t0)
+target:
+    nop
+    nop
+    nop
+    jr $ra
+)");
+  p.text[2] = isa::encode(isa::make_itype(
+      isa::Op::Lui, 9, 0, static_cast<std::int32_t>(patch >> 16)));
+  p.text[3] = isa::encode(isa::make_itype(
+      isa::Op::Ori, 9, 9, static_cast<std::int32_t>(patch & 0xFFFF)));
+
+  auto compiled = CompiledProgram::compile(p, monitor::MerkleTreeHash(0x5E1F));
+  Core interp, fused;
+  select_tier(interp, Tier::Interpret);
+  select_tier(fused, Tier::Fused);
+  interp.load_program(p, compiled);
+  fused.load_program(p, compiled);
+  ASSERT_TRUE(fused.block_fuse_live());
+
+  const StepInfo a = interp.run(64);
+  const StepInfo b = fused.run(64);
+  ASSERT_EQ(static_cast<int>(a.event), static_cast<int>(b.event));
+  expect_same_state(interp, fused, Tier::Fused);
+  EXPECT_EQ(fused.reg(2), 42u) << "patched instruction must have executed";
+  EXPECT_TRUE(fused.text_dirty());
+  EXPECT_FALSE(fused.predecode_live());
+  EXPECT_FALSE(fused.block_fuse_live())
+      << "fusion must not survive a dirtied text image";
+
+  // The re-imaging reset() restores text and re-arms BOTH fast tiers
+  // from the same shared artifact.
+  fused.reset();
+  EXPECT_TRUE(fused.predecode_live());
+  EXPECT_TRUE(fused.block_fuse_live());
+}
+
+// The fuse toggle is independent of predecode and sticky across
+// load_program/reset, exactly like set_predecode_enabled.
+TEST(FuseDifferential, FuseToggleIsIndependentAndSticky) {
+  const isa::Program app = net::build_udp_echo();
+  auto compiled =
+      CompiledProgram::compile(app, monitor::MerkleTreeHash(0x1357));
+  Core core;
+  core.set_block_fuse_enabled(false);
+  core.load_program(app, compiled);
+  EXPECT_TRUE(core.predecode_live());
+  EXPECT_FALSE(core.block_fuse_live());
+  core.reset();
+  EXPECT_FALSE(core.block_fuse_live()) << "toggle must survive reset";
+  core.set_block_fuse_enabled(true);
+  EXPECT_TRUE(core.block_fuse_live());
+  core.set_predecode_enabled(false);
+  EXPECT_FALSE(core.block_fuse_live())
+      << "fusion rides on the predecoded artifact";
+  EXPECT_TRUE(core.block_fuse_enabled()) << "own toggle unchanged";
+}
+
+// ---------------------------------------------------------------------
+// MPSoC: artifact sharing and recovery-path equivalence
+// ---------------------------------------------------------------------
+
+TEST(FuseDifferential, FusedTablesRideTheSharedArtifact) {
+  Mpsoc soc(4);
+  testsupport::install_all(soc, testsupport::kEchoApp, 0x1D1D);
+  const CompiledProgram* shared = soc.core(0).core().compiled_program().get();
+  ASSERT_NE(shared, nullptr);
+  for (std::size_t c = 1; c < soc.num_cores(); ++c) {
+    EXPECT_EQ(soc.core(c).core().compiled_program().get(), shared)
+        << "core " << c;
+    EXPECT_EQ(soc.core(c).core().compiled_program()->fused_run_data(),
+              shared->fused_run_data())
+        << "fused tables must be the same allocation, core " << c;
+  }
+  EXPECT_GT(shared->num_fused_runs(), 0u);
+  EXPECT_GT(shared->num_fused_ops(), shared->num_fused_runs());
+}
+
+// Attack traffic under every recovery policy: fused engines and the
+// interpreter oracle must agree packet-for-packet, including through
+// mid-block quarantines (the mismatch that trips the quarantine
+// threshold fires inside a pure run) and last-good re-images.
+TEST(FuseDifferential, AttackRecoveryPoliciesMatchAcrossTiers) {
+  for (RecoveryPolicy policy :
+       {RecoveryPolicy::ResetAndContinue, RecoveryPolicy::QuarantineAfterK,
+        RecoveryPolicy::ReinstallLastGood}) {
+    RecoveryConfig config;
+    config.policy = policy;
+    config.violation_threshold = 3;
+    config.window_packets = 8;
+    Mpsoc fused_soc(2, DispatchPolicy::RoundRobin, config);
+    Mpsoc oracle_soc(2, DispatchPolicy::RoundRobin, config);
+    for (std::size_t c = 0; c < oracle_soc.num_cores(); ++c) {
+      select_tier(oracle_soc.core(c).core(), Tier::Interpret);
+      select_tier(fused_soc.core(c).core(), Tier::Fused);
+    }
+    testsupport::install_all(fused_soc, testsupport::kVulnApp, 0x7E57);
+    testsupport::install_all(oracle_soc, testsupport::kVulnApp, 0x7E57);
+
+    const util::Bytes attack = testsupport::attack_packet();
+    util::Rng rng(0xF5A77AC4 + static_cast<std::uint64_t>(policy));
+    net::TrafficGenerator gen;
+    for (int i = 0; i < 120; ++i) {
+      util::Bytes packet = rng.below(3) == 0 ? attack : gen.next().packet;
+      expect_same_result(oracle_soc.process_packet(packet),
+                         fused_soc.process_packet(packet), Tier::Fused,
+                         static_cast<std::size_t>(i));
+    }
+    const MpsocStats sa = fused_soc.aggregate_stats();
+    const MpsocStats sb = oracle_soc.aggregate_stats();
+    EXPECT_EQ(sa.forwarded, sb.forwarded) << recovery_policy_name(policy);
+    EXPECT_EQ(sa.attacks_detected, sb.attacks_detected)
+        << recovery_policy_name(policy);
+    EXPECT_EQ(sa.quarantined_cores, sb.quarantined_cores)
+        << recovery_policy_name(policy);
+    EXPECT_EQ(sa.quarantine_events, sb.quarantine_events)
+        << recovery_policy_name(policy);
+    EXPECT_EQ(sa.reinstalls, sb.reinstalls) << recovery_policy_name(policy);
+    // Recovery re-images must preserve each core's tier selection.
+    for (std::size_t c = 0; c < oracle_soc.num_cores(); ++c) {
+      EXPECT_FALSE(oracle_soc.core(c).core().predecode_live());
+      EXPECT_TRUE(fused_soc.core(c).core().block_fuse_enabled());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdmmon::np

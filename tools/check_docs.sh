@@ -15,8 +15,13 @@
 #      every BENCH_*.json in DIR must have the shape documented in
 #      docs/BENCHMARKS.md ({"bench":...,"schema":1,...,"rows":[...]})
 #      and at least MIN (default 3) such files must be present.
+#   4. Bench catalog (optional, `--strict`). Every committed baseline
+#      bench/baselines/BENCH_*.json must be named in docs/BENCHMARKS.md,
+#      and every bench binary registered in bench/CMakeLists.txt must
+#      have a `### \`<name>\`` row there -- a new bench or baseline
+#      cannot land undocumented.
 #
-# Usage:  tools/check_docs.sh [--bench-json DIR [MIN]]
+# Usage:  tools/check_docs.sh [--strict] [--bench-json DIR [MIN]]
 # Exit:   0 when every check passes, 1 otherwise (all failures listed).
 set -u
 
@@ -24,12 +29,26 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 fail=0
 err() { printf 'check_docs: %s\n' "$*" >&2; fail=1; }
 
+strict=0
 bench_dir=""
 bench_min=3
-if [ "${1:-}" = "--bench-json" ]; then
-  bench_dir="${2:?--bench-json needs a directory}"
-  bench_min="${3:-3}"
-fi
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --strict)
+      strict=1
+      shift ;;
+    --bench-json)
+      bench_dir="${2:?--bench-json needs a directory}"
+      shift 2
+      case "${1:-}" in
+        ''|-*) ;;
+        *) bench_min="$1"; shift ;;
+      esac ;;
+    *)
+      err "unknown argument: $1"
+      shift ;;
+  esac
+done
 
 # ---- 1. intra-repo markdown links -----------------------------------
 # Source docs only; generated/build trees and external references are
@@ -115,6 +134,30 @@ if [ -n "$bench_dir" ]; then
   done
   if [ "$count" -lt "$bench_min" ]; then
     err "only $count BENCH_*.json files in $bench_dir (need >= $bench_min)"
+  fi
+fi
+
+# ---- 4. bench catalog (--strict) -------------------------------------
+if [ "$strict" -eq 1 ]; then
+  benchmd="$repo/docs/BENCHMARKS.md"
+  if [ ! -f "$benchmd" ]; then
+    err "missing docs/BENCHMARKS.md"
+  else
+    # Every committed baseline report must be named in the catalog.
+    for json in "$repo"/bench/baselines/BENCH_*.json; do
+      [ -e "$json" ] || continue
+      base="$(basename "$json")"
+      name="${base#BENCH_}"; name="${name%.json}"
+      grep -q "$name" "$benchmd" ||
+        err "baseline $base not named in docs/BENCHMARKS.md"
+    done
+    # Every registered bench binary must have a catalog row.
+    for target in $(grep -oE '^sdmmon_add_bench\([a-z0-9_]+' \
+                      "$repo/bench/CMakeLists.txt" |
+                    sed 's/sdmmon_add_bench(//'); do
+      grep -qF "\`$target\`" "$benchmd" ||
+        err "bench '$target' (bench/CMakeLists.txt) has no row in docs/BENCHMARKS.md"
+    done
   fi
 fi
 
