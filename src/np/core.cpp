@@ -83,9 +83,11 @@ void Core::reset() {
 
 void Core::soft_reset() {
   // Fresh processing stack and packet buffers; application data persists.
-  mem_.write_block(kStackBase, util::Bytes(kStackSize, 0));
-  mem_.write_block(kPktInBase, util::Bytes(kPktInSize, 0));
-  mem_.write_block(kPktOutBase, util::Bytes(kPktOutSize, 0));
+  // zero_region only scrubs pages actually written since their last
+  // zeroing, so this costs O(bytes the last packet touched).
+  mem_.zero_region(kStackBase);
+  mem_.zero_region(kPktInBase);
+  mem_.zero_region(kPktOutBase);
   reset_architectural_state();
 }
 

@@ -13,7 +13,14 @@ namespace sdmmon::np {
 enum class DispatchPolicy : std::uint8_t {
   RoundRobin,
   FlowHash,     // same flow key -> same core (stable per-flow ordering)
-  LeastLoaded,  // core with the fewest instructions retired so far
+  // Core with the lowest instruction load. The serial engine feeds exact
+  // retired counts; the sharded parallel engine feeds RELAXED load --
+  // committed (folded) instructions plus a mean-cost estimate for packets
+  // planned onto the core but still in flight -- so placement may diverge
+  // from the serial engine while packets are speculated. batch_size=1
+  // empties the flight window at every plan and restores exactness (the
+  // diff suite pins both contracts).
+  LeastLoaded,
 };
 
 /// Pick one entry of `active` (must be non-empty, ascending core indices).

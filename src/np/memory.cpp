@@ -6,17 +6,96 @@
 
 namespace sdmmon::np {
 
+namespace {
+std::size_t pages_for(std::size_t bytes) {
+  return (bytes + kPageBytes - 1) / kPageBytes;
+}
+}  // namespace
+
 Memory::Memory() {
-  regions_.push_back({kTextBase, std::vector<std::uint8_t>(kTextSize)});
-  regions_.push_back({kDataBase, std::vector<std::uint8_t>(kDataSize)});
-  regions_.push_back({kStackBase, std::vector<std::uint8_t>(kStackSize)});
-  regions_.push_back({kPktInBase, std::vector<std::uint8_t>(kPktInSize)});
-  regions_.push_back({kPktOutBase, std::vector<std::uint8_t>(kPktOutSize)});
+  auto add = [this](std::uint32_t base, std::size_t size) {
+    Region region;
+    region.base = base;
+    region.bytes.assign(size, 0);
+    region.maybe_nonzero.assign(pages_for(size), 0);
+    region.stamp.assign(pages_for(size), 0);
+    regions_.push_back(std::move(region));
+  };
+  add(kTextBase, kTextSize);
+  add(kDataBase, kDataSize);
+  add(kStackBase, kStackSize);
+  add(kPktInBase, kPktInSize);
+  add(kPktOutBase, kPktOutSize);
+}
+
+void Memory::touch_page(Region& region, std::uint32_t addr) {
+  const std::uint32_t page = (addr - region.base) / kPageBytes;
+  if (capture_on_ && region.stamp[page] != capture_epoch_) {
+    region.stamp[page] = capture_epoch_;
+    const std::size_t off = std::size_t{page} * kPageBytes;
+    const std::size_t len = std::min<std::size_t>(kPageBytes,
+                                                  region.bytes.size() - off);
+    const std::uint8_t* p = region.bytes.data() + off;
+    capture_log_.push_back(
+        {region.base + page * kPageBytes, util::Bytes(p, p + len)});
+  }
+  region.maybe_nonzero[page] = 1;
+}
+
+void Memory::scrub_region(Region& region) {
+  for (std::uint32_t page = 0; page < region.maybe_nonzero.size(); ++page) {
+    if (!region.maybe_nonzero[page]) continue;  // invariant: already zero
+    const std::size_t off = std::size_t{page} * kPageBytes;
+    const std::size_t len = std::min<std::size_t>(kPageBytes,
+                                                  region.bytes.size() - off);
+    if (capture_on_ && region.stamp[page] != capture_epoch_) {
+      region.stamp[page] = capture_epoch_;
+      const std::uint8_t* p = region.bytes.data() + off;
+      capture_log_.push_back(
+          {region.base + page * kPageBytes, util::Bytes(p, p + len)});
+    }
+    std::memset(region.bytes.data() + off, 0, len);
+    region.maybe_nonzero[page] = 0;
+  }
 }
 
 void Memory::clear() {
+  for (auto& region : regions_) scrub_region(region);
+}
+
+void Memory::zero_region(std::uint32_t base) {
   for (auto& region : regions_) {
-    std::fill(region.bytes.begin(), region.bytes.end(), 0);
+    if (region.base == base) {
+      scrub_region(region);
+      return;
+    }
+  }
+  throw std::out_of_range("Memory::zero_region: no region at base");
+}
+
+void Memory::begin_capture() {
+  capture_on_ = true;
+  ++capture_epoch_;
+  capture_log_.clear();
+}
+
+std::vector<Memory::PageCopy> Memory::take_capture() {
+  capture_on_ = false;
+  return std::move(capture_log_);
+}
+
+void Memory::restore_pages(std::span<const PageCopy> log) {
+  for (const PageCopy& copy : log) {
+    Region* region = find(copy.addr, 1);
+    if (!region ||
+        copy.addr + copy.bytes.size() > region->base + region->bytes.size()) {
+      throw std::out_of_range("Memory::restore_pages outside a region");
+    }
+    std::memcpy(region->bytes.data() + (copy.addr - region->base),
+                copy.bytes.data(), copy.bytes.size());
+    // Conservative: the restored content may be nonzero; a later scrub
+    // will zero it if so.
+    region->maybe_nonzero[(copy.addr - region->base) / kPageBytes] = 1;
   }
 }
 
@@ -62,6 +141,7 @@ MemFault Memory::store32(std::uint32_t addr, std::uint32_t value) {
   if (addr % 4 != 0) return MemFault::Unaligned;
   Region* region = find(addr, 4);
   if (!region) return MemFault::OutOfRange;
+  touch_page(*region, addr);  // aligned: one page
   util::store_le32(value, region->bytes.data() + (addr - region->base));
   return MemFault::None;
 }
@@ -70,6 +150,7 @@ MemFault Memory::store16(std::uint32_t addr, std::uint16_t value) {
   if (addr % 2 != 0) return MemFault::Unaligned;
   Region* region = find(addr, 2);
   if (!region) return MemFault::OutOfRange;
+  touch_page(*region, addr);  // aligned: one page
   std::uint8_t* p = region->bytes.data() + (addr - region->base);
   p[0] = static_cast<std::uint8_t>(value);
   p[1] = static_cast<std::uint8_t>(value >> 8);
@@ -79,6 +160,7 @@ MemFault Memory::store16(std::uint32_t addr, std::uint16_t value) {
 MemFault Memory::store8(std::uint32_t addr, std::uint8_t value) {
   Region* region = find(addr, 1);
   if (!region) return MemFault::OutOfRange;
+  touch_page(*region, addr);
   region->bytes[addr - region->base] = value;
   return MemFault::None;
 }
@@ -89,6 +171,10 @@ void Memory::write_block(std::uint32_t addr,
   Region* region = find(addr, 1);
   if (!region || addr + data.size() > region->base + region->bytes.size()) {
     throw std::out_of_range("Memory::write_block outside a region");
+  }
+  for (std::uint32_t a = addr & ~(kPageBytes - 1); a < addr + data.size();
+       a += kPageBytes) {
+    touch_page(*region, std::max(a, addr));
   }
   std::memcpy(region->bytes.data() + (addr - region->base), data.data(),
               data.size());

@@ -2,6 +2,16 @@
 // writable and *all readable memory is executable* -- faithful to the
 // simple embedded cores the paper targets and required for the
 // code-injection attack path the monitor defends against.
+//
+// The memory additionally tracks writes at page granularity (kPageBytes):
+//  * every page carries a "maybe nonzero" flag, so clear()/zero_region()
+//    only scrub pages that were actually written since they were last
+//    zeroed -- the per-packet soft reset costs O(bytes touched), not
+//    O(region size);
+//  * an optional *capture* records the pre-image of each page the first
+//    time it is dirtied, so a speculative packet execution can be rolled
+//    back by restoring only the touched pages (dirty-page snapshots for
+//    the parallel engine) instead of copying whole-core state.
 #ifndef SDMMON_NP_MEMORY_HPP
 #define SDMMON_NP_MEMORY_HPP
 
@@ -21,12 +31,29 @@ enum class MemFault {
   Unaligned,
 };
 
+/// Dirty-page tracking granularity. Small enough that a packet touching a
+/// few stack slots logs a few hundred bytes, large enough that the
+/// per-store bookkeeping is one shift and one flag byte.
+inline constexpr std::uint32_t kPageBytes = 256;
+
 class Memory {
  public:
+  /// Pre-image of one page, recorded by an active capture the first time
+  /// the page is written. `addr` is the page-aligned guest address.
+  struct PageCopy {
+    std::uint32_t addr;
+    util::Bytes bytes;
+  };
+
   Memory();
 
-  /// Zero all regions (used on core reset between packets).
+  /// Zero all regions (used on full core reset). Only pages flagged
+  /// maybe-nonzero are scrubbed.
   void clear();
+
+  /// Zero the single region starting at `base` (page-skipping, capture
+  /// aware). Used by the per-packet soft reset on stack/pktin/pktout.
+  void zero_region(std::uint32_t base);
 
   // All accessors return/accept little-endian values (MIPS LE).
   std::optional<std::uint32_t> load32(std::uint32_t addr) const;
@@ -43,10 +70,31 @@ class Memory {
   void write_block(std::uint32_t addr, std::span<const std::uint8_t> data);
   util::Bytes read_block(std::uint32_t addr, std::size_t len) const;
 
+  /// Start recording page pre-images. Any capture already in progress is
+  /// discarded. Each page is logged at most once per capture, at its
+  /// content before the first write under this capture.
+  void begin_capture();
+
+  /// Stop recording and hand the log to the caller. The log order is the
+  /// first-touch order; restore in *reverse* to undo.
+  std::vector<PageCopy> take_capture();
+
+  /// Write page pre-images back (rollback). Call with a log from
+  /// take_capture, iterating it in reverse order when undoing multiple
+  /// captures newest-first. Restored pages are conservatively flagged
+  /// maybe-nonzero.
+  void restore_pages(std::span<const PageCopy> log);
+
  private:
   struct Region {
     std::uint32_t base;
     std::vector<std::uint8_t> bytes;
+    // One entry per kPageBytes page. maybe_nonzero: clear => the page is
+    // known all-zero (invariant maintained by clear/zero_region). stamp:
+    // capture epoch of the last pre-image log, so a page is copied at
+    // most once per capture.
+    std::vector<std::uint8_t> maybe_nonzero;
+    std::vector<std::uint32_t> stamp;
     bool contains(std::uint32_t addr, unsigned size) const {
       return addr >= base && addr + size <= base + bytes.size() &&
              addr + size > addr;
@@ -56,7 +104,18 @@ class Memory {
   const Region* find(std::uint32_t addr, unsigned size) const;
   Region* find(std::uint32_t addr, unsigned size);
 
+  /// Record the page holding `addr` as written: log its pre-image if a
+  /// capture is active and this is the first touch, and flag it
+  /// maybe-nonzero. `addr` must lie inside `region`.
+  void touch_page(Region& region, std::uint32_t addr);
+
+  /// Zero one region's maybe-nonzero pages (shared by clear/zero_region).
+  void scrub_region(Region& region);
+
   std::vector<Region> regions_;
+  bool capture_on_ = false;
+  std::uint32_t capture_epoch_ = 0;
+  std::vector<PageCopy> capture_log_;
 };
 
 }  // namespace sdmmon::np

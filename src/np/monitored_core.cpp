@@ -256,4 +256,24 @@ PacketResult MonitoredCore::process_packet(
   return result;
 }
 
+void MonitoredCore::begin_speculation() {
+  spec_state_ = core_.capture_spec_state();
+  core_.memory().begin_capture();
+}
+
+MonitoredCore::SpecUndo MonitoredCore::end_speculation() {
+  SpecUndo undo;
+  undo.core_state = spec_state_;
+  undo.pages = core_.memory().take_capture();
+  return undo;
+}
+
+void MonitoredCore::rollback_speculation(const SpecUndo& undo) {
+  // Within one capture every page is logged once, at its pre-speculation
+  // content, so restore order inside the log does not matter. Across
+  // packets the caller rolls back newest-first.
+  core_.memory().restore_pages(undo.pages);
+  core_.restore_spec_state(undo.core_state);
+}
+
 }  // namespace sdmmon::np

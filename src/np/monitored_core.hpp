@@ -51,8 +51,9 @@ struct CoreStats {
 /// (or a tool) via CoreObs::create; the MonitoredCore keeps a non-owning
 /// pointer and updates the handles on its commit path only, so counters
 /// and histograms stay exact and deterministic even when the parallel
-/// engine executes speculatively. Single-writer: only the thread that
-/// commits this core's packets touches `ticks`.
+/// engine executes speculatively. Serialized-writer: commits happen under
+/// the engine's fold lock (or on the serial engine's only thread), so
+/// `tick` needs no synchronization of its own.
 struct CoreObs {
   obs::Counter* packets = nullptr;
   obs::Counter* forwarded = nullptr;
@@ -119,6 +120,29 @@ class MonitoredCore {
   /// updating exactly the counters process_packet would have.
   void commit_result(const PacketResult& result);
 
+  /// Everything one speculative execute_packet() changed on this core
+  /// that the next packet could observe: the Core's cross-packet
+  /// architectural state and the memory pages the execution dirtied.
+  /// Known caveat (pre-existing, documented in ARCHITECTURE.md): the
+  /// monitor's internal MonitorStats are not captured, so its cumulative
+  /// instruction tallies overcount rolled-back packets.
+  struct SpecUndo {
+    Core::SpecState core_state;
+    std::vector<Memory::PageCopy> pages;
+    /// Pages dirtied by the speculative execution (== pages.size();
+    /// feeds np.core.snapshot_dirty_pages).
+    std::size_t dirty_pages() const { return pages.size(); }
+  };
+
+  /// Bracket one speculative execute_packet(): begin_speculation() arms
+  /// dirty-page capture and snapshots the cross-packet core state;
+  /// end_speculation() disarms capture and returns the undo record;
+  /// rollback_speculation() restores both (pages in reverse touch order).
+  /// When undoing several packets on one core, roll back newest-first.
+  void begin_speculation();
+  SpecUndo end_speculation();
+  void rollback_speculation(const SpecUndo& undo);
+
   const CoreStats& stats() const { return stats_; }
   Core& core() { return core_; }
   const monitor::HardwareMonitor& monitor() const { return *monitor_; }
@@ -143,6 +167,9 @@ class MonitoredCore {
   CoreStats stats_;
   bool enforce_ = true;
   CoreObs* obs_ = nullptr;
+  // Cross-packet core state snapshotted by begin_speculation(), handed
+  // out by end_speculation(). One speculation may be active at a time.
+  Core::SpecState spec_state_;
 };
 
 }  // namespace sdmmon::np

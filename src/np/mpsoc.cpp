@@ -40,15 +40,17 @@ std::unique_ptr<EngineObs> EngineObs::create(obs::Registry& registry,
   obs->fused_runs = &registry.gauge(obs::names::kEngineFusedRuns);
   obs->fused_ops = &registry.gauge(obs::names::kEngineFusedOps);
   if (parallel) {
-    obs->batch_fill = &registry.histogram(obs::names::kParallelBatchFill,
-                                          obs::depth_buckets());
-    obs->ingest_depth = &registry.histogram(
-        obs::names::kParallelIngestDepth, obs::depth_buckets());
-    obs->barrier_wait_ns = &registry.histogram(
-        obs::names::kParallelBarrierWaitNs, obs::latency_ns_buckets());
+    obs->shard_steals = &registry.counter(obs::names::kParallelShardSteals);
+    obs->shard_epochs = &registry.counter(obs::names::kParallelShardEpochs);
+    obs->shard_queue_depth = &registry.histogram(
+        obs::names::kParallelShardQueueDepth, obs::depth_buckets());
     obs->rollbacks = &registry.counter(obs::names::kParallelRollbacks);
     obs->replayed_packets =
         &registry.counter(obs::names::kParallelReplayedPackets);
+    obs->rollback_bytes =
+        &registry.counter(obs::names::kParallelRollbackBytes);
+    obs->snapshot_dirty_pages = &registry.histogram(
+        obs::names::kCoreSnapshotDirtyPages, obs::depth_buckets());
   }
   obs->device_id = device_id;
   obs->cores.reserve(num_cores);

@@ -119,12 +119,14 @@ struct EngineObs {
   obs::Histogram* block_fuse_ns = nullptr;  // wall-clock (install path)
   obs::Gauge* fused_runs = nullptr;
   obs::Gauge* fused_ops = nullptr;
-  // Parallel engine only:
-  obs::Histogram* batch_fill = nullptr;
-  obs::Histogram* ingest_depth = nullptr;
-  obs::Histogram* barrier_wait_ns = nullptr;
+  // Parallel engine only (sharded engine internals):
+  obs::Counter* shard_steals = nullptr;     // items popped off-shard
+  obs::Counter* shard_epochs = nullptr;     // recovery epochs coordinated
+  obs::Histogram* shard_queue_depth = nullptr;  // deque depth at enqueue
   obs::Counter* rollbacks = nullptr;
   obs::Counter* replayed_packets = nullptr;
+  obs::Counter* rollback_bytes = nullptr;   // dirty-page bytes restored
+  obs::Histogram* snapshot_dirty_pages = nullptr;  // pages per speculation
   std::uint32_t device_id = 0;
   std::vector<CoreObs> cores;
 

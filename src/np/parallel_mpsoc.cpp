@@ -2,8 +2,27 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace sdmmon::np {
+
+namespace {
+
+/// Yield for a while, then sleep in short slices (same policy as
+/// util::SpscQueue's backoff; see the rationale there).
+struct Backoff {
+  int spins = 0;
+  void pause() {
+    if (++spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  void reset() { spins = 0; }
+};
+
+}  // namespace
 
 ParallelMpsoc::ParallelMpsoc(std::size_t num_cores, DispatchPolicy policy,
                              RecoveryConfig recovery, ParallelConfig parallel)
@@ -11,67 +30,201 @@ ParallelMpsoc::ParallelMpsoc(std::size_t num_cores, DispatchPolicy policy,
       last_good_(num_cores),
       policy_(policy),
       recovery_(num_cores, recovery),
-      config_(parallel),
-      ingest_(std::max<std::size_t>(parallel.ingest_depth, 2)) {
+      config_(parallel) {
   config_.batch_size = std::max<std::size_t>(config_.batch_size, 1);
+  config_.ingest_depth = std::max<std::size_t>(config_.ingest_depth, 1);
+  capture_spec_ =
+      recovery_.config().policy != RecoveryPolicy::ResetAndContinue;
+  rob_size_ = config_.batch_size;
+  rob_ = std::make_unique<Slot[]>(rob_size_);
+
+  next_ticket_.assign(num_cores, 0);
+  planned_pkts_.assign(num_cores, 0);
+  committed_instr_ = std::make_unique<std::atomic<std::uint64_t>[]>(num_cores);
+  committed_pkts_ = std::make_unique<std::atomic<std::uint64_t>[]>(num_cores);
+  core_turn_ = std::make_unique<std::atomic<std::uint64_t>[]>(num_cores);
+  for (std::size_t c = 0; c < num_cores; ++c) {
+    committed_instr_[c].store(0, std::memory_order_relaxed);
+    committed_pkts_[c].store(0, std::memory_order_relaxed);
+    core_turn_[c].store(0, std::memory_order_relaxed);
+  }
+
   std::size_t workers = config_.workers == 0 ? num_cores : config_.workers;
   workers = std::min(std::max<std::size_t>(workers, num_cores > 0 ? 1 : 0),
                      num_cores);
-  queues_.reserve(workers);
+  deques_.reserve(workers);
   workers_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    // A worker can be handed every slot of a batch, so batch_size bounds
-    // the queue depth; push never blocks.
-    queues_.push_back(
-        std::make_unique<util::SpscQueue<WorkMsg>>(config_.batch_size + 1));
+    // A shard's ring must hold every in-flight packet (epoch re-plans can
+    // land the whole window on one shard); the ingest_depth headroom
+    // keeps the planner's push wait-free in practice.
+    deques_.push_back(std::make_unique<util::StealingDeque<std::uint64_t>>(
+        rob_size_ * config_.ingest_depth + 1));
   }
   for (std::size_t w = 0; w < workers; ++w) {
     workers_.emplace_back([this, w] { worker_main(w); });
   }
-  dispatcher_ = std::thread([this] { dispatcher_main(); });
 }
 
 ParallelMpsoc::~ParallelMpsoc() {
   flush();
-  auto poison = std::make_unique<Batch>();
-  poison->stop = true;
-  ingest_.push(std::move(poison));
-  dispatcher_.join();  // dispatcher stops every worker before exiting
+  stop_.store(true, std::memory_order_release);
+  epoch_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
+// ---------------------------------------------------------------------
+// Workers: pop own shard first, steal oldest from others, fold greedily
+// ---------------------------------------------------------------------
+
 void ParallelMpsoc::worker_main(std::size_t worker) {
-  util::SpscQueue<WorkMsg>& queue = *queues_[worker];
+  Backoff idle;
   for (;;) {
-    WorkMsg msg = queue.pop();
-    if (msg.kind == WorkMsg::Kind::Stop) return;
-    const Packet& packet = batch_items_[msg.slot];
-    batch_results_[msg.slot] = cores_[msg.core].execute_packet(packet.data);
-    gate_.done();
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (epoch_requested_.load(std::memory_order_acquire)) {
+      park_for_epoch();
+      idle.reset();
+      continue;
+    }
+    std::uint64_t seq;
+    if (pop_work(worker, seq)) {
+      execute_slot(seq);
+      try_fold();
+      idle.reset();
+    } else {
+      // Idle workers still fold: when every core is quarantined, slots
+      // are born Executed (undispatched) and nobody else may be around
+      // to retire them.
+      try_fold();
+      idle.pause();
+    }
   }
 }
 
-void ParallelMpsoc::dispatcher_main() {
-  std::vector<PacketResult> scratch;
-  for (;;) {
-    std::unique_ptr<Batch> batch = ingest_.pop();
-    if (batch->stop) {
-      for (auto& queue : queues_) {
-        queue->push(WorkMsg{WorkMsg::Kind::Stop, 0, 0});
-      }
-      return;
+bool ParallelMpsoc::pop_work(std::size_t worker, std::uint64_t& seq) {
+  if (deques_[worker]->try_pop(seq)) return true;
+  const std::size_t shards = deques_.size();
+  for (std::size_t i = 1; i < shards; ++i) {
+    if (deques_[(worker + i) % shards]->try_pop(seq)) {
+#if SDMMON_OBS_ENABLED
+      if (EngineObs* obs = eobs()) obs->shard_steals->add(1);
+#endif
+      return true;
     }
-    if (batch->count > 0) {
-      PacketResult* results = batch->results_out;
-      if (results == nullptr) {
-        scratch.assign(batch->count, PacketResult{});
-        results = scratch.data();
-      }
-      run_batch(batch->items, batch->count, results);
-    }
-    if (batch->done != nullptr) batch->done->done();
+  }
+  return false;
+}
+
+void ParallelMpsoc::run_slot(Slot& slot) {
+  MonitoredCore& core = cores_[slot.core];
+  if (capture_spec_) core.begin_speculation();
+  if (core.installed()) {
+    slot.result = core.execute_packet(slot.item->data);
+  } else {
+    // Unreachable through dispatch (uninstalled cores are not in the
+    // active set) but kept defensive: drop, like the serial engine.
+    slot.result = PacketResult{};
+  }
+  if (capture_spec_) {
+    slot.spec_undo = core.end_speculation();
+    slot.spec_captured = true;
+  }
+  slot.action = recovery_.on_outcome_speculative(slot.core,
+                                                 slot.result.outcome,
+                                                 slot.outcome_undo);
+  slot.window_violations = recovery_.window_violations(slot.core);
+  slot.state.store(SlotState::Executed, std::memory_order_release);
+}
+
+void ParallelMpsoc::execute_slot(std::uint64_t seq) {
+  Slot& slot = rob_[seq % rob_size_];
+  std::atomic<std::uint64_t>& turn = core_turn_[slot.core];
+  // Wait for this core's turn. The predecessor ticket was pushed to the
+  // same shard deque earlier (FIFO), so it has been popped by a worker
+  // that runs it to completion -- this wait always terminates, which is
+  // also why workers may only park at the loop top, never mid-item.
+  Backoff backoff;
+  while (turn.load(std::memory_order_acquire) != slot.ticket) {
+    backoff.pause();
+  }
+  run_slot(slot);
+  turn.store(slot.ticket + 1, std::memory_order_release);
+  if (slot.action != RecoveryAction::None) {
+    epoch_requested_.store(true, std::memory_order_release);
   }
 }
+
+// ---------------------------------------------------------------------
+// Folding: commit completed slots in global sequence order
+// ---------------------------------------------------------------------
+
+void ParallelMpsoc::try_fold() {
+  if (!fold_mutex_.try_lock()) return;
+  fold_locked();
+  fold_mutex_.unlock();
+}
+
+void ParallelMpsoc::fold_locked() {
+  for (;;) {
+    const std::uint64_t f = fold_next_.load(std::memory_order_relaxed);
+    if (f == plan_next_.load(std::memory_order_acquire)) return;
+    Slot& slot = rob_[f % rob_size_];
+    if (slot.state.load(std::memory_order_acquire) != SlotState::Executed) {
+      return;
+    }
+    // An acting slot folds only inside its recovery epoch, after the
+    // speculated tail has been rolled back (so the healthy-core gauge
+    // and journal it feeds observe exactly the serial engine's state).
+    if (slot.action != RecoveryAction::None) return;
+    fold_slot(slot);
+    slot.state.store(SlotState::Free, std::memory_order_relaxed);
+    fold_next_.store(f + 1, std::memory_order_release);
+  }
+}
+
+void ParallelMpsoc::fold_slot(Slot& slot) {
+#if SDMMON_OBS_ENABLED
+  EngineObs* obs = eobs();
+#endif
+  if (slot.core == kUndispatched) {
+    ++undispatched_;
+#if SDMMON_OBS_ENABLED
+    if (obs) obs->undispatched->add(1);
+#endif
+  } else {
+    cores_[slot.core].commit_result(slot.result);
+    committed_instr_[slot.core].fetch_add(slot.result.instructions,
+                                          std::memory_order_relaxed);
+    committed_pkts_[slot.core].fetch_add(1, std::memory_order_relaxed);
+    committed_instr_total_.fetch_add(slot.result.instructions,
+                                     std::memory_order_relaxed);
+    committed_pkts_total_.fetch_add(1, std::memory_order_relaxed);
+#if SDMMON_OBS_ENABLED
+    // Same call order as the serial engine's process_packet, so the
+    // deterministic journal prefix and counters match bit-for-bit.
+    if (obs) {
+      obs->dispatched->add(1);
+      obs->record_outcome(obs->dispatched->value(), slot.core, slot.result,
+                          slot.action, slot.window_violations, recovery_);
+      if (slot.spec_captured) {
+        obs->snapshot_dirty_pages->record(slot.spec_undo.pages.size());
+      }
+    }
+#endif
+  }
+  if (slot.result_out != nullptr) *slot.result_out = slot.result;
+  slot.owned = Packet{};
+  slot.item = nullptr;
+  slot.result_out = nullptr;
+  slot.result = PacketResult{};
+  slot.spec_undo = MonitoredCore::SpecUndo{};
+  slot.spec_captured = false;
+  slot.outcome_undo = RecoveryController::OutcomeUndo{};
+}
+
+// ---------------------------------------------------------------------
+// Planning: inline in the submitting thread, one packet at a time
+// ---------------------------------------------------------------------
 
 std::vector<std::size_t> ParallelMpsoc::active_cores() const {
   std::vector<std::size_t> active;
@@ -82,11 +235,286 @@ std::vector<std::size_t> ParallelMpsoc::active_cores() const {
   return active;
 }
 
+bool ParallelMpsoc::plan_dispatch(Slot& slot) {
+  slot.action = RecoveryAction::None;
+  slot.spec_captured = false;
+  slot.result = PacketResult{};
+  const std::vector<std::size_t> active = active_cores();
+  if (active.empty()) {
+    // Fully degraded (or nothing installed yet): the slot is born
+    // Executed and folds as an undispatched drop, like the serial path.
+    slot.core = kUndispatched;
+    slot.rr_after = rr_cursor_;
+    slot.state.store(SlotState::Executed, std::memory_order_release);
+    return false;
+  }
+  const std::uint64_t committed_pkts =
+      committed_pkts_total_.load(std::memory_order_relaxed);
+  const std::uint64_t est_instr =
+      committed_pkts == 0
+          ? 1
+          : std::max<std::uint64_t>(
+                1, committed_instr_total_.load(std::memory_order_relaxed) /
+                       committed_pkts);
+  slot.core = pick_dispatch_core(
+      policy_, active, slot.item->flow_key, rr_cursor_,
+      [&](std::size_t c) {
+        // LeastLoaded sees committed (folded) load plus an estimate for
+        // packets planned onto c but still in flight -- the relaxed
+        // contract. With batch_size=1 nothing is ever in flight at plan
+        // time and this reduces to the serial engine's exact feedback.
+        const std::uint64_t committed =
+            committed_pkts_[c].load(std::memory_order_relaxed);
+        const std::uint64_t outstanding =
+            planned_pkts_[c] > committed ? planned_pkts_[c] - committed : 0;
+        return committed_instr_[c].load(std::memory_order_relaxed) +
+               est_instr * outstanding;
+      });
+  slot.rr_after = rr_cursor_;
+  slot.ticket = next_ticket_[slot.core]++;
+  ++planned_pkts_[slot.core];
+  slot.state.store(SlotState::Planned, std::memory_order_relaxed);
+  return true;
+}
+
+void ParallelMpsoc::plan_one(const Packet* borrowed, Packet&& owned,
+                             bool owns, PacketResult* result_out) {
+  // Backpressure outside the plan lock: wait for reorder-buffer space,
+  // helping fold so a worker-less (or fully quarantined) engine still
+  // drains. fold_next_ only advances, so the check is stable once true.
+  Backoff backoff;
+  while (plan_next_.load(std::memory_order_relaxed) -
+             fold_next_.load(std::memory_order_acquire) >=
+         rob_size_) {
+    try_fold();
+    backoff.pause();
+  }
+  std::lock_guard<std::mutex> lock(plan_mutex_);
+  const std::uint64_t seq = plan_next_.load(std::memory_order_relaxed);
+  Slot& slot = rob_[seq % rob_size_];
+  assert(slot.state.load(std::memory_order_relaxed) == SlotState::Free);
+  if (owns) {
+    slot.owned = std::move(owned);
+    slot.item = &slot.owned;
+  } else {
+    slot.item = borrowed;
+  }
+  slot.result_out = result_out;
+  const bool dispatched = plan_dispatch(slot);
+  plan_next_.store(seq + 1, std::memory_order_release);
+  if (dispatched) {
+    util::StealingDeque<std::uint64_t>& deque = *deques_[shard_of(slot.core)];
+    deque.push(seq);
+#if SDMMON_OBS_ENABLED
+    if (EngineObs* obs = eobs()) {
+      obs->shard_queue_depth->record(deque.size_approx());
+    }
+#endif
+  }
+}
+
+void ParallelMpsoc::submit(util::Bytes packet, std::uint32_t flow_key) {
+  plan_one(nullptr, Packet{std::move(packet), flow_key}, /*owns=*/true,
+           nullptr);
+}
+
+std::vector<PacketResult> ParallelMpsoc::process_packets(
+    const std::vector<Packet>& packets) {
+  std::vector<PacketResult> results(packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    plan_one(&packets[i], Packet{}, /*owns=*/false, &results[i]);
+  }
+  flush();
+  return results;
+}
+
+void ParallelMpsoc::flush() {
+  Backoff backoff;
+  for (;;) {
+    try_fold();
+    if (!epoch_requested_.load(std::memory_order_acquire) &&
+        fold_next_.load(std::memory_order_acquire) ==
+            plan_next_.load(std::memory_order_acquire)) {
+      return;
+    }
+    backoff.pause();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Recovery epochs: the only global synchronization point
+// ---------------------------------------------------------------------
+
+void ParallelMpsoc::park_for_epoch() {
+  std::unique_lock<std::mutex> lock(epoch_mutex_);
+  if (!epoch_requested_.load(std::memory_order_acquire)) return;
+  ++parked_;
+  if (parked_ == workers_.size()) {
+    // parked_ == workers means no worker is executing (each parks only
+    // at its loop top, holding no item), so the last one to arrive can
+    // safely coordinate the epoch.
+    lock.unlock();
+    run_epoch();
+    lock.lock();
+    --parked_;
+    epoch_cv_.notify_all();
+  } else {
+    epoch_cv_.wait(lock, [this] {
+      return !epoch_requested_.load(std::memory_order_acquire) ||
+             stop_.load(std::memory_order_acquire);
+    });
+    --parked_;
+  }
+}
+
+void ParallelMpsoc::run_epoch() {
+  // plan_mutex_ stops the planner (and makes this thread the shard
+  // deques' producer); fold_mutex_ stops concurrent folding for the
+  // whole epoch. Lock order plan -> fold is unique to this path, so no
+  // cycle with the planner (plan only) or folders (fold only).
+  std::lock_guard<std::mutex> plan_lock(plan_mutex_);
+  std::lock_guard<std::mutex> fold_lock(fold_mutex_);
+  epochs_.fetch_add(1, std::memory_order_relaxed);
+#if SDMMON_OBS_ENABLED
+  if (EngineObs* obs = eobs()) obs->shard_epochs->add(1);
+#endif
+
+  const std::uint64_t fold_at = fold_next_.load(std::memory_order_relaxed);
+  const std::uint64_t plan_at = plan_next_.load(std::memory_order_relaxed);
+
+  // 1. Drain every shard deque: with all workers parked, whatever is
+  // still queued is exactly the planned-but-unexecuted set.
+  std::vector<std::uint64_t> pending;
+  for (auto& deque : deques_) {
+    std::uint64_t s;
+    while (deque->try_pop(s)) pending.push_back(s);
+  }
+  std::sort(pending.begin(), pending.end());
+
+  // 2. The epoch pivots on the OLDEST executed slot demanding an action.
+  std::uint64_t act = plan_at;
+  for (std::uint64_t s = fold_at; s < plan_at; ++s) {
+    Slot& slot = rob_[s % rob_size_];
+    if (slot.state.load(std::memory_order_acquire) == SlotState::Executed &&
+        slot.action != RecoveryAction::None) {
+      act = s;
+      break;
+    }
+  }
+
+  // 3. Stragglers older than the pivot run inline, in sequence order.
+  // Per-core turn tickets make each core's executed set a prefix, so an
+  // unexecuted straggler's core holds no younger packet's side effects
+  // and its turn is already current. A straggler may itself act at an
+  // older sequence -- then IT becomes the pivot (serial order decides).
+  for (std::size_t i = 0; i < pending.size() && pending[i] < act; ++i) {
+    Slot& slot = rob_[pending[i] % rob_size_];
+    assert(core_turn_[slot.core].load(std::memory_order_relaxed) ==
+           slot.ticket);
+    run_slot(slot);
+    core_turn_[slot.core].store(slot.ticket + 1, std::memory_order_relaxed);
+    if (slot.action != RecoveryAction::None) {
+      act = pending[i];
+      break;
+    }
+  }
+
+  // 4. Roll back every executed slot younger than the pivot, newest
+  // first (per-core tickets descend with sequence): restore the dirty
+  // pages and cross-packet core state, withdraw the recovery outcome,
+  // rewind the core's turn. Slots the rollback visits are exactly the
+  // packets whose serial-order side effects never happened.
+  std::uint64_t rolled = 0;
+  std::uint64_t rolled_bytes = 0;
+  for (std::uint64_t s = plan_at; s-- > act + 1;) {
+    Slot& slot = rob_[s % rob_size_];
+    if (slot.state.load(std::memory_order_relaxed) != SlotState::Executed ||
+        slot.core == kUndispatched) {
+      continue;
+    }
+    if (slot.spec_captured) {
+      for (const Memory::PageCopy& page : slot.spec_undo.pages) {
+        rolled_bytes += page.bytes.size();
+      }
+      cores_[slot.core].rollback_speculation(slot.spec_undo);
+    }
+    recovery_.undo_outcome(slot.core, slot.outcome_undo);
+    core_turn_[slot.core].store(slot.ticket, std::memory_order_relaxed);
+    ++rolled;
+  }
+
+  // 5. Fold the prefix through the pivot. Everything up to `act` is now
+  // Executed (stragglers included); the pivot's own fold journals its
+  // outcome and -- for a quarantine -- the healthy-core gauge, with all
+  // younger speculation already undone, exactly like the serial engine.
+  std::size_t act_core = kUndispatched;
+  RecoveryAction act_action = RecoveryAction::None;
+  std::size_t act_rr = rr_cursor_;
+  if (act < plan_at) {
+    Slot& pivot = rob_[act % rob_size_];
+    act_core = pivot.core;
+    act_action = pivot.action;
+    act_rr = pivot.rr_after;
+  }
+  while (fold_next_.load(std::memory_order_relaxed) <
+             std::min<std::uint64_t>(act + 1, plan_at)) {
+    const std::uint64_t f = fold_next_.load(std::memory_order_relaxed);
+    Slot& slot = rob_[f % rob_size_];
+    assert(slot.state.load(std::memory_order_relaxed) ==
+           SlotState::Executed);
+    fold_slot(slot);
+    slot.state.store(SlotState::Free, std::memory_order_relaxed);
+    fold_next_.store(f + 1, std::memory_order_release);
+  }
+
+#if SDMMON_OBS_ENABLED
+  if (rolled > 0) {
+    if (EngineObs* obs = eobs()) {
+      obs->rollbacks->add(1);
+      obs->replayed_packets->add(rolled);
+      obs->rollback_bytes->add(rolled_bytes);
+      obs->journal->record({obs::EventKind::Rollback,
+                            obs->dispatched->value(), obs::kAllCores,
+                            obs->device_id, rolled});
+    }
+  }
+#endif
+
+  // 6. Apply the pivot's action. A quarantine already flipped health at
+  // execute time (and survived the rollback, which only undoes younger
+  // slots); a reinstall re-images here, after the fold, so the journal
+  // order matches the serial engine.
+  if (act_action == RecoveryAction::Reinstall) reinstall_core(act_core);
+
+  // 7. Re-plan the tail against the post-action dispatch state: cursor
+  // rewound to the pivot's, tickets restarted at the surviving turns,
+  // planner load reset to committed counts.
+  if (act < plan_at) rr_cursor_ = act_rr;
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    next_ticket_[c] = core_turn_[c].load(std::memory_order_relaxed);
+    planned_pkts_[c] = committed_pkts_[c].load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t s = act + 1; s < plan_at; ++s) {
+    Slot& slot = rob_[s % rob_size_];
+    slot.spec_undo = MonitoredCore::SpecUndo{};
+    slot.outcome_undo = RecoveryController::OutcomeUndo{};
+    if (plan_dispatch(slot)) {
+      deques_[shard_of(slot.core)]->push(s);
+    }
+  }
+
+  epoch_requested_.store(false, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------
+// Installs, admin transitions, observability (quiesce-then-operate)
+// ---------------------------------------------------------------------
+
 void ParallelMpsoc::enable_obs(obs::Registry& registry,
                                std::uint32_t device_id,
                                std::uint32_t sample_period) {
 #if SDMMON_OBS_ENABLED
-  flush();  // quiesce: the dispatcher must not be touching core state
+  flush();  // quiesce: no worker may be touching core state
   registry.set_sample_period(sample_period);
   obs_ = EngineObs::create(registry, cores_.size(), device_id,
                            /*parallel=*/true);
@@ -95,6 +523,7 @@ void ParallelMpsoc::enable_obs(obs::Registry& registry,
   }
   obs_->healthy_cores->set(
       static_cast<std::int64_t>(recovery_.healthy_cores()));
+  obs_live_.store(obs_.get(), std::memory_order_release);
 #else
   (void)registry;
   (void)device_id;
@@ -105,9 +534,12 @@ void ParallelMpsoc::enable_obs(obs::Registry& registry,
 void ParallelMpsoc::reinstall_core(std::size_t index) {
   const std::optional<LastGoodConfig>& good = last_good_[index];
   if (!good) return;  // nothing to re-image from; policy degrades to reset
+#if SDMMON_OBS_ENABLED
+  EngineObs* obs = eobs();
+#endif
   {
 #if SDMMON_OBS_ENABLED
-    obs::ScopedTimerNs timer(obs_ ? obs_->reinstall_ns : nullptr);
+    obs::ScopedTimerNs timer(obs ? obs->reinstall_ns : nullptr);
 #endif
     cores_[index].install(good->program, good->artifacts.graph,
                           good->artifacts.code, good->hash->clone());
@@ -115,256 +547,33 @@ void ParallelMpsoc::reinstall_core(std::size_t index) {
   recovery_.note_reinstall(index);
   ++reinstalls_;
 #if SDMMON_OBS_ENABLED
-  if (obs_) {
-    obs_->reinstalls->add(1);
-    obs_->journal->record({obs::EventKind::Reinstall,
-                           obs_->dispatched->value(),
-                           static_cast<std::uint32_t>(index),
-                           obs_->device_id, 0});
+  if (obs) {
+    obs->reinstalls->add(1);
+    obs->journal->record({obs::EventKind::Reinstall,
+                          obs->dispatched->value(),
+                          static_cast<std::uint32_t>(index), obs->device_id,
+                          0});
   }
 #endif
-}
-
-void ParallelMpsoc::rollback_speculation(
-    const std::vector<PlanSlot>& plan, std::size_t attempt_start,
-    std::size_t acted_slot, const Packet* items,
-    std::vector<std::optional<Core>>& snapshots) {
-  // A core is polluted iff it speculatively executed a slot the commit
-  // scan did not reach (slots > acted_slot get re-planned, and their
-  // memory side effects never happened in the serial order).
-  std::vector<bool> polluted(cores_.size(), false);
-  bool any = false;
-  for (std::size_t i = acted_slot + 1; i < plan.size(); ++i) {
-    if (plan[i].core != kUndispatched && !polluted[plan[i].core]) {
-      polluted[plan[i].core] = true;
-      any = true;
-    }
-  }
-  if (!any) return;
-  ++rollbacks_;
-  std::uint64_t replayed = 0;
-  for (std::size_t c = 0; c < cores_.size(); ++c) {
-    if (!polluted[c]) continue;
-    assert(snapshots[c].has_value());
-    // Rewind to the batch-attempt snapshot, then replay the packets this
-    // commit pass accepted (deterministic: same config, same memory, same
-    // bytes), leaving the core exactly where the serial engine would be
-    // after the acted-upon packet.
-    cores_[c].core() = *snapshots[c];
-    for (std::size_t i = attempt_start; i <= acted_slot; ++i) {
-      if (plan[i].core == c) {
-        (void)cores_[c].execute_packet(items[i].data);
-        ++replayed;
-      }
-    }
-  }
-#if SDMMON_OBS_ENABLED
-  if (obs_) {
-    obs_->rollbacks->add(1);
-    obs_->replayed_packets->add(replayed);
-    obs_->journal->record({obs::EventKind::Rollback,
-                           obs_->dispatched->value(), obs::kAllCores,
-                           obs_->device_id, replayed});
-  }
-#else
-  (void)replayed;
-#endif
-}
-
-void ParallelMpsoc::run_batch(const Packet* items, std::size_t count,
-                              PacketResult* results) {
-  std::vector<PlanSlot> plan(count);
-  std::vector<std::optional<Core>> snapshots(cores_.size());
-  std::vector<std::uint64_t> planned_extra(cores_.size(), 0);
-  // Snapshots are only needed when the recovery policy can act mid-batch;
-  // the paper-baseline ResetAndContinue never does, so it runs copy-free.
-  const bool may_act =
-      recovery_.config().policy != RecoveryPolicy::ResetAndContinue;
-
-#if SDMMON_OBS_ENABLED
-  if (obs_) obs_->batch_fill->record(count);
-#endif
-
-  std::size_t start = 0;
-  while (start < count) {
-    // ---- plan: serial dispatch decisions against committed state ----
-    const std::vector<std::size_t> active = active_cores();
-    std::size_t rr = next_;
-    std::fill(planned_extra.begin(), planned_extra.end(), 0);
-    const std::uint64_t est_instr =
-        committed_packets_ == 0
-            ? 1
-            : std::max<std::uint64_t>(
-                  1, committed_instructions_ / committed_packets_);
-    std::size_t dispatched = 0;
-    for (std::size_t i = start; i < count; ++i) {
-      if (active.empty()) {
-        plan[i] = PlanSlot{kUndispatched, rr};
-        continue;
-      }
-      const std::size_t core = pick_dispatch_core(
-          policy_, active, items[i].flow_key, rr, [&](std::size_t c) {
-            // LeastLoaded sees committed load plus an estimate for the
-            // packets already planned onto c this batch (the relaxed
-            // contract: feedback at batch granularity, not per packet).
-            return cores_[c].stats().instructions + planned_extra[c];
-          });
-      planned_extra[core] += est_instr;
-      plan[i] = PlanSlot{core, rr};
-      ++dispatched;
-    }
-
-    // ---- snapshot: bound the speculation this attempt can commit ----
-    if (may_act) {
-      for (std::size_t i = start; i < count; ++i) {
-        const std::size_t c = plan[i].core;
-        if (c != kUndispatched && !snapshots[c].has_value()) {
-          snapshots[c] = cores_[c].core();
-        }
-      }
-    }
-
-    // ---- execute: fan the per-core streams out to the workers ----
-    gate_.arm(dispatched);
-    batch_items_ = items;
-    batch_results_ = results;
-    for (std::size_t i = start; i < count; ++i) {
-      if (plan[i].core == kUndispatched) continue;
-      queues_[worker_of(plan[i].core)]->push(
-          WorkMsg{WorkMsg::Kind::Execute, i, plan[i].core});
-    }
-    {
-#if SDMMON_OBS_ENABLED
-      obs::ScopedTimerNs timer(obs_ ? obs_->barrier_wait_ns : nullptr);
-#endif
-      gate_.wait();
-    }
-
-    // ---- commit: replay outcomes in serial packet order ----
-    std::size_t resume = count;
-    bool acted = false;
-    for (std::size_t i = start; i < count; ++i) {
-      if (plan[i].core == kUndispatched) {
-        ++undispatched_;
-#if SDMMON_OBS_ENABLED
-        if (obs_) obs_->undispatched->add(1);
-#endif
-        results[i] = PacketResult{};  // Dropped, no output
-        continue;
-      }
-      const std::size_t c = plan[i].core;
-      cores_[c].commit_result(results[i]);
-      ++committed_packets_;
-      committed_instructions_ += results[i].instructions;
-      const RecoveryAction action =
-          recovery_.on_outcome(c, results[i].outcome);
-#if SDMMON_OBS_ENABLED
-      // Same call order as the serial engine's process_packet, so the
-      // deterministic journal prefix and counters match bit-for-bit.
-      if (obs_) {
-        obs_->dispatched->add(1);
-        obs_->record_outcome(obs_->dispatched->value(), c, results[i],
-                             action, recovery_.window_violations(c),
-                             recovery_);
-      }
-#endif
-      if (action == RecoveryAction::None) continue;
-      // Batch barrier: workers are idle, so the health transition and any
-      // re-image are race-free, exactly like the serial per-packet path.
-      next_ = plan[i].rr_after;
-      rollback_speculation(plan, start, i, items, snapshots);
-      if (action == RecoveryAction::Reinstall) reinstall_core(c);
-      resume = i + 1;
-      acted = true;
-      break;
-    }
-    if (!acted) next_ = rr;
-    // Snapshots reflect pre-attempt state; invalidate so the next attempt
-    // re-captures post-commit memory.
-    if (may_act && resume < count) {
-      for (auto& snap : snapshots) snap.reset();
-    }
-    start = resume;
-  }
-}
-
-void ParallelMpsoc::submit(util::Bytes packet, std::uint32_t flow_key) {
-  pending_.push_back(Packet{std::move(packet), flow_key});
-  if (pending_.size() < config_.batch_size) return;
-  auto batch = std::make_unique<Batch>();
-  batch->owned = std::move(pending_);
-  pending_.clear();
-  batch->items = batch->owned.data();
-  batch->count = batch->owned.size();
-  ingest_.push(std::move(batch));
-#if SDMMON_OBS_ENABLED
-  // Queue depth as seen by the submitter right after handing off a batch
-  // (backpressure signal; nondeterministic, excluded from engine diffs).
-  if (obs_) obs_->ingest_depth->record(ingest_.size_approx());
-#endif
-}
-
-void ParallelMpsoc::drain() {
-  util::CompletionGate done;
-  done.arm(1);
-  auto fence = std::make_unique<Batch>();
-  fence->done = &done;
-  ingest_.push(std::move(fence));
-  done.wait();
-}
-
-void ParallelMpsoc::flush() {
-  if (!pending_.empty()) {
-    auto batch = std::make_unique<Batch>();
-    batch->owned = std::move(pending_);
-    pending_.clear();
-    batch->items = batch->owned.data();
-    batch->count = batch->owned.size();
-    ingest_.push(std::move(batch));
-  }
-  drain();
-}
-
-std::vector<PacketResult> ParallelMpsoc::process_packets(
-    const std::vector<Packet>& packets) {
-  flush();
-  std::vector<PacketResult> results(packets.size());
-  util::CompletionGate done;
-  std::size_t batches = 0;
-  for (std::size_t off = 0; off < packets.size();
-       off += config_.batch_size) {
-    ++batches;
-  }
-  done.arm(batches);
-  for (std::size_t off = 0; off < packets.size();
-       off += config_.batch_size) {
-    const std::size_t n =
-        std::min(config_.batch_size, packets.size() - off);
-    auto batch = std::make_unique<Batch>();
-    batch->items = packets.data() + off;
-    batch->count = n;
-    batch->results_out = results.data() + off;
-    batch->done = &done;
-    ingest_.push(std::move(batch));
-  }
-  if (batches > 0) done.wait();
-  return results;
 }
 
 void ParallelMpsoc::install_all(const isa::Program& program,
                                 const monitor::MonitoringGraph& graph,
                                 const monitor::InstructionHash& hash) {
   flush();
+#if SDMMON_OBS_ENABLED
+  EngineObs* obs = eobs();
+#endif
   InstallArtifacts artifacts;
   {
 #if SDMMON_OBS_ENABLED
-    obs::ScopedTimerNs timer(obs_ ? obs_->graph_compile_ns : nullptr);
+    obs::ScopedTimerNs timer(obs ? obs->graph_compile_ns : nullptr);
 #endif
     artifacts.graph = monitor::CompiledGraph::compile(graph);
   }
   {
 #if SDMMON_OBS_ENABLED
-    obs::ScopedTimerNs timer(obs_ ? obs_->predecode_ns : nullptr);
+    obs::ScopedTimerNs timer(obs ? obs->predecode_ns : nullptr);
 #endif
     artifacts.code = CompiledProgram::compile(program, hash);
   }
@@ -379,7 +588,7 @@ void ParallelMpsoc::install_all(
   InstallArtifacts artifacts{std::move(graph), nullptr};
   {
 #if SDMMON_OBS_ENABLED
-    obs::ScopedTimerNs timer(obs_ ? obs_->predecode_ns : nullptr);
+    obs::ScopedTimerNs timer(eobs() ? eobs()->predecode_ns : nullptr);
 #endif
     artifacts.code = CompiledProgram::compile(program, hash);
   }
@@ -397,13 +606,13 @@ void ParallelMpsoc::install_all(const isa::Program& program,
     last_good_[c] = LastGoodConfig{program, artifacts, hash.clone()};
   }
 #if SDMMON_OBS_ENABLED
-  if (obs_) {
-    obs_->installs->add(1);
-    obs_->note_compiled(*artifacts.graph);
-    if (artifacts.code) obs_->note_predecoded(*artifacts.code);
-    obs_->journal->record({obs::EventKind::Install,
-                           obs_->dispatched->value(), obs::kAllCores,
-                           obs_->device_id, program.text.size()});
+  if (EngineObs* obs = eobs()) {
+    obs->installs->add(1);
+    obs->note_compiled(*artifacts.graph);
+    if (artifacts.code) obs->note_predecoded(*artifacts.code);
+    obs->journal->record({obs::EventKind::Install, obs->dispatched->value(),
+                          obs::kAllCores, obs->device_id,
+                          program.text.size()});
   }
 #endif
 }
@@ -413,16 +622,19 @@ void ParallelMpsoc::install(std::size_t core_index,
                             monitor::MonitoringGraph graph,
                             std::unique_ptr<monitor::InstructionHash> hash) {
   flush();
+#if SDMMON_OBS_ENABLED
+  EngineObs* obs = eobs();
+#endif
   InstallArtifacts artifacts;
   {
 #if SDMMON_OBS_ENABLED
-    obs::ScopedTimerNs timer(obs_ ? obs_->graph_compile_ns : nullptr);
+    obs::ScopedTimerNs timer(obs ? obs->graph_compile_ns : nullptr);
 #endif
     artifacts.graph = monitor::CompiledGraph::compile(std::move(graph));
   }
   {
 #if SDMMON_OBS_ENABLED
-    obs::ScopedTimerNs timer(obs_ ? obs_->predecode_ns : nullptr);
+    obs::ScopedTimerNs timer(obs ? obs->predecode_ns : nullptr);
 #endif
     artifacts.code = CompiledProgram::compile(program, *hash);
   }
@@ -436,7 +648,7 @@ void ParallelMpsoc::install(std::size_t core_index,
   InstallArtifacts artifacts{std::move(graph), nullptr};
   {
 #if SDMMON_OBS_ENABLED
-    obs::ScopedTimerNs timer(obs_ ? obs_->predecode_ns : nullptr);
+    obs::ScopedTimerNs timer(eobs() ? eobs()->predecode_ns : nullptr);
 #endif
     artifacts.code = CompiledProgram::compile(program, *hash);
   }
@@ -454,16 +666,15 @@ void ParallelMpsoc::install(std::size_t core_index,
   cores_.at(core_index).install(program, std::move(artifacts.graph),
                                 std::move(artifacts.code), std::move(hash));
 #if SDMMON_OBS_ENABLED
-  if (obs_) {
-    obs_->installs->add(1);
-    obs_->note_compiled(*cores_[core_index].monitor().compiled());
+  if (EngineObs* obs = eobs()) {
+    obs->installs->add(1);
+    obs->note_compiled(*cores_[core_index].monitor().compiled());
     if (const auto& code = cores_[core_index].core().compiled_program()) {
-      obs_->note_predecoded(*code);
+      obs->note_predecoded(*code);
     }
-    obs_->journal->record({obs::EventKind::Install,
-                           obs_->dispatched->value(),
-                           static_cast<std::uint32_t>(core_index),
-                           obs_->device_id, program.text.size()});
+    obs->journal->record({obs::EventKind::Install, obs->dispatched->value(),
+                          static_cast<std::uint32_t>(core_index),
+                          obs->device_id, program.text.size()});
   }
 #endif
 }
@@ -471,11 +682,11 @@ void ParallelMpsoc::install(std::size_t core_index,
 void ParallelMpsoc::note_admin_transition(std::size_t index,
                                           obs::EventKind kind) {
 #if SDMMON_OBS_ENABLED
-  if (obs_) {
-    obs_->journal->record({kind, obs_->dispatched->value(),
-                           static_cast<std::uint32_t>(index),
-                           obs_->device_id, 0});
-    obs_->healthy_cores->set(
+  if (EngineObs* obs = eobs()) {
+    obs->journal->record({kind, obs->dispatched->value(),
+                          static_cast<std::uint32_t>(index), obs->device_id,
+                          0});
+    obs->healthy_cores->set(
         static_cast<std::int64_t>(recovery_.healthy_cores()));
   }
 #else

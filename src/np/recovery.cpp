@@ -39,13 +39,30 @@ void RecoveryController::clear_window(CoreState& state) {
 
 RecoveryAction RecoveryController::on_outcome(std::size_t core,
                                               PacketOutcome outcome) {
+  OutcomeUndo undo;
+  return on_outcome_speculative(core, outcome, undo);
+}
+
+RecoveryAction RecoveryController::on_outcome_speculative(std::size_t core,
+                                                          PacketOutcome outcome,
+                                                          OutcomeUndo& undo) {
   CoreState& state = cores_[core];
-  if (state.health != CoreHealth::Healthy) return RecoveryAction::None;
+  undo = OutcomeUndo{};
+  if (state.health.load(std::memory_order_relaxed) != CoreHealth::Healthy) {
+    return RecoveryAction::None;
+  }
+  undo.applied = true;
+  undo.prev_pos = state.window_pos;
+  undo.prev_fill = state.window_fill;
+  undo.prev_violations = state.window_violations;
+  undo.prev_reinstalls = state.reinstalls;
+  undo.prev_bit = state.window[state.window_pos];
 
   const bool violation =
       outcome == PacketOutcome::AttackDetected ||
       (config_.count_traps && outcome == PacketOutcome::Trapped);
-  if (violation) ++total_violations_;
+  undo.violation = violation;
+  if (violation) total_violations_.fetch_add(1, std::memory_order_relaxed);
 
   // Slide the window by one packet.
   if (state.window[state.window_pos]) --state.window_violations;
@@ -69,24 +86,49 @@ RecoveryAction RecoveryController::on_outcome(std::size_t core,
       return RecoveryAction::None;
     case RecoveryPolicy::QuarantineAfterK:
       quarantine(core);
+      undo.quarantined = true;
       return RecoveryAction::Quarantine;
     case RecoveryPolicy::ReinstallLastGood:
       if (state.reinstalls >= config_.max_reinstalls) {
         quarantine(core);
+        undo.quarantined = true;
         return RecoveryAction::Quarantine;
       }
-      ++reinstall_requests_;
+      reinstall_requests_.fetch_add(1, std::memory_order_relaxed);
+      undo.reinstall_requested = true;
       return RecoveryAction::Reinstall;
   }
   return RecoveryAction::None;
 }
 
+void RecoveryController::undo_outcome(std::size_t core,
+                                      const OutcomeUndo& undo) {
+  if (!undo.applied) return;
+  CoreState& state = cores_[core];
+  if (undo.quarantined) {
+    state.health.store(CoreHealth::Healthy, std::memory_order_relaxed);
+    quarantine_events_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (undo.reinstall_requested) {
+    reinstall_requests_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (undo.violation) {
+    total_violations_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  state.window[undo.prev_pos] = undo.prev_bit;
+  state.window_pos = undo.prev_pos;
+  state.window_fill = undo.prev_fill;
+  state.window_violations = undo.prev_violations;
+  state.reinstalls = undo.prev_reinstalls;
+}
+
 void RecoveryController::set_offline(std::size_t core, bool offline) {
   CoreState& state = cores_[core];
   if (offline) {
-    state.health = CoreHealth::Offline;
-  } else if (state.health == CoreHealth::Offline) {
-    state.health = CoreHealth::Healthy;
+    state.health.store(CoreHealth::Offline, std::memory_order_relaxed);
+  } else if (state.health.load(std::memory_order_relaxed) ==
+             CoreHealth::Offline) {
+    state.health.store(CoreHealth::Healthy, std::memory_order_relaxed);
     clear_window(state);
     state.reinstalls = 0;
   }
@@ -94,14 +136,17 @@ void RecoveryController::set_offline(std::size_t core, bool offline) {
 
 void RecoveryController::quarantine(std::size_t core) {
   CoreState& state = cores_[core];
-  if (state.health == CoreHealth::Quarantined) return;
-  state.health = CoreHealth::Quarantined;
-  ++quarantine_events_;
+  if (state.health.load(std::memory_order_relaxed) ==
+      CoreHealth::Quarantined) {
+    return;
+  }
+  state.health.store(CoreHealth::Quarantined, std::memory_order_relaxed);
+  quarantine_events_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void RecoveryController::release(std::size_t core) {
   CoreState& state = cores_[core];
-  state.health = CoreHealth::Healthy;
+  state.health.store(CoreHealth::Healthy, std::memory_order_relaxed);
   clear_window(state);
   state.reinstalls = 0;
 }
@@ -115,7 +160,9 @@ void RecoveryController::note_reinstall(std::size_t core) {
 std::size_t RecoveryController::healthy_cores() const {
   std::size_t n = 0;
   for (const auto& state : cores_) {
-    if (state.health == CoreHealth::Healthy) ++n;
+    if (state.health.load(std::memory_order_relaxed) == CoreHealth::Healthy) {
+      ++n;
+    }
   }
   return n;
 }
@@ -123,7 +170,10 @@ std::size_t RecoveryController::healthy_cores() const {
 std::size_t RecoveryController::quarantined_cores() const {
   std::size_t n = 0;
   for (const auto& state : cores_) {
-    if (state.health == CoreHealth::Quarantined) ++n;
+    if (state.health.load(std::memory_order_relaxed) ==
+        CoreHealth::Quarantined) {
+      ++n;
+    }
   }
   return n;
 }
@@ -131,7 +181,9 @@ std::size_t RecoveryController::quarantined_cores() const {
 std::size_t RecoveryController::offline_cores() const {
   std::size_t n = 0;
   for (const auto& state : cores_) {
-    if (state.health == CoreHealth::Offline) ++n;
+    if (state.health.load(std::memory_order_relaxed) == CoreHealth::Offline) {
+      ++n;
+    }
   }
   return n;
 }

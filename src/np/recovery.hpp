@@ -20,6 +20,7 @@
 #ifndef SDMMON_NP_RECOVERY_HPP
 #define SDMMON_NP_RECOVERY_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -79,9 +80,38 @@ class RecoveryController {
   /// receiving packets at all).
   RecoveryAction on_outcome(std::size_t core, PacketOutcome outcome);
 
-  CoreHealth health(std::size_t core) const { return cores_[core].health; }
+  /// Everything on_outcome changed, captured so a speculative outcome can
+  /// be withdrawn exactly (the parallel engine rolls outcomes back when a
+  /// recovery epoch rewinds past them).
+  struct OutcomeUndo {
+    bool applied = false;            // core was Healthy; effects occurred
+    bool violation = false;
+    bool quarantined = false;        // this call performed the quarantine
+    bool reinstall_requested = false;
+    bool prev_bit = false;           // overwritten window slot
+    std::size_t prev_pos = 0;
+    std::size_t prev_fill = 0;
+    std::size_t prev_violations = 0;
+    std::size_t prev_reinstalls = 0;
+  };
+
+  /// on_outcome with an undo record. Thread contract: per-core state may
+  /// only be touched by the thread currently holding that core's turn;
+  /// the global tallies are relaxed atomics so concurrent reporters on
+  /// *different* cores are safe.
+  RecoveryAction on_outcome_speculative(std::size_t core,
+                                        PacketOutcome outcome,
+                                        OutcomeUndo& undo);
+
+  /// Exactly invert a prior on_outcome_speculative (same core, undo
+  /// records applied in reverse report order).
+  void undo_outcome(std::size_t core, const OutcomeUndo& undo);
+
+  CoreHealth health(std::size_t core) const {
+    return cores_[core].health.load(std::memory_order_relaxed);
+  }
   bool dispatchable(std::size_t core) const {
-    return cores_[core].health == CoreHealth::Healthy;
+    return health(core) == CoreHealth::Healthy;
   }
 
   /// Administrative transitions.
@@ -100,16 +130,25 @@ class RecoveryController {
     return cores_[core].window_violations;
   }
 
-  std::uint64_t total_violations() const { return total_violations_; }
-  std::uint64_t quarantine_events() const { return quarantine_events_; }
-  std::uint64_t reinstall_requests() const { return reinstall_requests_; }
+  std::uint64_t total_violations() const {
+    return total_violations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t quarantine_events() const {
+    return quarantine_events_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t reinstall_requests() const {
+    return reinstall_requests_.load(std::memory_order_relaxed);
+  }
   std::size_t healthy_cores() const;
   std::size_t quarantined_cores() const;
   std::size_t offline_cores() const;
 
  private:
   struct CoreState {
-    CoreHealth health = CoreHealth::Healthy;
+    // Atomic because the parallel engine's planner polls dispatchable()
+    // while an executor may quarantine the core; all other fields are
+    // guarded by the per-core turn ordering.
+    std::atomic<CoreHealth> health{CoreHealth::Healthy};
     std::vector<bool> window;        // ring buffer of recent outcomes
     std::size_t window_pos = 0;
     std::size_t window_fill = 0;
@@ -121,9 +160,9 @@ class RecoveryController {
 
   RecoveryConfig config_;
   std::vector<CoreState> cores_;
-  std::uint64_t total_violations_ = 0;
-  std::uint64_t quarantine_events_ = 0;
-  std::uint64_t reinstall_requests_ = 0;
+  std::atomic<std::uint64_t> total_violations_{0};
+  std::atomic<std::uint64_t> quarantine_events_{0};
+  std::atomic<std::uint64_t> reinstall_requests_{0};
 };
 
 }  // namespace sdmmon::np

@@ -54,15 +54,22 @@ inline constexpr const char* kRecoveryWindowOccupancy =
 inline constexpr const char* kRecoveryReinstallNs =
     "np.recovery.reinstall_ns";
 
-// ---- parallel engine internals ----
-inline constexpr const char* kParallelBatchFill = "np.parallel.batch_fill";
-inline constexpr const char* kParallelIngestDepth =
-    "np.parallel.ingest_depth";
-inline constexpr const char* kParallelBarrierWaitNs =
-    "np.parallel.barrier_wait_ns";
+// ---- parallel engine internals (sharded engine) ----
+inline constexpr const char* kParallelShardSteals =
+    "np.parallel.shard_steals";
+inline constexpr const char* kParallelShardEpochs =
+    "np.parallel.shard_epochs";
+inline constexpr const char* kParallelShardQueueDepth =
+    "np.parallel.shard_queue_depth";
 inline constexpr const char* kParallelRollbacks = "np.parallel.rollbacks";
 inline constexpr const char* kParallelReplayedPackets =
     "np.parallel.replayed_packets";
+inline constexpr const char* kParallelRollbackBytes =
+    "np.parallel.rollback_bytes";
+// Registered by the parallel engine only (dirty-page capture is its
+// speculation mechanism); per-snapshot, not per-core suffixed.
+inline constexpr const char* kCoreSnapshotDirtyPages =
+    "np.core.snapshot_dirty_pages";
 
 // ---- fleet campaigns (operator side) ----
 inline constexpr const char* kFleetAttempts = "fleet.attempts";

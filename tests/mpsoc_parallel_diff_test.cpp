@@ -6,10 +6,14 @@
 //
 //  * RoundRobin and FlowHash must be BIT-IDENTICAL -- per-packet
 //    outcomes, per-core stats, every recovery decision -- across all
-//    three recovery policies, every worker count, and every batch size.
-//  * LeastLoaded is documented as relaxed (dispatch feedback is batch
-//    granular): outcomes stay identical on homogeneous installs, and the
-//    conservation/recovery-safety invariants hold always.
+//    three recovery policies, every worker count, every speculation
+//    window (batch size), and uniform as well as heavily skewed flow
+//    distributions.
+//  * LeastLoaded is documented as relaxed (load feedback counts
+//    committed instructions plus an estimate for in-flight packets):
+//    outcomes stay identical on homogeneous installs, and the
+//    conservation/recovery-safety invariants hold always. batch_size=1
+//    bounds the flight window to one packet and restores exactness.
 #include "np/parallel_mpsoc.hpp"
 
 #include <gtest/gtest.h>
@@ -105,9 +109,9 @@ TEST(ParallelDiff, FlowHashBitIdenticalAllRecoveryPolicies) {
 }
 
 TEST(ParallelDiff, BatchSizeInvariant) {
-  // The batch boundary is an implementation detail: batch sizes 1 (fully
-  // serialized), 7 (misaligned with the core count), and 64 must all
-  // produce the same trace as the serial engine.
+  // The speculation window is an implementation detail: windows of 1
+  // (fully serialized), 7 (misaligned with the core count), and 64 must
+  // all produce the same trace as the serial engine.
   for (std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
     SCOPED_TRACE("batch_size=" + std::to_string(batch));
     np::ParallelConfig parallel;
@@ -115,6 +119,53 @@ TEST(ParallelDiff, BatchSizeInvariant) {
     expect_bit_identical(np::DispatchPolicy::RoundRobin,
                          np::RecoveryPolicy::QuarantineAfterK,
                          /*packets=*/600, /*attack_rate=*/0.15, parallel);
+  }
+}
+
+TEST(ParallelDiff, BatchSizeByRecoveryPolicyMatrix) {
+  // Every recovery policy crossed with a small and a large speculation
+  // window: rollback/replay depth varies wildly across these cells, but
+  // the trace may not.
+  for (np::RecoveryPolicy recovery :
+       {np::RecoveryPolicy::ResetAndContinue,
+        np::RecoveryPolicy::QuarantineAfterK,
+        np::RecoveryPolicy::ReinstallLastGood}) {
+    for (std::size_t batch : {std::size_t{3}, std::size_t{128}}) {
+      SCOPED_TRACE(std::string(np::recovery_policy_name(recovery)) +
+                   " batch_size=" + std::to_string(batch));
+      np::ParallelConfig parallel;
+      parallel.batch_size = batch;
+      expect_bit_identical(np::DispatchPolicy::FlowHash, recovery,
+                           /*packets=*/700, /*attack_rate=*/0.15, parallel);
+    }
+  }
+}
+
+TEST(ParallelDiff, SkewedHeavyHitterFlowsBitIdentical) {
+  // A heavy-hitter flow distribution (~70% of traffic on one flow key)
+  // funnels most packets through one core and therefore one shard; the
+  // other shards go idle and live off the stealing path while the hot
+  // core's turn tickets serialize the elephant flow. The trace must
+  // still be bit-identical under every recovery policy.
+  for (np::RecoveryPolicy recovery :
+       {np::RecoveryPolicy::ResetAndContinue,
+        np::RecoveryPolicy::QuarantineAfterK,
+        np::RecoveryPolicy::ReinstallLastGood}) {
+    SCOPED_TRACE(np::recovery_policy_name(recovery));
+    np::RecoveryConfig config = make_recovery_config(recovery);
+    np::Mpsoc serial(kCores, np::DispatchPolicy::FlowHash, config);
+    np::ParallelMpsoc par(kCores, np::DispatchPolicy::FlowHash, config, {});
+    install_mixed_fleet(serial, /*vuln_cores=*/2);
+    install_mixed_fleet(par, /*vuln_cores=*/2);
+
+    std::vector<WorkItem> items = mixed_items(1400, 0.12);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      // Deterministic skew: 7 of every 10 packets join the elephant flow.
+      if (i % 10 < 7) items[i].flow_key = 0xE1EFA27;
+    }
+    EngineTrace st = run_serial(serial, items);
+    EngineTrace pt = run_parallel(par, items, /*chunk=*/137);
+    expect_traces_identical(st, pt);
   }
 }
 
@@ -342,13 +393,16 @@ TEST(ParallelDiff, MixedWorkloadShardingIsBitIdentical) {
 // snapshot (commit-path counters, value histograms, and the recovery
 // journal) must be identical serial-vs-parallel under the strict
 // dispatch contract. Excluded as documented in docs/OBSERVABILITY.md:
-// wall-clock *_ns histograms, the parallel-only np.parallel.* metrics,
-// and Rollback journal events (speculation is invisible to the serial
-// engine).
+// wall-clock *_ns histograms, the parallel-only np.parallel.* metrics
+// and np.core.snapshot_dirty_pages, and Rollback journal events
+// (speculation is invisible to the serial engine).
 // ---------------------------------------------------------------------
 
 bool deterministic_metric(const std::string& name) {
   if (name.rfind("np.parallel.", 0) == 0) return false;
+  // Parallel-only: pages dirtied per speculative execution. The serial
+  // engine never speculates, so it never registers this histogram.
+  if (name == "np.core.snapshot_dirty_pages") return false;
   if (name.size() >= 3 && name.compare(name.size() - 3, 3, "_ns") == 0) {
     return false;
   }

@@ -145,10 +145,10 @@ TEST(MpsocStress, MillionPacketCampaignExactRecoveryMath) {
 }
 
 TEST(MpsocStress, SubmitBackpressureBoundsMemory) {
-  // The ingest queue is bounded (ingest_depth batches): a tiny queue and
-  // batch size force the submitting thread to block on backpressure many
-  // times over a 50k-packet burst; the engine must neither deadlock nor
-  // lose a packet.
+  // In-flight packets are bounded by the speculation window (batch_size):
+  // a tiny window forces the submitting thread to block on reorder-buffer
+  // backpressure many times over a 50k-packet burst; the engine must
+  // neither deadlock nor lose a packet.
   np::ParallelConfig parallel;
   parallel.batch_size = 16;
   parallel.ingest_depth = 2;

@@ -9,7 +9,9 @@
 #   * Rows pair by their first string-valued field (the row key, e.g.
 #     "app"); rows without a string field pair by position.
 #   * Only higher-is-better fields are compared: names matching
-#     kpps / mpps / minstr_s / _per_s / throughput / speedup.
+#     kpps / mpps / minstr_s / _per_s / throughput / speedup /
+#     pkts_per_rollback_byte (more packets per byte of rollback work
+#     means cheaper dirty-page snapshots).
 #     Latency- and size-class fields are deliberately ignored -- the
 #     gate exists to catch throughput regressions, not to freeze every
 #     number in place.
@@ -47,7 +49,9 @@ baseline_dir = os.environ["BASELINE_DIR"]
 threshold = float(os.environ["THRESHOLD"])
 quick = bool(os.environ.get("SDMMON_BENCH_QUICK"))
 
-THROUGHPUT = re.compile(r"(kpps|mpps|minstr_s|_per_s|throughput|speedup)")
+THROUGHPUT = re.compile(
+    r"(kpps|mpps|minstr_s|_per_s|throughput|speedup|pkts_per_rollback_byte)"
+)
 
 failures = []
 warnings = []

@@ -107,6 +107,17 @@ else
     grep -qE "\\b$kind\\b" "$catalog" ||
       err "EventKind::$kind missing from OBSERVABILITY.md"
   done
+  # Reverse check (--strict): every backticked metric name in the
+  # catalog must still exist in names.hpp, so retired metrics cannot
+  # linger in the docs. Example per-core suffixed forms ("...packets.3")
+  # are reduced to their registered base name first.
+  if [ "$strict" -eq 1 ]; then
+    for doc_name in $(grep -oE '`(np|fleet|rpc)\.[a-z0-9_.]+`' "$catalog" |
+                      tr -d '\`' | sed 's/\.[0-9]*$//' | sort -u); do
+      grep -qF "\"$doc_name\"" "$repo/src/obs/names.hpp" ||
+        err "metric '$doc_name' in OBSERVABILITY.md no longer exists in src/obs/names.hpp"
+    done
+  fi
 fi
 
 # ---- 3. bench JSON schema --------------------------------------------
