@@ -1,13 +1,20 @@
-// Extension experiment X1c: the three execution tiers of
+// Extension experiment X1c: the four execution tiers of
 // docs/EXECUTION.md, end to end. Same packets, same apps, same monitor;
 // the only difference is the dispatch granularity -- word-at-a-time
 // interpretation, predecoded per-op dispatch (shared CompiledProgram
-// artifact, precomputed monitor hashes), or block-fused superop runs
+// artifact, precomputed monitor hashes), block-fused superop runs
 // (whole pure runs retired per dispatch, the monitor fed one
-// precomputed hash slice per run). The interpreter survives as the
-// differential oracle, so this bench is also a cheap
-// behavioral-equivalence check: all three configurations must produce
+// precomputed hash slice per run), or trace dispatch (superblocks
+// crossing statically-predicted branches, whole traces retired per
+// dispatch with side-exit retraction on misprediction). The interpreter
+// survives as the differential oracle, so this bench is also a cheap
+// behavioral-equivalence check: all four configurations must produce
 // identical packet outcomes and instruction counts.
+//
+// The branchy subset (ipv4-forward, udp-echo, loop-forward -- apps whose
+// runtime is dominated by short backward loops) carries the trace tier's
+// acceptance gate: traces only beat fusion when fused runs are cut short
+// by taken branches, which straight-line-heavy apps rarely are.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -27,6 +34,9 @@ using Clock = std::chrono::steady_clock;
 struct AppCase {
   const char* name;
   isa::Program program;
+  // Dominated by short taken-branch loops: the subset where the trace
+  // tier is expected (and gated) to beat block fusion.
+  bool branchy;
 };
 
 // Process every packet and return simulated kpps. The monitored core's
@@ -58,12 +68,15 @@ double time_raw(np::Core& core, const std::vector<util::Bytes>& packets) {
   return static_cast<double>(core.cycles() - before) / seconds / 1e6;
 }
 
-// The three tiers, selected via the two sticky core toggles.
-enum class Tier { Interp, Predec, Fused };
+// The four tiers, selected via the three sticky core toggles. Trace
+// rides on fusion (trace pointers are live only while the fused tier
+// is), so lower tiers must disable it explicitly for isolation.
+enum class Tier { Interp, Predec, Fused, Trace };
 
 void select_tier(np::Core& core, Tier tier) {
   core.set_predecode_enabled(tier != Tier::Interp);
-  core.set_block_fuse_enabled(tier == Tier::Fused);
+  core.set_block_fuse_enabled(tier == Tier::Fused || tier == Tier::Trace);
+  core.set_trace_enabled(tier == Tier::Trace);
 }
 
 bool same_delta(const np::CoreStats& before, const np::CoreStats& after,
@@ -80,14 +93,15 @@ bool same_delta(const np::CoreStats& before, const np::CoreStats& after,
 
 int main() {
   bench::heading(
-      "X1c: block-fused / predecoded / interpreted execution tiers");
+      "X1c: trace / block-fused / predecoded / interpreted execution tiers");
 
   AppCase apps[] = {
-      {"ipv4-forward", net::build_ipv4_forward()},
-      {"ipv4-cm", net::build_ipv4_cm()},
-      {"udp-echo", net::build_udp_echo()},
+      {"ipv4-forward", net::build_ipv4_forward(), true},
+      {"ipv4-cm", net::build_ipv4_cm(), false},
+      {"udp-echo", net::build_udp_echo(), true},
       {"firewall(8 ports)",
-       net::build_firewall({21, 22, 23, 53, 80, 443, 8080, 8443})},
+       net::build_firewall({21, 22, 23, 53, 80, 443, 8080, 8443}), false},
+      {"loop-forward", net::build_loop_forward(), true},
   };
 
   const int kPackets = bench::scaled(1500, 20);
@@ -97,15 +111,18 @@ int main() {
   report.set_meta("packets", kPackets);
   report.set_meta("reps", kReps);
 
-  std::printf("%-18s %10s %10s %10s %8s %8s %9s %9s %9s\n", "app",
-              "int kpps", "pre kpps", "fus kpps", "pre/int", "fus/pre",
-              "raw int", "raw pre", "raw fus");
-  bench::rule(98);
+  std::printf("%-18s %9s %9s %9s %9s %8s %8s %8s %7s %8s %8s\n", "app",
+              "int kpps", "pre kpps", "fus kpps", "trc kpps", "pre/int",
+              "fus/pre", "trc/fus", "sexit", "raw fus", "raw trc");
+  bench::rule(112);
 
   bool wired_ok = true;
   bool behavior_ok = true;
   double log_speedup_sum = 0.0;
   double log_fused_sum = 0.0;
+  double log_trace_sum = 0.0;
+  double log_trace_branchy_sum = 0.0;
+  int branchy_count = 0;
   for (auto& app : apps) {
     monitor::MerkleTreeHash hash(0xBEEFCAFE);
     auto graph = monitor::extract_graph(app.program, hash);
@@ -116,7 +133,8 @@ int main() {
     wired_ok = wired_ok && core.core().compiled_program() != nullptr &&
                core.core().predecode_live() &&
                core.core().block_fuse_live() &&
-               core.core().compiled_program()->num_fused_runs() > 0;
+               core.core().compiled_program()->num_fused_runs() > 0 &&
+               core.core().compiled_program()->num_traces() > 0;
 
     net::TrafficGenerator gen;
     std::vector<util::Bytes> packets;
@@ -126,8 +144,10 @@ int main() {
     // Warm each configuration once, then interleave best-of-N reps:
     // the windows are tens of milliseconds, so keeping each side's best
     // measures engine capability rather than scheduler interference.
-    // Oracle check on the warm passes: all three tiers process identical
-    // packets -- outcome and instruction deltas must be identical.
+    // Oracle check on the warm passes: all four tiers process identical
+    // packets -- outcome and instruction deltas must be identical. The
+    // trace warm pass also accumulates side-exit telemetry (trace
+    // dispatch counts do not vary across reps of identical packets).
     select_tier(core.core(), Tier::Interp);
     (void)time_packets(core, packets);
     const np::CoreStats interp_stats = core.stats();
@@ -137,11 +157,27 @@ int main() {
     select_tier(core.core(), Tier::Fused);
     (void)time_packets(core, packets);
     const np::CoreStats fused_stats = core.stats();
+    select_tier(core.core(), Tier::Trace);
+    std::uint64_t trace_dispatches = 0, trace_side_exits = 0;
+    for (const util::Bytes& packet : packets) {
+      const np::PacketResult r = core.process_packet(packet);
+      trace_dispatches += r.trace_dispatches;
+      trace_side_exits += r.trace_side_exits;
+    }
+    const np::CoreStats trace_stats = core.stats();
     behavior_ok = behavior_ok &&
                   same_delta(interp_stats, predec_stats, interp_stats) &&
-                  same_delta(predec_stats, fused_stats, interp_stats);
+                  same_delta(predec_stats, fused_stats, interp_stats) &&
+                  same_delta(fused_stats, trace_stats, interp_stats) &&
+                  trace_dispatches > 0;
+    const double side_exit_rate =
+        trace_dispatches == 0
+            ? 0.0
+            : static_cast<double>(trace_side_exits) /
+                  static_cast<double>(trace_dispatches);
 
-    double interp_kpps = 0.0, predec_kpps = 0.0, fused_kpps = 0.0;
+    double interp_kpps = 0.0, predec_kpps = 0.0, fused_kpps = 0.0,
+           trace_kpps = 0.0;
     for (int rep = 0; rep < kReps; ++rep) {
       select_tier(core.core(), Tier::Interp);
       interp_kpps = std::max(interp_kpps, time_packets(core, packets));
@@ -149,17 +185,26 @@ int main() {
       predec_kpps = std::max(predec_kpps, time_packets(core, packets));
       select_tier(core.core(), Tier::Fused);
       fused_kpps = std::max(fused_kpps, time_packets(core, packets));
+      select_tier(core.core(), Tier::Trace);
+      trace_kpps = std::max(trace_kpps, time_packets(core, packets));
     }
     const double speedup = predec_kpps / interp_kpps;
     const double fused_speedup = fused_kpps / predec_kpps;
+    const double trace_speedup = trace_kpps / fused_kpps;
     log_speedup_sum += std::log(speedup);
     log_fused_sum += std::log(fused_speedup);
+    log_trace_sum += std::log(trace_speedup);
+    if (app.branchy) {
+      log_trace_branchy_sum += std::log(trace_speedup);
+      ++branchy_count;
+    }
 
     // Raw core, no monitor: each tier's unmonitored ceiling.
     np::Core raw;
     raw.load_program(app.program, core.core().compiled_program());
-    double raw_interp = 0.0, raw_predec = 0.0, raw_fused = 0.0;
-    for (Tier t : {Tier::Interp, Tier::Predec, Tier::Fused}) {
+    double raw_interp = 0.0, raw_predec = 0.0, raw_fused = 0.0,
+           raw_trace = 0.0;
+    for (Tier t : {Tier::Interp, Tier::Predec, Tier::Fused, Tier::Trace}) {
       select_tier(raw, t);
       (void)time_raw(raw, packets);
     }
@@ -170,49 +215,70 @@ int main() {
       raw_predec = std::max(raw_predec, time_raw(raw, packets));
       select_tier(raw, Tier::Fused);
       raw_fused = std::max(raw_fused, time_raw(raw, packets));
+      select_tier(raw, Tier::Trace);
+      raw_trace = std::max(raw_trace, time_raw(raw, packets));
     }
 
-    std::printf("%-18s %10.1f %10.1f %10.1f %7.2fx %7.2fx %9.1f %9.1f %9.1f\n",
-                app.name, interp_kpps, predec_kpps, fused_kpps, speedup,
-                fused_speedup, raw_interp, raw_predec, raw_fused);
+    std::printf(
+        "%-18s %9.1f %9.1f %9.1f %9.1f %7.2fx %7.2fx %7.2fx %6.1f%% %8.1f "
+        "%8.1f\n",
+        app.name, interp_kpps, predec_kpps, fused_kpps, trace_kpps, speedup,
+        fused_speedup, trace_speedup, side_exit_rate * 100.0, raw_fused,
+        raw_trace);
     report.add_row({{"app", app.name},
                     {"interp_kpps", interp_kpps},
                     {"predecoded_kpps", predec_kpps},
                     {"fused_kpps", fused_kpps},
+                    {"trace_kpps", trace_kpps},
                     {"speedup", speedup},
                     {"fused_speedup", fused_speedup},
+                    {"trace_speedup", trace_speedup},
+                    {"side_exit_rate", side_exit_rate},
                     {"raw_interp_minstr_s", raw_interp},
                     {"raw_predecoded_minstr_s", raw_predec},
                     {"raw_fused_minstr_s", raw_fused},
+                    {"raw_trace_minstr_s", raw_trace},
                     {"raw_speedup", raw_predec / raw_interp},
-                    {"raw_fused_speedup", raw_fused / raw_predec}});
+                    {"raw_fused_speedup", raw_fused / raw_predec},
+                    {"raw_trace_speedup", raw_trace / raw_fused}});
   }
-  bench::rule(98);
+  bench::rule(112);
   const double geo_speedup =
       std::exp(log_speedup_sum / static_cast<double>(std::size(apps)));
   const double geo_fused =
       std::exp(log_fused_sum / static_cast<double>(std::size(apps)));
+  const double geo_trace =
+      std::exp(log_trace_sum / static_cast<double>(std::size(apps)));
+  const double geo_trace_branchy =
+      branchy_count == 0
+          ? 1.0
+          : std::exp(log_trace_branchy_sum /
+                     static_cast<double>(branchy_count));
   report.set_meta("speedup", geo_speedup);
   report.set_meta("fused_speedup", geo_fused);
+  report.set_meta("trace_speedup", geo_trace);
+  report.set_meta("trace_speedup_branchy", geo_trace_branchy);
   std::printf("  geometric-mean monitored speedup: predecode/interp %.2fx, "
-              "fused/predecode %.2fx\n",
-              geo_speedup, geo_fused);
+              "fused/predecode %.2fx,\n"
+              "  trace/fused %.2fx (branchy apps %.2fx)\n",
+              geo_speedup, geo_fused, geo_trace, geo_trace_branchy);
   bench::note("kpps columns: full monitored process_packet() path per tier");
-  bench::note("(soft reset, MMIO, monitor fed per-op or per-run slices);");
-  bench::note("raw M/s: unmonitored Core::run() per tier, million executed");
-  bench::note("instructions per second (fused = superop block dispatch).");
+  bench::note("(soft reset, MMIO, monitor fed per-op/-run/-trace slices);");
+  bench::note("sexit: trace side exits / trace dispatches (mispredicted");
+  bench::note("branches that cut a trace short); raw M/s: unmonitored");
+  bench::note("Core::run() per tier, million executed instructions/second.");
   report.write();
 
   if (!wired_ok) {
     std::fprintf(stderr,
-                 "FAIL: predecoded/fused artifact not attached/live after "
-                 "install\n");
+                 "FAIL: predecoded/fused/trace artifact not attached/live "
+                 "after install\n");
     return 1;
   }
   if (!behavior_ok) {
     std::fprintf(stderr,
                  "FAIL: execution tiers diverged (outcome/instruction "
-                 "deltas differ)\n");
+                 "deltas differ) or no traces dispatched\n");
     return 1;
   }
   // Acceptance criteria (full budget only; quick mode is a wiring
@@ -228,6 +294,13 @@ int main() {
                  "FAIL: fused speedup %.2fx over predecode below the 2x "
                  "criterion\n",
                  geo_fused);
+    return 1;
+  }
+  if (!bench::quick_mode() && geo_trace_branchy < 1.15) {
+    std::fprintf(stderr,
+                 "FAIL: trace speedup %.2fx over fused on branchy apps "
+                 "below the 1.15x criterion\n",
+                 geo_trace_branchy);
     return 1;
   }
   return 0;

@@ -119,56 +119,45 @@ class HardwareMonitor {
     return step_list(hashed);
   }
 
-  /// Block-granular feed: consume `n` precomputed hashes (one fused
-  /// run's slice of CompiledProgram::hash_lane_data()) in order, with
+  /// Batch-granular feed: consume `n` precomputed hashes (one fused
+  /// run's or one trace's slice of a compiled hash lane) in order, with
   /// cumulative stats, peak-width tracking, and verdicts bit-identical
   /// to n successive on_hashed() calls. When `stop_on_mismatch` is set
   /// the walk stops at the first Mismatch and returns its index (the
   /// count of Ok hashes before it); otherwise every hash is consumed --
   /// mismatches latch the attack flag exactly like on_hashed -- and n
   /// is returned. The steady state (slice form, single-successor fast
-  /// table hits) runs as a tight register-resident loop with deferred
-  /// stat accumulation; anything else falls back to the per-hash path
-  /// mid-slice, so the two feeds can never diverge.
+  /// table hits) runs as CompiledGraph::batch_step, a graph-resident
+  /// tight loop over the flat fast_next table with deferred stat
+  /// accumulation. Each hash the fast loop cannot take (multi-match,
+  /// mismatch, list form, out-of-range report, latched attack) replays
+  /// through the exact per-hash reference path -- ONE hash at a time,
+  /// after which the loop re-enters batch_step, because a single-match
+  /// list step re-promotes the tracked set to slice form. So one
+  /// mid-batch multi-match costs one slow step, not the whole tail.
   std::size_t advance(const std::uint8_t* hashes, std::size_t n,
                       bool stop_on_mismatch) {
     std::size_t i = 0;
-    if (!attack_flagged_) {
-      std::uint32_t node = slice_node_;
-      std::size_t live = live_count_;
-      std::size_t peak = peak_state_size_;
-      std::uint64_t consumed = 0;
-      std::uint64_t accum = 0;
-      while (i < n && node != kNoSlice) {
-        const std::uint8_t hashed = hashes[i];
-        if (hashed >= bucket_count_) break;
-        const std::uint32_t v = fast_next_[(node << hash_shift_) | hashed];
-        if (v >= CompiledGraph::kFastMulti) break;
-        // Stats mirror on_hashed: counted and width-sampled *before*
-        // the transition, using the pre-step tracked-set size.
-        ++consumed;
-        accum += live;
-        if (live > peak) peak = live;
-        node = v;
-        live = succ_count_[v];
-        ++i;
+    while (i < n) {
+      if (!attack_flagged_ && slice_node_ != kNoSlice) {
+        const CompiledGraph::BatchStep step = CompiledGraph::batch_step(
+            fast_next_, succ_count_, hash_shift_, bucket_count_, slice_node_,
+            live_count_, peak_state_size_, hashes + i, n - i);
+        stats_.instructions_checked += step.consumed;
+        stats_.state_size_accum += step.width_accum;
+        peak_state_size_ = step.peak;
+        if (step.consumed != 0) {
+          slice_node_ = step.node;
+          live_count_ = step.live;
+          exit_allowed_ = node_exit_[step.node] != 0;
+        }
+        i += step.consumed;
+        if (i == n) return n;
       }
-      stats_.instructions_checked += consumed;
-      stats_.state_size_accum += accum;
-      peak_state_size_ = peak;
-      if (consumed != 0) {
-        slice_node_ = node;
-        live_count_ = live;
-        exit_allowed_ = node_exit_[node] != 0;
-      }
-    }
-    // Slow tail: mismatches, multi-match steps, list form, out-of-range
-    // reports, and the latched-attack case all replay through the exact
-    // per-hash reference path.
-    for (; i < n; ++i) {
       if (on_hashed(hashes[i]) == Verdict::Mismatch && stop_on_mismatch) {
         return i;
       }
+      ++i;
     }
     return n;
   }

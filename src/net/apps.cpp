@@ -329,6 +329,37 @@ std::uint8_t flow_stats_bucket(std::uint32_t src, std::uint32_t dst) {
   return static_cast<std::uint8_t>(x & 0xFF);
 }
 
+std::string loop_forward_source() {
+  std::ostringstream os;
+  os << "# loop-forward: minimal branchy forwarder -- a tight 6-op byte\n"
+     << "# copy loop dominates, then the first payload byte picks the\n"
+     << "# output port. No header validation: every cycle is loop body.\n"
+     << R"(main:
+    li $s0, 0x30000           # PKT_IN
+    li $s1, 0x40000           # PKT_OUT
+    li $t0, 0xFFFF0000        # PKT_IN_LEN
+    lw $s2, 0($t0)
+    beqz $s2, drop            # empty packet
+    move $t6, $zero
+copy:
+    addu $t7, $s0, $t6        # tight loop: the backward bne is taken
+    lbu $t8, 0($t7)           # (len - 1) times per packet, so the trace
+    addu $t7, $s1, $t6        # tier unrolls it and side-exits exactly
+    sb $t8, 0($t7)            # once, at loop exit
+    addiu $t6, $t6, 1
+    bne $t6, $s2, copy
+    lbu $t1, 0($s0)           # first byte selects the output port
+    andi $t1, $t1, 0x7
+    li $t0, 0xFFFF0014        # PKT_OUT_PORT
+    sw $t1, 0($t0)
+    li $t0, 0xFFFF0004        # PKT_OUT_COMMIT
+    sw $s2, 0($t0)
+drop:
+    jr $ra
+)";
+  return os.str();
+}
+
 std::string ipip_encap_source(std::uint32_t tunnel_src,
                               std::uint32_t tunnel_dst) {
   std::ostringstream os;
@@ -463,6 +494,10 @@ isa::Program build_firewall(const std::vector<std::uint16_t>& blocked_ports) {
 
 isa::Program build_flow_stats() {
   return build(flow_stats_source(), "flow-stats");
+}
+
+isa::Program build_loop_forward() {
+  return build(loop_forward_source(), "loop-forward");
 }
 
 isa::Program build_ipip_encap(std::uint32_t tunnel_src,

@@ -116,6 +116,97 @@ std::shared_ptr<const CompiledProgram> CompiledProgram::compile(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - fuse_start)
           .count());
+
+  // Trace-formation pass: from each block leader, stitch a superblock
+  // by following fall-through, unconditional jumps, and statically
+  // predicted branches (backward = taken, forward = not taken). A
+  // trace is only kept when it beats what block fusion already covers
+  // at that pc: at least two ops AND at least one control-flow op or
+  // block-boundary crossing.
+  const auto trace_start = std::chrono::steady_clock::now();
+  compiled->trace_len_.assign(n, 0);
+  compiled->trace_off_.assign(n, 0);
+  std::vector<TraceOp> buf;
+  buf.reserve(kTraceCap);
+  for (const std::uint32_t leader : blocks.leaders) {
+    buf.clear();
+    bool crossed = false;  // crosses a block end or contains control flow
+    std::uint32_t pc = compiled->text_base_ + leader * 4;
+    while (buf.size() < kTraceCap) {
+      const std::uint32_t off = pc - compiled->text_base_;
+      if (off >= compiled->text_bytes_) break;  // left the text
+      const PreOp& op = compiled->ops_[off >> 2];
+      if (!(op.flags & kDecoded)) break;  // would trap: interpreter's job
+      TraceOp top;
+      top.instr = op.instr;
+      top.pc = pc;
+      top.word = op.word;
+      top.mhash = op.mhash;
+      bool stop = false;
+      switch (isa::op_class(op.instr.op)) {
+        case isa::OpClass::Alu:
+        case isa::OpClass::Load:
+        case isa::OpClass::Store:
+          // Body op: falling through a block end here is exactly the
+          // superblock win (a jump target lands mid-stream).
+          if (op.flags & kBlockEnd) crossed = true;
+          buf.push_back(top);
+          pc += 4;
+          break;
+        case isa::OpClass::Branch: {
+          crossed = true;
+          const std::uint32_t target =
+              pc + 4 + static_cast<std::uint32_t>(op.instr.imm) * 4;
+          if (op.instr.imm < 0) {
+            // Backward branch: predict taken (the loop heuristic).
+            top.flags |= kTracePredTaken;
+            buf.push_back(top);
+            if (target - compiled->text_base_ >= compiled->text_bytes_) {
+              stop = true;  // predicted target escapes the text
+            } else {
+              pc = target;
+            }
+          } else {
+            // Forward branch: predict not taken, fall through.
+            buf.push_back(top);
+            pc += 4;
+          }
+          break;
+        }
+        case isa::OpClass::Jump:
+        case isa::OpClass::JumpLink: {
+          crossed = true;
+          const std::uint32_t target = op.instr.target * 4;
+          buf.push_back(top);
+          if (target - compiled->text_base_ >= compiled->text_bytes_) {
+            stop = true;  // jump leaves the text: trace ends with it
+          } else {
+            pc = target;
+          }
+          break;
+        }
+        default:
+          // JumpReg (indirect) and Trap ops never enter a trace.
+          stop = true;
+          break;
+      }
+      if (stop) break;
+    }
+    if (buf.size() < 2 || !crossed) continue;
+    compiled->trace_off_[leader] =
+        static_cast<std::uint32_t>(compiled->trace_ops_.size());
+    compiled->trace_len_[leader] = static_cast<std::uint8_t>(buf.size());
+    for (const TraceOp& top : buf) {
+      compiled->trace_ops_.push_back(top);
+      compiled->trace_hash_lane_.push_back(top.mhash);
+    }
+    ++compiled->num_traces_;
+    compiled->num_trace_ops_ += buf.size();
+  }
+  compiled->trace_build_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_start)
+          .count());
   return compiled;
 }
 

@@ -47,6 +47,25 @@
 // That makes the fused schedule bit-identical to the interpreted
 // interleaving (the equivalence argument lives in docs/EXECUTION.md
 // and is enforced by tests/core_fuse_diff_test).
+//
+// Trace (superblock) formation (docs/EXECUTION.md, tier 4): block
+// fusion stops at every basic-block boundary, but branchy data-plane
+// code spends most of its retirement on short blocks glued by highly
+// predictable branches. The compile pass therefore also stitches, per
+// block leader, a *trace*: starting at the leader it follows
+// fall-through body ops, unconditional jumps (j/jal), and statically
+// predicted conditional branches (backward = taken, forward = not
+// taken -- the classic loop heuristic) across block boundaries until
+// it reaches an indirect jump, a trap op, an undecodable word, a
+// predicted target outside the text, or the 255-op cap. Each TraceOp
+// carries its own pc (trace pcs are not contiguous; loops unroll), the
+// decoded instr, raw word, precomputed monitor hash, and a
+// predicted-taken flag that doubles as the side-exit record: when the
+// core's trace executor (Core::exec_trace) resolves a branch against
+// its prediction it retires that branch and *side-exits*, and
+// MonitoredCore retracts only the monitor-unchecked overshoot, so the
+// tier stays bit-identical to the interpreter oracle
+// (tests/core_trace_diff_test).
 #ifndef SDMMON_NP_COMPILED_PROGRAM_HPP
 #define SDMMON_NP_COMPILED_PROGRAM_HPP
 
@@ -74,6 +93,33 @@ class CompiledProgram {
   /// PreOp::flags bits.
   static constexpr std::uint8_t kDecoded = 0x01;   // instr is valid
   static constexpr std::uint8_t kBlockEnd = 0x02;  // last op of a basic block
+
+  /// One op of a formed trace (superblock). Unlike PreOp, trace ops are
+  /// not indexed by pc -- a trace's pcs jump across blocks and may
+  /// repeat (loop unrolling) -- so each op carries its own pc.
+  struct TraceOp {
+    isa::Instr instr;        // always decoded (formation skips others)
+    std::uint32_t pc = 0;    // address this op was fetched from
+    std::uint32_t word = 0;  // raw encoding
+    std::uint8_t mhash = 0;  // precomputed monitor hash of `word`
+    std::uint8_t flags = 0;
+  };
+
+  /// TraceOp::flags bits.
+  static constexpr std::uint8_t kTracePredTaken = 0x04;  // branch predicted taken
+
+  /// Formed traces are capped like fused runs; the cap also guarantees
+  /// formation terminates on unrolled loops.
+  static constexpr std::uint32_t kTraceCap = 255;
+
+  /// A trace anchored at one pc: `len` ops with a parallel contiguous
+  /// hash lane (hashes[i] == ops[i].mhash). len == 0 when no trace is
+  /// anchored there.
+  struct TraceRef {
+    const TraceOp* ops = nullptr;
+    const std::uint8_t* hashes = nullptr;
+    std::uint32_t len = 0;
+  };
 
   /// Decode every text word once and precompute its monitor hash under
   /// `hash` (the parameterized unit installed with the program). Block
@@ -132,6 +178,40 @@ class CompiledProgram {
   /// predecode_ns attributable to fusion.
   std::uint64_t fuse_build_ns() const { return fuse_build_ns_; }
 
+  /// The trace anchored at `pc` (len == 0 when none: pc outside the
+  /// text, misaligned, not a block leader, or the candidate trace never
+  /// beat plain block fusion).
+  TraceRef trace_at(std::uint32_t pc) const {
+    const std::uint32_t off = pc - text_base_;
+    if (off >= text_bytes_ || (off & 3u) != 0) return {};
+    const std::uint32_t len = trace_len_[off >> 2];
+    if (len == 0) return {};
+    const std::uint32_t at = trace_off_[off >> 2];
+    return {trace_ops_.data() + at, trace_hash_lane_.data() + at, len};
+  }
+
+  /// Per-op trace tables for the core's cached-pointer hot path,
+  /// indexed by (pc - base)/4 like ops_data(). trace_len_data()[i] is
+  /// the length of the trace anchored at op i (0: none);
+  /// trace_off_data()[i] is its offset into trace_ops_data() /
+  /// trace_hash_lane_data() (parallel flat arrays holding every formed
+  /// trace concatenated).
+  const std::uint8_t* trace_len_data() const { return trace_len_.data(); }
+  const std::uint32_t* trace_off_data() const { return trace_off_.data(); }
+  const TraceOp* trace_ops_data() const { return trace_ops_.data(); }
+  const std::uint8_t* trace_hash_lane_data() const {
+    return trace_hash_lane_.data();
+  }
+
+  /// Formed traces / total trace ops (the np.engine.trace_count /
+  /// np.engine.trace_ops install gauges).
+  std::size_t num_traces() const { return num_traces_; }
+  std::size_t num_trace_ops() const { return num_trace_ops_; }
+
+  /// Wall-clock cost of the trace-formation pass inside compile() (the
+  /// np.core.trace_exec_ns install histogram).
+  std::uint64_t trace_build_ns() const { return trace_build_ns_; }
+
   /// Precomputed monitor hash of the instruction at `pc`. Returns false
   /// when `pc` is outside (or misaligned within) the predecoded text --
   /// the caller falls back to hashing the fetched word.
@@ -146,7 +226,9 @@ class CompiledProgram {
   /// gauge). Excludes the retained source program, which is cold.
   std::size_t footprint_bytes() const {
     return ops_.size() * sizeof(PreOp) + hash_lane_.size() +
-           fused_run_.size();
+           fused_run_.size() + trace_ops_.size() * sizeof(TraceOp) +
+           trace_hash_lane_.size() + trace_len_.size() +
+           trace_off_.size() * sizeof(std::uint32_t);
   }
 
   /// The program this artifact was predecoded from (what gets signed,
@@ -162,12 +244,19 @@ class CompiledProgram {
   std::size_t num_blocks_ = 0;
   std::size_t num_fused_runs_ = 0;
   std::size_t num_fused_ops_ = 0;
+  std::size_t num_traces_ = 0;
+  std::size_t num_trace_ops_ = 0;
   std::uint64_t fuse_build_ns_ = 0;
+  std::uint64_t trace_build_ns_ = 0;
   int hash_width_ = 0;
   std::string hash_name_;
   std::vector<PreOp> ops_;
   std::vector<std::uint8_t> hash_lane_;  // mhash per op, contiguous
   std::vector<std::uint8_t> fused_run_;  // fused-run length per op
+  std::vector<std::uint8_t> trace_len_;  // trace length per op (0: none)
+  std::vector<std::uint32_t> trace_off_;  // offset into trace_ops_
+  std::vector<TraceOp> trace_ops_;        // all traces, concatenated
+  std::vector<std::uint8_t> trace_hash_lane_;  // mhash per trace op
 };
 
 }  // namespace sdmmon::np

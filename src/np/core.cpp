@@ -58,6 +58,15 @@ void Core::update_predecode_live() {
   pre_run_ = (pre_ops_ != nullptr && fuse_enabled_)
                  ? compiled_->fused_run_data()
                  : nullptr;
+  if (pre_run_ != nullptr && trace_enabled_) {
+    pre_trace_len_ = compiled_->trace_len_data();
+    pre_trace_off_ = compiled_->trace_off_data();
+    pre_trace_ops_ = compiled_->trace_ops_data();
+  } else {
+    pre_trace_len_ = nullptr;
+    pre_trace_off_ = nullptr;
+    pre_trace_ops_ = nullptr;
+  }
 }
 
 void Core::reset() {
@@ -1017,10 +1026,387 @@ void Core::retract_fused(const CompiledProgram::PreOp* ops, std::uint64_t n) {
   packet_cycles_ -= n;
 }
 
+Core::TraceExec Core::exec_trace(std::uint64_t n) {
+  // Preconditions (caller holds a length from trace_run_len()): the
+  // trace tier is live, a trace is anchored at the current pc, every
+  // trace op is decoded, and the watchdog budget has at least n cycles
+  // of slack. Body ops follow exec_fused_run's execute-first stop rules
+  // exactly (stop before would-trap/MMIO, stop after a text-dirtying
+  // store). Control flow resolves architecturally: jal writes $ra, the
+  // mix counts taken/not-taken by the *actual* outcome (taken iff the
+  // branch left the fall-through path, matching exec()), and a branch
+  // that resolves off the trace's predicted path retires and then
+  // side-exits -- the unexecuted tail is simply abandoned, pc follows
+  // the actual target. All accounting is deferred to the epilogue and
+  // covers exactly the retired prefix, bit-identical to that many
+  // step() calls.
+  const CompiledProgram::TraceOp* const begin =
+      pre_trace_ops_ + pre_trace_off_[(pc_ - pre_base_) >> 2];
+  const CompiledProgram::TraceOp* op = begin;
+  const CompiledProgram::TraceOp* const end = begin + n;
+  std::uint32_t* const regs = regs_.data();
+  std::uint32_t hi = hi_;
+  std::uint32_t lo = lo_;
+  std::uint64_t alu = 0;
+  std::uint64_t muldiv = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t jumps = 0;
+  std::uint64_t btaken = 0;
+  std::uint64_t bnot = 0;
+  // pc after the most recently retired control-flow op. Body ops retire
+  // to op->pc + 4, so the epilogue consults this only when the *last*
+  // retired op redirected control flow.
+  std::uint32_t ctrl_next = 0;
+  bool dirtied = false;
+  bool side_exit = false;
+
+  while (op != end) {
+    const isa::Instr& in = op->instr;
+    const std::uint32_t rs = regs[in.rs];
+    const std::uint32_t rt = regs[in.rt];
+    std::uint32_t value = 0;
+    bool write_rd = in.rd != 0;
+    switch (in.op) {
+      case Op::Sll: value = rt << in.shamt; break;
+      case Op::Srl: value = rt >> in.shamt; break;
+      case Op::Sra:
+        value = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(rt) >> in.shamt);
+        break;
+      case Op::Sllv: value = rt << (rs & 31); break;
+      case Op::Srlv: value = rt >> (rs & 31); break;
+      case Op::Srav:
+        value = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(rt) >> (rs & 31));
+        break;
+      case Op::Mfhi: value = hi; break;
+      case Op::Mflo: value = lo; break;
+      case Op::Mult: {
+        const std::int64_t prod =
+            static_cast<std::int64_t>(static_cast<std::int32_t>(rs)) *
+            static_cast<std::int32_t>(rt);
+        lo = static_cast<std::uint32_t>(prod);
+        hi = static_cast<std::uint32_t>(static_cast<std::uint64_t>(prod) >>
+                                        32);
+        ++muldiv;
+        ++op;
+        continue;
+      }
+      case Op::Multu: {
+        const std::uint64_t prod = static_cast<std::uint64_t>(rs) * rt;
+        lo = static_cast<std::uint32_t>(prod);
+        hi = static_cast<std::uint32_t>(prod >> 32);
+        ++muldiv;
+        ++op;
+        continue;
+      }
+      case Op::Div: {
+        const std::int32_t a = static_cast<std::int32_t>(rs);
+        const std::int32_t b = static_cast<std::int32_t>(rt);
+        if (b != 0) {
+          lo = static_cast<std::uint32_t>(a / b);
+          hi = static_cast<std::uint32_t>(a % b);
+        }
+        ++muldiv;
+        ++op;
+        continue;
+      }
+      case Op::Divu:
+        if (rt != 0) {
+          lo = rs / rt;
+          hi = rs % rt;
+        }
+        ++muldiv;
+        ++op;
+        continue;
+      case Op::Addu: value = rs + rt; break;
+      case Op::Subu: value = rs - rt; break;
+      case Op::And: value = rs & rt; break;
+      case Op::Or: value = rs | rt; break;
+      case Op::Xor: value = rs ^ rt; break;
+      case Op::Nor: value = ~(rs | rt); break;
+      case Op::Slt:
+        value = static_cast<std::int32_t>(rs) < static_cast<std::int32_t>(rt)
+                    ? 1u
+                    : 0u;
+        break;
+      case Op::Sltu: value = rs < rt ? 1u : 0u; break;
+      case Op::Addiu:
+        value = rs + static_cast<std::uint32_t>(in.imm);
+        write_rd = false;
+        goto write_i;
+      case Op::Slti:
+        value = static_cast<std::int32_t>(rs) < in.imm ? 1u : 0u;
+        write_rd = false;
+        goto write_i;
+      case Op::Sltiu:
+        value = rs < static_cast<std::uint32_t>(in.imm) ? 1u : 0u;
+        write_rd = false;
+        goto write_i;
+      case Op::Andi:
+        value = rs & (static_cast<std::uint32_t>(in.imm) & 0xFFFFu);
+        write_rd = false;
+        goto write_i;
+      case Op::Ori:
+        value = rs | (static_cast<std::uint32_t>(in.imm) & 0xFFFFu);
+        write_rd = false;
+        goto write_i;
+      case Op::Xori:
+        value = rs ^ (static_cast<std::uint32_t>(in.imm) & 0xFFFFu);
+        write_rd = false;
+        goto write_i;
+      case Op::Lui:
+        value = (static_cast<std::uint32_t>(in.imm) & 0xFFFFu) << 16;
+        write_rd = false;
+        goto write_i;
+      case Op::Add: {
+        const std::uint32_t sum = rs + rt;
+        if (~(rs ^ rt) & (rs ^ sum) & 0x8000'0000u) goto trace_done;
+        value = sum;
+        break;
+      }
+      case Op::Sub: {
+        const std::uint32_t diff = rs - rt;
+        if ((rs ^ rt) & (rs ^ diff) & 0x8000'0000u) goto trace_done;
+        value = diff;
+        break;
+      }
+      case Op::Addi: {
+        const std::uint32_t simm = static_cast<std::uint32_t>(in.imm);
+        value = rs + simm;
+        if (~(rs ^ simm) & (rs ^ value) & 0x8000'0000u) goto trace_done;
+        write_rd = false;
+        goto write_i;
+      }
+      case Op::Lb: case Op::Lbu: {
+        const std::uint32_t addr = rs + static_cast<std::uint32_t>(in.imm);
+        if (addr >= kMmioBase) goto trace_done;
+        const auto v = mem_.load8(addr);
+        if (!v) goto trace_done;
+        if (in.rt) {
+          regs[in.rt] =
+              in.op == Op::Lb
+                  ? static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                        static_cast<std::int8_t>(*v)))
+                  : *v;
+        }
+        ++loads;
+        ++op;
+        continue;
+      }
+      case Op::Lh: case Op::Lhu: {
+        const std::uint32_t addr = rs + static_cast<std::uint32_t>(in.imm);
+        if (addr >= kMmioBase) goto trace_done;
+        const auto v = mem_.load16(addr);
+        if (!v) goto trace_done;
+        if (in.rt) {
+          regs[in.rt] =
+              in.op == Op::Lh
+                  ? static_cast<std::uint32_t>(static_cast<std::int32_t>(
+                        static_cast<std::int16_t>(*v)))
+                  : *v;
+        }
+        ++loads;
+        ++op;
+        continue;
+      }
+      case Op::Lw: {
+        const std::uint32_t addr = rs + static_cast<std::uint32_t>(in.imm);
+        if (addr >= kMmioBase) goto trace_done;
+        const auto v = mem_.load32(addr);
+        if (!v) goto trace_done;
+        if (in.rt) regs[in.rt] = *v;
+        ++loads;
+        ++op;
+        continue;
+      }
+      case Op::Sb: case Op::Sh: case Op::Sw: {
+        const std::uint32_t addr = rs + static_cast<std::uint32_t>(in.imm);
+        if (addr >= kMmioBase) goto trace_done;
+        MemFault fault;
+        if (in.op == Op::Sb) {
+          fault = mem_.store8(addr, static_cast<std::uint8_t>(rt));
+        } else if (in.op == Op::Sh) {
+          fault = mem_.store16(addr, static_cast<std::uint16_t>(rt));
+        } else {
+          fault = mem_.store32(addr, rt);
+        }
+        if (fault != MemFault::None) goto trace_done;
+        ++stores;
+        ++op;  // the store retires even when it dirties the text
+        if (addr - pre_base_ < pre_text_bytes_) {
+          dirtied = true;
+          goto trace_done;
+        }
+        continue;
+      }
+      case Op::Beq: case Op::Bne: case Op::Blez: case Op::Bgtz: {
+        bool cond;
+        if (in.op == Op::Beq) {
+          cond = rs == rt;
+        } else if (in.op == Op::Bne) {
+          cond = rs != rt;
+        } else if (in.op == Op::Blez) {
+          cond = static_cast<std::int32_t>(rs) <= 0;
+        } else {
+          cond = static_cast<std::int32_t>(rs) > 0;
+        }
+        const std::uint32_t fall = op->pc + 4;
+        const std::uint32_t target =
+            fall + static_cast<std::uint32_t>(in.imm) * 4;
+        const std::uint32_t actual = cond ? target : fall;
+        const std::uint32_t predicted =
+            (op->flags & CompiledProgram::kTracePredTaken) ? target : fall;
+        // exec() counts a branch taken iff it left the fall-through
+        // path (a taken branch-to-next still counts not-taken).
+        if (actual != fall) {
+          ++btaken;
+        } else {
+          ++bnot;
+        }
+        ctrl_next = actual;
+        ++op;  // the branch itself always retires
+        if (actual != predicted) {
+          side_exit = true;
+          goto trace_done;
+        }
+        continue;  // next trace op sits at `actual`
+      }
+      case Op::J:
+        ctrl_next = in.target * 4;
+        ++jumps;
+        ++op;
+        continue;
+      case Op::Jal:
+        regs[31] = op->pc + 4;
+        ctrl_next = in.target * 4;
+        ++jumps;
+        ++op;
+        continue;
+      default:
+        goto trace_done;  // precondition violated: retire what ran
+    }
+    if (write_rd) regs[in.rd] = value;
+    ++alu;
+    ++op;
+    continue;
+  write_i:
+    if (in.rt != 0) regs[in.rt] = value;
+    ++alu;
+    ++op;
+  }
+trace_done:;
+
+  const std::uint64_t retired = static_cast<std::uint64_t>(op - begin);
+  hi_ = hi;
+  lo_ = lo;
+  mix_.alu += alu;
+  mix_.muldiv += muldiv;
+  mix_.load += loads;
+  mix_.store += stores;
+  mix_.jump += jumps;
+  mix_.branch_taken += btaken;
+  mix_.branch_not_taken += bnot;
+  cycles_ += retired;
+  packet_cycles_ += retired;
+  if (retired > 0) {
+    const CompiledProgram::TraceOp& last = begin[retired - 1];
+    switch (isa::op_class(last.instr.op)) {
+      case isa::OpClass::Branch:
+      case isa::OpClass::Jump:
+      case isa::OpClass::JumpLink:
+        pc_ = ctrl_next;
+        break;
+      default:
+        // Body ops fall through; a stopped-before op always sits at
+        // last.pc + 4 (trace pcs are contiguous between control ops).
+        pc_ = last.pc + 4;
+        break;
+    }
+  }
+  if (dirtied) {
+    // Deferred note_store(), as in exec_fused_run.
+    text_dirty_ = true;
+    update_predecode_live();
+  }
+  return {retired, side_exit};
+}
+
+void Core::retract_trace(const CompiledProgram::TraceOp* ops, std::uint64_t n,
+                         bool last_mispredicted) {
+  // Trace analog of retract_fused: un-count the last n ops of a
+  // just-executed trace dispatch right before the recovery reset().
+  // Control-flow attribution: every overshoot branch retired along its
+  // predicted path (taken iff its static flag says taken -- a
+  // predicted-taken branch is backward, so it always left the
+  // fall-through path, and a predicted-not-taken branch that followed
+  // prediction never did), EXCEPT a side-exiting branch, which is
+  // always the final retired op and resolved the other way.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const isa::Op o = ops[i].instr.op;
+    switch (isa::op_class(o)) {
+      case isa::OpClass::Load: --mix_.load; break;
+      case isa::OpClass::Store: --mix_.store; break;
+      case isa::OpClass::Branch: {
+        bool taken = (ops[i].flags & CompiledProgram::kTracePredTaken) != 0;
+        if (i + 1 == n && last_mispredicted) taken = !taken;
+        if (taken) {
+          --mix_.branch_taken;
+        } else {
+          --mix_.branch_not_taken;
+        }
+        break;
+      }
+      case isa::OpClass::Jump:
+      case isa::OpClass::JumpLink:
+        --mix_.jump;
+        break;
+      default:
+        if (o == isa::Op::Mult || o == isa::Op::Multu || o == isa::Op::Div ||
+            o == isa::Op::Divu) {
+          --mix_.muldiv;
+        } else {
+          --mix_.alu;
+        }
+        break;
+    }
+  }
+  cycles_ -= n;
+  packet_cycles_ -= n;
+}
+
 StepInfo Core::run(std::uint64_t max_steps) {
   StepInfo last;
   std::uint64_t steps = 0;
   while (steps < max_steps) {
+    // Trace dispatch (tier 4, docs/EXECUTION.md): when a trace is
+    // anchored at the current pc, retire the whole superblock -- body
+    // ops, predicted branches, unconditional jumps -- in a single
+    // exec_trace call. A side exit (branch resolved off the predicted
+    // path) is normal-form: the branch retired, pc follows the actual
+    // target, and dispatch simply restarts there.
+    std::uint64_t tlen = trace_run_len();
+    if (tlen > max_steps - steps) tlen = max_steps - steps;
+    if (tlen > 0) {
+      const std::uint32_t toff = pre_trace_off_[(pc_ - pre_base_) >> 2];
+      const TraceExec tr = exec_trace(tlen);
+      steps += tr.retired;
+      if (tr.retired > 0) {
+        // compiled_ tables, not the cached pointers: a text-dirtying
+        // store at the end of the dispatch just nulled them.
+        const CompiledProgram::TraceOp& lastop =
+            compiled_->trace_ops_data()[toff + tr.retired - 1];
+        last.pc = lastop.pc;
+        last.word = lastop.word;
+        last.event = StepEvent::Executed;
+        last.trap = Trap::None;
+      }
+      if (tr.retired == tlen || tr.side_exit) continue;
+      // Short dispatch for a non-side-exit reason: the op at pc traps,
+      // touches MMIO, or follows a text-dirtying store. Fall through to
+      // the fused/per-op dispatchers in this same iteration.
+    }
     // Fused dispatch (the block-fused tier, docs/EXECUTION.md): when a
     // fusible run starts at the current pc, retire the whole block body
     // in a single exec_fused_run call. fused_run_len already folds in

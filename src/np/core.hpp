@@ -199,6 +199,71 @@ class Core {
   /// makes the fused batch bit-identical to it.
   void retract_fused(const CompiledProgram::PreOp* ops, std::uint64_t n);
 
+  /// Toggle the trace (superblock) tier, the fourth pipeline tier
+  /// (docs/EXECUTION.md). Sticky across load_program/reset like the
+  /// other toggles. Traces ride on the block-fused tier: disabling
+  /// predecode or fusion also disables traces.
+  void set_trace_enabled(bool on) {
+    trace_enabled_ = on;
+    update_predecode_live();
+  }
+  bool trace_enabled() const { return trace_enabled_; }
+
+  /// True while run() may retire whole traces: fusion is live AND the
+  /// trace tier is enabled.
+  bool trace_live() const { return pre_trace_len_ != nullptr; }
+
+  /// Length of the trace dispatchable at the current pc, clamped to the
+  /// remaining watchdog budget; 0 whenever trace execution is not
+  /// currently possible (tier not live, core not runnable, pc outside
+  /// or misaligned in the artifact, no trace anchored at pc, budget
+  /// exhausted). Like fused_run_len(), returned ops are *attemptable*:
+  /// exec_trace() stops early at would-trap ops, MMIO accesses,
+  /// text-dirtying stores, and mispredicted branches (side exits).
+  std::uint64_t trace_run_len() const {
+    if (pre_trace_len_ == nullptr || !runnable_) return 0;
+    const std::uint32_t off = pc_ - pre_base_;
+    if (off >= pre_text_bytes_ || (off & 3u) != 0) return 0;
+    const std::uint64_t len = pre_trace_len_[off >> 2];
+    if (len == 0) return 0;
+    if (packet_cycles_ >= watchdog_budget_) return 0;
+    const std::uint64_t slack = watchdog_budget_ - packet_cycles_;
+    return len < slack ? len : slack;
+  }
+
+  /// What one exec_trace() dispatch did. `side_exit` is set when the
+  /// last retired op was a conditional branch that resolved against its
+  /// static prediction -- the branch itself retires (pc follows the
+  /// *actual* target), only the not-yet-executed trace tail is
+  /// abandoned.
+  struct TraceExec {
+    std::uint64_t retired = 0;
+    bool side_exit = false;
+  };
+
+  /// Retire up to `n` ops of the trace anchored at the current pc in
+  /// one dispatch and report how many retired. The caller must hold a
+  /// length from trace_run_len() with 0 < n <= that length. Body ops
+  /// follow exec_fused_run()'s stop rules exactly (stop before
+  /// would-trap/MMIO ops, stop after a text-dirtying store); branches
+  /// and j/jal resolve architecturally -- jal writes $ra, the mix
+  /// counts taken/not-taken by the *actual* outcome -- and a branch
+  /// that leaves the predicted path stops the dispatch as a side exit
+  /// after retiring. Cycles, mix, and pc advance exactly as `retired`
+  /// individual step() calls would.
+  TraceExec exec_trace(std::uint64_t n);
+
+  /// Un-retire the last `n` ops of a just-executed trace (the
+  /// monitor-unchecked overshoot past a flagged hash), the trace tier's
+  /// analog of retract_fused(). `ops` points at the TraceOps of the
+  /// overshoot. `last_mispredicted` must be the dispatch's side_exit
+  /// flag: a side-exiting branch is always the *last* retired op and is
+  /// the only op that retired against its prediction, so it is the only
+  /// op whose taken/not-taken mix attribution differs from its static
+  /// flag.
+  void retract_trace(const CompiledProgram::TraceOp* ops, std::uint64_t n,
+                     bool last_mispredicted);
+
   /// True once a store landed in the predecoded text range (self-modifying
   /// code or injection). Cleared only by the re-imaging reset paths --
   /// soft_reset() keeps it, because soft reset does not restore text.
@@ -257,10 +322,16 @@ class Core {
   // fusion is enabled (the block-fused tier rides on the predecoded
   // artifact and dies with it).
   const std::uint8_t* pre_run_ = nullptr;
+  // Trace tables, non-null only while pre_run_ is live AND the trace
+  // tier is enabled (tier 4 rides on tier 3).
+  const std::uint8_t* pre_trace_len_ = nullptr;
+  const std::uint32_t* pre_trace_off_ = nullptr;
+  const CompiledProgram::TraceOp* pre_trace_ops_ = nullptr;
   std::uint32_t pre_base_ = 0;
   std::uint32_t pre_text_bytes_ = 0;
   bool predecode_enabled_ = true;
   bool fuse_enabled_ = true;
+  bool trace_enabled_ = true;
   bool text_dirty_ = false;
   std::array<std::uint32_t, 32> regs_{};
   std::uint32_t pc_ = 0;

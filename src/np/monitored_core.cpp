@@ -119,6 +119,40 @@ PacketResult MonitoredCore::run_packet(
   core_.deliver_packet(packet);
 
   for (;;) {
+    // Trace tier (docs/EXECUTION.md, tier 4): when a trace is anchored
+    // at the current pc, retire the whole superblock in one exec_trace
+    // dispatch, then feed the monitor the trace's precomputed hash
+    // lane -- exactly as many hashes as ops retired. Same execute-first
+    // equivalence argument as the fused tier below; the one new case is
+    // the side exit, where the mispredicted branch is the last retired
+    // op (its hash is fed like any other) and dispatch resumes at the
+    // actual target.
+    const std::uint64_t tlen = core_.trace_run_len();
+    if (tlen > 0) {
+      // Resolve the trace ref before exec_trace moves pc.
+      const CompiledProgram::TraceRef ref = pre_->trace_at(core_.pc());
+      const Core::TraceExec tr = core_.exec_trace(tlen);
+      ++result.trace_dispatches;
+      if (tr.side_exit) ++result.trace_side_exits;
+      if (tr.retired > 0) {
+        const std::size_t ok = monitor_->advance(
+            ref.hashes, static_cast<std::size_t>(tr.retired),
+            /*stop_on_mismatch=*/enforce_);
+        if (ok < tr.retired) {
+          core_.retract_trace(ref.ops + ok + 1, tr.retired - (ok + 1),
+                              tr.side_exit);
+          result.instructions += ok + 1;
+          result.outcome = PacketOutcome::AttackDetected;
+          core_.reset();  // paper's recovery: reset stack, next packet
+          return result;
+        }
+        result.instructions += tr.retired;
+      }
+      if (tr.retired == tlen || tr.side_exit) continue;
+      // Short dispatch for a non-side-exit reason: the op now at pc
+      // needs the fused or per-op path below.
+    }
+
     // Block-fused tier (docs/EXECUTION.md): when a fusible run (basic
     // block body) starts at the current pc, retire it in one superop
     // dispatch FIRST, then feed the monitor the precomputed hash slice

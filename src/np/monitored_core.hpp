@@ -34,6 +34,12 @@ struct PacketResult {
   /// at execute time so the observability layer can histogram it on the
   /// deterministic commit path (exact even across speculative rollback).
   std::uint32_t monitor_width = 0;
+  /// Trace-tier telemetry: exec_trace dispatches this packet took, and
+  /// how many of them ended in a side exit (branch resolved off the
+  /// predicted path). Feeds np.engine.trace_side_exit_rate on the
+  /// deterministic commit path.
+  std::uint32_t trace_dispatches = 0;
+  std::uint32_t trace_side_exits = 0;
 };
 
 /// Cumulative per-core counters.

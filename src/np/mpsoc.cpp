@@ -39,6 +39,12 @@ std::unique_ptr<EngineObs> EngineObs::create(obs::Registry& registry,
                                            obs::latency_ns_buckets());
   obs->fused_runs = &registry.gauge(obs::names::kEngineFusedRuns);
   obs->fused_ops = &registry.gauge(obs::names::kEngineFusedOps);
+  obs->trace_exec_ns = &registry.histogram(obs::names::kCoreTraceExecNs,
+                                           obs::latency_ns_buckets());
+  obs->trace_count = &registry.gauge(obs::names::kEngineTraceCount);
+  obs->trace_ops = &registry.gauge(obs::names::kEngineTraceOps);
+  obs->trace_side_exit_rate =
+      &registry.gauge(obs::names::kEngineTraceSideExitRate);
   if (parallel) {
     obs->shard_steals = &registry.counter(obs::names::kParallelShardSteals);
     obs->shard_epochs = &registry.counter(obs::names::kParallelShardEpochs);
@@ -75,6 +81,14 @@ void EngineObs::record_outcome(std::uint64_t cycle, std::size_t core,
     journal->record({obs::EventKind::Trap, cycle, core32, device_id,
                      static_cast<std::uint64_t>(result.trap)});
   }
+  if (result.trace_dispatches > 0) {
+    // Folded in serial commit order, so the rate is deterministic
+    // across the serial and parallel engines.
+    trace_dispatches_total += result.trace_dispatches;
+    trace_side_exits_total += result.trace_side_exits;
+    trace_side_exit_rate->set(static_cast<std::int64_t>(
+        trace_side_exits_total * 1000 / trace_dispatches_total));
+  }
   window_occupancy->record(window_violations);
   if (action == RecoveryAction::Quarantine) {
     quarantines->add(1);
@@ -101,6 +115,9 @@ void EngineObs::note_predecoded(const CompiledProgram& code) {
   block_fuse_ns->record(code.fuse_build_ns());
   fused_runs->set(static_cast<std::int64_t>(code.num_fused_runs()));
   fused_ops->set(static_cast<std::int64_t>(code.num_fused_ops()));
+  trace_exec_ns->record(code.trace_build_ns());
+  trace_count->set(static_cast<std::int64_t>(code.num_traces()));
+  trace_ops->set(static_cast<std::int64_t>(code.num_trace_ops()));
 }
 
 Mpsoc::Mpsoc(std::size_t num_cores, DispatchPolicy policy,

@@ -119,6 +119,16 @@ struct EngineObs {
   obs::Histogram* block_fuse_ns = nullptr;  // wall-clock (install path)
   obs::Gauge* fused_runs = nullptr;
   obs::Gauge* fused_ops = nullptr;
+  /// Install-time trace-formation cost (the tier-4 slice of predecode
+  /// work), trace coverage of the installed artifact, and the running
+  /// side-exit rate of trace dispatches (per mille, updated on the
+  /// deterministic commit path).
+  obs::Histogram* trace_exec_ns = nullptr;  // wall-clock (install path)
+  obs::Gauge* trace_count = nullptr;
+  obs::Gauge* trace_ops = nullptr;
+  obs::Gauge* trace_side_exit_rate = nullptr;  // per mille
+  std::uint64_t trace_dispatches_total = 0;
+  std::uint64_t trace_side_exits_total = 0;
   // Parallel engine only (sharded engine internals):
   obs::Counter* shard_steals = nullptr;     // items popped off-shard
   obs::Counter* shard_epochs = nullptr;     // recovery epochs coordinated

@@ -22,6 +22,7 @@ inline constexpr const char* kCoreInstrPerPacket =
 inline constexpr const char* kCoreNdfaWidth = "np.core.ndfa_width";
 inline constexpr const char* kCorePredecodeNs = "np.core.predecode_ns";
 inline constexpr const char* kCoreBlockFuseNs = "np.core.block_fuse_ns";
+inline constexpr const char* kCoreTraceExecNs = "np.core.trace_exec_ns";
 
 // ---- execution engines (serial Mpsoc and ParallelMpsoc) ----
 inline constexpr const char* kEngineDispatched = "np.engine.dispatched";
@@ -47,6 +48,10 @@ inline constexpr const char* kEngineCompiledProgramBytes =
     "np.engine.compiled_program_bytes";
 inline constexpr const char* kEngineFusedRuns = "np.engine.fused_runs";
 inline constexpr const char* kEngineFusedOps = "np.engine.fused_ops";
+inline constexpr const char* kEngineTraceCount = "np.engine.trace_count";
+inline constexpr const char* kEngineTraceOps = "np.engine.trace_ops";
+inline constexpr const char* kEngineTraceSideExitRate =
+    "np.engine.trace_side_exit_rate";
 
 // ---- recovery controller decisions ----
 inline constexpr const char* kRecoveryWindowOccupancy =

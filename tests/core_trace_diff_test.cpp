@@ -1,14 +1,20 @@
-// Differential testing of the block-fused execution tier
-// (docs/EXECUTION.md): the word-at-a-time interpreter is the permanent
-// oracle, the predecode-only core is the middle tier, and the fused
-// core -- superop runs through Core::exec_fused_run, block-granular hash
-// slices through HardwareMonitor::advance -- must be bit-identical to
-// both: final core state, per-packet results, cumulative core stats,
-// AND cumulative monitor stats (instructions_checked /
-// state_size_accum catch over- or under-feeding the monitor even when
-// verdicts agree). Covers random programs, attack traffic that
-// mismatches *inside* a fused run, mid-stream reinstalls, all three
-// recovery policies, and the self-modifying-store fallback.
+// Differential testing of the trace (superblock) execution tier
+// (docs/EXECUTION.md tier 4): the word-at-a-time interpreter is the
+// permanent oracle, the block-fused core is the middle tier, and the
+// trace core -- whole superblocks through Core::exec_trace, crossing
+// statically-predicted branches, trace-granular hash slices through
+// HardwareMonitor::advance, overshoot retraction through
+// Core::retract_trace -- must be bit-identical to both: final core
+// state, per-packet results, cumulative core stats, AND cumulative
+// monitor stats. The fuzz programs here are deliberately branchier than
+// core_fuse_diff_test's (short backward loops dominate, the static
+// predictor's home turf), so traces routinely span several predicted
+// branches and side exits fire constantly. Covers random programs,
+// code-reuse attack traffic that mismatches *inside* a trace, a
+// mismatch landing before a side-exiting branch (the retraction case
+// where the overshoot's taken-attribution must be negated for the last
+// op), mid-stream reinstalls, all three recovery policies, and the
+// self-modifying-store fallback.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -25,38 +31,36 @@
 namespace sdmmon::np {
 namespace {
 
-// The three execution tiers under test, applied to a Core (or the Core
-// inside a MonitoredCore) before running traffic.
-enum class Tier { Interpret, Predecode, Fused };
-
-constexpr Tier kTiers[] = {Tier::Interpret, Tier::Predecode, Tier::Fused};
+// The tiers under test: the interpreter oracle, the fused tier (the
+// trace tier's fallback, trace explicitly off), and the full trace
+// configuration (all three toggles on -- the shipping default).
+enum class Tier { Interpret, Fused, Trace };
 
 const char* tier_name(Tier t) {
   switch (t) {
     case Tier::Interpret: return "interpret";
-    case Tier::Predecode: return "predecode";
     case Tier::Fused: return "fused";
+    case Tier::Trace: return "trace";
   }
   return "?";
 }
 
 void select_tier(Core& core, Tier tier) {
   core.set_predecode_enabled(tier != Tier::Interpret);
-  core.set_block_fuse_enabled(tier == Tier::Fused);
-  // The trace tier (default-on) would otherwise ride on top of fusion;
-  // it has its own differential suite (core_trace_diff_test.cpp) and is
-  // disabled here so the fused tier is measured in isolation.
-  core.set_trace_enabled(false);
+  core.set_block_fuse_enabled(tier != Tier::Interpret);
+  core.set_trace_enabled(tier == Tier::Trace);
 }
 
-// Random text biased toward long pure runs (the fused tier's fast path)
-// but still containing every run-breaking construct: branches/jumps
-// (block ends), loads/stores (non-pure, note_store), overflow-trapping
-// Add/Sub/Addi, jr $ra, and raw undecodable words.
+// Random text biased toward the trace tier's fast path -- short
+// backward (predicted-taken) loops over small pure bodies -- while
+// still containing every side-exit and stop construct: forward
+// branches (predicted not-taken, taken = side exit), j/jal (followed
+// through), jr and raw words (trace enders), loads/stores (MMIO and
+// text-dirtying stops), and overflow-trapping arithmetic.
 isa::Program random_program(util::Rng& rng) {
   const std::size_t n = 16 + rng.below(48);
   isa::Program p;
-  p.name = "fuse-fuzz";
+  p.name = "trace-fuzz";
   p.text_base = 0;
   p.entry = 0;
   p.text.reserve(n);
@@ -65,19 +69,23 @@ isa::Program random_program(util::Rng& rng) {
     const int rd = static_cast<int>(8 + rng.below(16));  // $t0..$s7
     const int rs = static_cast<int>(8 + rng.below(16));
     const int rt = static_cast<int>(8 + rng.below(16));
-    if (pick < 7) {
+    if (pick < 20) {
+      // Branch-heavy: mostly short backward hops (loops the formation
+      // pass unrolls), some forward skips, an occasional branch-to-next
+      // (imm 0: taken target == fall-through, counted not-taken).
       static constexpr isa::Op kBranch[] = {isa::Op::Beq, isa::Op::Bne,
                                             isa::Op::Blez, isa::Op::Bgtz};
       const std::int32_t off =
-          static_cast<std::int32_t>(rng.below(12)) - 4;  // [-4, 8) words
+          static_cast<std::int32_t>(rng.below(12)) - 7;  // [-7, 5) words
       p.text.push_back(isa::encode(
           isa::make_branch(kBranch[rng.below(4)], rs, rt, off)));
-    } else if (pick < 10) {
+    } else if (pick < 24) {
       p.text.push_back(isa::encode(isa::make_jump(
-          isa::Op::J, static_cast<std::uint32_t>(rng.below(n)))));
-    } else if (pick < 13) {
+          rng.below(2) == 0 ? isa::Op::J : isa::Op::Jal,
+          static_cast<std::uint32_t>(rng.below(n)))));
+    } else if (pick < 27) {
       p.text.push_back(isa::encode(isa::make_rtype(isa::Op::Jr, 0, 31, 0)));
-    } else if (pick < 21) {
+    } else if (pick < 35) {
       static constexpr isa::Op kMem[] = {isa::Op::Lw,  isa::Op::Lb,
                                          isa::Op::Lbu, isa::Op::Sw,
                                          isa::Op::Sb,  isa::Op::Sh};
@@ -85,12 +93,12 @@ isa::Program random_program(util::Rng& rng) {
           static_cast<std::int32_t>(rng.below(0x100)) - 0x80;
       p.text.push_back(
           isa::encode(isa::make_itype(kMem[rng.below(6)], rt, rs, imm)));
-    } else if (pick < 27) {
-      // Trapping arithmetic: pure-run breakers that are NOT block ends.
+    } else if (pick < 41) {
+      // Trapping arithmetic: stop-before ops inside a trace body.
       static constexpr isa::Op kTrapArith[] = {isa::Op::Add, isa::Op::Sub};
       p.text.push_back(isa::encode(
           isa::make_rtype(kTrapArith[rng.below(2)], rd, rs, rt)));
-    } else if (pick < 45) {
+    } else if (pick < 58) {
       static constexpr isa::Op kImm[] = {isa::Op::Addiu, isa::Op::Ori,
                                          isa::Op::Andi,  isa::Op::Xori,
                                          isa::Op::Slti,  isa::Op::Lui};
@@ -98,7 +106,7 @@ isa::Program random_program(util::Rng& rng) {
           static_cast<std::int32_t>(rng.below(0x10000)) - 0x8000;
       p.text.push_back(
           isa::encode(isa::make_itype(kImm[rng.below(6)], rt, rs, imm)));
-    } else if (pick < 92) {
+    } else if (pick < 94) {
       static constexpr isa::Op kPure[] = {
           isa::Op::Addu, isa::Op::Subu, isa::Op::And,  isa::Op::Or,
           isa::Op::Xor,  isa::Op::Nor,  isa::Op::Slt,  isa::Op::Sltu,
@@ -106,7 +114,7 @@ isa::Program random_program(util::Rng& rng) {
           isa::Op::Mfhi, isa::Op::Mflo};
       p.text.push_back(
           isa::encode(isa::make_rtype(kPure[rng.below(14)], rd, rs, rt)));
-    } else if (pick < 96) {
+    } else if (pick < 97) {
       p.text.push_back(isa::encode(
           isa::make_shift(isa::Op::Sll, rd, rt,
                           static_cast<int>(rng.below(32)))));
@@ -155,39 +163,41 @@ void expect_same_state(const Core& a, const Core& b, Tier tier) {
   }
 }
 
-class FuseDifferentialTest : public ::testing::TestWithParam<int> {};
+class TraceDifferentialTest : public ::testing::TestWithParam<int> {};
 
-// 8 seeds x 600 programs, each run end-to-end on all three tiers: the
-// fused run() (superop dispatch) must land in exactly the interpreter's
-// final state -- registers, cycles, retired mix, last StepInfo.
-TEST_P(FuseDifferentialTest, RandomProgramsRunIdenticalAcrossTiers) {
-  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x51CAFE + 13);
+// 8 seeds x 600 branchy programs, each run end-to-end on all three
+// configurations: the trace run() (superblock dispatch, side exits) must
+// land in exactly the interpreter's final state -- registers, cycles,
+// retired mix (taken/not-taken counted by ACTUAL branch outcome, not
+// prediction), last StepInfo.
+TEST_P(TraceDifferentialTest, RandomProgramsRunIdenticalAcrossTiers) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 0x7ACE5EED + 29);
   for (int trial = 0; trial < 600; ++trial) {
     const isa::Program p = random_program(rng);
     auto compiled =
-        CompiledProgram::compile(p, monitor::MerkleTreeHash(0xF05E));
-    // Small watchdogs sometimes, so the fused-run budget clamp (a run
-    // truncated mid-block by remaining slack) gets exercised.
+        CompiledProgram::compile(p, monitor::MerkleTreeHash(0x7ACE));
+    // Small watchdogs sometimes, so the trace budget clamp (a trace
+    // truncated mid-superblock by remaining slack) gets exercised.
     const std::uint64_t watchdog =
         rng.below(8) == 0 ? 1 + rng.below(40) : 512;
     std::vector<std::uint32_t> seeds(32);
     for (auto& s : seeds) s = rng.next_u32();
-    // And sometimes a max_steps cap that lands inside a pure run.
+    // And sometimes a max_steps cap that lands inside a trace.
     const std::uint64_t max_steps = rng.below(4) == 0 ? 1 + rng.below(32)
                                                       : 300;
 
-    Core interp, pre, fused;
+    Core interp, fused, trace;
     load_tier(interp, Tier::Interpret, p, compiled, seeds, watchdog);
-    load_tier(pre, Tier::Predecode, p, compiled, seeds, watchdog);
     load_tier(fused, Tier::Fused, p, compiled, seeds, watchdog);
-    ASSERT_FALSE(interp.predecode_live());
-    ASSERT_TRUE(pre.predecode_live());
-    ASSERT_FALSE(pre.block_fuse_live());
+    load_tier(trace, Tier::Trace, p, compiled, seeds, watchdog);
+    ASSERT_FALSE(interp.trace_live());
     ASSERT_TRUE(fused.block_fuse_live());
+    ASSERT_FALSE(fused.trace_live());
+    ASSERT_TRUE(trace.trace_live());
 
     const StepInfo a = interp.run(max_steps);
-    const StepInfo b = pre.run(max_steps);
-    const StepInfo c = fused.run(max_steps);
+    const StepInfo b = fused.run(max_steps);
+    const StepInfo c = trace.run(max_steps);
     ASSERT_EQ(a.pc, b.pc) << "trial " << trial;
     ASSERT_EQ(a.pc, c.pc) << "trial " << trial;
     ASSERT_EQ(a.word, c.word) << "trial " << trial;
@@ -195,16 +205,17 @@ TEST_P(FuseDifferentialTest, RandomProgramsRunIdenticalAcrossTiers) {
         << "trial " << trial;
     ASSERT_EQ(static_cast<int>(a.trap), static_cast<int>(c.trap))
         << "trial " << trial;
-    expect_same_state(interp, pre, Tier::Predecode);
     expect_same_state(interp, fused, Tier::Fused);
-    ASSERT_EQ(interp.text_dirty(), fused.text_dirty()) << "trial " << trial;
+    expect_same_state(interp, trace, Tier::Trace);
+    ASSERT_EQ(interp.text_dirty(), trace.text_dirty()) << "trial " << trial;
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuseDifferentialTest, ::testing::Range(0, 8));
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceDifferentialTest,
+                         ::testing::Range(0, 8));
 
 // ---------------------------------------------------------------------
-// Monitored packet processing across all three tiers
+// Monitored packet processing across all three configurations
 // ---------------------------------------------------------------------
 
 void expect_same_result(const PacketResult& a, const PacketResult& b,
@@ -232,9 +243,10 @@ void expect_same_core_and_monitor_stats(const MonitoredCore& a,
   ASSERT_EQ(a.stats().traps, b.stats().traps) << tier_name(tier);
   ASSERT_EQ(a.stats().instructions, b.stats().instructions)
       << tier_name(tier);
-  // Monitor stats are the sharpest oracle: advance() feeding one hash
-  // too many (or skipping the mismatching hash) diverges here even if
-  // every verdict happened to agree.
+  // Monitor stats are the sharpest oracle: the batch advance() feeding
+  // one hash too many (or skipping the mismatching hash, or accounting
+  // the tracked-set width after a transition instead of before)
+  // diverges here even when every verdict agrees.
   const monitor::MonitorStats& ma = a.monitor().stats();
   const monitor::MonitorStats& mb = b.monitor().stats();
   ASSERT_EQ(ma.instructions_checked, mb.instructions_checked)
@@ -244,28 +256,30 @@ void expect_same_core_and_monitor_stats(const MonitoredCore& a,
   ASSERT_EQ(ma.state_size_accum, mb.state_size_accum) << tier_name(tier);
 }
 
-// 4 apps x 1400 packets (generated + garbage) through full monitored
-// cores on each tier: per-packet results, core stats, and monitor stats
-// must match the interpreter exactly.
-TEST(FuseDifferential, MonitoredVerdictsAndStatsMatchAcrossTiers) {
+// 5 apps x 1400 packets (generated + garbage) through full monitored
+// cores on each configuration: per-packet results, core stats, and
+// monitor stats must match the interpreter exactly. loop-forward is the
+// extreme case -- nearly every retired instruction arrives at the
+// monitor inside a trace slice spanning many unrolled loop iterations.
+TEST(TraceDifferential, MonitoredVerdictsAndStatsMatchAcrossTiers) {
   const isa::Program apps[] = {
       net::build_ipv4_forward(), net::build_ipv4_cm(), net::build_udp_echo(),
-      net::build_firewall({22, 53, 80, 443})};
-  util::Rng rng(0xF0E5EED);
+      net::build_firewall({22, 53, 80, 443}), net::build_loop_forward()};
+  util::Rng rng(0x7ACE5EED);
   for (const isa::Program& app : apps) {
     monitor::MerkleTreeHash hash(0x4242 + app.text.size());
     auto graph = monitor::extract_graph(app, hash);
 
-    MonitoredCore interp, pre, fused;
+    MonitoredCore interp, fused, trace;
     select_tier(interp.core(), Tier::Interpret);
-    select_tier(pre.core(), Tier::Predecode);
     select_tier(fused.core(), Tier::Fused);
-    for (MonitoredCore* mc : {&interp, &pre, &fused}) {
+    select_tier(trace.core(), Tier::Trace);
+    for (MonitoredCore* mc : {&interp, &fused, &trace}) {
       mc->install(app, graph,
                   std::make_unique<monitor::MerkleTreeHash>(hash));
     }
-    ASSERT_TRUE(fused.core().block_fuse_live());
-    ASSERT_FALSE(pre.core().block_fuse_live());
+    ASSERT_TRUE(trace.core().trace_live());
+    ASSERT_FALSE(fused.core().trace_live());
 
     net::TrafficGenerator gen;
     for (std::size_t i = 0; i < 1400; ++i) {
@@ -277,30 +291,31 @@ TEST(FuseDifferential, MonitoredVerdictsAndStatsMatchAcrossTiers) {
         packet = gen.next().packet;
       }
       const PacketResult want = interp.process_packet(packet);
-      expect_same_result(want, pre.process_packet(packet), Tier::Predecode,
-                         i);
       expect_same_result(want, fused.process_packet(packet), Tier::Fused, i);
+      const PacketResult got = trace.process_packet(packet);
+      expect_same_result(want, got, Tier::Trace, i);
+      ASSERT_GE(got.trace_dispatches, got.trace_side_exits)
+          << "packet " << i;
     }
-    expect_same_core_and_monitor_stats(interp, pre, Tier::Predecode);
     expect_same_core_and_monitor_stats(interp, fused, Tier::Fused);
+    expect_same_core_and_monitor_stats(interp, trace, Tier::Trace);
   }
 }
 
-// Attack traffic on the vulnerable app: the foreign packet payload is a
-// straight pure run (addiu sled), so the monitor mismatch fires INSIDE
-// what would be a fused run if the payload were installed text. The
-// diversion happens at jr (outside the artifact => per-op path), and
-// the per-packet instruction counts prove the fused core executed
-// exactly as many foreign ops before the recovery reset as the oracle.
-TEST(FuseDifferential, MismatchMidPureRunMatchesOracle) {
+// Code-reuse attack traffic on the vulnerable app, both enforcement
+// modes: the smashed return address diverts control, the monitor
+// mismatch fires, and the per-packet instruction counts prove the trace
+// core executed exactly as many ops before the recovery reset as the
+// oracle -- i.e. retract_trace un-retired the overshoot correctly.
+TEST(TraceDifferential, AttackMismatchMidTraceMatchesOracle) {
   for (bool enforce : {true, false}) {
-    MonitoredCore interp, fused;
+    MonitoredCore interp, trace;
     select_tier(interp.core(), Tier::Interpret);
-    select_tier(fused.core(), Tier::Fused);
+    select_tier(trace.core(), Tier::Trace);
     isa::Program vuln = isa::assemble(testsupport::kVulnApp);
     monitor::MerkleTreeHash hash(0x7E57);
     auto graph = monitor::extract_graph(vuln, hash);
-    for (MonitoredCore* mc : {&interp, &fused}) {
+    for (MonitoredCore* mc : {&interp, &trace}) {
       mc->set_enforcement(enforce);
       mc->install(vuln, graph,
                   std::make_unique<monitor::MerkleTreeHash>(hash));
@@ -310,92 +325,100 @@ TEST(FuseDifferential, MismatchMidPureRunMatchesOracle) {
     for (int i = 0; i < 100; ++i) {
       const util::Bytes packet = i % 3 == 0 ? attack : gen.next().packet;
       expect_same_result(interp.process_packet(packet),
-                         fused.process_packet(packet), Tier::Fused,
+                         trace.process_packet(packet), Tier::Trace,
                          static_cast<std::size_t>(i));
     }
-    expect_same_core_and_monitor_stats(interp, fused, Tier::Fused);
+    expect_same_core_and_monitor_stats(interp, trace, Tier::Trace);
   }
 }
 
-// Attack text INSIDE the fused artifact: install an app whose installed
-// text ends in a pure sled that the monitoring graph does not expect
-// (graph extracted from a truncated program), so advance() mismatches
-// partway through a genuinely fused slice.
-TEST(FuseDifferential, MismatchInsideFusedInstalledRunMatchesOracle) {
-  // Full app: a 6-op pure sled then jr $ra. Graph: extracted from only
-  // the first two ops + jr, so the third sled op mismatches.
+// Mismatch INSIDE an installed trace that spans a predicted branch: the
+// app is a counted loop (backward bne, predicted taken) whose trace
+// unrolls several iterations, but the graph is extracted from a
+// truncated program, so advance() flags a hash partway through the
+// slice -- upstream of the side-exiting loop-exit branch. The
+// retraction therefore covers body ops AND predicted-taken branch
+// iterations, and on the final dispatch the side-exit flag flips the
+// last op's taken-attribution. Instruction counts and monitor stats
+// prove every path agrees with the oracle.
+TEST(TraceDifferential, MismatchBeforeSideExitRetractsExactly) {
   isa::Program full = isa::assemble(R"(
 main:
-    addiu $t0, $t0, 1
-    addiu $t0, $t0, 2
-    addiu $t0, $t0, 3
-    addiu $t0, $t0, 4
-    addiu $t0, $t0, 5
-    addiu $t0, $t0, 6
+    li $t0, 6
+    move $t1, $zero
+loop:
+    addiu $t1, $t1, 1
+    addiu $t2, $t2, 3
+    bne $t1, $t0, loop
+    addiu $t3, $t3, 5
     jr $ra
 )");
-  isa::Program truncated = full;
-  truncated.text.resize(2);
-  truncated.text.push_back(
-      isa::encode(isa::make_rtype(isa::Op::Jr, 0, 31, 0)));
+  // Graph from a program whose loop body differs at the second op: the
+  // monitor expects addiu $t2,$t2,4, so the installed text's hash for
+  // that op mismatches on the FIRST unrolled iteration of every trace
+  // dispatch while several predicted iterations sit retired beyond it.
+  isa::Program expected = full;
+  expected.text[3] = isa::encode(isa::make_itype(isa::Op::Addiu, 10, 10, 4));
 
   monitor::MerkleTreeHash hash(0xBEEF);
-  auto graph = monitor::extract_graph(truncated, hash);
+  auto graph = monitor::extract_graph(expected, hash);
 
-  MonitoredCore interp, fused;
+  MonitoredCore interp, trace;
   select_tier(interp.core(), Tier::Interpret);
-  select_tier(fused.core(), Tier::Fused);
-  for (MonitoredCore* mc : {&interp, &fused}) {
+  select_tier(trace.core(), Tier::Trace);
+  for (MonitoredCore* mc : {&interp, &trace}) {
     mc->install(full, monitor::CompiledGraph::compile(graph),
                 std::make_unique<monitor::MerkleTreeHash>(hash));
   }
-  ASSERT_TRUE(fused.core().block_fuse_live());
+  ASSERT_TRUE(trace.core().trace_live());
+  ASSERT_GT(trace.core().compiled_program()->num_traces(), 0u);
 
   const util::Bytes packet(16, 0xAB);
   const PacketResult want = interp.process_packet(packet);
-  const PacketResult got = fused.process_packet(packet);
+  const PacketResult got = trace.process_packet(packet);
   EXPECT_EQ(static_cast<int>(want.outcome),
             static_cast<int>(PacketOutcome::AttackDetected));
-  expect_same_result(want, got, Tier::Fused, 0);
-  expect_same_core_and_monitor_stats(interp, fused, Tier::Fused);
+  expect_same_result(want, got, Tier::Trace, 0);
+  expect_same_core_and_monitor_stats(interp, trace, Tier::Trace);
 }
 
 // Mid-stream reinstall: new hash parameter, new artifacts, same binary;
-// then a different binary. The fused tables are rebuilt per install and
+// then a different binary. Traces are rebuilt per install and
 // equivalence must hold across every swap.
-TEST(FuseDifferential, MidStreamReinstallKeepsEquivalence) {
-  MonitoredCore interp, fused;
+TEST(TraceDifferential, MidStreamReinstallKeepsEquivalence) {
+  MonitoredCore interp, trace;
   select_tier(interp.core(), Tier::Interpret);
-  select_tier(fused.core(), Tier::Fused);
+  select_tier(trace.core(), Tier::Trace);
   net::TrafficGenerator gen;
 
   std::uint32_t params[] = {0xAAAA, 0xBBBB};
-  isa::Program binaries[] = {net::build_udp_echo(), net::build_ipv4_forward()};
+  isa::Program binaries[] = {net::build_loop_forward(),
+                             net::build_ipv4_forward()};
   std::size_t packet = 0;
   for (const isa::Program& app : binaries) {
     for (std::uint32_t param : params) {
       monitor::MerkleTreeHash hash(param);
       auto graph = monitor::extract_graph(app, hash);
-      for (MonitoredCore* mc : {&interp, &fused}) {
+      for (MonitoredCore* mc : {&interp, &trace}) {
         mc->install(app, graph,
                     std::make_unique<monitor::MerkleTreeHash>(hash));
       }
-      ASSERT_TRUE(fused.core().block_fuse_live());
+      ASSERT_TRUE(trace.core().trace_live());
       for (int i = 0; i < 200; ++i, ++packet) {
         const util::Bytes p = gen.next().packet;
         expect_same_result(interp.process_packet(p),
-                           fused.process_packet(p), Tier::Fused, packet);
+                           trace.process_packet(p), Tier::Trace, packet);
       }
-      expect_same_core_and_monitor_stats(interp, fused, Tier::Fused);
+      expect_same_core_and_monitor_stats(interp, trace, Tier::Trace);
     }
   }
 }
 
 // ---------------------------------------------------------------------
-// Self-modifying stores: the fused tier must die with the artifact
+// Self-modifying stores: the trace tier must die with the artifact
 // ---------------------------------------------------------------------
 
-TEST(FuseDifferential, SelfModifyingStoreKillsFusionAndMatchesOracle) {
+TEST(TraceDifferential, SelfModifyingStoreKillsTracesAndMatchesOracle) {
   const std::uint32_t patch =
       isa::encode(isa::make_itype(isa::Op::Addiu, 2, 0, 42));
   isa::Program p = isa::assemble(R"(
@@ -416,56 +439,62 @@ target:
       isa::Op::Ori, 9, 9, static_cast<std::int32_t>(patch & 0xFFFF)));
 
   auto compiled = CompiledProgram::compile(p, monitor::MerkleTreeHash(0x5E1F));
-  Core interp, fused;
+  Core interp, trace;
   select_tier(interp, Tier::Interpret);
-  select_tier(fused, Tier::Fused);
+  select_tier(trace, Tier::Trace);
   interp.load_program(p, compiled);
-  fused.load_program(p, compiled);
-  ASSERT_TRUE(fused.block_fuse_live());
+  trace.load_program(p, compiled);
+  ASSERT_TRUE(trace.trace_live());
 
   const StepInfo a = interp.run(64);
-  const StepInfo b = fused.run(64);
+  const StepInfo b = trace.run(64);
   ASSERT_EQ(static_cast<int>(a.event), static_cast<int>(b.event));
-  expect_same_state(interp, fused, Tier::Fused);
-  EXPECT_EQ(fused.reg(2), 42u) << "patched instruction must have executed";
-  EXPECT_TRUE(fused.text_dirty());
-  EXPECT_FALSE(fused.predecode_live());
-  EXPECT_FALSE(fused.block_fuse_live())
-      << "fusion must not survive a dirtied text image";
+  expect_same_state(interp, trace, Tier::Trace);
+  EXPECT_EQ(trace.reg(2), 42u) << "patched instruction must have executed";
+  EXPECT_TRUE(trace.text_dirty());
+  EXPECT_FALSE(trace.predecode_live());
+  EXPECT_FALSE(trace.trace_live())
+      << "traces must not survive a dirtied text image";
 
-  // The re-imaging reset() restores text and re-arms BOTH fast tiers
+  // The re-imaging reset() restores text and re-arms ALL fast tiers
   // from the same shared artifact.
-  fused.reset();
-  EXPECT_TRUE(fused.predecode_live());
-  EXPECT_TRUE(fused.block_fuse_live());
+  trace.reset();
+  EXPECT_TRUE(trace.predecode_live());
+  EXPECT_TRUE(trace.block_fuse_live());
+  EXPECT_TRUE(trace.trace_live());
 }
 
-// The fuse toggle is independent of predecode and sticky across
-// load_program/reset, exactly like set_predecode_enabled.
-TEST(FuseDifferential, FuseToggleIsIndependentAndSticky) {
-  const isa::Program app = net::build_udp_echo();
+// The trace toggle is sticky across load_program/reset like the other
+// two, and traces ride on the fused tier: disabling predecode or
+// fusion also takes traces down while the toggle itself is unchanged.
+TEST(TraceDifferential, TraceToggleIsStickyAndRidesOnFusion) {
+  const isa::Program app = net::build_loop_forward();
   auto compiled =
       CompiledProgram::compile(app, monitor::MerkleTreeHash(0x1357));
   Core core;
-  core.set_block_fuse_enabled(false);
+  core.set_trace_enabled(false);
   core.load_program(app, compiled);
-  EXPECT_TRUE(core.predecode_live());
-  EXPECT_FALSE(core.block_fuse_live());
-  core.reset();
-  EXPECT_FALSE(core.block_fuse_live()) << "toggle must survive reset";
-  core.set_block_fuse_enabled(true);
   EXPECT_TRUE(core.block_fuse_live());
+  EXPECT_FALSE(core.trace_live());
+  core.reset();
+  EXPECT_FALSE(core.trace_live()) << "toggle must survive reset";
+  core.set_trace_enabled(true);
+  EXPECT_TRUE(core.trace_live());
+  core.set_block_fuse_enabled(false);
+  EXPECT_FALSE(core.trace_live()) << "traces ride on the fused tier";
+  EXPECT_TRUE(core.trace_enabled()) << "own toggle unchanged";
+  core.set_block_fuse_enabled(true);
+  EXPECT_TRUE(core.trace_live());
   core.set_predecode_enabled(false);
-  EXPECT_FALSE(core.block_fuse_live())
-      << "fusion rides on the predecoded artifact";
-  EXPECT_TRUE(core.block_fuse_enabled()) << "own toggle unchanged";
+  EXPECT_FALSE(core.trace_live()) << "traces ride on the artifact";
+  EXPECT_TRUE(core.trace_enabled()) << "own toggle unchanged";
 }
 
 // ---------------------------------------------------------------------
 // MPSoC: artifact sharing and recovery-path equivalence
 // ---------------------------------------------------------------------
 
-TEST(FuseDifferential, FusedTablesRideTheSharedArtifact) {
+TEST(TraceDifferential, TraceTablesRideTheSharedArtifact) {
   Mpsoc soc(4);
   testsupport::install_all(soc, testsupport::kEchoApp, 0x1D1D);
   const CompiledProgram* shared = soc.core(0).core().compiled_program().get();
@@ -473,19 +502,20 @@ TEST(FuseDifferential, FusedTablesRideTheSharedArtifact) {
   for (std::size_t c = 1; c < soc.num_cores(); ++c) {
     EXPECT_EQ(soc.core(c).core().compiled_program().get(), shared)
         << "core " << c;
-    EXPECT_EQ(soc.core(c).core().compiled_program()->fused_run_data(),
-              shared->fused_run_data())
-        << "fused tables must be the same allocation, core " << c;
+    EXPECT_EQ(soc.core(c).core().compiled_program()->trace_ops_data(),
+              shared->trace_ops_data())
+        << "trace tables must be the same allocation, core " << c;
   }
-  EXPECT_GT(shared->num_fused_runs(), 0u);
-  EXPECT_GT(shared->num_fused_ops(), shared->num_fused_runs());
+  EXPECT_GT(shared->num_traces(), 0u);
+  EXPECT_GE(shared->num_trace_ops(), 2 * shared->num_traces())
+      << "every kept trace has at least two ops";
 }
 
-// Attack traffic under every recovery policy: fused engines and the
+// Attack traffic under every recovery policy: trace engines and the
 // interpreter oracle must agree packet-for-packet, including through
-// mid-block quarantines (the mismatch that trips the quarantine
-// threshold fires inside a pure run) and last-good re-images.
-TEST(FuseDifferential, AttackRecoveryPoliciesMatchAcrossTiers) {
+// mid-trace quarantines (the mismatch that trips the quarantine
+// threshold fires inside a superblock) and last-good re-images.
+TEST(TraceDifferential, AttackRecoveryPoliciesMatchAcrossTiers) {
   for (RecoveryPolicy policy :
        {RecoveryPolicy::ResetAndContinue, RecoveryPolicy::QuarantineAfterK,
         RecoveryPolicy::ReinstallLastGood}) {
@@ -493,25 +523,25 @@ TEST(FuseDifferential, AttackRecoveryPoliciesMatchAcrossTiers) {
     config.policy = policy;
     config.violation_threshold = 3;
     config.window_packets = 8;
-    Mpsoc fused_soc(2, DispatchPolicy::RoundRobin, config);
+    Mpsoc trace_soc(2, DispatchPolicy::RoundRobin, config);
     Mpsoc oracle_soc(2, DispatchPolicy::RoundRobin, config);
     for (std::size_t c = 0; c < oracle_soc.num_cores(); ++c) {
       select_tier(oracle_soc.core(c).core(), Tier::Interpret);
-      select_tier(fused_soc.core(c).core(), Tier::Fused);
+      select_tier(trace_soc.core(c).core(), Tier::Trace);
     }
-    testsupport::install_all(fused_soc, testsupport::kVulnApp, 0x7E57);
+    testsupport::install_all(trace_soc, testsupport::kVulnApp, 0x7E57);
     testsupport::install_all(oracle_soc, testsupport::kVulnApp, 0x7E57);
 
     const util::Bytes attack = testsupport::attack_packet();
-    util::Rng rng(0xF5A77AC4 + static_cast<std::uint64_t>(policy));
+    util::Rng rng(0x7AC3A77C + static_cast<std::uint64_t>(policy));
     net::TrafficGenerator gen;
     for (int i = 0; i < 120; ++i) {
       util::Bytes packet = rng.below(3) == 0 ? attack : gen.next().packet;
       expect_same_result(oracle_soc.process_packet(packet),
-                         fused_soc.process_packet(packet), Tier::Fused,
+                         trace_soc.process_packet(packet), Tier::Trace,
                          static_cast<std::size_t>(i));
     }
-    const MpsocStats sa = fused_soc.aggregate_stats();
+    const MpsocStats sa = trace_soc.aggregate_stats();
     const MpsocStats sb = oracle_soc.aggregate_stats();
     EXPECT_EQ(sa.forwarded, sb.forwarded) << recovery_policy_name(policy);
     EXPECT_EQ(sa.attacks_detected, sb.attacks_detected)
@@ -524,7 +554,7 @@ TEST(FuseDifferential, AttackRecoveryPoliciesMatchAcrossTiers) {
     // Recovery re-images must preserve each core's tier selection.
     for (std::size_t c = 0; c < oracle_soc.num_cores(); ++c) {
       EXPECT_FALSE(oracle_soc.core(c).core().predecode_live());
-      EXPECT_TRUE(fused_soc.core(c).core().block_fuse_enabled());
+      EXPECT_TRUE(trace_soc.core(c).core().trace_enabled());
     }
   }
 }

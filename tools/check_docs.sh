@@ -19,7 +19,11 @@
 #      bench/baselines/BENCH_*.json must be named in docs/BENCHMARKS.md,
 #      and every bench binary registered in bench/CMakeLists.txt must
 #      have a `### \`<name>\`` row there -- a new bench or baseline
-#      cannot land undocumented.
+#      cannot land undocumented. Also rejects stray BENCH_*.json reports
+#      outside bench/baselines/ and build trees (accidental commits of
+#      local bench runs), and -- back in check 2 -- stale metric names
+#      and EventKind rows lingering in OBSERVABILITY.md after the code
+#      retired them.
 #
 # Usage:  tools/check_docs.sh [--strict] [--bench-json DIR [MIN]]
 # Exit:   0 when every check passes, 1 otherwise (all failures listed).
@@ -117,6 +121,18 @@ else
       grep -qF "\"$doc_name\"" "$repo/src/obs/names.hpp" ||
         err "metric '$doc_name' in OBSERVABILITY.md no longer exists in src/obs/names.hpp"
     done
+    # Reverse check for the event-journal table: every `kebab` | `Kind`
+    # row in the catalog must name a live EventKind enumerator, so
+    # retired kinds cannot linger in the docs either.
+    kinds="$(sed -n '/enum class EventKind/,/};/p' \
+               "$repo/src/obs/journal.hpp" |
+             grep -oE '^  [A-Za-z]+' | tr -d ' ')"
+    for doc_kind in $(grep -oE '^\| `[a-z-]+` \| `[A-Za-z]+` \|' "$catalog" |
+                      awk -F'\`' '$4 != "EventKind" {print $4}' |
+                      sort -u); do
+      printf '%s\n' "$kinds" | grep -qx "$doc_kind" ||
+        err "EventKind '$doc_kind' in OBSERVABILITY.md no longer exists in src/obs/journal.hpp"
+    done
   fi
 fi
 
@@ -170,6 +186,14 @@ if [ "$strict" -eq 1 ]; then
         err "bench '$target' (bench/CMakeLists.txt) has no row in docs/BENCHMARKS.md"
     done
   fi
+  # Bench reports live ONLY under bench/baselines/ (committed reference
+  # runs) or inside build trees (fresh local runs); a BENCH_*.json
+  # anywhere else is a stray accidentally committed from a bench run.
+  for stray in $(find "$repo" -name 'BENCH_*.json' \
+                   -not -path "$repo/bench/baselines/*" \
+                   -not -path '*/build*' -not -path '*/.git/*'); do
+    err "stray bench report ${stray#"$repo"/} (reports belong in bench/baselines/ or a build tree)"
+  done
 fi
 
 if [ "$fail" -eq 0 ]; then
